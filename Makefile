@@ -1,0 +1,25 @@
+# Development entry points. Everything is plain pytest / python -m.
+
+PYTHON ?= python
+
+.PHONY: test bench bench-shapes report fuzz examples all
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-shapes:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-disable
+
+report:
+	$(PYTHON) -m repro.bench
+
+fuzz:
+	$(PYTHON) -m repro fuzz --n 1000
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f > /dev/null || exit 1; done; echo "all examples ran"
+
+all: test bench-shapes examples

@@ -1,0 +1,77 @@
+"""E3 — the COUNT bug: six strategies, correctness and timing.
+
+Shape asserted: Kim's two variants lose exactly the dangling b=0 rows; the
+outerjoin fix, the antijoin fix, and the nest-join translation are correct;
+the optimized strategies beat naive nested-loop processing.
+"""
+
+import pytest
+
+from repro.algebra.interpreter import result_set, run_logical
+from repro.baselines import (
+    ganski_wong_plan,
+    kim_ja_group_first_plan,
+    kim_ja_join_first_plan,
+    mural_plan,
+)
+from repro.bench.harness import time_best
+from repro.core.pipeline import run_query
+from repro.engine.executor import run_physical
+from repro.workloads import COUNT_BUG_NESTED
+
+
+@pytest.fixture(scope="module")
+def oracle(join_workload):
+    return run_query(COUNT_BUG_NESTED, join_workload.catalog, engine="interpret").value
+
+
+class TestShape:
+    def test_kim_variants_show_the_bug(self, join_workload, oracle):
+        cat = join_workload.catalog
+        for plan in (kim_ja_group_first_plan(), kim_ja_join_first_plan()):
+            got = result_set(run_logical(plan, cat))
+            missing = oracle - got
+            assert missing and all(t["b"] == 0 for t in missing)
+            assert got <= oracle
+
+    def test_fixes_are_correct(self, join_workload, oracle):
+        cat = join_workload.catalog
+        assert result_set(run_physical(ganski_wong_plan(), cat)) == oracle
+        assert result_set(run_physical(mural_plan(), cat)) == oracle
+        assert run_query(COUNT_BUG_NESTED, cat, engine="physical").value == oracle
+
+    def test_nest_join_beats_naive(self, join_workload):
+        cat = join_workload.catalog
+        t_naive = time_best(
+            lambda: run_query(COUNT_BUG_NESTED, cat, engine="interpret"), repeat=1
+        )
+        t_nest = time_best(
+            lambda: run_query(COUNT_BUG_NESTED, cat, engine="physical"), repeat=3
+        )
+        assert t_nest < t_naive
+
+
+class TestTimings:
+    def test_naive_nested_loop(self, benchmark, join_workload):
+        cat = join_workload.catalog
+        benchmark(lambda: run_query(COUNT_BUG_NESTED, cat, engine="interpret"))
+
+    def test_nest_join_plan(self, benchmark, join_workload, oracle):
+        cat = join_workload.catalog
+        result = benchmark(lambda: run_query(COUNT_BUG_NESTED, cat, engine="physical"))
+        assert result.value == oracle
+
+    def test_ganski_wong(self, benchmark, join_workload, oracle):
+        cat = join_workload.catalog
+        result = benchmark(lambda: result_set(run_physical(ganski_wong_plan(), cat)))
+        assert result == oracle
+
+    def test_mural(self, benchmark, join_workload, oracle):
+        cat = join_workload.catalog
+        result = benchmark(lambda: result_set(run_physical(mural_plan(), cat)))
+        assert result == oracle
+
+    def test_kim_group_first_buggy(self, benchmark, join_workload, oracle):
+        cat = join_workload.catalog
+        result = benchmark(lambda: result_set(run_logical(kim_ja_group_first_plan(), cat)))
+        assert result < oracle  # strict subset: the bug

@@ -1,0 +1,44 @@
+"""E10 — the nest join vs its relational expansion ν*(X ⟕ Y).
+
+Shape asserted: identical results (the Section 6 algebraic identity) with
+the single-operator nest join at least as fast as the two-operator NULL
+detour.
+"""
+
+import pytest
+
+from repro.algebra.plan import NestJoin, Scan
+from repro.algebra.properties import nestjoin_via_outerjoin
+from repro.bench.harness import time_best
+from repro.engine.executor import run_physical
+from repro.lang.parser import parse
+from repro.workloads import make_join_workload
+
+
+@pytest.fixture(scope="module")
+def setup():
+    wl = make_join_workload(n_left=300, match_rate=0.5, fanout=2, seed=10)
+    nj = NestJoin(Scan("R", "r"), Scan("S", "s"), parse("r.c = s.c"), None, "zs")
+    return wl.catalog, nj, nestjoin_via_outerjoin(nj)
+
+
+class TestShape:
+    def test_identity_holds(self, setup):
+        cat, nj, detour = setup
+        assert frozenset(run_physical(nj, cat)) == frozenset(run_physical(detour, cat))
+
+    def test_nest_join_not_slower(self, setup):
+        cat, nj, detour = setup
+        t_nj = time_best(lambda: run_physical(nj, cat), 3)
+        t_detour = time_best(lambda: run_physical(detour, cat), 3)
+        assert t_nj <= t_detour * 1.25  # allow noise; it is usually clearly faster
+
+
+class TestTimings:
+    def test_nest_join(self, benchmark, setup):
+        cat, nj, _ = setup
+        benchmark(lambda: run_physical(nj, cat))
+
+    def test_outerjoin_plus_nest_star(self, benchmark, setup):
+        cat, _, detour = setup
+        benchmark(lambda: run_physical(detour, cat))

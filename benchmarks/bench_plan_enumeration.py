@@ -1,0 +1,64 @@
+"""Extension ablation — cost-based reordering via the Section 6 laws.
+
+The paper's closing future-work item: investigate the nest join's algebraic
+properties so logical optimization can follow translation. This benchmark
+builds the canonical scenario — a nest join above an *expanding* join —
+and measures the original plan against the cost-chosen exchanged plan
+``(X Δ Z) ⋈ Y``.
+
+Shape asserted: identical results; the enumerator picks the exchanged plan;
+the exchanged plan is faster.
+"""
+
+import pytest
+
+from repro.algebra.enumerate import choose_plan
+from repro.algebra.plan import Join, NestJoin, Scan
+from repro.bench.harness import time_best
+from repro.engine.executor import run_physical
+from repro.engine.table import Catalog
+from repro.lang.parser import parse
+from repro.model.values import Tup
+
+X = Scan("X", "x")
+Y = Scan("Y", "y")
+Z = Scan("Z", "z")
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cat = Catalog()
+    # Each X row matches ~150 Y rows (expanding join), Z is small.
+    cat.add_rows("X", [Tup(a=i % 5, b=i % 2) for i in range(40)])
+    cat.add_rows("Y", [Tup(c=i, d=i % 2) for i in range(300)])
+    cat.add_rows("Z", [Tup(e=0, f=i % 5) for i in range(40)])
+    original = NestJoin(Join(X, Y, parse("x.b = y.d")), Z, parse("x.a = z.f"), None, "zs")
+    chosen = choose_plan(original, cat)
+    return cat, original, chosen
+
+
+class TestShape:
+    def test_enumerator_exchanges(self, setup):
+        cat, original, chosen = setup
+        assert chosen != original
+        assert isinstance(chosen, Join) and isinstance(chosen.left, NestJoin)
+
+    def test_results_identical(self, setup):
+        cat, original, chosen = setup
+        assert frozenset(run_physical(original, cat)) == frozenset(run_physical(chosen, cat))
+
+    def test_chosen_plan_is_faster(self, setup):
+        cat, original, chosen = setup
+        t_original = time_best(lambda: run_physical(original, cat), 3)
+        t_chosen = time_best(lambda: run_physical(chosen, cat), 3)
+        assert t_chosen < t_original
+
+
+class TestTimings:
+    def test_original_plan(self, benchmark, setup):
+        cat, original, _ = setup
+        benchmark(lambda: run_physical(original, cat))
+
+    def test_cost_chosen_plan(self, benchmark, setup):
+        cat, _, chosen = setup
+        benchmark(lambda: run_physical(chosen, cat))

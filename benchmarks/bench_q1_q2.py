@@ -1,0 +1,38 @@
+"""E5 — the paper's queries Q1 and Q2 on the company schema."""
+
+import pytest
+
+from repro.core.pipeline import prepare, run_query
+from repro.workloads import Q1_SAME_STREET, Q2_EMPS_BY_CITY
+
+
+@pytest.fixture(scope="module")
+def q2_oracle(company):
+    return run_query(Q2_EMPS_BY_CITY, company, engine="interpret").value
+
+
+class TestShape:
+    def test_q1_stays_nested(self, company):
+        tr = prepare(Q1_SAME_STREET, company)
+        assert tr is not None and not tr.fully_flattened
+
+    def test_q2_uses_a_select_clause_nest_join(self, company):
+        tr = prepare(Q2_EMPS_BY_CITY, company)
+        assert "nestjoin-select-clause" in [s.kind for s in tr.steps]
+
+    def test_q2_result_has_one_row_per_department(self, company, q2_oracle):
+        assert len(q2_oracle) == len(company["DEPT"])
+        planned = run_query(Q2_EMPS_BY_CITY, company, engine="physical").value
+        assert planned == q2_oracle
+
+
+class TestTimings:
+    def test_q1_interpreted(self, benchmark, company):
+        benchmark(lambda: run_query(Q1_SAME_STREET, company, engine="interpret"))
+
+    def test_q2_naive(self, benchmark, company):
+        benchmark(lambda: run_query(Q2_EMPS_BY_CITY, company, engine="interpret"))
+
+    def test_q2_nest_join(self, benchmark, company, q2_oracle):
+        result = benchmark(lambda: run_query(Q2_EMPS_BY_CITY, company, engine="physical"))
+        assert result.value == q2_oracle

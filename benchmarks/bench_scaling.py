@@ -1,0 +1,51 @@
+"""E12 — scaling: naive vs optimizer-chosen plan across data sizes.
+
+Shape asserted: the optimized plan wins everywhere and its advantage grows
+with size (naive is quadratic, the hash nest join ~linear).
+"""
+
+import pytest
+
+from repro.bench.harness import time_best
+from repro.core.pipeline import run_query
+from repro.workloads import COUNT_BUG_NESTED, make_join_workload
+
+SIZES = (50, 100, 200)
+
+
+@pytest.fixture(scope="module")
+def catalogs():
+    return {
+        n: make_join_workload(n_left=n, match_rate=0.5, fanout=2, seed=n + 3).catalog
+        for n in SIZES
+    }
+
+
+class TestShape:
+    def test_optimized_wins_everywhere_and_gap_grows(self, catalogs):
+        speedups = []
+        for n in SIZES:
+            cat = catalogs[n]
+            t_naive = time_best(lambda: run_query(COUNT_BUG_NESTED, cat, engine="interpret"), 1)
+            t_opt = time_best(lambda: run_query(COUNT_BUG_NESTED, cat, engine="physical"), 3)
+            speedups.append(t_naive / max(t_opt, 1e-9))
+        assert all(s > 1 for s in speedups)
+        assert speedups[-1] > speedups[0]
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_correct_at_all_sizes(self, catalogs, n):
+        cat = catalogs[n]
+        assert (
+            run_query(COUNT_BUG_NESTED, cat, engine="physical").value
+            == run_query(COUNT_BUG_NESTED, cat, engine="interpret").value
+        )
+
+
+class TestTimings:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_naive(self, benchmark, catalogs, n):
+        benchmark(lambda: run_query(COUNT_BUG_NESTED, catalogs[n], engine="interpret"))
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_optimized(self, benchmark, catalogs, n):
+        benchmark(lambda: run_query(COUNT_BUG_NESTED, catalogs[n], engine="physical"))

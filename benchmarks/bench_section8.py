@@ -1,0 +1,39 @@
+"""E7 — the Section 8 three-block pipeline (both predicate variants)."""
+
+import pytest
+
+from repro.core.pipeline import prepare, run_query
+from repro.workloads import SECTION8_FLAT_VARIANT, SECTION8_QUERY
+
+
+@pytest.fixture(scope="module")
+def oracles(chain):
+    return {
+        SECTION8_QUERY: run_query(SECTION8_QUERY, chain, engine="interpret").value,
+        SECTION8_FLAT_VARIANT: run_query(SECTION8_FLAT_VARIANT, chain, engine="interpret").value,
+    }
+
+
+class TestShape:
+    def test_grouping_variant_uses_two_nest_joins(self, chain):
+        assert prepare(SECTION8_QUERY, chain).join_kinds() == ["nestjoin", "nestjoin"]
+
+    def test_flat_variant_uses_antijoin_and_semijoin(self, chain):
+        assert prepare(SECTION8_FLAT_VARIANT, chain).join_kinds() == ["antijoin", "semijoin"]
+
+    @pytest.mark.parametrize("query", [SECTION8_QUERY, SECTION8_FLAT_VARIANT], ids=["grouping", "flat"])
+    def test_pipelines_match_oracle(self, chain, oracles, query):
+        assert run_query(query, chain, engine="physical").value == oracles[query]
+
+
+class TestTimings:
+    def test_naive_grouping_variant(self, benchmark, chain):
+        benchmark(lambda: run_query(SECTION8_QUERY, chain, engine="interpret"))
+
+    def test_nestjoin_pipeline(self, benchmark, chain, oracles):
+        result = benchmark(lambda: run_query(SECTION8_QUERY, chain, engine="physical"))
+        assert result.value == oracles[SECTION8_QUERY]
+
+    def test_semijoin_antijoin_pipeline(self, benchmark, chain, oracles):
+        result = benchmark(lambda: run_query(SECTION8_FLAT_VARIANT, chain, engine="physical"))
+        assert result.value == oracles[SECTION8_FLAT_VARIANT]

@@ -1,0 +1,38 @@
+"""E4 — the SUBSETEQ bug: the generalized COUNT bug on set-valued attributes."""
+
+import pytest
+
+from repro.algebra.interpreter import result_set, run_logical
+from repro.baselines import kim_style_subseteq_plan
+from repro.core.pipeline import prepare, run_query
+from repro.workloads import SUBSETEQ_BUG_NESTED
+
+
+@pytest.fixture(scope="module")
+def oracle(set_workload):
+    return run_query(SUBSETEQ_BUG_NESTED, set_workload, engine="interpret").value
+
+
+class TestShape:
+    def test_kim_style_plan_is_buggy(self, set_workload, oracle):
+        got = result_set(run_logical(kim_style_subseteq_plan(), set_workload))
+        missing = oracle - got
+        assert missing and all(t["a"] == frozenset() for t in missing)
+
+    def test_nest_join_translation_chosen_and_correct(self, set_workload, oracle):
+        tr = prepare(SUBSETEQ_BUG_NESTED, set_workload)
+        assert tr.join_kinds() == ["nestjoin"]
+        assert run_query(SUBSETEQ_BUG_NESTED, set_workload, engine="physical").value == oracle
+
+
+class TestTimings:
+    def test_naive(self, benchmark, set_workload):
+        benchmark(lambda: run_query(SUBSETEQ_BUG_NESTED, set_workload, engine="interpret"))
+
+    def test_nest_join(self, benchmark, set_workload, oracle):
+        result = benchmark(lambda: run_query(SUBSETEQ_BUG_NESTED, set_workload, engine="physical"))
+        assert result.value == oracle
+
+    def test_kim_style_buggy_plan(self, benchmark, set_workload, oracle):
+        result = benchmark(lambda: result_set(run_logical(kim_style_subseteq_plan(), set_workload)))
+        assert result < oracle

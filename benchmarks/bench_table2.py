@@ -1,0 +1,53 @@
+"""E2 — Table 2: predicate rewriting.
+
+Asserts the classification of every Table 2 form and benchmarks the
+classifier (normalize + classify) throughput — the preprocessing phase of
+Section 8.
+"""
+
+from repro.bench.experiments import TABLE2_FORMS, _Z, e2_table2
+from repro.core.classify import classify
+from repro.core.normalize import normalize_predicate
+from repro.lang.parser import parse
+
+EXPECTED = {
+    "z = {}": "not_exists",
+    "COUNT(z) = 0": "not_exists",
+    "COUNT(z) > 0": "exists",
+    "x.c = COUNT(z)": "grouping",
+    "x.c IN z": "exists",
+    "x.c NOT IN z": "not_exists",
+    "x.a SUBSETEQ z": "grouping",
+    "x.a SUBSET z": "grouping",
+    "x.a SUPSETEQ z": "not_exists",
+    "x.a SUPSET z": "grouping",
+    "x.a = z": "grouping",
+    "x.a <> z": "grouping",
+    "(x.a INTERSECT z) = {}": "not_exists",
+    "(x.a INTERSECT z) <> {}": "exists",
+    "FORALL w IN x.a (w IN z)": "grouping",
+    "FORALL w IN x.a (w NOT IN z)": "not_exists",
+}
+
+
+def test_table2_classifications_match_paper():
+    table = e2_table2()
+    got = dict(zip(table.column("P(x, z)"), table.column("class")))
+    assert got == EXPECTED
+
+
+def test_grouping_count():
+    table = e2_table2()
+    grouping = [c for c in table.column("class") if c == "grouping"]
+    assert len(grouping) == 7
+
+
+def test_classifier_benchmark(benchmark):
+    sub = parse(_Z)
+    parsed = [parse(t.format(z=_Z)) for t in TABLE2_FORMS]
+
+    def classify_all():
+        return [classify(normalize_predicate(p), sub).kind for p in parsed]
+
+    kinds = benchmark(classify_all)
+    assert len(kinds) == len(TABLE2_FORMS)

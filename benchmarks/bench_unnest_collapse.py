@@ -1,0 +1,34 @@
+"""E6 — the Section 5 UNNEST special case: nested vs collapsed flat join."""
+
+import pytest
+
+from repro.bench.experiments import UNNEST_QUERY, _unnest_catalog
+from repro.core.pipeline import prepare, run_query
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return _unnest_catalog(200)
+
+
+@pytest.fixture(scope="module")
+def oracle(catalog):
+    return run_query(UNNEST_QUERY, catalog, engine="interpret").value
+
+
+class TestShape:
+    def test_translation_is_a_flat_join(self, catalog):
+        tr = prepare(UNNEST_QUERY, catalog)
+        assert [s.kind for s in tr.steps] == ["unnest-join"]
+
+    def test_collapse_is_equivalent(self, catalog, oracle):
+        assert run_query(UNNEST_QUERY, catalog, engine="physical").value == oracle
+
+
+class TestTimings:
+    def test_nested_plus_unnest_naive(self, benchmark, catalog):
+        benchmark(lambda: run_query(UNNEST_QUERY, catalog, engine="interpret"))
+
+    def test_flat_join(self, benchmark, catalog, oracle):
+        result = benchmark(lambda: run_query(UNNEST_QUERY, catalog, engine="physical"))
+        assert result.value == oracle

@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks are sized to finish quickly under pytest-benchmark's repeated
+runs; the full report-scale numbers come from ``python -m repro.bench``.
+"""
+
+import pytest
+
+from repro.workloads import (
+    make_chain_workload,
+    make_company,
+    make_join_workload,
+    make_set_workload,
+)
+
+
+@pytest.fixture(scope="session")
+def join_workload():
+    return make_join_workload(n_left=150, match_rate=0.5, fanout=2, seed=42)
+
+
+@pytest.fixture(scope="session")
+def set_workload():
+    return make_set_workload(n_left=150, n_right=100, match_rate=0.5, seed=7)
+
+
+@pytest.fixture(scope="session")
+def company():
+    return make_company(n_departments=10, n_employees=120, seed=13)
+
+
+@pytest.fixture(scope="session")
+def chain():
+    return make_chain_workload(n_x=60, n_y=60, n_z=60, set_size=1, seed=17)

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e . --no-build-isolation --no-use-pep517`` works
+on machines without network access or the ``wheel`` package; all real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""Complex-object algebra: logical plans, reference executor, laws."""
+
+from repro.algebra.interpreter import (
+    env_of,
+    eval_over,
+    result_set,
+    result_values,
+    run_logical,
+)
+from repro.algebra.plan import (
+    AntiJoin,
+    Distinct,
+    Drop,
+    Extend,
+    Join,
+    Map,
+    Nest,
+    NestJoin,
+    OuterJoin,
+    Plan,
+    Scan,
+    Select,
+    SemiJoin,
+    Unnest,
+)
+from repro.algebra.enumerate import choose_plan, enumerate_plans, local_rewrites
+from repro.algebra.pretty import explain_plan
+from repro.algebra.rewrite import optimize_logical, push_selection
+from repro.algebra.typing import check_plan, plan_types
+from repro.algebra.properties import (
+    ALL_LAWS,
+    Law,
+    join_nestjoin_assoc,
+    nestjoin_join_exchange,
+    nestjoin_via_outerjoin,
+    outerjoin_nest_expansion,
+    project_collapse,
+    unnest_of_nestjoin,
+)
+
+__all__ = [
+    "Plan",
+    "Scan",
+    "Select",
+    "Map",
+    "Extend",
+    "Drop",
+    "Distinct",
+    "Join",
+    "SemiJoin",
+    "AntiJoin",
+    "OuterJoin",
+    "NestJoin",
+    "Nest",
+    "Unnest",
+    "run_logical",
+    "result_values",
+    "result_set",
+    "env_of",
+    "eval_over",
+    "explain_plan",
+    "optimize_logical",
+    "push_selection",
+    "choose_plan",
+    "enumerate_plans",
+    "local_rewrites",
+    "plan_types",
+    "check_plan",
+    "Law",
+    "ALL_LAWS",
+    "project_collapse",
+    "nestjoin_join_exchange",
+    "join_nestjoin_assoc",
+    "outerjoin_nest_expansion",
+    "nestjoin_via_outerjoin",
+    "unnest_of_nestjoin",
+]

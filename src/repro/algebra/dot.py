@@ -1,0 +1,54 @@
+"""Graphviz rendering of logical and physical plans.
+
+:func:`plan_to_dot` / :func:`physical_to_dot` emit ``dot`` source; pipe it
+through ``dot -Tsvg`` to visualise a plan tree::
+
+    python - <<'PY' | dot -Tsvg > plan.svg
+    from repro import prepare, Catalog, Tup
+    from repro.algebra.dot import plan_to_dot
+    ...
+    print(plan_to_dot(translation.plan))
+    PY
+"""
+
+from __future__ import annotations
+
+from repro.algebra.plan import Plan
+from repro.algebra.pretty import _label as _logical_label
+from repro.engine.physical import PhysicalOp
+
+__all__ = ["plan_to_dot", "physical_to_dot"]
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _emit(node, label_of, lines: list[str], counter: list[int]) -> int:
+    node_id = counter[0]
+    counter[0] += 1
+    lines.append(f'  n{node_id} [label="{_escape(label_of(node))}"];')
+    for child in node.children():
+        child_id = _emit(child, label_of, lines, counter)
+        lines.append(f"  n{node_id} -> n{child_id};")
+    return node_id
+
+
+def plan_to_dot(plan: Plan, name: str = "logical_plan") -> str:
+    """dot source for a logical plan tree."""
+    lines = [f"digraph {name} {{", "  node [shape=box, fontname=monospace];"]
+    _emit(plan, _logical_label, lines, [0])
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def physical_to_dot(op: PhysicalOp, name: str = "physical_plan") -> str:
+    """dot source for a compiled physical plan, with row estimates."""
+
+    def label(node: PhysicalOp) -> str:
+        return f"{node.describe()}\\n~{node.est_rows:.0f} rows"
+
+    lines = [f"digraph {name} {{", "  node [shape=box, fontname=monospace];"]
+    _emit(op, label, lines, [0])
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,193 @@
+"""Reference executor for logical plans.
+
+Executes a logical plan directly (all joins nested-loop, no physical
+operator selection) against a catalog. It exists to be *obviously correct*,
+serving as the middle rung of the differential-testing ladder::
+
+    language interpreter  ≡  logical plan (this module)  ≡  physical plan
+
+Rows are binding tuples (see :mod:`repro.algebra.plan`); the final result of
+a plan whose bindings are a single variable can be collapsed to plain values
+with :func:`result_values`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import ExecutionError, PlanError
+from repro.lang.ast import Expr
+from repro.lang.eval import Env, evaluate, evaluate_predicate
+from repro.model.values import NULL, Tup
+
+from repro.algebra.plan import (
+    AntiJoin,
+    Distinct,
+    Drop,
+    Extend,
+    Join,
+    Map,
+    Nest,
+    NestJoin,
+    OuterJoin,
+    Plan,
+    Scan,
+    Select,
+    SemiJoin,
+    Unnest,
+)
+
+__all__ = ["run_logical", "result_values", "result_set", "env_of", "eval_over"]
+
+
+def env_of(binding: Tup) -> Env:
+    """Build an interpreter environment from a binding tuple."""
+    return Env(binding.as_dict())
+
+
+def eval_over(expr: Expr, binding: Tup, tables: Mapping) -> object:
+    """Evaluate a language expression over one binding tuple."""
+    return evaluate(expr, env_of(binding), tables)
+
+
+def pred_over(expr: Expr, binding: Tup, tables: Mapping) -> bool:
+    return evaluate_predicate(expr, env_of(binding), tables)
+
+
+def run_logical(plan: Plan, tables: Mapping) -> list[Tup]:
+    """Execute *plan* against *tables*, returning binding tuples in order."""
+    if isinstance(plan, Scan):
+        table = tables[plan.table]
+        rows = table.rows if hasattr(table, "rows") else list(table)
+        return [Tup({plan.var: row}) for row in rows]
+    if isinstance(plan, Select):
+        child = run_logical(plan.child, tables)
+        return [t for t in child if pred_over(plan.pred, t, tables)]
+    if isinstance(plan, Map):
+        child = run_logical(plan.child, tables)
+        return [Tup({plan.var: eval_over(plan.expr, t, tables)}) for t in child]
+    if isinstance(plan, Extend):
+        child = run_logical(plan.child, tables)
+        return [t.extend(**{plan.label: eval_over(plan.expr, t, tables)}) for t in child]
+    if isinstance(plan, Drop):
+        child = run_logical(plan.child, tables)
+        return [t.drop(*plan.labels) for t in child]
+    if isinstance(plan, Distinct):
+        child = run_logical(plan.child, tables)
+        seen: set[Tup] = set()
+        out: list[Tup] = []
+        for t in child:
+            if t not in seen:
+                seen.add(t)
+                out.append(t)
+        return out
+    if isinstance(plan, Join):
+        left = run_logical(plan.left, tables)
+        right = run_logical(plan.right, tables)
+        out = []
+        for lt in left:
+            for rt in right:
+                merged = lt.concat(rt)
+                if pred_over(plan.pred, merged, tables):
+                    out.append(merged)
+        return out
+    if isinstance(plan, SemiJoin):
+        left = run_logical(plan.left, tables)
+        right = run_logical(plan.right, tables)
+        return [
+            lt
+            for lt in left
+            if any(pred_over(plan.pred, lt.concat(rt), tables) for rt in right)
+        ]
+    if isinstance(plan, AntiJoin):
+        left = run_logical(plan.left, tables)
+        right = run_logical(plan.right, tables)
+        return [
+            lt
+            for lt in left
+            if not any(pred_over(plan.pred, lt.concat(rt), tables) for rt in right)
+        ]
+    if isinstance(plan, OuterJoin):
+        left = run_logical(plan.left, tables)
+        right = run_logical(plan.right, tables)
+        right_names = plan.right.bindings()
+        out = []
+        for lt in left:
+            matched = False
+            for rt in right:
+                merged = lt.concat(rt)
+                if pred_over(plan.pred, merged, tables):
+                    matched = True
+                    out.append(merged)
+            if not matched:
+                out.append(lt.extend(**{name: NULL for name in right_names}))
+        return out
+    if isinstance(plan, NestJoin):
+        left = run_logical(plan.left, tables)
+        right = run_logical(plan.right, tables)
+        func = plan.func
+        if func is None:
+            func = _identity_func(plan)
+        out = []
+        for lt in left:
+            group = set()
+            for rt in right:
+                merged = lt.concat(rt)
+                if pred_over(plan.pred, merged, tables):
+                    group.add(eval_over(func, merged, tables))
+            out.append(lt.extend(**{plan.label: frozenset(group)}))
+        return out
+    if isinstance(plan, Nest):
+        child = run_logical(plan.child, tables)
+        groups: dict[Tup, set] = {}
+        order: list[Tup] = []
+        for t in child:
+            key = t.project(plan.by)
+            if key not in groups:
+                groups[key] = set()
+                order.append(key)
+            value = t[plan.nest]
+            if plan.null_to_empty and value == NULL:
+                continue
+            groups[key].add(value)
+        return [key.extend(**{plan.label: frozenset(groups[key])}) for key in order]
+    if isinstance(plan, Unnest):
+        child = run_logical(plan.child, tables)
+        out = []
+        for t in child:
+            members = t[plan.label]
+            if not isinstance(members, frozenset):
+                raise ExecutionError(f"Unnest of non-set binding {plan.label!r}: {members!r}")
+            rest = t.drop(plan.label)
+            for m in members:
+                out.append(rest.extend(**{plan.var: m}))
+        return out
+    raise PlanError(f"unknown plan node {type(plan).__name__}")
+
+
+def _identity_func(plan: NestJoin) -> Expr:
+    from repro.lang.ast import Var
+
+    right_names = plan.right.bindings()
+    if len(right_names) != 1:
+        raise PlanError(
+            "identity nest join requires a single right binding; "
+            f"right operand binds {right_names}"
+        )
+    return Var(right_names[0])
+
+
+def result_values(rows: list[Tup]) -> list:
+    """Collapse single-binding rows to their values (order preserved)."""
+    out = []
+    for t in rows:
+        labels = t.labels()
+        if len(labels) != 1:
+            raise PlanError(f"result rows bind {labels}; expected exactly one binding")
+        out.append(t[labels[0]])
+    return out
+
+
+def result_set(rows: list[Tup]) -> frozenset:
+    """Collapse single-binding rows to a set of values (TM set semantics)."""
+    return frozenset(result_values(rows))

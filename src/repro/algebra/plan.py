@@ -1,0 +1,328 @@
+"""Logical algebra for complex objects (the ADL-like layer of the paper).
+
+Operators work on *binding tuples*: each intermediate row is a
+:class:`~repro.model.values.Tup` mapping variable names to values (e.g.
+after ``Scan(X, 'x')`` each row is ``(x = <row of X>)``; after a join with
+``Scan(Y, 'y')`` each row is ``(x = ..., y = ...)``). Predicates and map
+functions are ordinary language expressions over those variables, evaluated
+by the interpreter — one expression language for the whole stack.
+
+The operator set mirrors the paper:
+
+* ``Scan``, ``Select``, ``Map``, ``Extend``, ``Drop`` — the NF² basics;
+* ``Join``, ``SemiJoin``, ``AntiJoin``, ``OuterJoin`` — flat joins
+  (Section 7 uses semi/anti, Section 2 reviews the outerjoin fix);
+* ``NestJoin`` — the paper's Δ operator (Section 6): each left row is
+  extended with the *set* of join-function images of matching right rows;
+* ``Nest`` / ``Unnest`` — the ν and μ operators of the NF² algebra [12],
+  with ``Nest(null_to_empty=True)`` implementing the modified ν* of
+  Section 6 (a NULL-only group becomes ∅).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlanError
+from repro.lang.ast import TRUE, Expr
+
+__all__ = [
+    "Plan",
+    "Scan",
+    "Select",
+    "Map",
+    "Extend",
+    "Drop",
+    "Distinct",
+    "Join",
+    "SemiJoin",
+    "AntiJoin",
+    "OuterJoin",
+    "NestJoin",
+    "Nest",
+    "Unnest",
+]
+
+
+class Plan:
+    """Abstract base for logical plan operators."""
+
+    __slots__ = ()
+
+    def bindings(self) -> tuple[str, ...]:
+        """The binding names (env-tuple labels) this operator emits."""
+        raise NotImplementedError
+
+    def children(self) -> tuple["Plan", ...]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Scan(Plan):
+    """Emit ``(var = row)`` for every row of the named table."""
+
+    table: str
+    var: str
+
+    def bindings(self) -> tuple[str, ...]:
+        return (self.var,)
+
+    def children(self) -> tuple[Plan, ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Select(Plan):
+    """Keep binding tuples satisfying ``pred`` (evaluated over the bindings)."""
+
+    child: Plan
+    pred: Expr
+
+    def bindings(self) -> tuple[str, ...]:
+        return self.child.bindings()
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Map(Plan):
+    """Replace each binding tuple by ``(var = expr)`` — function application."""
+
+    child: Plan
+    expr: Expr
+    var: str = "out"
+
+    def bindings(self) -> tuple[str, ...]:
+        return (self.var,)
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Extend(Plan):
+    """Extend each binding tuple with ``label = expr`` (label must be fresh)."""
+
+    child: Plan
+    expr: Expr
+    label: str
+
+    def __post_init__(self):
+        if self.label in self.child.bindings():
+            raise PlanError(f"Extend label {self.label!r} already bound")
+
+    def bindings(self) -> tuple[str, ...]:
+        return self.child.bindings() + (self.label,)
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Drop(Plan):
+    """Remove bindings (the env-level projection)."""
+
+    child: Plan
+    labels: tuple[str, ...]
+
+    def __post_init__(self):
+        missing = set(self.labels) - set(self.child.bindings())
+        if missing:
+            raise PlanError(f"Drop of unknown bindings {sorted(missing)}")
+        if not set(self.child.bindings()) - set(self.labels):
+            raise PlanError("Drop would remove every binding")
+
+    def bindings(self) -> tuple[str, ...]:
+        return tuple(b for b in self.child.bindings() if b not in self.labels)
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Distinct(Plan):
+    """Remove duplicate binding tuples (set semantics)."""
+
+    child: Plan
+
+    def bindings(self) -> tuple[str, ...]:
+        return self.child.bindings()
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+
+def _check_disjoint(left: Plan, right: Plan, op: str) -> None:
+    overlap = set(left.bindings()) & set(right.bindings())
+    if overlap:
+        raise PlanError(f"{op}: operand bindings overlap on {sorted(overlap)}")
+
+
+@dataclass(frozen=True)
+class Join(Plan):
+    """Inner join: merged binding tuples where ``pred`` holds."""
+
+    left: Plan
+    right: Plan
+    pred: Expr = TRUE
+
+    def __post_init__(self):
+        _check_disjoint(self.left, self.right, "Join")
+
+    def bindings(self) -> tuple[str, ...]:
+        return self.left.bindings() + self.right.bindings()
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class SemiJoin(Plan):
+    """Left rows with at least one matching right row (Section 7, ∃-form)."""
+
+    left: Plan
+    right: Plan
+    pred: Expr = TRUE
+
+    def __post_init__(self):
+        _check_disjoint(self.left, self.right, "SemiJoin")
+
+    def bindings(self) -> tuple[str, ...]:
+        return self.left.bindings()
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class AntiJoin(Plan):
+    """Left rows with no matching right row (Section 7, ¬∃-form)."""
+
+    left: Plan
+    right: Plan
+    pred: Expr = TRUE
+
+    def __post_init__(self):
+        _check_disjoint(self.left, self.right, "AntiJoin")
+
+    def bindings(self) -> tuple[str, ...]:
+        return self.left.bindings()
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class OuterJoin(Plan):
+    """Left outer join: dangling left rows are padded with NULL right bindings.
+
+    Used only by the relational baselines (Ganski–Wong, Muralikrishna); the
+    TM-side translation uses :class:`NestJoin`, which needs no NULL.
+    """
+
+    left: Plan
+    right: Plan
+    pred: Expr = TRUE
+
+    def __post_init__(self):
+        _check_disjoint(self.left, self.right, "OuterJoin")
+
+    def bindings(self) -> tuple[str, ...]:
+        return self.left.bindings() + self.right.bindings()
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class NestJoin(Plan):
+    """The paper's nest join Δ (Section 6).
+
+    For each left row ``x``::
+
+        x ++ (label = { func(x, y) | y ∈ right, pred(x, y) })
+
+    Grouping happens *during* the join and dangling left rows survive with
+    ``label = ∅`` — the two birds killed with one stone.
+
+    ``func`` defaults to the right operand's single binding variable
+    (identity nest join) when None.
+    """
+
+    left: Plan
+    right: Plan
+    pred: Expr = TRUE
+    func: Expr | None = None
+    label: str = "zs"
+
+    def __post_init__(self):
+        _check_disjoint(self.left, self.right, "NestJoin")
+        if self.label in self.left.bindings() or self.label in self.right.bindings():
+            raise PlanError(f"NestJoin label {self.label!r} collides with operand bindings")
+
+    def bindings(self) -> tuple[str, ...]:
+        return self.left.bindings() + (self.label,)
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Nest(Plan):
+    """The ν operator: group by ``by`` bindings, nest the ``nest`` binding.
+
+    Emits one row per group: the ``by`` bindings plus
+    ``label = { t[nest] | t in group }``. With ``null_to_empty`` (the ν* of
+    Section 6) NULL values of ``nest`` are not collected, so a group that is
+    a single NULL-padded row (outerjoin dangling) nests to ∅.
+    """
+
+    child: Plan
+    by: tuple[str, ...]
+    nest: str
+    label: str
+    null_to_empty: bool = False
+
+    def __post_init__(self):
+        have = set(self.child.bindings())
+        missing = (set(self.by) | {self.nest}) - have
+        if missing:
+            raise PlanError(f"Nest references unknown bindings {sorted(missing)}")
+        if self.nest in self.by:
+            raise PlanError("Nest: nested binding cannot be a grouping binding")
+        if self.label in self.by:
+            raise PlanError(f"Nest label {self.label!r} collides with grouping bindings")
+
+    def bindings(self) -> tuple[str, ...]:
+        return tuple(self.by) + (self.label,)
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Unnest(Plan):
+    """The μ operator: flatten a set-valued binding.
+
+    For each row ``t`` and each member ``m`` of the set ``t[label]``, emit
+    ``t without label, plus (var = m)``. Rows whose set is empty produce
+    nothing — exactly the dangling-tuple loss the paper warns about, which
+    is why Unnest(NestJoin(...)) is *not* the identity (tested).
+    """
+
+    child: Plan
+    label: str
+    var: str
+
+    def __post_init__(self):
+        if self.label not in self.child.bindings():
+            raise PlanError(f"Unnest of unknown binding {self.label!r}")
+        if self.var in self.child.bindings() and self.var != self.label:
+            raise PlanError(f"Unnest target {self.var!r} already bound")
+
+    def bindings(self) -> tuple[str, ...]:
+        return tuple(b for b in self.child.bindings() if b != self.label) + (self.var,)
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)

@@ -1,0 +1,64 @@
+"""Plan printer: an indented EXPLAIN-style rendering of logical plans."""
+
+from __future__ import annotations
+
+from repro.algebra.plan import (
+    AntiJoin,
+    Distinct,
+    Drop,
+    Extend,
+    Join,
+    Map,
+    Nest,
+    NestJoin,
+    OuterJoin,
+    Plan,
+    Scan,
+    Select,
+    SemiJoin,
+    Unnest,
+)
+from repro.lang.pretty import pretty as pretty_expr
+
+__all__ = ["explain_plan"]
+
+
+def _label(plan: Plan) -> str:
+    if isinstance(plan, Scan):
+        return f"Scan {plan.table} AS {plan.var}"
+    if isinstance(plan, Select):
+        return f"Select [{pretty_expr(plan.pred)}]"
+    if isinstance(plan, Map):
+        return f"Map {plan.var} = [{pretty_expr(plan.expr)}]"
+    if isinstance(plan, Extend):
+        return f"Extend {plan.label} = [{pretty_expr(plan.expr)}]"
+    if isinstance(plan, Drop):
+        return f"Drop {', '.join(plan.labels)}"
+    if isinstance(plan, Distinct):
+        return "Distinct"
+    if isinstance(plan, Join):
+        return f"Join [{pretty_expr(plan.pred)}]"
+    if isinstance(plan, SemiJoin):
+        return f"SemiJoin [{pretty_expr(plan.pred)}]"
+    if isinstance(plan, AntiJoin):
+        return f"AntiJoin [{pretty_expr(plan.pred)}]"
+    if isinstance(plan, OuterJoin):
+        return f"OuterJoin [{pretty_expr(plan.pred)}]"
+    if isinstance(plan, NestJoin):
+        func = "identity" if plan.func is None else pretty_expr(plan.func)
+        return f"NestJoin {plan.label} = {{{func}}} [{pretty_expr(plan.pred)}]"
+    if isinstance(plan, Nest):
+        star = "*" if plan.null_to_empty else ""
+        by = ", ".join(plan.by) if plan.by else "()"
+        return f"Nest{star} {plan.label} = {{{plan.nest}}} BY {by}"
+    if isinstance(plan, Unnest):
+        return f"Unnest {plan.var} IN {plan.label}"
+    return type(plan).__name__
+
+
+def explain_plan(plan: Plan, indent: int = 0) -> str:
+    """Render *plan* as an indented operator tree."""
+    lines = [("  " * indent) + _label(plan)]
+    for child in plan.children():
+        lines.append(explain_plan(child, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,202 @@
+"""Algebraic properties of the nest join (Section 6 of the paper).
+
+The paper lists equivalences the nest join does and does not satisfy. This
+module provides *constructive* law objects: each law builds the left-hand
+and right-hand plan from component inputs, so tests (and the E10 benchmark)
+can execute both sides and compare. The rewrites are also usable by the
+optimizer.
+
+Laws implemented (X, Y, Z independent operands; r(a,b) a predicate touching
+only a and b; Δ the identity-function nest join):
+
+* ``project_collapse``      —  π_X(X Δ_p Y) ≡ X
+* ``nestjoin_join_exchange``—  (X ⋈_{r(x,y)} Y) Δ_{r(x,z)} Z
+                               ≡ (X Δ_{r(x,z)} Z) ⋈_{r(x,y)} Y
+* ``join_nestjoin_assoc``   —  X ⋈_{r(x,y)} (Y Δ_{r(y,z)} Z)
+                               ≡ (X ⋈_{r(x,y)} Y) Δ_{r(y,z)} Z
+* ``outerjoin_nest_expansion`` — X Δ_p Y ≡ ν*_{label}(X ⟕_p Y)
+
+Non-laws demonstrated by tests: commutativity, associativity with regular
+join in the other grouping, and ``Unnest(NestJoin) ≠ Join`` (dangling-tuple
+loss — the very phenomenon behind the COUNT bug).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import PlanError
+from repro.lang.ast import Expr, Var
+from repro.algebra.plan import (
+    Drop,
+    Join,
+    Nest,
+    NestJoin,
+    OuterJoin,
+    Plan,
+    Unnest,
+)
+
+__all__ = [
+    "Law",
+    "project_collapse",
+    "nestjoin_join_exchange",
+    "join_nestjoin_assoc",
+    "outerjoin_nest_expansion",
+    "nestjoin_via_outerjoin",
+    "unnest_of_nestjoin",
+    "ALL_LAWS",
+]
+
+
+@dataclass(frozen=True)
+class Law:
+    """A pair of plan constructors expected to be equivalent."""
+
+    name: str
+    lhs: Callable[..., Plan]
+    rhs: Callable[..., Plan]
+    description: str
+
+
+def _single_binding(plan: Plan, what: str) -> str:
+    names = plan.bindings()
+    if len(names) != 1:
+        raise PlanError(f"{what} must bind exactly one variable, binds {names}")
+    return names[0]
+
+
+# ---------------------------------------------------------------------------
+# project_collapse: π_X(X Δ_p Y) ≡ X
+# ---------------------------------------------------------------------------
+
+def _project_collapse_lhs(x: Plan, y: Plan, pred: Expr, label: str = "zs") -> Plan:
+    return Drop(NestJoin(x, y, pred, None, label), (label,))
+
+
+def _project_collapse_rhs(x: Plan, y: Plan, pred: Expr, label: str = "zs") -> Plan:
+    return x
+
+
+project_collapse = Law(
+    "project_collapse",
+    _project_collapse_lhs,
+    _project_collapse_rhs,
+    "Dropping the nested attribute of a nest join yields the left operand unchanged "
+    "(every left tuple survives exactly once — unlike the regular join).",
+)
+
+
+# ---------------------------------------------------------------------------
+# nestjoin_join_exchange: (X ⋈_{r(x,y)} Y) Δ_{s(x,z)} Z ≡ (X Δ_{s(x,z)} Z) ⋈_{r(x,y)} Y
+#
+# Valid because s touches only x and z: the nested set computed for a given
+# x-tuple does not depend on which y it is paired with. Note the law needs
+# the nest-join function to reference only x and z as well (identity does).
+# ---------------------------------------------------------------------------
+
+def _exchange_lhs(x: Plan, y: Plan, z: Plan, r_xy: Expr, s_xz: Expr, label: str = "zs") -> Plan:
+    return NestJoin(Join(x, y, r_xy), z, s_xz, None, label)
+
+
+def _exchange_rhs(x: Plan, y: Plan, z: Plan, r_xy: Expr, s_xz: Expr, label: str = "zs") -> Plan:
+    return Join(NestJoin(x, z, s_xz, None, label), y, r_xy)
+
+
+nestjoin_join_exchange = Law(
+    "nestjoin_join_exchange",
+    _exchange_lhs,
+    _exchange_rhs,
+    "A nest join whose predicate ignores Y commutes past a regular join with Y "
+    "— only when X has no dangling tuples w.r.t. Y is this set-equal; in general "
+    "the multiset of (x, zs) groups agrees on matching x-tuples. The paper states "
+    "the identity for predicates r(x, y) and s(x, z); dangling X-tuples of the "
+    "regular join are absent from both sides, making the law exact.",
+)
+
+
+# ---------------------------------------------------------------------------
+# join_nestjoin_assoc: X ⋈_{r(x,y)} (Y Δ_{s(y,z)} Z) ≡ (X ⋈_{r(x,y)} Y) Δ_{s(y,z)} Z
+# ---------------------------------------------------------------------------
+
+def _assoc_lhs(x: Plan, y: Plan, z: Plan, r_xy: Expr, s_yz: Expr, label: str = "zs") -> Plan:
+    return Join(x, NestJoin(y, z, s_yz, None, label), r_xy)
+
+
+def _assoc_rhs(x: Plan, y: Plan, z: Plan, r_xy: Expr, s_yz: Expr, label: str = "zs") -> Plan:
+    return NestJoin(Join(x, y, r_xy), z, s_yz, None, label)
+
+
+join_nestjoin_assoc = Law(
+    "join_nestjoin_assoc",
+    _assoc_lhs,
+    _assoc_rhs,
+    "A regular join on r(x, y) associates with a nest join on s(y, z): the "
+    "nested set per y-tuple is independent of the x-pairing.",
+)
+
+
+# ---------------------------------------------------------------------------
+# outerjoin_nest_expansion: X Δ_p Y ≡ ν*(X ⟕_p Y)   (identity function)
+# ---------------------------------------------------------------------------
+
+def _expansion_lhs(x: Plan, y: Plan, pred: Expr, label: str = "zs") -> Plan:
+    return NestJoin(x, y, pred, None, label)
+
+
+def _expansion_rhs(x: Plan, y: Plan, pred: Expr, label: str = "zs") -> Plan:
+    yvar = _single_binding(y, "right operand of outerjoin-nest expansion")
+    return Nest(
+        OuterJoin(x, y, pred),
+        by=x.bindings(),
+        nest=yvar,
+        label=label,
+        null_to_empty=True,
+    )
+
+
+outerjoin_nest_expansion = Law(
+    "outerjoin_nest_expansion",
+    _expansion_lhs,
+    _expansion_rhs,
+    "The nest join equals a left outerjoin followed by the modified nest ν* "
+    "that maps a NULL-only group to the empty set — the paper's algebraic "
+    "characterisation, and the reason no NULL is needed in the model itself.",
+)
+
+
+ALL_LAWS = (
+    project_collapse,
+    nestjoin_join_exchange,
+    join_nestjoin_assoc,
+    outerjoin_nest_expansion,
+)
+
+
+# ---------------------------------------------------------------------------
+# Rewrites usable by the optimizer / baselines
+# ---------------------------------------------------------------------------
+
+def nestjoin_via_outerjoin(plan: NestJoin) -> Plan:
+    """Rewrite an identity nest join into OuterJoin + ν* (the relational way).
+
+    Used by the E10 experiment to measure the cost of taking the outerjoin
+    detour that the nest join avoids.
+    """
+    if plan.func is not None and plan.func != Var(_single_binding(plan.right, "right operand")):
+        raise PlanError("outerjoin expansion only defined for identity nest joins")
+    return _expansion_rhs(plan.left, plan.right, plan.pred, plan.label)
+
+
+def unnest_of_nestjoin(x: Plan, y: Plan, pred: Expr, label: str = "zs") -> tuple[Plan, Plan]:
+    """Build Unnest(NestJoin(...)) and the plain Join — a documented NON-law.
+
+    Unnesting a nest join loses dangling left tuples (their nested set is ∅),
+    so the pair is equivalent only when no left tuple dangles. Returned as
+    (unnest_plan, join_plan) for the tests that demonstrate the difference.
+    """
+    yvar = _single_binding(y, "right operand")
+    unnest_plan = Unnest(NestJoin(x, y, pred, None, label), label, yvar)
+    join_plan = Join(x, y, pred)
+    return unnest_plan, join_plan

@@ -1,0 +1,179 @@
+"""Logical plan rewriting: selection pushdown and plan cleanup.
+
+The paper's future-work section says "logical optimization (rewriting
+algebraic expressions) may follow the translation process". This module
+implements the classic, always-profitable subset:
+
+* **selection pushdown** — a selection conjunct referencing only one
+  operand of a join sinks into that operand. Sinking into the *left*
+  operand is valid for every join mode (inner, semi, anti, outer, nest):
+  excluded left tuples produce no output rows in any mode. Sinking into
+  the *right* operand is valid only for the inner join — for outer and
+  nest joins the set of right matches determines padding/grouping of
+  *kept* left tuples, but a selection above those operators cannot
+  reference bare right bindings anyway (they are not in scope);
+* **selection splitting/merging** — conjuncts travel independently;
+* **pushdown through** Extend / Drop / Distinct / Unnest / Nest (group
+  keys only);
+* **cleanup** — TRUE selections vanish, adjacent Drops merge, nested
+  Distincts collapse.
+
+Every rewrite preserves the multiset of result rows up to order (order
+within the stream may change when a selection crosses an operator); the
+property tests compare results as multisets and the query pipeline's final
+set semantics is order-insensitive anyway.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.plan import (
+    AntiJoin,
+    Distinct,
+    Drop,
+    Extend,
+    Join,
+    Map,
+    Nest,
+    NestJoin,
+    OuterJoin,
+    Plan,
+    Select,
+    SemiJoin,
+    Unnest,
+)
+from repro.lang.ast import Expr, conjuncts, is_true_const, make_and
+from repro.lang.freevars import free_vars
+
+__all__ = ["optimize_logical", "push_selection"]
+
+_MAX_PASSES = 10
+
+
+def optimize_logical(plan: Plan) -> Plan:
+    """Rewrite *plan* to a fixpoint of the rules above."""
+    for _ in range(_MAX_PASSES):
+        rewritten = _rewrite(plan)
+        if rewritten == plan:
+            return rewritten
+        plan = rewritten
+    return plan
+
+
+def _rewrite(plan: Plan) -> Plan:
+    # Bottom-up: children first, then this node.
+    plan = _rebuild_with_children(plan, [_rewrite(c) for c in plan.children()])
+    if isinstance(plan, Select):
+        return _rewrite_select(plan)
+    if isinstance(plan, Drop):
+        return _rewrite_drop(plan)
+    if isinstance(plan, Distinct) and isinstance(plan.child, Distinct):
+        return plan.child
+    return plan
+
+
+def _rebuild_with_children(plan: Plan, children: list[Plan]) -> Plan:
+    old = plan.children()
+    if tuple(children) == old:
+        return plan
+    if isinstance(plan, Select):
+        return Select(children[0], plan.pred)
+    if isinstance(plan, Map):
+        return Map(children[0], plan.expr, plan.var)
+    if isinstance(plan, Extend):
+        return Extend(children[0], plan.expr, plan.label)
+    if isinstance(plan, Drop):
+        return Drop(children[0], plan.labels)
+    if isinstance(plan, Distinct):
+        return Distinct(children[0])
+    if isinstance(plan, Join):
+        return Join(children[0], children[1], plan.pred)
+    if isinstance(plan, SemiJoin):
+        return SemiJoin(children[0], children[1], plan.pred)
+    if isinstance(plan, AntiJoin):
+        return AntiJoin(children[0], children[1], plan.pred)
+    if isinstance(plan, OuterJoin):
+        return OuterJoin(children[0], children[1], plan.pred)
+    if isinstance(plan, NestJoin):
+        return NestJoin(children[0], children[1], plan.pred, plan.func, plan.label)
+    if isinstance(plan, Nest):
+        return Nest(children[0], plan.by, plan.nest, plan.label, plan.null_to_empty)
+    if isinstance(plan, Unnest):
+        return Unnest(children[0], plan.label, plan.var)
+    return plan  # Scan and friends: no children
+
+
+def _rewrite_drop(plan: Drop) -> Plan:
+    if isinstance(plan.child, Drop):
+        return Drop(plan.child.child, plan.child.labels + plan.labels)
+    return plan
+
+
+def _rewrite_select(plan: Select) -> Plan:
+    if is_true_const(plan.pred):
+        return plan.child
+    # Merge stacked selections so all conjuncts are considered together.
+    child = plan.child
+    conj_list = list(conjuncts(plan.pred))
+    while isinstance(child, Select):
+        conj_list.extend(conjuncts(child.pred))
+        child = child.child
+    remaining: list[Expr] = []
+    for conj in conj_list:
+        sunk = push_selection(child, conj)
+        if sunk is None:
+            remaining.append(conj)
+        else:
+            child = sunk
+    if not remaining:
+        return child
+    return Select(child, make_and(remaining))
+
+
+def push_selection(plan: Plan, conj: Expr) -> Plan | None:
+    """Sink one selection conjunct into *plan*, or None if it must stay above.
+
+    The conjunct's free variables are checked against the child's binding
+    names only — other free names (table references used by interpreted
+    subqueries inside the conjunct) resolve through the catalog wherever
+    the predicate is evaluated, so they never block pushdown.
+    """
+    used = free_vars(conj) & set(plan.bindings())
+
+    if isinstance(plan, (Join, SemiJoin, AntiJoin, OuterJoin, NestJoin)):
+        left, right = plan.left, plan.right
+        if used <= set(left.bindings()):
+            new_left = push_selection(left, conj) or Select(left, conj)
+            return _rebuild_with_children(plan, [new_left, right])
+        if isinstance(plan, Join) and used <= set(right.bindings()):
+            new_right = push_selection(right, conj) or Select(right, conj)
+            return _rebuild_with_children(plan, [left, new_right])
+        return None
+    if isinstance(plan, Extend):
+        if plan.label in used:
+            return None
+        inner = push_selection(plan.child, conj) or Select(plan.child, conj)
+        return Extend(inner, plan.expr, plan.label)
+    if isinstance(plan, Drop):
+        # Dropped labels cannot occur in a conjunct evaluated above the Drop.
+        inner = push_selection(plan.child, conj) or Select(plan.child, conj)
+        return Drop(inner, plan.labels)
+    if isinstance(plan, Distinct):
+        inner = push_selection(plan.child, conj) or Select(plan.child, conj)
+        return Distinct(inner)
+    if isinstance(plan, Unnest):
+        if plan.var in used:
+            return None
+        inner = push_selection(plan.child, conj) or Select(plan.child, conj)
+        return Unnest(inner, plan.label, plan.var)
+    if isinstance(plan, Nest):
+        if used <= set(plan.by):
+            inner = push_selection(plan.child, conj) or Select(plan.child, conj)
+            return Nest(inner, plan.by, plan.nest, plan.label, plan.null_to_empty)
+        return None
+    if isinstance(plan, Select):
+        inner = push_selection(plan.child, conj)
+        if inner is None:
+            return None
+        return Select(inner, plan.pred)
+    # Scan, Map: nothing below to push into (Map rebinds variables).
+    return None

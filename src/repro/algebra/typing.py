@@ -1,0 +1,137 @@
+"""Static typing of logical plans.
+
+:func:`plan_types` computes, for every binding a plan emits, its type —
+given the catalog's row types. Along the way it *checks* the plan:
+predicates must be boolean, nest/unnest must operate on sets, Extend/Map
+expressions must type under the bindings in scope. The translator's output
+is checked in the test suite, so a typing bug in translation fails fast
+with a message naming the operator.
+
+The rules mirror the paper's algebra: a nest join's label is typed
+``P(type of the join function)``; an outer join makes right bindings
+nullable (typed ANY here, since the NULL pad inhabits no precise type);
+Unnest exposes the set's element type.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.algebra.plan import (
+    AntiJoin,
+    Distinct,
+    Drop,
+    Extend,
+    Join,
+    Map,
+    Nest,
+    NestJoin,
+    OuterJoin,
+    Plan,
+    Scan,
+    Select,
+    SemiJoin,
+    Unnest,
+)
+from repro.errors import PlanError, TypeCheckError
+from repro.lang.ast import Var
+from repro.lang.typing import TypeEnv, check_boolean, type_of
+from repro.model.types import ANY, SetType, Type
+
+__all__ = ["plan_types", "check_plan"]
+
+
+def plan_types(plan: Plan, table_row_types: Mapping[str, Type]) -> dict[str, Type]:
+    """Binding name → type for *plan*'s output; raises on an ill-typed plan."""
+    return _types(plan, dict(table_row_types))
+
+
+def check_plan(plan: Plan, table_row_types: Mapping[str, Type]) -> None:
+    """Type-check *plan* (discarding the computed binding types)."""
+    plan_types(plan, table_row_types)
+
+
+def _env(bindings: dict[str, Type], tables: Mapping[str, Type]) -> TypeEnv:
+    env = TypeEnv.with_tables(tables)
+    for name, type_ in bindings.items():
+        env = env.bind(name, type_)
+    return env
+
+
+def _merged(left: dict[str, Type], right: dict[str, Type], what: str) -> dict[str, Type]:
+    overlap = set(left) & set(right)
+    if overlap:
+        raise PlanError(f"{what}: operand bindings overlap on {sorted(overlap)}")
+    merged = dict(left)
+    merged.update(right)
+    return merged
+
+
+def _types(plan: Plan, tables: Mapping[str, Type]) -> dict[str, Type]:
+    if isinstance(plan, Scan):
+        if plan.table not in tables:
+            raise TypeCheckError(f"Scan of unknown table {plan.table!r}")
+        return {plan.var: tables[plan.table]}
+    if isinstance(plan, Select):
+        bindings = _types(plan.child, tables)
+        check_boolean(plan.pred, _env(bindings, tables))
+        return bindings
+    if isinstance(plan, Map):
+        bindings = _types(plan.child, tables)
+        return {plan.var: type_of(plan.expr, _env(bindings, tables))}
+    if isinstance(plan, Extend):
+        bindings = _types(plan.child, tables)
+        out = dict(bindings)
+        out[plan.label] = type_of(plan.expr, _env(bindings, tables))
+        return out
+    if isinstance(plan, Drop):
+        bindings = _types(plan.child, tables)
+        return {k: v for k, v in bindings.items() if k not in plan.labels}
+    if isinstance(plan, Distinct):
+        return _types(plan.child, tables)
+    if isinstance(plan, (Join, SemiJoin, AntiJoin, OuterJoin, NestJoin)):
+        left = _types(plan.left, tables)
+        right = _types(plan.right, tables)
+        both = _merged(left, right, type(plan).__name__)
+        check_boolean(plan.pred, _env(both, tables))
+        if isinstance(plan, (SemiJoin, AntiJoin)):
+            return left
+        if isinstance(plan, OuterJoin):
+            # NULL pads make right bindings imprecise.
+            out = dict(left)
+            out.update({name: ANY for name in right})
+            return out
+        if isinstance(plan, NestJoin):
+            func = plan.func
+            if func is None:
+                names = list(right)
+                if len(names) != 1:
+                    raise PlanError("identity nest join requires a single right binding")
+                func = Var(names[0])
+            elem = type_of(func, _env(both, tables))
+            out = dict(left)
+            out[plan.label] = SetType(elem)
+            return out
+        return both
+    if isinstance(plan, Nest):
+        bindings = _types(plan.child, tables)
+        if plan.nest not in bindings:
+            raise PlanError(f"Nest of unknown binding {plan.nest!r}")
+        out = {name: bindings[name] for name in plan.by}
+        # After an outer join the nested binding is already typed ANY
+        # (NULL pads); ν* filters the NULLs but cannot sharpen the type.
+        out[plan.label] = SetType(bindings[plan.nest])
+        return out
+    if isinstance(plan, Unnest):
+        bindings = _types(plan.child, tables)
+        set_type = bindings[plan.label]
+        if isinstance(set_type, SetType):
+            elem: Type = set_type.element
+        elif set_type == ANY:
+            elem = ANY
+        else:
+            raise TypeCheckError(f"Unnest of non-set binding {plan.label!r}: {set_type!r}")
+        out = {k: v for k, v in bindings.items() if k != plan.label}
+        out[plan.var] = elem
+        return out
+    raise PlanError(f"cannot type plan node {type(plan).__name__}")

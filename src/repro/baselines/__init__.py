@@ -1,0 +1,26 @@
+"""Relational baselines: Kim's algorithm and the COUNT-bug fixes.
+
+The naive nested-loop baseline is :func:`repro.core.pipeline.run_query`
+with ``engine="interpret"`` — the language interpreter *is* nested-loop
+processing.
+"""
+
+from repro.baselines.ganski_wong import ganski_wong_plan
+from repro.baselines.kim import (
+    grouped_inner_table,
+    kim_ja_group_first_plan,
+    kim_ja_join_first_plan,
+    kim_type_nj_plan,
+)
+from repro.baselines.mural import mural_plan
+from repro.baselines.subseteq import kim_style_subseteq_plan
+
+__all__ = [
+    "kim_style_subseteq_plan",
+    "kim_type_nj_plan",
+    "kim_ja_group_first_plan",
+    "kim_ja_join_first_plan",
+    "grouped_inner_table",
+    "ganski_wong_plan",
+    "mural_plan",
+]

@@ -1,0 +1,37 @@
+"""The Ganski–Wong outerjoin fix [5] for the COUNT bug.
+
+Kim's variant (2) is repaired by replacing the join with a **left
+outerjoin**: dangling R-tuples survive, padded with NULL, and the modified
+nest ν* (NULL-only group ↦ ∅, Section 6 of the paper) makes COUNT yield 0
+for them — so ``R.b = 0`` dangling tuples are kept.
+
+This is the relational ancestor of the paper's nest join: the paper's
+observation is that in a complex object model the NULL detour is
+unnecessary because the empty set is part of the model.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.plan import Map, Nest, OuterJoin, Plan, Scan, Select
+from repro.core.unnest import RESULT_VAR
+from repro.lang.ast import Agg, AggFunc, Attr, Cmp, CmpOp, Var
+
+__all__ = ["ganski_wong_plan"]
+
+
+def ganski_wong_plan(
+    left: str = "R",
+    right: str = "S",
+    agg_attr: str = "b",
+    corr_left: str = "c",
+    corr_right: str = "c",
+) -> Plan:
+    """Outerjoin + ν* + HAVING — the corrected variant (2)."""
+    pred = Cmp(CmpOp.EQ, Attr(Var("r"), corr_left), Attr(Var("s"), corr_right))
+    joined = OuterJoin(Scan(left, "r"), Scan(right, "s"), pred)
+    grouped = Nest(joined, by=("r",), nest="s", label="grp", null_to_empty=True)
+    having = Select(
+        grouped,
+        Cmp(CmpOp.EQ, Attr(Var("r"), agg_attr), Agg(AggFunc.COUNT, Var("grp"))),
+    )
+    return Map(having, Var("r"), RESULT_VAR)

@@ -1,0 +1,132 @@
+"""Kim's unnesting algorithm [7], as reviewed in Section 2 of the paper.
+
+Two transformations are implemented for the aggregate (type-JA) query
+
+.. code-block:: sql
+
+    SELECT * FROM R
+    WHERE R.b = COUNT(SELECT * FROM S WHERE R.c = S.c)
+
+exactly as the paper presents them:
+
+* **Variant (1)** — group the inner relation first, then join::
+
+      T(c, cnt) = SELECT S.c, COUNT(*) FROM S GROUP BY S.c
+      SELECT R.* FROM R, T WHERE R.b = T.cnt AND R.c = T.c
+
+* **Variant (2)** — join first, then group (requires duplicate-free R)::
+
+      SELECT R.* FROM R, S WHERE R.c = S.c
+      GROUP BY R.* HAVING R.b = COUNT(S.c)
+
+Both exhibit the **COUNT bug**: dangling R-tuples (no matching S-tuple)
+with ``R.b = 0`` belong to the answer of the nested query but are lost by
+the join. The type-N/J transformation (IN-subqueries without aggregates)
+is also provided; it is correct (modulo duplicates), which is why the paper
+calls flattening *desirable* — the bug is specific to grouping.
+
+These baselines build plans in the repro algebra so they run on the same
+engines as everything else.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.plan import (
+    Distinct,
+    Extend,
+    Join,
+    Map,
+    Nest,
+    Plan,
+    Scan,
+    Select,
+)
+from repro.core.unnest import RESULT_VAR
+from repro.lang.ast import Agg, AggFunc, Attr, Cmp, CmpOp, Var, make_and
+
+__all__ = ["kim_type_nj_plan", "kim_ja_group_first_plan", "kim_ja_join_first_plan", "grouped_inner_table"]
+
+
+def _attr(var: str, label: str) -> Attr:
+    return Attr(Var(var), label)
+
+
+def kim_type_nj_plan(
+    left: str = "R",
+    right: str = "S",
+    in_left_attr: str = "b",
+    in_right_attr: str = "d",
+    corr_left: str = "c",
+    corr_right: str = "c",
+) -> Plan:
+    """Type-N/J: ``R.b IN (SELECT S.d FROM S WHERE R.c = S.c)`` → join.
+
+    Correct up to duplicates; ``Distinct`` restores set semantics.
+    """
+    pred = make_and(
+        [
+            Cmp(CmpOp.EQ, _attr("r", in_left_attr), _attr("s", in_right_attr)),
+            Cmp(CmpOp.EQ, _attr("r", corr_left), _attr("s", corr_right)),
+        ]
+    )
+    joined = Join(Scan(left, "r"), Scan(right, "s"), pred)
+    return Distinct(Map(joined, Var("r"), RESULT_VAR))
+
+
+def grouped_inner_table(
+    right: str = "S", corr_right: str = "c", group_label: str = "grp"
+) -> Plan:
+    """Kim's T table: the inner relation grouped by the correlation attribute.
+
+    Produces bindings ``(ck, cnt)``: the correlation value and the group
+    count — the first query of variant (1). Note what is *absent*:
+    correlation values that do not occur in S. That absence is the COUNT
+    bug's root cause.
+    """
+    keyed = Extend(Scan(right, "s"), _attr("s", corr_right), "ck")
+    nested = Nest(keyed, by=("ck",), nest="s", label=group_label)
+    return Extend(nested, Agg(AggFunc.COUNT, Var(group_label)), "cnt")
+
+
+def kim_ja_group_first_plan(
+    left: str = "R",
+    right: str = "S",
+    agg_attr: str = "b",
+    corr_left: str = "c",
+    corr_right: str = "c",
+) -> Plan:
+    """Variant (1): group S, then join R with the grouped table T.
+
+    **Intentionally buggy** (faithful to [7]): dangling R-tuples with
+    ``R.b = 0`` are lost because their correlation value has no T row.
+    """
+    t = grouped_inner_table(right, corr_right)
+    pred = make_and(
+        [
+            Cmp(CmpOp.EQ, _attr("r", corr_left), Var("ck")),
+            Cmp(CmpOp.EQ, _attr("r", agg_attr), Var("cnt")),
+        ]
+    )
+    joined = Join(Scan(left, "r"), t, pred)
+    return Distinct(Map(joined, Var("r"), RESULT_VAR))
+
+
+def kim_ja_join_first_plan(
+    left: str = "R",
+    right: str = "S",
+    agg_attr: str = "b",
+    corr_left: str = "c",
+    corr_right: str = "c",
+) -> Plan:
+    """Variant (2): join R and S first, then group by R and apply HAVING.
+
+    **Intentionally buggy** (faithful to [7]): dangling R-tuples never
+    reach the grouping step. Requires duplicate-free R (as the paper notes).
+    """
+    pred = Cmp(CmpOp.EQ, _attr("r", corr_left), _attr("s", corr_right))
+    joined = Join(Scan(left, "r"), Scan(right, "s"), pred)
+    grouped = Nest(joined, by=("r",), nest="s", label="grp")
+    having = Select(
+        grouped, Cmp(CmpOp.EQ, _attr("r", agg_attr), Agg(AggFunc.COUNT, Var("grp")))
+    )
+    return Map(having, Var("r"), RESULT_VAR)

@@ -1,0 +1,37 @@
+"""Muralikrishna's improved fix [9]: outerjoin with an antijoin predicate.
+
+Repairs Kim's variant (1), which is sometimes cheaper than variant (2):
+keep the grouped inner table T, but join R with T by **outerjoin**, and
+apply two predicates —
+
+* the regular predicate ``R.b = T.cnt`` to matched tuples, and
+* the *antijoin predicate* ``R.b = 0`` to the unmatched (NULL-padded) ones.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.plan import Map, OuterJoin, Plan, Scan, Select
+from repro.baselines.kim import grouped_inner_table
+from repro.core.unnest import RESULT_VAR
+from repro.lang.ast import And, Attr, Cmp, CmpOp, Const, Not, Or, Var
+from repro.model.values import NULL
+
+__all__ = ["mural_plan"]
+
+
+def mural_plan(
+    left: str = "R",
+    right: str = "S",
+    agg_attr: str = "b",
+    corr_left: str = "c",
+    corr_right: str = "c",
+) -> Plan:
+    """OuterJoin(R, T) with matched/antijoin predicate split."""
+    t = grouped_inner_table(right, corr_right)
+    join_pred = Cmp(CmpOp.EQ, Attr(Var("r"), corr_left), Var("ck"))
+    joined = OuterJoin(Scan(left, "r"), t, join_pred)
+    is_dangling = Cmp(CmpOp.EQ, Var("ck"), Const(NULL))
+    matched_case = And((Not(is_dangling), Cmp(CmpOp.EQ, Attr(Var("r"), agg_attr), Var("cnt"))))
+    antijoin_case = And((is_dangling, Cmp(CmpOp.EQ, Attr(Var("r"), agg_attr), Const(0))))
+    selected = Select(joined, Or((matched_case, antijoin_case)))
+    return Map(selected, Var("r"), RESULT_VAR)

@@ -1,0 +1,53 @@
+"""The generalized COUNT bug: Kim-style flattening of ``x.a ⊆ z``.
+
+Section 4 of the paper transforms
+
+.. code-block:: none
+
+    SELECT x FROM X x
+    WHERE x.a ⊆ (SELECT y.a FROM Y y WHERE x.b = y.b)
+
+"following the ideas of [7]" into a grouped inner table joined with X::
+
+    T = SELECT (b = y.b, as = SELECT y'.a FROM Y y' WHERE y'.b = y.b) FROM Y y
+    SELECT x FROM X x, T t WHERE x.b = t.b AND x.a ⊆ t.as
+
+and observes that the result "also suffers from a bug (which we might call
+the **SUBSETEQ bug**)": X-tuples with ``x.a = ∅`` that match no T-tuple on
+``x.b = t.b`` are lost. This module builds that faithful (buggy) plan; the
+correct alternative is the nest-join translation produced by
+:mod:`repro.core.unnest`.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.plan import Extend, Join, Map, Nest, Plan, Scan
+from repro.core.unnest import RESULT_VAR
+from repro.lang.ast import Attr, Cmp, CmpOp, Var, make_and
+
+__all__ = ["kim_style_subseteq_plan"]
+
+
+def kim_style_subseteq_plan(
+    left: str = "X",
+    right: str = "Y",
+    set_attr: str = "a",
+    inner_attr: str = "a",
+    corr_left: str = "b",
+    corr_right: str = "b",
+) -> Plan:
+    """The buggy Section 4 transformation (grouping before a regular join)."""
+    keyed = Extend(
+        Extend(Scan(right, "y"), Attr(Var("y"), corr_right), "bk"),
+        Attr(Var("y"), inner_attr),
+        "ak",
+    )
+    t = Nest(keyed, by=("bk",), nest="ak", label="vs")
+    pred = make_and(
+        [
+            Cmp(CmpOp.EQ, Attr(Var("x"), corr_left), Var("bk")),
+            Cmp(CmpOp.SUBSETEQ, Attr(Var("x"), set_attr), Var("vs")),
+        ]
+    )
+    joined = Join(Scan(left, "x"), t, pred)
+    return Map(joined, Var("x"), RESULT_VAR)

@@ -1,0 +1,38 @@
+"""Benchmark harness and the paper's experiment suite."""
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    e1_table1,
+    e2_table2,
+    e3_count_bug,
+    e4_subseteq_bug,
+    e5_q1_q2,
+    e6_unnest_collapse,
+    e7_section8,
+    e8_nested_vs_flat,
+    e9_nestjoin_impls,
+    e10_outerjoin_detour,
+    e11_semijoin_vs_nestjoin,
+    e12_scaling,
+)
+from repro.bench.harness import ResultTable, fmt_seconds, speedup, time_best
+
+__all__ = [
+    "ResultTable",
+    "time_best",
+    "fmt_seconds",
+    "speedup",
+    "EXPERIMENTS",
+    "e1_table1",
+    "e2_table2",
+    "e3_count_bug",
+    "e4_subseteq_bug",
+    "e5_q1_q2",
+    "e6_unnest_collapse",
+    "e7_section8",
+    "e8_nested_vs_flat",
+    "e9_nestjoin_impls",
+    "e10_outerjoin_detour",
+    "e11_semijoin_vs_nestjoin",
+    "e12_scaling",
+]

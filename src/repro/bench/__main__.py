@@ -1,0 +1,24 @@
+"""Run the full experiment suite: ``python -m repro.bench [E3 E7 ...]``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.experiments import EXPERIMENTS
+
+
+def main(argv: list[str]) -> int:
+    wanted = [a.upper() for a in argv] or list(EXPERIMENTS)
+    unknown = [w for w in wanted if w not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {list(EXPERIMENTS)}")
+        return 2
+    for key in wanted:
+        title, fn = EXPERIMENTS[key]
+        print()
+        print(fn().render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

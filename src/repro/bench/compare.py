@@ -1,0 +1,71 @@
+"""Strategy comparison for a single query — the library's "bake-off" tool.
+
+:func:`compare_strategies` runs one query under every applicable strategy
+(naive interpretation, translated plan on the reference executor, the
+physical engine with and without rewrites, and each join algorithm forced)
+and reports rows, correctness against the interpreter, and best-of-N wall
+time. Exposed on the CLI as ``python -m repro compare``.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.interpreter import result_set, run_logical
+from repro.algebra.rewrite import optimize_logical
+from repro.bench.harness import ResultTable, fmt_seconds, time_best
+from repro.core.pipeline import prepare, run_query
+from repro.engine.executor import run_physical
+from repro.engine.physical import JOIN_ALGORITHMS
+from repro.engine.table import Catalog
+
+__all__ = ["compare_strategies"]
+
+
+def compare_strategies(
+    query: str,
+    catalog: Catalog,
+    repeat: int = 3,
+    include_forced_algorithms: bool = True,
+) -> ResultTable:
+    """Run *query* under every strategy; return a paper-shaped table."""
+    oracle = run_query(query, catalog, engine="interpret").value
+    table = ResultTable(
+        "strategy comparison",
+        ("strategy", "rows", "correct", "time"),
+    )
+
+    def row(name, fn, repeat_override=None):
+        value = fn()
+        seconds = time_best(fn, repeat_override or repeat)
+        table.add(name, len(value), value == oracle, fmt_seconds(seconds))
+
+    row(
+        "naive nested-loop (interpret)",
+        lambda: run_query(query, catalog, engine="interpret").value,
+        repeat_override=1,
+    )
+    translation = prepare(query, catalog)
+    if translation is None:
+        table.note("query has no plan (FROM operand is not a stored table); interpretation only")
+        return table
+    row(
+        "translated plan, reference executor",
+        lambda: result_set(run_logical(translation.plan, catalog)),
+        repeat_override=1,
+    )
+    row(
+        "physical, rewrites off",
+        lambda: run_query(query, catalog, engine="physical", rewrite=False).value,
+    )
+    row(
+        "physical, rewrites on",
+        lambda: run_query(query, catalog, engine="physical", rewrite=True).value,
+    )
+    if include_forced_algorithms:
+        plan = optimize_logical(translation.plan)
+        for algorithm in JOIN_ALGORITHMS:
+            row(
+                f"physical, all joins {algorithm}",
+                lambda a=algorithm: result_set(run_physical(plan, catalog, force_algorithm=a)),
+            )
+    table.note(f"translation: {[s.kind for s in translation.steps]}")
+    return table

@@ -1,0 +1,87 @@
+"""Benchmark harness: timing and paper-shaped result tables.
+
+Every experiment (see :mod:`repro.bench.experiments`) returns a
+:class:`ResultTable` — named columns, aligned text rendering — so the
+benchmarks print rows directly comparable to the paper's tables and worked
+examples. ``python -m repro.bench`` runs the full suite.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["ResultTable", "time_best", "fmt_seconds", "speedup"]
+
+
+@dataclass
+class ResultTable:
+    """A titled table of results with aligned text rendering."""
+
+    title: str
+    columns: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def column(self, name: str) -> list:
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def render(self) -> str:
+        cells = [[str(c) for c in self.columns]] + [
+            [_fmt(v) for v in row] for row in self.rows
+        ]
+        widths = [max(len(r[i]) for r in cells) for i in range(len(self.columns))]
+        lines = [self.title, "=" * len(self.title)]
+        header, *body = cells
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  * {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)
+
+
+def time_best(fn: Callable[[], Any], repeat: int = 3) -> float:
+    """Best-of-``repeat`` wall time of ``fn()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best
+
+
+def fmt_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def speedup(slow: float, fast: float) -> float:
+    """slow/fast, guarded against zero timers."""
+    return slow / max(fast, 1e-9)

@@ -1,0 +1,39 @@
+"""The paper's contribution: classification, unnesting, the query pipeline."""
+
+from repro.core.classify import (
+    Classification,
+    PredicateClass,
+    classify,
+    contains_expr,
+    replace_expr,
+)
+from repro.core.intra import simplify_nested_predicates
+from repro.core.normalize import normalize_predicate, push_not
+from repro.core.pipeline import (
+    PreparedQuery,
+    QueryResult,
+    explain_query,
+    prepare,
+    run_query,
+)
+from repro.core.unnest import RESULT_VAR, Step, Translation, translate_query
+
+__all__ = [
+    "PredicateClass",
+    "Classification",
+    "classify",
+    "contains_expr",
+    "replace_expr",
+    "normalize_predicate",
+    "push_not",
+    "simplify_nested_predicates",
+    "translate_query",
+    "Translation",
+    "Step",
+    "RESULT_VAR",
+    "run_query",
+    "explain_query",
+    "prepare",
+    "PreparedQuery",
+    "QueryResult",
+]

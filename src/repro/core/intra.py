@@ -1,0 +1,118 @@
+"""Intra-expression rewrites for predicates that stay nested.
+
+The paper argues subqueries over *set-valued attributes* should not be
+flattened (their operand lives inside the object); our translator leaves
+such conjuncts to the interpreter. But "stay nested" need not mean "stay
+naive": a membership test against a subquery result
+
+.. code-block:: none
+
+    e IN (SELECT G FROM src v WHERE Q)
+
+materialises the whole subquery set per outer tuple, although it is
+equivalent to the early-exiting quantifier
+
+.. code-block:: none
+
+    EXISTS v IN src (Q AND G = e)
+
+This module implements that rewrite (and its NOT IN / emptiness / COUNT=0
+relatives) as a semantics-preserving transformation applied by the
+translator to every conjunct it hands to the interpreter — Q1 of the
+paper is the canonical beneficiary. The rewrites are the expression-level
+mirror of Theorem 1: the same ∃/¬∃ forms, executed by the interpreter
+instead of a join operator.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    SFW,
+    Agg,
+    AggFunc,
+    Cmp,
+    CmpOp,
+    Const,
+    Expr,
+    Quant,
+    QuantKind,
+    SetExpr,
+    TRUE,
+    fresh_name,
+    make_and,
+    negate,
+    transform,
+)
+from repro.lang.freevars import free_vars
+
+__all__ = ["simplify_nested_predicates"]
+
+
+def simplify_nested_predicates(expr: Expr) -> Expr:
+    """Rewrite membership/emptiness tests on subqueries into quantifiers."""
+    return transform(expr, _rule)
+
+
+def _rule(e: Expr) -> Expr:
+    if isinstance(e, Cmp):
+        if e.op == CmpOp.IN and isinstance(e.right, SFW):
+            return _membership_to_exists(e.left, e.right)
+        if e.op == CmpOp.NOT_IN and isinstance(e.right, SFW):
+            return negate(_membership_to_exists(e.left, e.right))
+        # (SELECT ...) = {}  /  {} = (SELECT ...)
+        for a, b in ((e.left, e.right), (e.right, e.left)):
+            if isinstance(a, SFW) and _is_empty_set(b):
+                exists = _nonempty_to_exists(a)
+                if e.op == CmpOp.EQ:
+                    return negate(exists)
+                if e.op == CmpOp.NE:
+                    return exists
+        # COUNT(SELECT ...) = 0 / > 0 (after normalization's canonical forms)
+        if (
+            isinstance(e.left, Agg)
+            and e.left.func == AggFunc.COUNT
+            and isinstance(e.left.operand, SFW)
+            and _is_zero(e.right)
+        ):
+            exists = _nonempty_to_exists(e.left.operand)
+            if e.op in (CmpOp.EQ, CmpOp.LE):
+                return negate(exists)
+            if e.op in (CmpOp.GT, CmpOp.NE):
+                return exists
+    return e
+
+
+def _membership_to_exists(member: Expr, sub: SFW) -> Expr:
+    """``member IN (SELECT G FROM src v WHERE Q)`` → ``∃v∈src (Q ∧ G = member)``."""
+    var = sub.var
+    select = sub.select
+    where = sub.where
+    if var in free_vars(member):
+        # Alpha-rename the subquery variable away from the member expression.
+        from repro.lang.ast import Var, substitute
+
+        new_var = fresh_name(var, free_vars(member) | free_vars(sub))
+        select = substitute(select, var, Var(new_var))
+        if where is not None:
+            where = substitute(where, var, Var(new_var))
+        var = new_var
+    pred = make_and(
+        ([where] if where is not None else []) + [Cmp(CmpOp.EQ, select, member)]
+    )
+    return Quant(QuantKind.EXISTS, var, sub.source, pred)
+
+
+def _nonempty_to_exists(sub: SFW) -> Expr:
+    """``(SELECT G FROM src v WHERE Q) ≠ ∅`` → ``∃v∈src (Q)``."""
+    pred = sub.where if sub.where is not None else TRUE
+    return Quant(QuantKind.EXISTS, sub.var, sub.source, pred)
+
+
+def _is_empty_set(e: Expr) -> bool:
+    if isinstance(e, SetExpr) and not e.items:
+        return True
+    return isinstance(e, Const) and e.value == frozenset()
+
+
+def _is_zero(e: Expr) -> bool:
+    return isinstance(e, Const) and not isinstance(e.value, bool) and e.value == 0

@@ -1,0 +1,120 @@
+"""Predicate normalization ahead of classification.
+
+The classifier (Section 7 / Table 2 of the paper) pattern-matches predicate
+shapes. Normalization makes the match surface small:
+
+* negations are pushed inward (De Morgan, double negation, operator
+  flipping for negatable comparisons);
+* ``FORALL v IN d (p)`` becomes ``NOT EXISTS v IN d (NOT p)``;
+* comparisons against a count/emptiness of a set are canonicalised
+  (``0 = count(z)`` → ``count(z) = 0``, ``count(z) >= 1`` → ``count(z) > 0``
+  etc.) so the classifier needs one spelling per idea.
+
+Negation stops at the boundary of an EXISTS quantifier: ``NOT EXISTS`` is
+itself one of the two target calculus forms of Theorem 1, so the normal
+form keeps it.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    NEGATED_CMP,
+    And,
+    Agg,
+    AggFunc,
+    Cmp,
+    CmpOp,
+    Const,
+    Expr,
+    Not,
+    Or,
+    Quant,
+    QuantKind,
+    is_false_const,
+    is_true_const,
+    make_and,
+    make_or,
+    negate,
+    transform,
+)
+
+__all__ = ["normalize_predicate", "push_not"]
+
+
+def normalize_predicate(expr: Expr) -> Expr:
+    """Normalize a boolean expression for classification."""
+    expr = _eliminate_forall(expr)
+    expr = push_not(expr)
+    expr = transform(expr, _canonical_cmp)
+    return expr
+
+
+def _eliminate_forall(expr: Expr) -> Expr:
+    def rule(e: Expr) -> Expr:
+        if isinstance(e, Quant) and e.kind == QuantKind.FORALL:
+            return Not(Quant(QuantKind.EXISTS, e.var, e.domain, negate(e.pred)))
+        return e
+
+    return transform(expr, rule)
+
+
+def push_not(expr: Expr, negated: bool = False) -> Expr:
+    """Push negations inward; ``negated`` tracks an outstanding NOT."""
+    if isinstance(expr, Not):
+        return push_not(expr.operand, not negated)
+    if isinstance(expr, And):
+        items = [push_not(i, negated) for i in expr.items]
+        return make_or(items) if negated else make_and(items)
+    if isinstance(expr, Or):
+        items = [push_not(i, negated) for i in expr.items]
+        return make_and(items) if negated else make_or(items)
+    if isinstance(expr, Quant) and expr.kind == QuantKind.EXISTS:
+        # Normalize the quantifier body; NOT (if any) stays on the
+        # quantifier itself: ¬∃ is a target form of Theorem 1.
+        inner = Quant(expr.kind, expr.var, expr.domain, push_not(expr.pred))
+        return Not(inner) if negated else inner
+    if not negated:
+        return expr
+    # Negated leaf.
+    if isinstance(expr, Cmp) and expr.op in NEGATED_CMP:
+        return Cmp(NEGATED_CMP[expr.op], expr.left, expr.right)
+    if is_true_const(expr):
+        return Const(False)
+    if is_false_const(expr):
+        return Const(True)
+    return Not(expr)
+
+
+_COUNT_CANONICAL_ZERO = Const(0)
+
+
+def _canonical_cmp(e: Expr) -> Expr:
+    """Canonicalise count/emptiness comparisons; leave everything else."""
+    if not isinstance(e, Cmp):
+        return e
+    left, right, op = e.left, e.right, e.op
+    # Put the aggregate/set on the left: 0 = count(z) → count(z) = 0.
+    if _is_count(right) and isinstance(left, Const):
+        from repro.lang.ast import MIRRORED_CMP
+
+        if op in MIRRORED_CMP:
+            left, right, op = right, left, MIRRORED_CMP[op]
+    if _is_count(left) and isinstance(right, Const):
+        n = right.value
+        if not isinstance(n, bool) and isinstance(n, (int, float)):
+            # count(z) >= 1 ≡ count(z) > 0 ≡ count(z) <> 0 (counts are ≥ 0 ints)
+            if op == CmpOp.GE and n == 1:
+                return Cmp(CmpOp.GT, left, _COUNT_CANONICAL_ZERO)
+            if op == CmpOp.NE and n == 0:
+                return Cmp(CmpOp.GT, left, _COUNT_CANONICAL_ZERO)
+            # count(z) < 1 ≡ count(z) <= 0 ≡ count(z) = 0
+            if op == CmpOp.LT and n == 1:
+                return Cmp(CmpOp.EQ, left, _COUNT_CANONICAL_ZERO)
+            if op == CmpOp.LE and n == 0:
+                return Cmp(CmpOp.EQ, left, _COUNT_CANONICAL_ZERO)
+        return Cmp(op, left, right)
+    return Cmp(op, left, right) if (left is not e.left or right is not e.right or op is not e.op) else e
+
+
+def _is_count(e: Expr) -> bool:
+    return isinstance(e, Agg) and e.func == AggFunc.COUNT

@@ -1,0 +1,192 @@
+"""End-to-end query processing: parse → type-check → unnest → execute.
+
+:func:`run_query` is the library's front door. It accepts query text or an
+AST, translates nested queries into (semi/anti/nest) join plans where the
+classifier allows, executes on the requested engine, and returns TM set
+semantics (a frozenset of result values).
+
+Engines:
+
+* ``"interpret"`` — the naive nested-loop oracle (no translation);
+* ``"logical"``   — translated plan run on the reference executor;
+* ``"physical"``  — translated plan compiled to physical operators with
+  cost-based join algorithm selection (the default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.interpreter import result_set, run_logical
+from repro.algebra.pretty import explain_plan
+from repro.core.unnest import Translation, translate_query
+from repro.engine.table import Catalog
+from repro.errors import UnsupportedQueryError
+from repro.lang.ast import SFW, Expr, UnnestExpr
+from repro.lang.eval import evaluate
+from repro.lang.parser import parse
+from repro.lang.typing import TypeEnv, type_of
+
+__all__ = ["QueryResult", "run_query", "explain_query", "prepare", "PreparedQuery"]
+
+
+@dataclass
+class QueryResult:
+    """A query answer plus how it was computed."""
+
+    value: frozenset
+    engine: str
+    translation: Translation | None
+
+    @property
+    def fully_flattened(self) -> bool:
+        return self.translation is not None and self.translation.fully_flattened
+
+
+def _as_ast(query: str | Expr) -> Expr:
+    return parse(query) if isinstance(query, str) else query
+
+
+def prepare(query: str | Expr, catalog: Catalog, typecheck: bool = True) -> Translation | None:
+    """Parse, optionally type-check, and translate a query (no execution)."""
+    ast = _as_ast(query)
+    if typecheck:
+        type_of(ast, TypeEnv.with_tables(catalog.row_types()))
+    if not isinstance(ast, (SFW, UnnestExpr)):
+        raise UnsupportedQueryError(
+            f"top-level query must be a SELECT-FROM-WHERE (or UNNEST of one), got {type(ast).__name__}"
+        )
+    return translate_query(ast, catalog)
+
+
+def run_query(
+    query: str | Expr,
+    catalog: Catalog,
+    engine: str = "physical",
+    typecheck: bool = True,
+    rewrite: bool = True,
+) -> QueryResult:
+    """Execute *query* against *catalog* and return its value as a set.
+
+    ``rewrite`` controls the logical rewrite pass (selection pushdown and
+    plan cleanup) applied before physical compilation; the ``logical``
+    engine always runs the raw translated plan, preserving a rewrite-free
+    rung on the differential-testing ladder.
+    """
+    ast = _as_ast(query)
+    if typecheck:
+        type_of(ast, TypeEnv.with_tables(catalog.row_types()))
+    if engine == "interpret":
+        value = evaluate(ast, tables=catalog)
+        return QueryResult(_as_result_set(value), "interpret", None)
+    if not isinstance(ast, (SFW, UnnestExpr)):
+        raise UnsupportedQueryError(
+            f"top-level query must be a SELECT-FROM-WHERE (or UNNEST of one), got {type(ast).__name__}"
+        )
+    translation = translate_query(ast, catalog)
+    if translation is None:
+        # The outermost FROM operand is not a stored table: interpret.
+        value = evaluate(ast, tables=catalog)
+        return QueryResult(_as_result_set(value), "interpret", None)
+    if engine == "logical":
+        rows = run_logical(translation.plan, catalog)
+        return QueryResult(result_set(rows), "logical", translation)
+    if engine == "physical":
+        from repro.algebra.rewrite import optimize_logical
+        from repro.engine.executor import run_physical
+
+        plan = optimize_logical(translation.plan) if rewrite else translation.plan
+        rows = run_physical(plan, catalog)
+        return QueryResult(result_set(rows), "physical", translation)
+    raise UnsupportedQueryError(f"unknown engine {engine!r}")
+
+
+def _as_result_set(value) -> frozenset:
+    if isinstance(value, frozenset):
+        return value
+    raise UnsupportedQueryError(f"query evaluated to a non-set value {value!r}")
+
+
+class PreparedQuery:
+    """A query prepared once and executable many times.
+
+    Preparation parses, type-checks, translates, and logically rewrites;
+    physical compilation happens per catalog (statistics differ) but is
+    cached, so repeated execution against the same catalog pays the
+    optimizer exactly once.
+
+    Falls back to the interpreter transparently when the query shape has
+    no plan (outer FROM operand not a stored table).
+    """
+
+    def __init__(self, query: str | Expr, catalog: Catalog, typecheck: bool = True):
+        from repro.algebra.rewrite import optimize_logical
+
+        self.ast = _as_ast(query)
+        if typecheck:
+            type_of(self.ast, TypeEnv.with_tables(catalog.row_types()))
+        if not isinstance(self.ast, (SFW, UnnestExpr)):
+            raise UnsupportedQueryError(
+                "top-level query must be a SELECT-FROM-WHERE (or UNNEST of one)"
+            )
+        self.translation = translate_query(self.ast, catalog)
+        self.plan = (
+            optimize_logical(self.translation.plan)
+            if self.translation is not None
+            else None
+        )
+        self._compiled: dict[int, object] = {}
+
+    def compile_for(self, catalog: Catalog):
+        """The physical operator tree for *catalog* (cached per catalog)."""
+        from repro.engine.physical import compile_plan
+
+        if self.plan is None:
+            raise UnsupportedQueryError("query has no plan; it is interpreted")
+        key = id(catalog)
+        entry = self._compiled.get(key)
+        if entry is None:
+            entry = compile_plan(self.plan, catalog)
+            self._compiled[key] = entry
+        return entry
+
+    def execute(self, catalog: Catalog) -> frozenset:
+        """Run against *catalog* and return the result set."""
+        if self.plan is None:
+            return _as_result_set(evaluate(self.ast, tables=catalog))
+        physical = self.compile_for(catalog)
+        return result_set(list(physical.run(catalog)))
+
+    def analyze(self, catalog: Catalog):
+        """Instrumented execution: returns an AnalyzedRun (see engine.analyze)."""
+        from repro.engine.analyze import analyze as _analyze
+
+        return _analyze(self.compile_for(catalog), catalog)
+
+    def explain(self) -> str:
+        if self.plan is None:
+            return "no plan: outer FROM operand is not a stored table (interpreted)"
+        return explain_plan(self.plan)
+
+
+def explain_query(query: str | Expr, catalog: Catalog) -> str:
+    """A human-readable account: translation steps, plan, rewritten plan."""
+    translation = prepare(query, catalog)
+    if translation is None:
+        return "no plan: outer FROM operand is not a stored table (interpreted)"
+    lines = ["translation steps:"]
+    for step in translation.steps:
+        from repro.lang.pretty import pretty
+
+        what = pretty(step.conjunct) if step.conjunct is not None else "-"
+        detail = f" ({step.detail})" if step.detail else ""
+        lines.append(f"  [{step.kind}] {what}{detail}")
+    lines.append("logical plan:")
+    lines.append(explain_plan(translation.plan, 1))
+    from repro.algebra.rewrite import optimize_logical
+
+    rewritten = optimize_logical(translation.plan)
+    if rewritten != translation.plan:
+        lines.append("after rewriting:")
+        lines.append(explain_plan(rewritten, 1))
+    return "\n".join(lines)

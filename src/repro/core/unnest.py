@@ -1,0 +1,428 @@
+"""The unnesting translator: SFW queries → algebra plans.
+
+This is the paper's query processing strategy (Sections 4–8):
+
+1. split the WHERE clause into conjuncts; for each conjunct containing a
+   correlated subquery over a stored table, *classify* the predicate
+   (:mod:`repro.core.classify`):
+
+   * ``∃``-form  → **SemiJoin**  on ``Q(x,y) ∧ P'(x, G(x,y))``,
+   * ``¬∃``-form → **AntiJoin**  on the same predicate,
+   * otherwise   → **NestJoin** on ``Q(x,y)`` with function ``G``, followed
+     by a selection of ``P(x, zs)`` over the nested attribute;
+
+2. subqueries in the SELECT clause are processed with nest joins (they
+   usually *describe* nested results — Section 5);
+
+3. the machinery recurses: the inner block's own WHERE clause is processed
+   first (bottom-up, Section 8), so linear multi-level queries become
+   pipelines of (semi/anti/nest) joins.
+
+Anything that falls outside the flattenable class — subqueries over
+set-valued attributes (the paper argues those should *stay* nested),
+uncorrelated subqueries (constants), conjuncts with several distinct
+subqueries — is left in place and evaluated by the interpreter inside the
+plan, so translation never sacrifices correctness for shape: the output
+plan always computes exactly the naive nested-loop semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.plan import (
+    AntiJoin,
+    Drop,
+    Join,
+    Map,
+    NestJoin,
+    Plan,
+    Scan,
+    Select,
+    SemiJoin,
+)
+from repro.core.classify import Classification, PredicateClass, classify, replace_expr
+from repro.core.intra import simplify_nested_predicates
+from repro.core.normalize import normalize_predicate
+from repro.engine.table import Catalog
+from repro.lang.ast import (
+    SFW,
+    Expr,
+    UnnestExpr,
+    Var,
+    conjuncts,
+    fresh_name,
+    make_and,
+    substitute,
+)
+from repro.lang.freevars import find_subqueries, free_vars
+
+__all__ = ["Translation", "Step", "translate_query", "RESULT_VAR"]
+
+RESULT_VAR = "out"
+
+
+def _describe(cls: Classification) -> str:
+    from repro.lang.pretty import pretty
+
+    form = "∃" if cls.kind == PredicateClass.EXISTS else "¬∃"
+    return f"{form}{cls.var} IN z ({pretty(cls.member_pred)})"
+
+
+@dataclass(frozen=True)
+class Step:
+    """One translation decision, for EXPLAIN output and tests."""
+
+    conjunct: Expr | None
+    kind: str  # 'semijoin' | 'antijoin' | 'nestjoin' | 'select' |
+    #            'nestjoin-select-clause' | 'unnest-join' | 'interpreted'
+    detail: str = ""
+
+
+@dataclass
+class Translation:
+    """The result of translating a query: a plan plus an audit trail.
+
+    ``plan`` emits binding tuples with the single binding ``out`` holding
+    result values; collapse with
+    :func:`repro.algebra.interpreter.result_set`.
+    """
+
+    plan: Plan
+    steps: list[Step] = field(default_factory=list)
+
+    @property
+    def fully_flattened(self) -> bool:
+        return all(s.kind != "interpreted" for s in self.steps)
+
+    def join_kinds(self) -> list[str]:
+        return [s.kind for s in self.steps if "join" in s.kind]
+
+
+def translate_query(query: SFW | UnnestExpr, catalog: Catalog) -> Translation | None:
+    """Translate *query* into an algebra plan, or None if the outermost
+    FROM operand is not a stored table (then only interpretation applies).
+    """
+    if isinstance(query, UnnestExpr):
+        return _translate_unnest(query, catalog)
+    ctx = _Context(catalog)
+    block = _translate_block(query, ctx, outer_vars=frozenset())
+    if block is None:
+        return None
+    plan, select_expr, steps = block
+    plan = Map(plan, select_expr, RESULT_VAR)
+    return Translation(plan, steps)
+
+
+class _Context:
+    """Shared state during translation: the catalog and used names."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+        self.used: set[str] = set(catalog)
+
+    def fresh(self, prefix: str) -> str:
+        name = fresh_name(prefix, self.used)
+        self.used.add(name)
+        return name
+
+    def claim(self, name: str) -> bool:
+        """Claim a variable name; False if already taken."""
+        if name in self.used:
+            return False
+        self.used.add(name)
+        return True
+
+
+def _translate_block(
+    query: SFW, ctx: _Context, outer_vars: frozenset[str]
+) -> tuple[Plan, Expr, list[Step]] | None:
+    """Translate one SFW block: plan for FROM+WHERE and the SELECT expr.
+
+    Returns (plan, select_expr, steps) where select_expr may reference the
+    block variable and any nest-join labels introduced for SELECT-clause
+    subqueries. None if the block's source is not a stored table.
+    """
+    if not isinstance(query.source, Var) or query.source.name not in ctx.catalog:
+        return None
+    var = query.var
+    select_expr = query.select
+    where = query.where
+    if not ctx.claim(var):
+        new_var = ctx.fresh(var)
+        select_expr = substitute(select_expr, var, Var(new_var))
+        if where is not None:
+            where = substitute(where, var, Var(new_var))
+        var = new_var
+    plan: Plan = Scan(query.source.name, var)
+    steps: list[Step] = []
+    inner_vars = outer_vars | {var}
+    materialized: dict[Expr, str] = {}
+
+    for conjunct in conjuncts(where):
+        plan = _apply_conjunct(plan, conjunct, ctx, inner_vars, steps, materialized)
+
+    plan, select_expr = _apply_select_subqueries(
+        plan, select_expr, ctx, inner_vars, steps, materialized
+    )
+    plan = _drop_unused_labels(plan, select_expr, materialized)
+    return plan, select_expr, steps
+
+
+def _drop_unused_labels(plan: Plan, select_expr: Expr, materialized: dict[Expr, str]) -> Plan:
+    """Drop materialized nested attributes the SELECT clause does not use.
+
+    Labels are kept alive during WHERE processing so identical subqueries
+    are materialized once and reused; unused ones are dropped before the
+    final projection to keep intermediate rows small.
+    """
+    used = free_vars(select_expr)
+    to_drop = tuple(
+        label
+        for label in materialized.values()
+        if label in plan.bindings() and label not in used
+    )
+    if to_drop:
+        return Drop(plan, to_drop)
+    return plan
+
+
+def _apply_conjunct(
+    plan: Plan,
+    conjunct: Expr,
+    ctx: _Context,
+    bound_vars: frozenset[str],
+    steps: list[Step],
+    materialized: dict[Expr, str] | None = None,
+) -> Plan:
+    """Apply one WHERE conjunct: flatten if possible, else interpret.
+
+    ``materialized`` maps subquery expressions (as written) to nest-join
+    labels already present in *plan*; a conjunct over a previously
+    materialized subquery becomes a plain selection over that label —
+    common subquery elimination.
+    """
+    if materialized is None:
+        materialized = {}
+    normalized = normalize_predicate(conjunct)
+    subs = {occ.subquery for occ in find_subqueries(normalized)}
+    if isinstance(normalized, SFW):  # a bare SFW is not a boolean conjunct
+        subs = set()
+    if not subs:
+        steps.append(Step(conjunct, "select"))
+        return Select(plan, conjunct)
+    if len(subs) > 1:
+        # Beyond the paper's linear restriction (its future-work list):
+        # materialize each subquery with its own nest join, then select.
+        return _apply_multi_subquery_conjunct(
+            plan, conjunct, normalized, subs, ctx, bound_vars, steps, materialized
+        )
+    sub = next(iter(subs))
+    if sub in materialized and materialized[sub] in plan.bindings():
+        label = materialized[sub]
+        steps.append(Step(conjunct, "reuse-nested", f"reusing materialized {label!r}"))
+        return Select(plan, replace_expr(normalized, sub, Var(label)))
+    prepared = _prepare_subquery(sub, ctx, bound_vars)
+    if prepared is None:
+        steps.append(Step(conjunct, "interpreted", "subquery not over a stored table"))
+        return Select(plan, simplify_nested_predicates(conjunct))
+    sub_plan, sub_renamed, sub_var, g_expr, corr_pred, inner_steps = prepared
+    if corr_pred is None:
+        steps.append(Step(conjunct, "interpreted", "uncorrelated subquery (constant)"))
+        return Select(plan, simplify_nested_predicates(conjunct))
+    steps.extend(inner_steps)
+    normalized = replace_expr(normalized, sub, sub_renamed)
+    cls = classify(normalized, sub_renamed)
+    if cls.kind == PredicateClass.EXISTS:
+        pred = make_and([corr_pred, substitute(cls.member_pred, cls.var, g_expr)])
+        steps.append(Step(conjunct, "semijoin", _describe(cls)))
+        return SemiJoin(plan, sub_plan, pred)
+    if cls.kind == PredicateClass.NOT_EXISTS:
+        pred = make_and([corr_pred, substitute(cls.member_pred, cls.var, g_expr)])
+        steps.append(Step(conjunct, "antijoin", _describe(cls)))
+        return AntiJoin(plan, sub_plan, pred)
+    label = ctx.fresh("zs")
+    grouped = cls.grouped_pred(label)
+    steps.append(Step(conjunct, "nestjoin", f"grouping needed; nested attribute {label!r}"))
+    nested = NestJoin(plan, sub_plan, corr_pred, g_expr, label)
+    materialized[sub] = label
+    return Select(nested, grouped)
+
+
+def _apply_multi_subquery_conjunct(
+    plan: Plan,
+    conjunct: Expr,
+    normalized: Expr,
+    subs: set[SFW],
+    ctx: _Context,
+    bound_vars: frozenset[str],
+    steps: list[Step],
+    materialized: dict[Expr, str],
+) -> Plan:
+    """Flatten a conjunct containing several distinct subqueries.
+
+    The paper restricts itself to one subquery per WHERE clause and lists
+    multiple subqueries as future work; the generalisation is direct: each
+    correlated subquery is materialized by its own nest join (or reused if
+    already materialized), after which the conjunct is an ordinary
+    selection over the nested attributes. If any subquery resists
+    materialisation (not over a stored table, or uncorrelated), the whole
+    conjunct falls back to interpretation — correctness first.
+    """
+    planned: list[tuple[SFW, Plan, Expr, Expr, str]] = []
+    rewritten = normalized
+    for sub in sorted(subs, key=repr):  # deterministic order
+        if sub in materialized and materialized[sub] in plan.bindings():
+            rewritten = replace_expr(rewritten, sub, Var(materialized[sub]))
+            continue
+        prepared = _prepare_subquery(sub, ctx, bound_vars)
+        if prepared is None:
+            steps.append(Step(conjunct, "interpreted", "subquery not over a stored table"))
+            return Select(plan, simplify_nested_predicates(conjunct))
+        sub_plan, _renamed, _var, g_expr, corr_pred, inner_steps = prepared
+        if corr_pred is None:
+            steps.append(Step(conjunct, "interpreted", "uncorrelated subquery (constant)"))
+            return Select(plan, simplify_nested_predicates(conjunct))
+        steps.extend(inner_steps)
+        label = ctx.fresh("zs")
+        planned.append((sub, sub_plan, g_expr, corr_pred, label))
+        rewritten = replace_expr(rewritten, sub, Var(label))
+    for sub, sub_plan, g_expr, corr_pred, label in planned:
+        plan = NestJoin(plan, sub_plan, corr_pred, g_expr, label)
+        materialized[sub] = label
+        steps.append(
+            Step(conjunct, "nestjoin", f"multi-subquery conjunct; nested attribute {label!r}")
+        )
+    return Select(plan, rewritten)
+
+
+def _apply_select_subqueries(
+    plan: Plan,
+    select_expr: Expr,
+    ctx: _Context,
+    bound_vars: frozenset[str],
+    steps: list[Step],
+    materialized: dict[Expr, str] | None = None,
+) -> tuple[Plan, Expr]:
+    """Flatten correlated subqueries in the SELECT clause via nest joins."""
+    if materialized is None:
+        materialized = {}
+    while True:
+        candidates = [occ.subquery for occ in find_subqueries(select_expr)]
+        progressed = False
+        for sub in candidates:
+            if sub in materialized and materialized[sub] in plan.bindings():
+                label = materialized[sub]
+                select_expr = replace_expr(select_expr, sub, Var(label))
+                steps.append(
+                    Step(None, "reuse-nested", f"SELECT clause reuses materialized {label!r}")
+                )
+                progressed = True
+                break
+            prepared = _prepare_subquery(sub, ctx, bound_vars)
+            if prepared is None:
+                continue
+            sub_plan, _sub_renamed, _sub_var, g_expr, corr_pred, inner_steps = prepared
+            if corr_pred is None:
+                continue  # constant subquery: leave interpreted
+            steps.extend(inner_steps)
+            label = ctx.fresh("ys")
+            plan = NestJoin(plan, sub_plan, corr_pred, g_expr, label)
+            materialized[sub] = label
+            select_expr = replace_expr(select_expr, sub, Var(label))
+            steps.append(
+                Step(None, "nestjoin-select-clause", f"SELECT-clause subquery → {label!r}")
+            )
+            progressed = True
+            break
+        if not progressed:
+            if candidates:
+                steps.append(
+                    Step(None, "interpreted", "SELECT-clause subquery left nested")
+                )
+            return plan, select_expr
+
+
+def _prepare_subquery(
+    sub: SFW, ctx: _Context, outer_vars: frozenset[str]
+) -> tuple[Plan, SFW, str, Expr, Expr | None, list[Step]] | None:
+    """Build the right-operand plan for a correlated subquery.
+
+    Returns ``(plan, renamed_sub, var, G, corr_pred, steps)``:
+
+    * ``plan`` — the subquery's FROM operand with all *local* conjuncts
+      applied (recursively flattened — this is what makes Section 8's
+      multi-level pipelines come out);
+    * ``renamed_sub`` — the subquery after alpha-renaming its variable to a
+      globally fresh name (equal to ``sub`` if no rename was needed);
+    * ``G`` — the subquery's SELECT expression (the nest-join function);
+    * ``corr_pred`` — the conjunction of correlated conjuncts (the join
+      predicate ``Q(x, y)``), or None if the subquery is uncorrelated.
+
+    None if the subquery's operand is not a stored table — e.g. a
+    set-valued attribute, which the paper says should stay nested.
+    """
+    if not isinstance(sub.source, Var) or sub.source.name not in ctx.catalog:
+        return None
+    var = sub.var
+    select_expr = sub.select
+    where = sub.where
+    if not ctx.claim(var):
+        new_var = ctx.fresh(var)
+        select_expr = substitute(select_expr, var, Var(new_var))
+        if where is not None:
+            where = substitute(where, var, Var(new_var))
+        var = new_var
+    renamed = SFW(select_expr, var, sub.source, where)
+    plan: Plan = Scan(sub.source.name, var)
+    steps: list[Step] = []
+    corr: list[Expr] = []
+    local_bound = frozenset({var})
+    for conjunct in conjuncts(where):
+        refs_outer = bool(free_vars(conjunct) & outer_vars)
+        if refs_outer:
+            # Correlated conjunct → join predicate. Nested subqueries inside
+            # it are evaluated per pair (documented partial flattening) —
+            # but rewritten into early-exiting quantifiers where possible.
+            corr.append(simplify_nested_predicates(conjunct))
+        else:
+            plan = _apply_conjunct(plan, conjunct, ctx, local_bound, steps)
+    if not corr:
+        return plan, renamed, var, select_expr, None, steps
+    return plan, renamed, var, select_expr, make_and(corr), steps
+
+
+def _translate_unnest(query: UnnestExpr, catalog: Catalog) -> Translation | None:
+    """The Section 5 special case: UNNEST of a SELECT-clause-nested query.
+
+    ``UNNEST(SELECT (SELECT G FROM Y y WHERE Q) FROM X x WHERE P)`` is
+    equivalent to the flat join query ``SELECT G FROM X x, Y y WHERE P ∧ Q``
+    — the one SELECT-clause shape needing no grouping at all.
+    """
+    outer = query.operand
+    if not isinstance(outer, SFW) or not isinstance(outer.select, SFW):
+        return None
+    inner = outer.select
+    ctx = _Context(catalog)
+    if not isinstance(outer.source, Var) or outer.source.name not in ctx.catalog:
+        return None
+    if not ctx.claim(outer.var):
+        return None  # pathological shadowing; leave to the interpreter
+    steps: list[Step] = []
+    plan: Plan = Scan(outer.source.name, outer.var)
+    outer_bound = frozenset({outer.var})
+    materialized: dict[Expr, str] = {}
+    for conjunct in conjuncts(outer.where):
+        plan = _apply_conjunct(plan, conjunct, ctx, outer_bound, steps, materialized)
+    prepared = _prepare_subquery(inner, ctx, outer_bound)
+    if prepared is None:
+        return None
+    sub_plan, _renamed, _sub_var, g_expr, corr_pred, inner_steps = prepared
+    steps.extend(inner_steps)
+    join_pred = corr_pred if corr_pred is not None else None
+    from repro.lang.ast import TRUE
+
+    plan = Join(plan, sub_plan, join_pred if join_pred is not None else TRUE)
+    steps.append(Step(None, "unnest-join", "UNNEST(SELECT (SELECT ...)) → flat join"))
+    plan = Map(plan, g_expr, RESULT_VAR)
+    return Translation(plan, steps)

@@ -1,0 +1,24 @@
+"""The physical execution engine: tables, operators, joins, cost model."""
+
+from repro.engine.executor import execute, run_physical
+from repro.engine.explain import explain_physical
+from repro.engine.joins.common import JoinSpec, analyse_join
+from repro.engine.physical import JOIN_ALGORITHMS, PhysicalOp, compile_plan
+from repro.engine.stats import StatsCatalog, TableStats, estimate_rows
+from repro.engine.table import Catalog, Table
+
+__all__ = [
+    "Table",
+    "Catalog",
+    "run_physical",
+    "execute",
+    "compile_plan",
+    "PhysicalOp",
+    "JOIN_ALGORITHMS",
+    "explain_physical",
+    "JoinSpec",
+    "analyse_join",
+    "StatsCatalog",
+    "TableStats",
+    "estimate_rows",
+]

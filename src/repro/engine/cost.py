@@ -1,0 +1,81 @@
+"""A coarse cost model for join algorithm selection.
+
+Cost unit: one predicate/key evaluation over a tuple pair. The constants
+are rough but produce the qualitative behaviour the paper relies on:
+nested-loop is fine for tiny inputs, hash/sort-merge win as inputs grow,
+and semijoin/antijoin plans undercut nest-join plans because they stop at
+the first (non-)match.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "JoinCost",
+    "nested_loop_cost",
+    "hash_cost",
+    "sort_merge_cost",
+    "index_nested_loop_cost",
+    "cheapest_algorithm",
+]
+
+#: Relative expense of hashing/sorting machinery vs. a raw predicate check.
+HASH_BUILD_FACTOR = 1.2
+HASH_PROBE_FACTOR = 1.0
+SORT_FACTOR = 1.1
+MERGE_FACTOR = 1.0
+NL_FACTOR = 1.0
+
+
+@dataclass(frozen=True)
+class JoinCost:
+    algorithm: str
+    cost: float
+
+
+def nested_loop_cost(left: float, right: float) -> float:
+    return NL_FACTOR * max(1.0, left) * max(1.0, right)
+
+
+def hash_cost(left: float, right: float, out: float) -> float:
+    return HASH_BUILD_FACTOR * right + HASH_PROBE_FACTOR * left + out
+
+
+def sort_merge_cost(left: float, right: float, out: float) -> float:
+    def nlogn(n: float) -> float:
+        n = max(2.0, n)
+        return n * math.log2(n)
+
+    return SORT_FACTOR * (nlogn(left) + nlogn(right)) + MERGE_FACTOR * (left + right) + out
+
+
+#: Probing a persistent index is cheaper than building + probing a hash
+#: table (the build is amortized across queries).
+INDEX_PROBE_FACTOR = 0.8
+
+
+def index_nested_loop_cost(left: float, out: float) -> float:
+    return INDEX_PROBE_FACTOR * max(1.0, left) + out
+
+
+def cheapest_algorithm(
+    left: float,
+    right: float,
+    out: float,
+    has_equi_keys: bool,
+    index_available: bool = False,
+) -> JoinCost:
+    """Rank the algorithms; hash/sort-merge require equi keys, the
+    index-nested-loop additionally requires the right operand to be a bare
+    table scan on directly indexed attributes."""
+    candidates = [JoinCost("nested_loop", nested_loop_cost(left, right))]
+    if has_equi_keys:
+        candidates.append(JoinCost("hash", hash_cost(left, right, out)))
+        candidates.append(JoinCost("sort_merge", sort_merge_cost(left, right, out)))
+        if index_available:
+            candidates.append(
+                JoinCost("index_nested_loop", index_nested_loop_cost(left, out))
+            )
+    return min(candidates, key=lambda c: c.cost)

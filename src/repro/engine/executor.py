@@ -1,0 +1,24 @@
+"""Physical plan execution entry points."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.algebra.plan import Plan
+from repro.engine.physical import PhysicalOp, compile_plan
+from repro.model.values import Tup
+
+__all__ = ["run_physical", "execute"]
+
+
+def run_physical(
+    plan: Plan, catalog: Mapping, force_algorithm: str | None = None
+) -> list[Tup]:
+    """Compile *plan* (choosing join algorithms) and run it to a row list."""
+    physical = compile_plan(plan, catalog, force_algorithm)
+    return list(physical.run(catalog))
+
+
+def execute(physical: PhysicalOp, catalog: Mapping) -> list[Tup]:
+    """Run an already compiled physical operator tree."""
+    return list(physical.run(catalog))

@@ -1,0 +1,17 @@
+"""EXPLAIN for physical plans: operators, chosen algorithms, row estimates."""
+
+from __future__ import annotations
+
+from repro.engine.physical import PhysicalOp
+
+__all__ = ["explain_physical"]
+
+
+def explain_physical(op: PhysicalOp, indent: int = 0) -> str:
+    """Render a compiled plan with algorithm choices and cardinality estimates."""
+    pad = "  " * indent
+    line = f"{pad}{op.describe()}  (~{op.est_rows:.0f} rows)"
+    lines = [line]
+    for child in op.children():
+        lines.append(explain_physical(child, indent + 1))
+    return "\n".join(lines)

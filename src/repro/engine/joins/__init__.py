@@ -1,0 +1,5 @@
+"""Join implementations: nested-loop, hash, and sort-merge for all modes."""
+
+from repro.engine.joins.common import JoinSpec, analyse_join
+
+__all__ = ["JoinSpec", "analyse_join"]

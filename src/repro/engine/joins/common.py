@@ -1,0 +1,96 @@
+"""Join-predicate analysis shared by all physical join implementations.
+
+A join predicate is split into *equi-conjuncts* — ``l = r`` where ``l``
+only references left-operand bindings and ``r`` only right-operand bindings
+(or mirrored) — and a *residual* predicate evaluated after key matching.
+Hash and sort-merge joins require at least one equi-conjunct; nested-loop
+handles anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import ExecutionError
+from repro.lang.ast import Cmp, CmpOp, Expr, conjuncts, make_and
+from repro.lang.freevars import free_vars
+from repro.model.values import Tup
+
+__all__ = ["JoinSpec", "analyse_join", "eval_keys", "merge_env", "eval_pred"]
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """Equi-key expressions plus the residual predicate of a join."""
+
+    left_keys: tuple[Expr, ...]
+    right_keys: tuple[Expr, ...]
+    residual: Expr  # TRUE when empty
+
+    @property
+    def has_equi_keys(self) -> bool:
+        return bool(self.left_keys)
+
+
+def analyse_join(pred: Expr, left_bindings, right_bindings) -> JoinSpec:
+    """Split *pred* into equi-key pairs and a residual.
+
+    Free variables not bound by either operand (e.g. table names used by an
+    interpreted subquery inside the predicate) force the conjunct into the
+    residual — only cleanly separable equalities become keys.
+    """
+    left_set = frozenset(left_bindings)
+    right_set = frozenset(right_bindings)
+    lkeys: list[Expr] = []
+    rkeys: list[Expr] = []
+    residual: list[Expr] = []
+    for conj in conjuncts(pred):
+        pair = _equi_pair(conj, left_set, right_set)
+        if pair is None:
+            residual.append(conj)
+        else:
+            lkeys.append(pair[0])
+            rkeys.append(pair[1])
+    return JoinSpec(tuple(lkeys), tuple(rkeys), make_and(residual))
+
+
+def _equi_pair(conj: Expr, left_set, right_set) -> tuple[Expr, Expr] | None:
+    if not isinstance(conj, Cmp) or conj.op != CmpOp.EQ:
+        return None
+    lv = free_vars(conj.left)
+    rv = free_vars(conj.right)
+    if not lv or not rv:
+        return None  # constant side: cheap residual, not a key
+    if lv <= left_set and rv <= right_set:
+        return conj.left, conj.right
+    if lv <= right_set and rv <= left_set:
+        return conj.right, conj.left
+    return None
+
+
+def eval_keys(keys: tuple[Expr, ...], binding: Tup, tables: Mapping) -> tuple:
+    """Evaluate key expressions over one binding tuple (compiled closures)."""
+    from repro.lang.compile import compiled
+
+    env = binding.as_env()
+    return tuple(compiled(k)(env, tables) for k in keys)
+
+
+def merge_env(left: Tup, right: Tup) -> Tup:
+    return left.concat(right)
+
+
+def eval_pred(pred: Expr, binding: Tup, tables: Mapping) -> bool:
+    """Evaluate a join/selection predicate over one binding tuple.
+
+    Uses the closure compiler (:mod:`repro.lang.compile`); the reference
+    executor keeps using the tree-walking interpreter, so the two are
+    differentially tested against each other throughout the suite.
+    """
+    from repro.lang.compile import compiled
+
+    result = compiled(pred)(binding.as_env(), tables)
+    if not isinstance(result, bool):
+        raise ExecutionError(f"predicate evaluated to non-boolean {result!r}")
+    return result

@@ -1,0 +1,96 @@
+"""Nested-loop implementations of all five join modes.
+
+The universal fallback: handles arbitrary predicates (no equi-key needed).
+Quadratic — exactly the naive strategy the paper wants the optimizer to
+escape from, and therefore also the baseline the benchmarks measure
+against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.lang.ast import Expr
+from repro.model.values import NULL, Tup
+
+from repro.engine.joins.common import eval_pred, merge_env
+
+__all__ = [
+    "nl_inner_join",
+    "nl_semi_join",
+    "nl_anti_join",
+    "nl_outer_join",
+    "nl_nest_join",
+]
+
+
+def nl_inner_join(
+    left: Iterable[Tup], right: list[Tup], pred: Expr, tables: Mapping
+) -> Iterator[Tup]:
+    for lt in left:
+        for rt in right:
+            merged = merge_env(lt, rt)
+            if eval_pred(pred, merged, tables):
+                yield merged
+
+
+def nl_semi_join(
+    left: Iterable[Tup], right: list[Tup], pred: Expr, tables: Mapping
+) -> Iterator[Tup]:
+    for lt in left:
+        for rt in right:
+            if eval_pred(pred, merge_env(lt, rt), tables):
+                yield lt
+                break
+
+
+def nl_anti_join(
+    left: Iterable[Tup], right: list[Tup], pred: Expr, tables: Mapping
+) -> Iterator[Tup]:
+    for lt in left:
+        if not any(eval_pred(pred, merge_env(lt, rt), tables) for rt in right):
+            yield lt
+
+
+def nl_outer_join(
+    left: Iterable[Tup],
+    right: list[Tup],
+    pred: Expr,
+    tables: Mapping,
+    right_bindings: tuple[str, ...],
+) -> Iterator[Tup]:
+    pad = {name: NULL for name in right_bindings}
+    for lt in left:
+        matched = False
+        for rt in right:
+            merged = merge_env(lt, rt)
+            if eval_pred(pred, merged, tables):
+                matched = True
+                yield merged
+        if not matched:
+            yield lt.extend(**pad)
+
+
+def nl_nest_join(
+    left: Iterable[Tup],
+    right: list[Tup],
+    pred: Expr,
+    func: Expr,
+    label: str,
+    tables: Mapping,
+) -> Iterator[Tup]:
+    """Nest join, nested-loop flavour.
+
+    Honors the paper's implementation restriction: a left tuple is emitted
+    only after its *entire* match set is known (trivially true here — the
+    inner loop completes first).
+    """
+    from repro.engine.joins.common import eval_keys
+
+    for lt in left:
+        group = set()
+        for rt in right:
+            merged = merge_env(lt, rt)
+            if eval_pred(pred, merged, tables):
+                group.add(eval_keys((func,), merged, tables)[0])
+        yield lt.extend(**{label: frozenset(group)})

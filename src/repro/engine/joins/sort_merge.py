@@ -1,0 +1,132 @@
+"""Sort-merge implementations of all five join modes.
+
+Both operands are sorted by their equi-key expressions under the model's
+total order (:mod:`repro.model.compare`), then merged run by run. Each left
+run is paired with the matching right run; the residual predicate filters
+pairs inside a run pairing.
+
+The nest join again respects Section 6: a left tuple's output is produced
+only after its full matching right run has been consumed — natural here,
+because the right run is materialised before the left run is advanced.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.lang.ast import Expr, is_true_const
+from repro.model.compare import compare, sort_key
+from repro.model.values import NULL, Tup
+
+from repro.engine.joins.common import JoinSpec, eval_keys, eval_pred, merge_env
+
+__all__ = [
+    "sm_inner_join",
+    "sm_semi_join",
+    "sm_anti_join",
+    "sm_outer_join",
+    "sm_nest_join",
+]
+
+
+def _keyed(rows, keys, tables) -> list[tuple[tuple, Tup]]:
+    keyed = [(eval_keys(keys, t, tables), t) for t in rows]
+    keyed.sort(key=lambda kt: tuple(sort_key(v) for v in kt[0]))
+    return keyed
+
+
+def _compare_keys(a: tuple, b: tuple) -> int:
+    for x, y in zip(a, b):
+        c = compare(x, y)
+        if c:
+            return c
+    return 0
+
+
+def _runs(keyed: list[tuple[tuple, Tup]]) -> Iterator[tuple[tuple, list[Tup]]]:
+    i = 0
+    n = len(keyed)
+    while i < n:
+        key = keyed[i][0]
+        j = i
+        run = []
+        while j < n and _compare_keys(keyed[j][0], key) == 0:
+            run.append(keyed[j][1])
+            j += 1
+        yield key, run
+        i = j
+
+
+def _merge(
+    left_rows, right_rows, spec: JoinSpec, tables: Mapping
+) -> Iterator[tuple[Tup, list[Tup]]]:
+    """Yield (left_tuple, matching_right_run) pairs; run may be empty."""
+    lkeyed = _keyed(left_rows, spec.left_keys, tables)
+    rkeyed = _keyed(right_rows, spec.right_keys, tables)
+    rruns = list(_runs(rkeyed))
+    ri = 0
+    for lkey, lrun in _runs(lkeyed):
+        while ri < len(rruns) and _compare_keys(rruns[ri][0], lkey) < 0:
+            ri += 1
+        if ri < len(rruns) and _compare_keys(rruns[ri][0], lkey) == 0:
+            rrun = rruns[ri][1]
+        else:
+            rrun = []
+        for lt in lrun:
+            yield lt, rrun
+
+
+def sm_inner_join(left_rows, right_rows, spec: JoinSpec, tables: Mapping) -> Iterator[Tup]:
+    trivial = is_true_const(spec.residual)
+    for lt, rrun in _merge(left_rows, right_rows, spec, tables):
+        for rt in rrun:
+            merged = merge_env(lt, rt)
+            if trivial or eval_pred(spec.residual, merged, tables):
+                yield merged
+
+
+def sm_semi_join(left_rows, right_rows, spec: JoinSpec, tables: Mapping) -> Iterator[Tup]:
+    trivial = is_true_const(spec.residual)
+    for lt, rrun in _merge(left_rows, right_rows, spec, tables):
+        for rt in rrun:
+            if trivial or eval_pred(spec.residual, merge_env(lt, rt), tables):
+                yield lt
+                break
+
+
+def sm_anti_join(left_rows, right_rows, spec: JoinSpec, tables: Mapping) -> Iterator[Tup]:
+    trivial = is_true_const(spec.residual)
+    for lt, rrun in _merge(left_rows, right_rows, spec, tables):
+        if not any(
+            trivial or eval_pred(spec.residual, merge_env(lt, rt), tables) for rt in rrun
+        ):
+            yield lt
+
+
+def sm_outer_join(
+    left_rows, right_rows, spec: JoinSpec, tables: Mapping, right_bindings: tuple[str, ...]
+) -> Iterator[Tup]:
+    trivial = is_true_const(spec.residual)
+    pad = {name: NULL for name in right_bindings}
+    for lt, rrun in _merge(left_rows, right_rows, spec, tables):
+        matched = False
+        for rt in rrun:
+            merged = merge_env(lt, rt)
+            if trivial or eval_pred(spec.residual, merged, tables):
+                matched = True
+                yield merged
+        if not matched:
+            yield lt.extend(**pad)
+
+
+def sm_nest_join(
+    left_rows, right_rows, spec: JoinSpec, func: Expr, label: str, tables: Mapping
+) -> Iterator[Tup]:
+    trivial = is_true_const(spec.residual)
+    for lt, rrun in _merge(left_rows, right_rows, spec, tables):
+        group = set()
+        for rt in rrun:
+            merged = merge_env(lt, rt)
+            if trivial or eval_pred(spec.residual, merged, tables):
+                group.add(eval_keys((func,), merged, tables)[0])
+        yield lt.extend(**{label: frozenset(group)})

@@ -1,0 +1,490 @@
+"""Physical plan compilation: logical plans → executable operator trees.
+
+The compiler walks a logical plan, analyses each join's predicate into
+equi-keys plus residual (:mod:`repro.engine.joins.common`), estimates input
+cardinalities (:mod:`repro.engine.stats`), and picks the cheapest available
+algorithm (:mod:`repro.engine.cost`) — honoring the nest join's build-side
+restriction from Section 6 of the paper (hash builds on the right operand).
+
+``force_algorithm`` overrides selection for every join; the E9 benchmark
+uses it to compare implementations head to head.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.algebra.plan import (
+    AntiJoin,
+    Distinct,
+    Drop,
+    Extend,
+    Join,
+    Map,
+    Nest,
+    NestJoin,
+    OuterJoin,
+    Plan,
+    Scan,
+    Select,
+    SemiJoin,
+    Unnest,
+)
+from repro.engine.cost import cheapest_algorithm
+from repro.engine.joins.common import JoinSpec, analyse_join, eval_pred
+from repro.engine.joins.hash_join import (
+    hash_anti_join,
+    hash_inner_join,
+    hash_nest_join,
+    hash_outer_join,
+    hash_semi_join,
+)
+from repro.engine.joins.nested_loop import (
+    nl_anti_join,
+    nl_inner_join,
+    nl_nest_join,
+    nl_outer_join,
+    nl_semi_join,
+)
+from repro.engine.joins.sort_merge import (
+    sm_anti_join,
+    sm_inner_join,
+    sm_nest_join,
+    sm_outer_join,
+    sm_semi_join,
+)
+from repro.engine.stats import StatsCatalog, estimate_rows
+from repro.errors import ExecutionError, PlanError
+from repro.lang.ast import Expr, Var
+from repro.model.values import Tup
+
+__all__ = ["PhysicalOp", "compile_plan", "JOIN_ALGORITHMS"]
+
+JOIN_ALGORITHMS = ("nested_loop", "hash", "sort_merge", "index_nested_loop")
+
+
+class PhysicalOp:
+    """Base class for physical operators; ``run`` yields binding tuples.
+
+    Subclasses are dataclasses carrying at least ``est_rows`` (cardinality
+    estimate); joins also carry ``algorithm``.
+    """
+
+    est_rows: float
+
+    def run(self, tables: Mapping) -> Iterator[Tup]:
+        raise NotImplementedError
+
+    def children(self) -> tuple["PhysicalOp", ...]:
+        return ()
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class PScan(PhysicalOp):
+    table: str
+    var: str
+    est_rows: float = 0.0
+
+    def run(self, tables):
+        source = tables[self.table]
+        rows = source.rows if hasattr(source, "rows") else list(source)
+        for row in rows:
+            yield Tup({self.var: row})
+
+    def describe(self):
+        return f"Scan {self.table} AS {self.var}"
+
+
+@dataclass
+class PFilter(PhysicalOp):
+    child: PhysicalOp
+    pred: Expr
+    est_rows: float = 0.0
+
+    def run(self, tables):
+        for t in self.child.run(tables):
+            if eval_pred(self.pred, t, tables):
+                yield t
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self):
+        from repro.lang.pretty import pretty
+
+        return f"Filter [{pretty(self.pred)}]"
+
+
+@dataclass
+class PMap(PhysicalOp):
+    child: PhysicalOp
+    expr: Expr
+    var: str
+    est_rows: float = 0.0
+
+    def run(self, tables):
+        from repro.lang.compile import compiled
+
+        fn = compiled(self.expr)
+        var = self.var
+        for t in self.child.run(tables):
+            yield Tup({var: fn(t.as_env(), tables)})
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self):
+        from repro.lang.pretty import pretty
+
+        return f"Map {self.var} = [{pretty(self.expr)}]"
+
+
+@dataclass
+class PExtend(PhysicalOp):
+    child: PhysicalOp
+    expr: Expr
+    label: str
+    est_rows: float = 0.0
+
+    def run(self, tables):
+        from repro.lang.compile import compiled
+
+        fn = compiled(self.expr)
+        label = self.label
+        for t in self.child.run(tables):
+            yield t.extend(**{label: fn(t.as_env(), tables)})
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self):
+        return f"Extend {self.label}"
+
+
+@dataclass
+class PDrop(PhysicalOp):
+    child: PhysicalOp
+    labels: tuple[str, ...]
+    est_rows: float = 0.0
+
+    def run(self, tables):
+        for t in self.child.run(tables):
+            yield t.drop(*self.labels)
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self):
+        return f"Drop {', '.join(self.labels)}"
+
+
+@dataclass
+class PDistinct(PhysicalOp):
+    child: PhysicalOp
+    est_rows: float = 0.0
+
+    def run(self, tables):
+        seen: set[Tup] = set()
+        for t in self.child.run(tables):
+            if t not in seen:
+                seen.add(t)
+                yield t
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self):
+        return "Distinct"
+
+
+@dataclass
+class PJoin(PhysicalOp):
+    """All five join modes under all three algorithms."""
+
+    mode: str  # 'inner' | 'semi' | 'anti' | 'outer' | 'nest'
+    algorithm: str
+    left: PhysicalOp
+    right: PhysicalOp
+    spec: JoinSpec
+    pred: Expr  # full predicate (for nested-loop)
+    right_bindings: tuple[str, ...] = ()
+    func: Expr | None = None  # nest mode
+    label: str = "zs"  # nest mode
+    #: (table, var, attrs) when the right operand is a bare scan whose join
+    #: keys are direct attributes — enables the index-nested-loop algorithm.
+    index_target: tuple[str, str, tuple[str, ...]] | None = None
+    #: Inner hash joins may build on the smaller side (Section 6's aside);
+    #: set by the compiler from cardinality estimates. Ignored by the
+    #: asymmetric modes, which must build on the right.
+    hash_build_left: bool = False
+    est_rows: float = 0.0
+
+    def run(self, tables):
+        if self.algorithm == "index_nested_loop":
+            yield from self._run_inl(self.left.run(tables), tables)
+            return
+        left = self.left.run(tables)
+        right = list(self.right.run(tables))
+        if self.algorithm == "nested_loop":
+            yield from self._run_nl(left, right, tables)
+        elif self.algorithm == "hash":
+            yield from self._run_hash(left, right, tables)
+        elif self.algorithm == "sort_merge":
+            yield from self._run_sm(left, right, tables)
+        else:  # pragma: no cover
+            raise ExecutionError(f"unknown join algorithm {self.algorithm!r}")
+
+    def _run_inl(self, left, tables):
+        """Index-nested-loop: probe a persistent index on the right table."""
+        from repro.engine.joins.common import eval_keys, eval_pred, merge_env
+        from repro.lang.ast import is_true_const
+        from repro.model.values import NULL
+
+        table_name, var, attrs = self.index_target
+        index = tables[table_name].hash_index(attrs)
+        residual_trivial = is_true_const(self.spec.residual)
+        pad = {name: NULL for name in self.right_bindings}
+        for lt in left:
+            key = eval_keys(self.spec.left_keys, lt, tables)
+            matches = []
+            for row in index.get(key, ()):
+                merged = merge_env(lt, Tup({var: row}))
+                if residual_trivial or eval_pred(self.spec.residual, merged, tables):
+                    matches.append(merged)
+                    if self.mode == "semi":
+                        break
+            if self.mode == "inner":
+                yield from matches
+            elif self.mode == "semi":
+                if matches:
+                    yield lt
+            elif self.mode == "anti":
+                if not matches:
+                    yield lt
+            elif self.mode == "outer":
+                if matches:
+                    yield from matches
+                else:
+                    yield lt.extend(**pad)
+            else:  # nest
+                group = frozenset(
+                    eval_keys((self.func,), m, tables)[0] for m in matches
+                )
+                yield lt.extend(**{self.label: group})
+
+    def _run_nl(self, left, right, tables):
+        if self.mode == "inner":
+            return nl_inner_join(left, right, self.pred, tables)
+        if self.mode == "semi":
+            return nl_semi_join(left, right, self.pred, tables)
+        if self.mode == "anti":
+            return nl_anti_join(left, right, self.pred, tables)
+        if self.mode == "outer":
+            return nl_outer_join(left, right, self.pred, tables, self.right_bindings)
+        return nl_nest_join(left, right, self.pred, self.func, self.label, tables)
+
+    def _run_hash(self, left, right, tables):
+        if self.mode == "inner":
+            if self.hash_build_left:
+                from repro.engine.joins.hash_join import hash_inner_join_build_left
+
+                return hash_inner_join_build_left(list(left), right, self.spec, tables)
+            return hash_inner_join(left, right, self.spec, tables)
+        if self.mode == "semi":
+            return hash_semi_join(left, right, self.spec, tables)
+        if self.mode == "anti":
+            return hash_anti_join(left, right, self.spec, tables)
+        if self.mode == "outer":
+            return hash_outer_join(left, right, self.spec, tables, self.right_bindings)
+        return hash_nest_join(left, right, self.spec, self.func, self.label, tables)
+
+    def _run_sm(self, left, right, tables):
+        left = list(left)
+        if self.mode == "inner":
+            return sm_inner_join(left, right, self.spec, tables)
+        if self.mode == "semi":
+            return sm_semi_join(left, right, self.spec, tables)
+        if self.mode == "anti":
+            return sm_anti_join(left, right, self.spec, tables)
+        if self.mode == "outer":
+            return sm_outer_join(left, right, self.spec, tables, self.right_bindings)
+        return sm_nest_join(left, right, self.spec, self.func, self.label, tables)
+
+    def children(self):
+        return (self.left, self.right)
+
+    def describe(self):
+        from repro.lang.pretty import pretty
+
+        name = {"inner": "Join", "semi": "SemiJoin", "anti": "AntiJoin", "outer": "OuterJoin", "nest": "NestJoin"}[self.mode]
+        return f"{name}({self.algorithm}) [{pretty(self.pred)}]"
+
+
+@dataclass
+class PNest(PhysicalOp):
+    child: PhysicalOp
+    by: tuple[str, ...]
+    nest: str
+    label: str
+    null_to_empty: bool
+    est_rows: float = 0.0
+
+    def run(self, tables):
+        from repro.model.values import NULL
+
+        groups: dict[Tup, set] = {}
+        order: list[Tup] = []
+        for t in self.child.run(tables):
+            key = t.project(self.by)
+            if key not in groups:
+                groups[key] = set()
+                order.append(key)
+            value = t[self.nest]
+            if self.null_to_empty and value == NULL:
+                continue
+            groups[key].add(value)
+        for key in order:
+            yield key.extend(**{self.label: frozenset(groups[key])})
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self):
+        star = "*" if self.null_to_empty else ""
+        return f"Nest{star} {self.label} BY {', '.join(self.by) or '()'}"
+
+
+@dataclass
+class PUnnest(PhysicalOp):
+    child: PhysicalOp
+    label: str
+    var: str
+    est_rows: float = 0.0
+
+    def run(self, tables):
+        for t in self.child.run(tables):
+            members = t[self.label]
+            if not isinstance(members, frozenset):
+                raise ExecutionError(f"Unnest of non-set binding {self.label!r}")
+            rest = t.drop(self.label)
+            for m in members:
+                yield rest.extend(**{self.var: m})
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self):
+        return f"Unnest {self.var} IN {self.label}"
+
+
+_MODE_OF = {
+    Join: "inner",
+    SemiJoin: "semi",
+    AntiJoin: "anti",
+    OuterJoin: "outer",
+    NestJoin: "nest",
+}
+
+
+def compile_plan(
+    plan: Plan,
+    catalog: Mapping,
+    force_algorithm: str | None = None,
+) -> PhysicalOp:
+    """Compile a logical plan, choosing a join algorithm per join node."""
+    if force_algorithm is not None and force_algorithm not in JOIN_ALGORITHMS:
+        raise PlanError(f"unknown join algorithm {force_algorithm!r}; pick from {JOIN_ALGORITHMS}")
+    stats = StatsCatalog(catalog)
+    return _compile(plan, stats, force_algorithm)
+
+
+def _compile(plan: Plan, stats: StatsCatalog, force: str | None) -> PhysicalOp:
+    est = estimate_rows(plan, stats)
+    if isinstance(plan, Scan):
+        return PScan(plan.table, plan.var, est_rows=est)
+    if isinstance(plan, Select):
+        return PFilter(_compile(plan.child, stats, force), plan.pred, est_rows=est)
+    if isinstance(plan, Map):
+        return PMap(_compile(plan.child, stats, force), plan.expr, plan.var, est_rows=est)
+    if isinstance(plan, Extend):
+        return PExtend(_compile(plan.child, stats, force), plan.expr, plan.label, est_rows=est)
+    if isinstance(plan, Drop):
+        return PDrop(_compile(plan.child, stats, force), plan.labels, est_rows=est)
+    if isinstance(plan, Distinct):
+        return PDistinct(_compile(plan.child, stats, force), est_rows=est)
+    if isinstance(plan, Nest):
+        return PNest(
+            _compile(plan.child, stats, force),
+            plan.by,
+            plan.nest,
+            plan.label,
+            plan.null_to_empty,
+            est_rows=est,
+        )
+    if isinstance(plan, Unnest):
+        return PUnnest(_compile(plan.child, stats, force), plan.label, plan.var, est_rows=est)
+    mode = _MODE_OF.get(type(plan))
+    if mode is None:
+        raise PlanError(f"cannot compile {type(plan).__name__}")
+    left = _compile(plan.left, stats, force)
+    right = _compile(plan.right, stats, force)
+    spec = analyse_join(plan.pred, plan.left.bindings(), plan.right.bindings())
+    index_target = _index_target(plan.right, spec)
+    if force is not None:
+        algorithm = force
+        if algorithm == "index_nested_loop" and index_target is None:
+            algorithm = "nested_loop"  # cannot honour the override
+        elif algorithm != "nested_loop" and not spec.has_equi_keys:
+            algorithm = "nested_loop"  # cannot honour the override
+        l_est = estimate_rows(plan.left, stats)
+        r_est = estimate_rows(plan.right, stats)
+    else:
+        l_est = estimate_rows(plan.left, stats)
+        r_est = estimate_rows(plan.right, stats)
+        algorithm = cheapest_algorithm(
+            l_est, r_est, est, spec.has_equi_keys, index_target is not None
+        ).algorithm
+    func = plan.func if isinstance(plan, NestJoin) else None
+    if isinstance(plan, NestJoin) and func is None:
+        right_names = plan.right.bindings()
+        if len(right_names) != 1:
+            raise PlanError("identity nest join requires a single right binding")
+        func = Var(right_names[0])
+    return PJoin(
+        mode=mode,
+        algorithm=algorithm,
+        left=left,
+        right=right,
+        spec=spec,
+        pred=plan.pred,
+        right_bindings=plan.right.bindings(),
+        func=func,
+        label=plan.label if isinstance(plan, NestJoin) else "zs",
+        index_target=index_target,
+        # Only the symmetric inner join may flip its build side.
+        hash_build_left=(mode == "inner" and l_est < r_est),
+        est_rows=est,
+    )
+
+
+def _index_target(right: Plan, spec: JoinSpec) -> tuple[str, str, tuple[str, ...]] | None:
+    """(table, var, attrs) if the right operand is a bare scan whose join
+    keys are all direct attributes of the scan variable."""
+    from repro.lang.ast import Attr
+
+    if not isinstance(right, Scan) or not spec.has_equi_keys:
+        return None
+    attrs: list[str] = []
+    for key in spec.right_keys:
+        if not (
+            isinstance(key, Attr)
+            and isinstance(key.base, Var)
+            and key.base.name == right.var
+        ):
+            return None
+        attrs.append(key.label)
+    return right.table, right.var, tuple(attrs)

@@ -1,0 +1,64 @@
+"""Whole-plan cost estimation.
+
+Combines the per-join algorithm cost model (:mod:`repro.engine.cost`) with
+structural cardinality estimates (:mod:`repro.engine.stats`) into a single
+number per logical plan: the estimated total work of the best physical
+realisation. Used by the plan enumerator to rank law-equivalent
+alternatives.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.algebra.plan import (
+    AntiJoin,
+    Distinct,
+    Drop,
+    Extend,
+    Join,
+    Map,
+    Nest,
+    NestJoin,
+    OuterJoin,
+    Plan,
+    Scan,
+    Select,
+    SemiJoin,
+    Unnest,
+)
+from repro.engine.cost import cheapest_algorithm
+from repro.engine.joins.common import analyse_join
+from repro.engine.stats import StatsCatalog, estimate_rows
+from repro.errors import PlanError
+
+__all__ = ["plan_cost"]
+
+#: Per-row cost of tuple-at-a-time operators (filters, maps, ...).
+_ROW_FACTOR = 1.0
+
+
+def plan_cost(plan: Plan, stats: StatsCatalog | Mapping) -> float:
+    """Estimated total work to execute *plan* (smaller is better)."""
+    if not isinstance(stats, StatsCatalog):
+        stats = StatsCatalog(stats)
+    return _cost(plan, stats)
+
+
+def _cost(plan: Plan, stats: StatsCatalog) -> float:
+    if isinstance(plan, Scan):
+        return float(stats.table(plan.table).rows)
+    if isinstance(plan, (Select, Map, Extend, Drop, Distinct, Nest, Unnest)):
+        child = plan.children()[0]
+        return _cost(child, stats) + _ROW_FACTOR * estimate_rows(child, stats)
+    if isinstance(plan, (Join, SemiJoin, AntiJoin, OuterJoin, NestJoin)):
+        left_cost = _cost(plan.left, stats)
+        right_cost = _cost(plan.right, stats)
+        l_est = estimate_rows(plan.left, stats)
+        r_est = estimate_rows(plan.right, stats)
+        out = estimate_rows(plan, stats)
+        spec = analyse_join(plan.pred, plan.left.bindings(), plan.right.bindings())
+        index_available = isinstance(plan.right, Scan) and spec.has_equi_keys
+        join = cheapest_algorithm(l_est, r_est, out, spec.has_equi_keys, index_available)
+        return left_cost + right_cost + join.cost
+    raise PlanError(f"cannot cost plan node {type(plan).__name__}")

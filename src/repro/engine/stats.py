@@ -1,0 +1,154 @@
+"""Table statistics and plan cardinality estimation.
+
+Deliberately simple (the paper predates histogram lore): per-table row
+counts, per-attribute distinct counts, and structural cardinality
+estimates for logical plans. The estimates only need to be good enough to
+rank join algorithms — the benchmarks check *who wins*, not absolute cost.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.algebra.plan import (
+    AntiJoin,
+    Distinct,
+    Drop,
+    Extend,
+    Join,
+    Map,
+    Nest,
+    NestJoin,
+    OuterJoin,
+    Plan,
+    Scan,
+    Select,
+    SemiJoin,
+    Unnest,
+)
+from repro.engine.table import Catalog, Table
+from repro.lang.ast import Attr, Cmp, CmpOp, Expr, Var, conjuncts
+
+__all__ = ["TableStats", "StatsCatalog", "estimate_rows"]
+
+#: Default selectivity guesses (documented constants, not science).
+EQ_SELECTIVITY = 0.1
+THETA_SELECTIVITY = 0.3
+DEFAULT_SELECT_SELECTIVITY = 0.5
+SEMI_SELECTIVITY = 0.5
+AVG_SET_FANOUT = 3.0
+
+
+class TableStats:
+    """Row count and per-attribute distinct counts for one table."""
+
+    def __init__(self, table: Table):
+        self.table = table
+        self.rows = len(table)
+        self._distinct: dict[str, int] = {}
+
+    def distinct(self, attr: str) -> int:
+        if attr not in self._distinct:
+            values = set()
+            for row in self.table.rows:
+                if attr in row:
+                    values.add(row[attr])
+            self._distinct[attr] = max(1, len(values))
+        return self._distinct[attr]
+
+
+class StatsCatalog:
+    """Lazy per-table statistics over a catalog."""
+
+    def __init__(self, catalog: Catalog | Mapping):
+        self.catalog = catalog
+        self._stats: dict[str, TableStats] = {}
+
+    def table(self, name: str) -> TableStats:
+        if name not in self._stats:
+            self._stats[name] = TableStats(self.catalog[name])
+        return self._stats[name]
+
+
+def estimate_rows(plan: Plan, stats: StatsCatalog) -> float:
+    """Structural cardinality estimate for a logical plan."""
+    if isinstance(plan, Scan):
+        return float(stats.table(plan.table).rows)
+    if isinstance(plan, Select):
+        return max(1.0, estimate_rows(plan.child, stats) * _selectivity(plan.pred))
+    if isinstance(plan, (Map, Extend, Drop)):
+        return estimate_rows(plan.child, stats)
+    if isinstance(plan, Distinct):
+        return max(1.0, estimate_rows(plan.child, stats) * 0.9)
+    if isinstance(plan, Join):
+        l = estimate_rows(plan.left, stats)
+        r = estimate_rows(plan.right, stats)
+        return _join_cardinality(plan.pred, plan, l, r, stats)
+    if isinstance(plan, OuterJoin):
+        l = estimate_rows(plan.left, stats)
+        r = estimate_rows(plan.right, stats)
+        return max(l, _join_cardinality(plan.pred, plan, l, r, stats))
+    if isinstance(plan, SemiJoin):
+        return max(1.0, estimate_rows(plan.left, stats) * SEMI_SELECTIVITY)
+    if isinstance(plan, AntiJoin):
+        return max(1.0, estimate_rows(plan.left, stats) * (1.0 - SEMI_SELECTIVITY))
+    if isinstance(plan, NestJoin):
+        # One output row per left row, by definition.
+        return estimate_rows(plan.left, stats)
+    if isinstance(plan, Nest):
+        return max(1.0, estimate_rows(plan.child, stats) * DEFAULT_SELECT_SELECTIVITY)
+    if isinstance(plan, Unnest):
+        return estimate_rows(plan.child, stats) * AVG_SET_FANOUT
+    return 1.0
+
+
+def _join_cardinality(pred: Expr, plan, l: float, r: float, stats: StatsCatalog) -> float:
+    sel = _join_selectivity(pred, plan, stats)
+    return max(1.0, l * r * sel)
+
+
+def _join_selectivity(pred: Expr, plan, stats: StatsCatalog) -> float:
+    """1/max(distinct) for recognisable equi keys, crude constants otherwise."""
+    best = None
+    for conj in conjuncts(pred):
+        if isinstance(conj, Cmp) and conj.op == CmpOp.EQ:
+            d = max(
+                _distinct_of(conj.left, plan, stats),
+                _distinct_of(conj.right, plan, stats),
+            )
+            sel = 1.0 / d if d > 0 else EQ_SELECTIVITY
+            best = sel if best is None else min(best, sel)
+    if best is not None:
+        return best
+    if conjuncts(pred):
+        return THETA_SELECTIVITY
+    return 1.0  # cross product
+
+
+def _distinct_of(expr: Expr, plan, stats: StatsCatalog) -> int:
+    """Distinct estimate for ``v.attr`` when v traces back to a Scan."""
+    if isinstance(expr, Attr) and isinstance(expr.base, Var):
+        scan = _find_scan(plan, expr.base.name)
+        if scan is not None:
+            return stats.table(scan.table).distinct(expr.label)
+    return 0
+
+
+def _find_scan(plan: Plan, var: str) -> Scan | None:
+    if isinstance(plan, Scan):
+        return plan if plan.var == var else None
+    for child in plan.children():
+        found = _find_scan(child, var)
+        if found is not None:
+            return found
+    return None
+
+
+def _selectivity(pred: Expr) -> float:
+    sel = 1.0
+    for conj in conjuncts(pred):
+        if isinstance(conj, Cmp) and conj.op == CmpOp.EQ:
+            sel *= EQ_SELECTIVITY
+        else:
+            sel *= DEFAULT_SELECT_SELECTIVITY
+    return max(sel, 1e-4)

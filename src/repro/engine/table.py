@@ -1,0 +1,170 @@
+"""In-memory tables and the catalog.
+
+A :class:`Table` is a named, typed collection of row tuples (class
+extensions in TM terms). The :class:`Catalog` maps extension names to
+tables; it supports the mapping protocol so it plugs directly into the
+interpreter (:func:`repro.lang.eval.evaluate`) as the table lookup.
+
+Row order is preserved (useful for deterministic benchmarks); set semantics
+are available through :meth:`Table.as_set`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import CatalogError
+from repro.model.schema import Schema
+from repro.model.types import TupleType, Type, type_of_value, unify
+from repro.model.validate import check
+from repro.model.values import Tup
+
+__all__ = ["Table", "Catalog"]
+
+
+class Table:
+    """A named, typed, ordered collection of row tuples."""
+
+    def __init__(
+        self,
+        name: str,
+        rows: Iterable[Tup],
+        row_type: TupleType | None = None,
+        validate: bool = False,
+        key: tuple[str, ...] | None = None,
+    ):
+        self.name = name
+        self.rows: list[Tup] = list(rows)
+        for row in self.rows:
+            if not isinstance(row, Tup):
+                raise CatalogError(f"table {name!r}: rows must be Tup values, got {type(row).__name__}")
+        if row_type is None:
+            row_type = self._infer_row_type()
+        self.row_type = row_type
+        self.key = key
+        if validate:
+            for i, row in enumerate(self.rows):
+                check(row, self.row_type, path=f"{name}[{i}]")
+            if key is not None:
+                self._check_key(key)
+        self._as_set: frozenset[Tup] | None = None
+        self._indexes: dict[tuple[str, ...], dict[tuple, list[Tup]]] = {}
+
+    def _infer_row_type(self) -> TupleType:
+        if not self.rows:
+            # Nothing to infer from: any row shape is acceptable. Callers
+            # wanting a precise type for an empty table pass row_type.
+            from repro.model.types import ANY
+
+            return ANY  # type: ignore[return-value]
+        merged: Type | None = type_of_value(self.rows[0])
+        for row in self.rows[1:]:
+            t = type_of_value(row)
+            merged = unify(merged, t)  # type: ignore[arg-type]
+            if merged is None:
+                raise CatalogError(
+                    f"table {self.name!r}: rows have incompatible types; pass row_type explicitly"
+                )
+        assert isinstance(merged, TupleType)
+        return merged
+
+    def _check_key(self, key: tuple[str, ...]) -> None:
+        seen: set[tuple] = set()
+        for row in self.rows:
+            k = tuple(row[a] for a in key)
+            if k in seen:
+                raise CatalogError(f"table {self.name!r}: duplicate key {k!r} on {key}")
+            seen.add(k)
+
+    def as_set(self) -> frozenset[Tup]:
+        """The rows as a duplicate-free set (cached)."""
+        if self._as_set is None:
+            self._as_set = frozenset(self.rows)
+        return self._as_set
+
+    def hash_index(self, attrs: tuple[str, ...]) -> dict[tuple, list[Tup]]:
+        """A persistent hash index on *attrs* (built on first use, cached).
+
+        Tables are immutable by convention, so the index never needs
+        invalidation; once built it is shared by every query — this is what
+        makes the index-nested-loop join cheaper than a per-query hash
+        build.
+        """
+        if attrs not in self._indexes:
+            index: dict[tuple, list[Tup]] = {}
+            for row in self.rows:
+                key = tuple(row.get(a) for a in attrs)
+                index.setdefault(key, []).append(row)
+            self._indexes[attrs] = index
+        return self._indexes[attrs]
+
+    def cardinality(self) -> int:
+        return len(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Tup]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {len(self.rows)} rows, {self.row_type!r})"
+
+
+class Catalog(Mapping[str, Table]):
+    """Extension name → :class:`Table`, with optional schema awareness.
+
+    Implements ``Mapping`` so it can be passed directly as the ``tables``
+    argument of the interpreter and of plan execution.
+    """
+
+    def __init__(self, schema: Schema | None = None):
+        self.schema = schema
+        self._tables: dict[str, Table] = {}
+
+    # -- construction -------------------------------------------------------
+    def add(self, table: Table) -> Table:
+        if table.name in self._tables:
+            raise CatalogError(f"table {table.name!r} already in catalog")
+        if self.schema is not None and table.name in self.schema.extension_names():
+            declared = self.schema.extension_row_type(table.name)
+            for i, row in enumerate(table.rows):
+                check(row, declared, path=f"{table.name}[{i}]")
+            table.row_type = declared
+        self._tables[table.name] = table
+        return table
+
+    def add_rows(
+        self,
+        name: str,
+        rows: Iterable[Tup],
+        row_type: TupleType | None = None,
+        validate: bool = False,
+        key: tuple[str, ...] | None = None,
+    ) -> Table:
+        return self.add(Table(name, rows, row_type, validate, key))
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}; catalog has {sorted(self._tables)}") from None
+
+    # -- Mapping protocol ----------------------------------------------------
+    def __getitem__(self, name: str) -> Table:
+        return self._tables[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tables)
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    # -- typing --------------------------------------------------------------
+    def row_types(self) -> dict[str, TupleType]:
+        """Extension name → row type, the table typing for :class:`TypeEnv`."""
+        return {name: t.row_type for name, t in self._tables.items()}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}({len(t)})" for n, t in self._tables.items())
+        return f"Catalog[{inner}]"

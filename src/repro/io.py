@@ -1,0 +1,124 @@
+"""JSON import/export for model values and catalogs.
+
+JSON has no sets, tuples-with-labels beyond objects, or variants, so the
+encoding uses small tagged wrappers:
+
+* set      → ``{"$set": [...]}``
+* list     → plain JSON array
+* tuple    → plain JSON object (keys = labels; keys starting with ``$``
+  are reserved for the wrappers)
+* variant  → ``{"$variant": "tag", "value": ...}``
+* NULL     → JSON ``null``
+* numbers, strings, booleans → themselves
+
+A catalog file is ``{"tables": {"NAME": [row, ...], ...}}``; rows must be
+tuples. :func:`load_catalog` / :func:`dump_catalog` round-trip losslessly
+(:mod:`tests.test_io` proves it property-style).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.engine.table import Catalog, Table
+from repro.errors import ValueModelError
+from repro.model.compare import sort_key
+from repro.model.values import NULL, Null, Tup, Variant
+
+__all__ = [
+    "value_to_json",
+    "value_from_json",
+    "dump_catalog",
+    "load_catalog",
+    "dumps_catalog",
+    "loads_catalog",
+]
+
+_RESERVED = ("$set", "$variant")
+
+
+def value_to_json(value: Any) -> Any:
+    """Encode a model value as JSON-serialisable data."""
+    if isinstance(value, Null):
+        return None
+    if isinstance(value, bool) or isinstance(value, (int, float, str)):
+        return value
+    if isinstance(value, frozenset):
+        members = sorted(value, key=sort_key)  # deterministic files
+        return {"$set": [value_to_json(m) for m in members]}
+    if isinstance(value, tuple):
+        return [value_to_json(m) for m in value]
+    if isinstance(value, Tup):
+        for label in value.labels():
+            if label.startswith("$"):
+                raise ValueModelError(f"tuple label {label!r} collides with JSON wrappers")
+        return {label: value_to_json(v) for label, v in value.items()}
+    if isinstance(value, Variant):
+        return {"$variant": value.tag, "value": value_to_json(value.value)}
+    raise ValueModelError(f"cannot encode {type(value).__name__} as JSON")
+
+
+def value_from_json(data: Any) -> Any:
+    """Decode JSON data produced by :func:`value_to_json`."""
+    if data is None:
+        return NULL
+    if isinstance(data, bool) or isinstance(data, (int, float, str)):
+        return data
+    if isinstance(data, list):
+        return tuple(value_from_json(m) for m in data)
+    if isinstance(data, dict):
+        if "$set" in data:
+            if set(data) != {"$set"}:
+                raise ValueModelError(f"malformed $set wrapper: extra keys {sorted(set(data) - {'$set'})}")
+            return frozenset(value_from_json(m) for m in data["$set"])
+        if "$variant" in data:
+            if set(data) != {"$variant", "value"}:
+                raise ValueModelError("malformed $variant wrapper: expected keys $variant and value")
+            return Variant(data["$variant"], value_from_json(data["value"]))
+        return Tup({k: value_from_json(v) for k, v in data.items()})
+    raise ValueModelError(f"cannot decode JSON value of type {type(data).__name__}")
+
+
+def dumps_catalog(catalog: Catalog, indent: int | None = 2) -> str:
+    """Serialise a catalog to a JSON string."""
+    payload = {
+        "tables": {
+            name: [value_to_json(row) for row in table.rows]
+            for name, table in catalog.items()
+        }
+    }
+    return json.dumps(payload, indent=indent, ensure_ascii=False)
+
+
+def loads_catalog(text: str, validate: bool = False, schema=None) -> Catalog:
+    """Parse a catalog from a JSON string.
+
+    With a :class:`~repro.model.schema.Schema`, every table named like one
+    of the schema's class extensions is validated against its declared row
+    type on load (the catalog enforces this).
+    """
+    payload = json.loads(text)
+    if not isinstance(payload, dict) or "tables" not in payload:
+        raise ValueModelError('catalog JSON must be an object with a "tables" key')
+    catalog = Catalog(schema)
+    for name, rows in payload["tables"].items():
+        decoded = []
+        for i, row in enumerate(rows):
+            value = value_from_json(row)
+            if not isinstance(value, Tup):
+                raise ValueModelError(f"table {name!r} row {i} is not a tuple")
+            decoded.append(value)
+        catalog.add(Table(name, decoded, validate=validate))
+    return catalog
+
+
+def dump_catalog(catalog: Catalog, path: str | Path, indent: int | None = 2) -> None:
+    """Write a catalog to a JSON file."""
+    Path(path).write_text(dumps_catalog(catalog, indent), encoding="utf-8")
+
+
+def load_catalog(path: str | Path, validate: bool = False, schema=None) -> Catalog:
+    """Read a catalog from a JSON file (optionally schema-validated)."""
+    return loads_catalog(Path(path).read_text(encoding="utf-8"), validate, schema)

@@ -1,0 +1,281 @@
+"""A fluent builder for constructing queries programmatically.
+
+String queries are fine for humans; tools composing queries want an API::
+
+    from repro.lang.builder import col, val, sfw, count_, exists
+
+    x, s = col("r"), col("s")
+    q = sfw(
+        select=x,
+        var="r",
+        source=col("R"),
+        where=x.b == count_(sfw(select=s, var="s", source=col("S"),
+                                where=x.c == s.c)),
+    )
+    # q.expr is exactly the AST parse(COUNT_BUG_NESTED) produces.
+
+Builders wrap :class:`~repro.lang.ast.Expr` values and overload Python
+operators: ``==``, ``!=``, ``<``, ``<=``, ``>``, ``>=`` build comparisons;
+``+ - * / %`` build arithmetic; ``|``, ``&``, ``-`` on set-typed builders
+build UNION / INTERSECT / DIFF (binary ``-`` is resolved as set difference
+only via the explicit :meth:`E.diff`; the operator stays arithmetic);
+attribute access builds paths. Plain Python values auto-wrap via
+:func:`val`.
+
+Because ``__eq__`` is overloaded, builder objects must not be used as dict
+keys or compared for identity — unwrap with ``.expr`` first.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.lang.ast import (
+    SFW,
+    Agg,
+    AggFunc,
+    Arith,
+    ArithOp,
+    Attr,
+    Cmp,
+    CmpOp,
+    Const,
+    Expr,
+    ListExpr,
+    Neg,
+    Not,
+    PayloadOf,
+    Quant,
+    QuantKind,
+    SetExpr,
+    SetOp,
+    SetOpKind,
+    TagOf,
+    TupleExpr,
+    UnnestExpr,
+    Var,
+    VariantExpr,
+    make_and,
+    make_or,
+)
+
+__all__ = [
+    "E",
+    "col",
+    "val",
+    "tup",
+    "set_",
+    "list_",
+    "variant",
+    "count_",
+    "sum_",
+    "avg_",
+    "min_",
+    "max_",
+    "exists",
+    "forall",
+    "sfw",
+    "unnest",
+    "tag_",
+    "payload_",
+    "and_",
+    "or_",
+    "not_",
+]
+
+
+def _unwrap(value: Any) -> Expr:
+    if isinstance(value, E):
+        return value.expr
+    if isinstance(value, Expr):
+        return value
+    return Const(value)
+
+
+class E:
+    """A builder wrapping an expression; all operators return builders."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr):
+        object.__setattr__(self, "expr", expr)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("builders are immutable")
+
+    # -- paths ---------------------------------------------------------------
+    def __getattr__(self, label: str) -> "E":
+        if label.startswith("__"):
+            raise AttributeError(label)
+        return E(Attr(self.expr, label))
+
+    def get(self, label: str) -> "E":
+        """Attribute access for labels shadowed by builder methods."""
+        return E(Attr(self.expr, label))
+
+    # -- comparisons -----------------------------------------------------------
+    def __eq__(self, other: Any) -> "E":  # type: ignore[override]
+        return E(Cmp(CmpOp.EQ, self.expr, _unwrap(other)))
+
+    def __ne__(self, other: Any) -> "E":  # type: ignore[override]
+        return E(Cmp(CmpOp.NE, self.expr, _unwrap(other)))
+
+    def __lt__(self, other: Any) -> "E":
+        return E(Cmp(CmpOp.LT, self.expr, _unwrap(other)))
+
+    def __le__(self, other: Any) -> "E":
+        return E(Cmp(CmpOp.LE, self.expr, _unwrap(other)))
+
+    def __gt__(self, other: Any) -> "E":
+        return E(Cmp(CmpOp.GT, self.expr, _unwrap(other)))
+
+    def __ge__(self, other: Any) -> "E":
+        return E(Cmp(CmpOp.GE, self.expr, _unwrap(other)))
+
+    # -- membership / inclusion -----------------------------------------------
+    def in_(self, other: Any) -> "E":
+        return E(Cmp(CmpOp.IN, self.expr, _unwrap(other)))
+
+    def not_in(self, other: Any) -> "E":
+        return E(Cmp(CmpOp.NOT_IN, self.expr, _unwrap(other)))
+
+    def subseteq(self, other: Any) -> "E":
+        return E(Cmp(CmpOp.SUBSETEQ, self.expr, _unwrap(other)))
+
+    def subset(self, other: Any) -> "E":
+        return E(Cmp(CmpOp.SUBSET, self.expr, _unwrap(other)))
+
+    def supseteq(self, other: Any) -> "E":
+        return E(Cmp(CmpOp.SUPSETEQ, self.expr, _unwrap(other)))
+
+    def supset(self, other: Any) -> "E":
+        return E(Cmp(CmpOp.SUPSET, self.expr, _unwrap(other)))
+
+    # -- arithmetic -------------------------------------------------------------
+    def __add__(self, other: Any) -> "E":
+        return E(Arith(ArithOp.ADD, self.expr, _unwrap(other)))
+
+    def __radd__(self, other: Any) -> "E":
+        return E(Arith(ArithOp.ADD, _unwrap(other), self.expr))
+
+    def __sub__(self, other: Any) -> "E":
+        return E(Arith(ArithOp.SUB, self.expr, _unwrap(other)))
+
+    def __rsub__(self, other: Any) -> "E":
+        return E(Arith(ArithOp.SUB, _unwrap(other), self.expr))
+
+    def __mul__(self, other: Any) -> "E":
+        return E(Arith(ArithOp.MUL, self.expr, _unwrap(other)))
+
+    def __truediv__(self, other: Any) -> "E":
+        return E(Arith(ArithOp.DIV, self.expr, _unwrap(other)))
+
+    def __mod__(self, other: Any) -> "E":
+        return E(Arith(ArithOp.MOD, self.expr, _unwrap(other)))
+
+    def __neg__(self) -> "E":
+        return E(Neg(self.expr))
+
+    # -- set algebra -------------------------------------------------------------
+    def __or__(self, other: Any) -> "E":
+        return E(SetOp(SetOpKind.UNION, self.expr, _unwrap(other)))
+
+    def __and__(self, other: Any) -> "E":
+        return E(SetOp(SetOpKind.INTERSECT, self.expr, _unwrap(other)))
+
+    def diff(self, other: Any) -> "E":
+        return E(SetOp(SetOpKind.DIFF, self.expr, _unwrap(other)))
+
+    def __repr__(self) -> str:
+        from repro.lang.pretty import pretty
+
+        return f"E({pretty(self.expr)})"
+
+
+def col(name: str) -> E:
+    """A variable or table reference."""
+    return E(Var(name))
+
+
+def val(value: Any) -> E:
+    """A constant (plain Python data is coerced to model values)."""
+    return E(Const(value))
+
+
+def tup(**fields: Any) -> E:
+    return E(TupleExpr(tuple((k, _unwrap(v)) for k, v in fields.items())))
+
+
+def set_(*items: Any) -> E:
+    return E(SetExpr(tuple(_unwrap(i) for i in items)))
+
+
+def list_(*items: Any) -> E:
+    return E(ListExpr(tuple(_unwrap(i) for i in items)))
+
+
+def variant(tag: str, value: Any) -> E:
+    return E(VariantExpr(tag, _unwrap(value)))
+
+
+def _agg(func: AggFunc) -> Callable[[Any], E]:
+    def build(operand: Any) -> E:
+        return E(Agg(func, _unwrap(operand)))
+
+    return build
+
+
+count_ = _agg(AggFunc.COUNT)
+sum_ = _agg(AggFunc.SUM)
+avg_ = _agg(AggFunc.AVG)
+min_ = _agg(AggFunc.MIN)
+max_ = _agg(AggFunc.MAX)
+
+
+def _quant(kind: QuantKind):
+    def build(var: str, domain: Any, pred: Any | Callable[[E], Any]) -> E:
+        if callable(pred) and not isinstance(pred, E):
+            pred = pred(col(var))
+        return E(Quant(kind, var, _unwrap(domain), _unwrap(pred)))
+
+    return build
+
+
+exists = _quant(QuantKind.EXISTS)
+forall = _quant(QuantKind.FORALL)
+
+
+def sfw(select: Any, var: str, source: Any, where: Any | None = None) -> E:
+    """Build a SELECT-FROM-WHERE block."""
+    return E(
+        SFW(
+            _unwrap(select),
+            var,
+            _unwrap(source),
+            _unwrap(where) if where is not None else None,
+        )
+    )
+
+
+def unnest(operand: Any) -> E:
+    return E(UnnestExpr(_unwrap(operand)))
+
+
+def tag_(operand: Any) -> E:
+    return E(TagOf(_unwrap(operand)))
+
+
+def payload_(operand: Any) -> E:
+    return E(PayloadOf(_unwrap(operand)))
+
+
+def and_(*items: Any) -> E:
+    return E(make_and([_unwrap(i) for i in items]))
+
+
+def or_(*items: Any) -> E:
+    return E(make_or([_unwrap(i) for i in items]))
+
+
+def not_(item: Any) -> E:
+    return E(Not(_unwrap(item)))

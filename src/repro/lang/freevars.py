@@ -1,0 +1,101 @@
+"""Free-variable and correlation analysis.
+
+A *correlated* subquery is an SFW block whose body references variables
+bound outside the block (the paper restricts attention to these: a subquery
+without free variables is simply a constant). This module computes free
+variables and locates correlated subqueries, which drives both the
+classifier and the translator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.ast import (
+    SFW,
+    Attr,
+    Expr,
+    Quant,
+    Var,
+    children,
+)
+
+__all__ = ["free_vars", "is_correlated", "correlation_vars", "find_subqueries", "SubqueryOccurrence"]
+
+
+def free_vars(expr: Expr) -> frozenset[str]:
+    """The set of variable names occurring free in *expr*.
+
+    Table extension names appear as free variables too; callers separate
+    them by catalog membership.
+    """
+    if isinstance(expr, Var):
+        return frozenset({expr.name})
+    if isinstance(expr, Quant):
+        return free_vars(expr.domain) | (free_vars(expr.pred) - {expr.var})
+    if isinstance(expr, SFW):
+        inner = free_vars(expr.select)
+        if expr.where is not None:
+            inner = inner | free_vars(expr.where)
+        return free_vars(expr.source) | (inner - {expr.var})
+    out: frozenset[str] = frozenset()
+    for child in children(expr):
+        out = out | free_vars(child)
+    return out
+
+
+def is_correlated(subquery: SFW, outer_vars: frozenset[str] | set[str]) -> bool:
+    """True iff *subquery* references any of *outer_vars* free."""
+    return bool(free_vars(subquery) & frozenset(outer_vars))
+
+
+def correlation_vars(subquery: SFW, outer_vars: frozenset[str] | set[str]) -> frozenset[str]:
+    """The outer variables referenced free by *subquery*."""
+    return free_vars(subquery) & frozenset(outer_vars)
+
+
+@dataclass(frozen=True)
+class SubqueryOccurrence:
+    """A maximal SFW block found inside an expression.
+
+    ``path`` is the chain of parent expressions from the root (exclusive)
+    down to the subquery (exclusive); useful for diagnostics.
+    """
+
+    subquery: SFW
+    depth: int
+
+
+def find_subqueries(expr: Expr) -> tuple[SubqueryOccurrence, ...]:
+    """All *maximal* SFW blocks properly inside *expr*.
+
+    Maximal means the search does not descend into an SFW once found —
+    multi-level nesting is handled one level at a time by the translator.
+    If *expr* itself is an SFW, its clauses are searched (the block itself
+    is not its own subquery).
+    """
+    found: list[SubqueryOccurrence] = []
+
+    def go(e: Expr, depth: int) -> None:
+        for child in children(e):
+            if isinstance(child, SFW):
+                found.append(SubqueryOccurrence(child, depth))
+            else:
+                go(child, depth + 1)
+
+    go(expr, 0)
+    return tuple(found)
+
+
+def attr_root(expr: Expr) -> str | None:
+    """If *expr* is a (possibly nested) attribute path ``v.a.b...``, its root variable."""
+    while isinstance(expr, Attr):
+        expr = expr.base
+    if isinstance(expr, Var):
+        return expr.name
+    return None
+
+
+def uses_only(expr: Expr, allowed: frozenset[str] | set[str]) -> bool:
+    """True iff every free variable of *expr* is in *allowed*."""
+    return free_vars(expr) <= frozenset(allowed)

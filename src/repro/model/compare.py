@@ -1,0 +1,118 @@
+"""A total order over all model values.
+
+The sort-merge join implementations and the deterministic printing of set
+values need a total order over *heterogeneous* complex-object values. Python
+provides none (``1 < "a"`` raises), so we define one:
+
+1. values are ranked by kind:
+   ``NULL < number (bool/int/float) < str < list < tuple < variant < set``;
+2. within a kind, comparison is the natural one, extended recursively
+   (booleans rank with the numbers, False=0 and True=1, because Python —
+   and hence our frozensets and Tups — identifies them):
+
+   * numbers compare numerically (``int`` and ``float`` mix);
+   * lists compare lexicographically;
+   * tuples compare by sorted label sequence, then by the values in that
+     label order;
+   * variants compare by tag, then payload;
+   * sets compare as sorted member sequences (lexicographically).
+
+NULL sorts first so that outer-join pads group together at the front.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any
+
+from repro.errors import ValueModelError
+from repro.model.values import Null, Tup, Variant
+
+__all__ = ["compare", "sort_key", "value_min", "value_max"]
+
+_RANK_NULL = 0
+_RANK_NUMBER = 2
+_RANK_STRING = 3
+_RANK_LIST = 4
+_RANK_TUPLE = 5
+_RANK_VARIANT = 6
+_RANK_SET = 7
+
+
+def _rank(v: Any) -> int:
+    if isinstance(v, Null):
+        return _RANK_NULL
+    if isinstance(v, (bool, int, float)):
+        # Booleans rank *with* numbers (False=0, True=1): Python equality
+        # identifies True with 1 (so frozensets and Tups do too), and the
+        # total order must be consistent with equality.
+        return _RANK_NUMBER
+    if isinstance(v, str):
+        return _RANK_STRING
+    if isinstance(v, tuple):
+        return _RANK_LIST
+    if isinstance(v, Tup):
+        return _RANK_TUPLE
+    if isinstance(v, Variant):
+        return _RANK_VARIANT
+    if isinstance(v, frozenset):
+        return _RANK_SET
+    raise ValueModelError(f"not a model value: {type(v).__name__}")
+
+
+def compare(a: Any, b: Any) -> int:
+    """Three-way comparison: negative if a < b, zero if equal, positive if a > b."""
+    ra, rb = _rank(a), _rank(b)
+    if ra != rb:
+        return -1 if ra < rb else 1
+    if ra == _RANK_NULL:
+        return 0
+    if ra == _RANK_NUMBER:
+        return (a > b) - (a < b)
+    if ra == _RANK_STRING:
+        return (a > b) - (a < b)
+    if ra == _RANK_LIST:
+        return _compare_sequences(a, b)
+    if ra == _RANK_TUPLE:
+        la, lb = sorted(a.labels()), sorted(b.labels())
+        if la != lb:
+            return -1 if la < lb else 1
+        for label in la:
+            c = compare(a[label], b[label])
+            if c:
+                return c
+        return 0
+    if ra == _RANK_VARIANT:
+        if a.tag != b.tag:
+            return -1 if a.tag < b.tag else 1
+        return compare(a.value, b.value)
+    # sets: compare sorted member sequences
+    return _compare_sequences(sorted(a, key=sort_key), sorted(b, key=sort_key))
+
+
+def _compare_sequences(xs, ys) -> int:
+    for x, y in zip(xs, ys):
+        c = compare(x, y)
+        if c:
+            return c
+    return (len(xs) > len(ys)) - (len(xs) < len(ys))
+
+
+#: A ``key=`` function for :func:`sorted` implementing the total order.
+sort_key = functools.cmp_to_key(compare)
+
+
+def value_min(values, default: Any = None) -> Any:
+    """Minimum under the total order; *default* if the iterable is empty."""
+    values = list(values)
+    if not values:
+        return default
+    return min(values, key=sort_key)
+
+
+def value_max(values, default: Any = None) -> Any:
+    """Maximum under the total order; *default* if the iterable is empty."""
+    values = list(values)
+    if not values:
+        return default
+    return max(values, key=sort_key)

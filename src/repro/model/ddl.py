@@ -1,0 +1,207 @@
+"""Parser for TM schema definitions — the paper's DDL (Section 3.2).
+
+Accepts the paper's syntax verbatim::
+
+    CLASS Employee WITH EXTENSION EMP
+    ATTRIBUTES
+        name : STRING,
+        address : Address,
+        sal : INT,
+        children : P(name : STRING, age : INT)
+    END Employee
+
+    SORT Address
+    TYPE (street : STRING, nr : STRING, city : STRING)
+    END Address
+
+Type syntax:
+
+* basic types       — ``STRING``, ``INT``, ``FLOAT``, ``BOOL``;
+* tuple             — ``(label : type, ...)``;
+* set               — ``P type``  (the paper's ℙ);
+* list              — ``L type``;
+* variant           — ``V(tag : type | tag : type)``;
+* sort/class names  — bare identifiers, resolved against the schema.
+
+The token stream comes from the query-language lexer; DDL keywords are
+matched textually (case-insensitive) so they stay usable as attribute
+names in queries.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang.lexer import Token, TokenKind, tokenize
+from repro.model.schema import Schema
+from repro.model.types import (
+    BOOL,
+    FLOAT,
+    INT,
+    STRING,
+    ClassType,
+    ListType,
+    SetType,
+    TupleType,
+    Type,
+    VariantType,
+)
+
+__all__ = ["parse_schema", "parse_type"]
+
+_BASIC = {"string": STRING, "int": INT, "float": FLOAT, "bool": BOOL}
+_KEYWORDS = {"class", "with", "extension", "attributes", "end", "sort", "type"}
+
+
+class _DdlParser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def error(self, message: str) -> ParseError:
+        tok = self.peek()
+        return ParseError(f"{message}, found {tok.text!r}", tok.position, tok.line, tok.column)
+
+    def at_word(self, word: str) -> bool:
+        tok = self.peek()
+        # Query-language keywords arrive as KEYWORD, others as IDENT.
+        return tok.kind in (TokenKind.IDENT, TokenKind.KEYWORD) and tok.text.lower() == word
+
+    def expect_word(self, word: str) -> None:
+        if not self.at_word(word):
+            raise self.error(f"expected {word.upper()}")
+        self.advance()
+
+    def expect_name(self) -> str:
+        tok = self.peek()
+        if tok.kind != TokenKind.IDENT:
+            raise self.error("expected a name")
+        if tok.text.lower() in _KEYWORDS:
+            raise self.error(f"{tok.text!r} is a DDL keyword")
+        self.advance()
+        return tok.text
+
+    def expect_symbol(self, sym: str) -> None:
+        if not self.peek().is_symbol(sym):
+            raise self.error(f"expected {sym!r}")
+        self.advance()
+
+    def accept_symbol(self, sym: str) -> bool:
+        if self.peek().is_symbol(sym):
+            self.advance()
+            return True
+        return False
+
+    # -- grammar -----------------------------------------------------------
+    def parse_schema(self) -> Schema:
+        schema = Schema()
+        while self.peek().kind != TokenKind.EOF:
+            if self.at_word("class"):
+                self.parse_class(schema)
+            elif self.at_word("sort"):
+                self.parse_sort(schema)
+            else:
+                raise self.error("expected CLASS or SORT")
+        return schema
+
+    def parse_class(self, schema: Schema) -> None:
+        self.expect_word("class")
+        name = self.expect_name()
+        self.expect_word("with")
+        self.expect_word("extension")
+        extension = self.expect_name()
+        self.expect_word("attributes")
+        fields: list[tuple[str, Type]] = []
+        while True:
+            label = self.expect_name()
+            self.expect_symbol(":")
+            fields.append((label, self.parse_type()))
+            if not self.accept_symbol(","):
+                break
+        self.expect_word("end")
+        closing = self.expect_name()
+        if closing != name:
+            raise self.error(f"END {closing} does not close CLASS {name}")
+        schema.add_class(name, extension, TupleType(fields))
+
+    def parse_sort(self, schema: Schema) -> None:
+        self.expect_word("sort")
+        name = self.expect_name()
+        self.expect_word("type")
+        type_ = self.parse_type()
+        self.expect_word("end")
+        closing = self.expect_name()
+        if closing != name:
+            raise self.error(f"END {closing} does not close SORT {name}")
+        schema.add_sort(name, type_)
+
+    def parse_type(self) -> Type:
+        tok = self.peek()
+        if tok.kind == TokenKind.IDENT and tok.text == "P":
+            self.advance()
+            return SetType(self.parse_type())
+        if tok.kind == TokenKind.IDENT and tok.text == "L":
+            self.advance()
+            return ListType(self.parse_type())
+        if tok.kind == TokenKind.IDENT and tok.text == "V":
+            self.advance()
+            return self.parse_variant_type()
+        if tok.is_symbol("("):
+            return self.parse_tuple_type()
+        if tok.kind == TokenKind.IDENT or tok.kind == TokenKind.KEYWORD:
+            lowered = tok.text.lower()
+            if lowered in _BASIC:
+                self.advance()
+                return _BASIC[lowered]
+            if tok.kind == TokenKind.IDENT and lowered not in _KEYWORDS:
+                self.advance()
+                return ClassType(tok.text)
+        raise self.error("expected a type")
+
+    def parse_tuple_type(self) -> TupleType:
+        self.expect_symbol("(")
+        fields: list[tuple[str, Type]] = []
+        while True:
+            label = self.expect_name()
+            self.expect_symbol(":")
+            fields.append((label, self.parse_type()))
+            if not self.accept_symbol(","):
+                break
+        self.expect_symbol(")")
+        return TupleType(fields)
+
+    def parse_variant_type(self) -> VariantType:
+        self.expect_symbol("(")
+        cases: list[tuple[str, Type]] = []
+        while True:
+            tag = self.expect_name()
+            self.expect_symbol(":")
+            cases.append((tag, self.parse_type()))
+            if self.accept_symbol("|") or self.accept_symbol(","):
+                continue
+            break
+        self.expect_symbol(")")
+        return VariantType(cases)
+
+
+def parse_schema(text: str) -> Schema:
+    """Parse TM DDL text into a :class:`~repro.model.schema.Schema`."""
+    parser = _DdlParser(tokenize(text))
+    return parser.parse_schema()
+
+
+def parse_type(text: str) -> Type:
+    """Parse a single TM type expression."""
+    parser = _DdlParser(tokenize(text))
+    type_ = parser.parse_type()
+    if parser.peek().kind != TokenKind.EOF:
+        raise parser.error("unexpected trailing input")
+    return type_

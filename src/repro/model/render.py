@@ -1,0 +1,65 @@
+"""Rendering types and schemas back to TM DDL syntax.
+
+``parse_type(render_type(t)) == t`` holds for every class-reference-free
+type (property-tested); :func:`render_schema` emits full CLASS/SORT
+definitions that :func:`repro.model.ddl.parse_schema` accepts.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TypeModelError
+from repro.model.schema import Schema
+from repro.model.types import (
+    AnyType,
+    BaseType,
+    ClassType,
+    ListType,
+    NullType,
+    SetType,
+    TupleType,
+    Type,
+    VariantType,
+)
+
+__all__ = ["render_type", "render_schema"]
+
+
+def render_type(t: Type) -> str:
+    """TM DDL syntax for *t* (e.g. ``P(name : STRING, age : INT)``)."""
+    if isinstance(t, BaseType):
+        return t.name.upper()
+    if isinstance(t, TupleType):
+        inner = ", ".join(f"{label} : {render_type(ft)}" for label, ft in t.fields.items())
+        return f"({inner})"
+    if isinstance(t, SetType):
+        inner = render_type(t.element)
+        return f"P{inner}" if inner.startswith("(") else f"P {inner}"
+    if isinstance(t, ListType):
+        inner = render_type(t.element)
+        return f"L{inner}" if inner.startswith("(") else f"L {inner}"
+    if isinstance(t, VariantType):
+        inner = " | ".join(f"{tag} : {render_type(ct)}" for tag, ct in t.cases.items())
+        return f"V({inner})"
+    if isinstance(t, ClassType):
+        return t.name
+    if isinstance(t, AnyType):
+        raise TypeModelError("ANY has no DDL syntax (it only arises from inference)")
+    if isinstance(t, NullType):
+        raise TypeModelError("NULLTYPE has no DDL syntax (baselines only)")
+    raise TypeModelError(f"cannot render type {t!r}")
+
+
+def render_schema(schema: Schema) -> str:
+    """Full TM DDL text for *schema* (classes then sorts)."""
+    chunks: list[str] = []
+    for cls in schema.classes.values():
+        attrs = ",\n    ".join(
+            f"{label} : {render_type(ft)}" for label, ft in cls.attributes.fields.items()
+        )
+        chunks.append(
+            f"CLASS {cls.name} WITH EXTENSION {cls.extension}\n"
+            f"ATTRIBUTES\n    {attrs}\nEND {cls.name}"
+        )
+    for sort in schema.sorts.values():
+        chunks.append(f"SORT {sort.name}\nTYPE {render_type(sort.type)}\nEND {sort.name}")
+    return "\n\n".join(chunks)

@@ -1,0 +1,175 @@
+"""Schemas: sorts, classes with extensions, and class-reference resolution.
+
+A TM schema (Section 3.1/3.2 of the paper) consists of:
+
+* **sorts** — named reusable complex types ("Address", "Date", ...);
+* **classes** — object types with named **extensions** (e.g. class
+  ``Employee`` with extension ``EMP``); a class has an attribute tuple type
+  that may reference sorts and other classes.
+
+Because objects are represented by value in this library, resolving a
+schema replaces every :class:`~repro.model.types.ClassType` and sort
+reference with the referenced attribute :class:`~repro.model.types.TupleType`.
+Recursive class references through a *set* constructor are allowed
+conceptually but must be broken by the data builder (a materialised value
+cannot be infinitely deep); direct (non-collection) recursion is rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.model.types import (
+    ClassType,
+    ListType,
+    SetType,
+    TupleType,
+    Type,
+    VariantType,
+)
+
+__all__ = ["SortDef", "ClassDef", "Schema"]
+
+
+@dataclass(frozen=True)
+class SortDef:
+    """A named reusable type, e.g. ``SORT Address TYPE (street: STRING, ...)``."""
+
+    name: str
+    type: Type
+
+
+@dataclass(frozen=True)
+class ClassDef:
+    """A class with an explicitly named extension.
+
+    ``attributes`` is the tuple type of the class's attributes; it may
+    contain :class:`ClassType` references and sort names (as ClassType too —
+    the schema distinguishes them by name).
+    """
+
+    name: str
+    extension: str
+    attributes: TupleType
+
+
+@dataclass
+class Schema:
+    """A collection of sorts and classes with resolution utilities."""
+
+    sorts: dict[str, SortDef] = field(default_factory=dict)
+    classes: dict[str, ClassDef] = field(default_factory=dict)
+
+    def add_sort(self, name: str, type_: Type) -> SortDef:
+        if name in self.sorts or name in self.classes:
+            raise SchemaError(f"name {name!r} already defined")
+        sort = SortDef(name, type_)
+        self.sorts[name] = sort
+        return sort
+
+    def add_class(self, name: str, extension: str, attributes: TupleType) -> ClassDef:
+        if name in self.classes or name in self.sorts:
+            raise SchemaError(f"name {name!r} already defined")
+        for other in self.classes.values():
+            if other.extension == extension:
+                raise SchemaError(f"extension name {extension!r} already used by class {other.name!r}")
+        cls = ClassDef(name, extension, attributes)
+        self.classes[name] = cls
+        return cls
+
+    def class_by_extension(self, extension: str) -> ClassDef:
+        for cls in self.classes.values():
+            if cls.extension == extension:
+                return cls
+        raise SchemaError(f"no class has extension {extension!r}")
+
+    def extension_names(self) -> tuple[str, ...]:
+        return tuple(cls.extension for cls in self.classes.values())
+
+    def resolve(
+        self,
+        type_: Type,
+        _direct: frozenset[str] = frozenset(),
+        _all: frozenset[str] = frozenset(),
+    ) -> Type:
+        """Replace sort/class references by their structural types.
+
+        Class references nested inside a set or list constructor are resolved
+        one level (objects are stored by value, so a set of Employees is a
+        set of Employee attribute tuples). Two recursion rules:
+
+        * *direct* recursion — a class whose attribute tuple references
+          itself outside any collection — is rejected (no finite value could
+          inhabit it);
+        * recursion *through a collection* terminates: the inner reference is
+          left symbolic (data builders materialise such structures finitely).
+        """
+        if isinstance(type_, ClassType):
+            name = type_.name
+            if name in _direct:
+                raise SchemaError(f"recursive reference to {name!r} outside a collection constructor")
+            if name in _all:
+                return type_  # cyclic through a collection: keep symbolic
+            if name in self.sorts:
+                return self.resolve(self.sorts[name].type, _direct | {name}, _all | {name})
+            if name in self.classes:
+                return self.resolve(self.classes[name].attributes, _direct | {name}, _all | {name})
+            raise SchemaError(f"unknown sort/class {name!r}")
+        if isinstance(type_, TupleType):
+            return TupleType({k: self.resolve(v, _direct, _all) for k, v in type_.fields.items()})
+        if isinstance(type_, SetType):
+            # Entering a collection constructor breaks *direct* recursion.
+            return SetType(self.resolve(type_.element, frozenset(), _all))
+        if isinstance(type_, ListType):
+            return ListType(self.resolve(type_.element, frozenset(), _all))
+        if isinstance(type_, VariantType):
+            return VariantType({k: self.resolve(v, _direct, _all) for k, v in type_.cases.items()})
+        return type_
+
+    def extension_row_type(self, extension: str) -> TupleType:
+        """The resolved tuple type of one row of the given class extension."""
+        cls = self.class_by_extension(extension)
+        resolved = self.resolve(cls.attributes)
+        assert isinstance(resolved, TupleType)
+        return resolved
+
+
+def company_schema() -> Schema:
+    """The paper's running example schema (Section 3.2).
+
+    Classes ``Employee`` (extension ``EMP``) and ``Department`` (extension
+    ``DEPT``), plus the ``Address`` sort. ``Department.emps`` is a set of
+    Employee objects, materialised by value.
+    """
+    from repro.model.types import INT, STRING
+
+    schema = Schema()
+    schema.add_sort(
+        "Address",
+        TupleType({"street": STRING, "nr": STRING, "city": STRING}),
+    )
+    schema.add_class(
+        "Employee",
+        "EMP",
+        TupleType(
+            {
+                "name": STRING,
+                "address": ClassType("Address"),
+                "sal": INT,
+                "children": SetType(TupleType({"name": STRING, "age": INT})),
+            }
+        ),
+    )
+    schema.add_class(
+        "Department",
+        "DEPT",
+        TupleType(
+            {
+                "name": STRING,
+                "address": ClassType("Address"),
+                "emps": SetType(ClassType("Employee")),
+            }
+        ),
+    )
+    return schema

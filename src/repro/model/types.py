@@ -1,0 +1,389 @@
+"""The TM type system: basic types and the four type constructors.
+
+TM attribute types may be arbitrarily complex: the constructors are the
+tuple, variant, set, and list constructor, nested to any depth; besides
+basic types, class names may appear in type specifications (Section 3.1 of
+the paper). This module provides:
+
+* :class:`BaseType` with the singletons :data:`INT`, :data:`FLOAT`,
+  :data:`STRING`, :data:`BOOL`;
+* :class:`TupleType`, :class:`SetType`, :class:`ListType`,
+  :class:`VariantType`, :class:`ClassType`;
+* :data:`ANY` (top, used where inference would otherwise be stuck) and
+  :data:`NULL_T` (the type of the relational baselines' NULL pad value);
+* structural helpers: :func:`unify`, :func:`is_subtype`,
+  :func:`type_of_value`.
+
+Subtyping is structural: a tuple type is a subtype of another if it has at
+least the fields of the supertype at subtypes (width + depth subtyping, as in
+the FM calculus underlying TM); sets and lists are covariant; INT is a
+subtype of FLOAT (numeric promotion).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.errors import TypeModelError
+from repro.model.values import Null, Tup, Variant
+
+__all__ = [
+    "Type",
+    "BaseType",
+    "TupleType",
+    "SetType",
+    "ListType",
+    "VariantType",
+    "ClassType",
+    "AnyType",
+    "NullType",
+    "INT",
+    "FLOAT",
+    "STRING",
+    "BOOL",
+    "ANY",
+    "NULL_T",
+    "unify",
+    "is_subtype",
+    "type_of_value",
+    "is_numeric",
+]
+
+
+class Type:
+    """Abstract base for all types."""
+
+    def __eq__(self, other: object) -> bool:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def __hash__(self) -> int:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class BaseType(Type):
+    """A basic type: one of int, float, string, bool."""
+
+    __slots__ = ("name",)
+    _VALID = ("int", "float", "string", "bool")
+
+    def __init__(self, name: str):
+        if name not in self._VALID:
+            raise TypeModelError(f"unknown basic type {name!r}")
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BaseType) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("base", self.name))
+
+    def __repr__(self) -> str:
+        return self.name.upper()
+
+
+INT = BaseType("int")
+FLOAT = BaseType("float")
+STRING = BaseType("string")
+BOOL = BaseType("bool")
+
+
+class AnyType(Type):
+    """Top type: every type is a subtype of ANY.
+
+    Used for the element type of empty set/list literals and wherever the
+    checker cannot pin a type down; it unifies with anything.
+    """
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AnyType)
+
+    def __hash__(self) -> int:
+        return hash("any")
+
+    def __repr__(self) -> str:
+        return "ANY"
+
+
+ANY = AnyType()
+
+
+class NullType(Type):
+    """The type of :data:`repro.model.values.NULL` (baselines only)."""
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, NullType)
+
+    def __hash__(self) -> int:
+        return hash("null")
+
+    def __repr__(self) -> str:
+        return "NULLTYPE"
+
+
+NULL_T = NullType()
+
+
+class TupleType(Type):
+    """A labelled record type. ``fields`` maps label → type.
+
+    Label order is preserved for display but irrelevant for equality.
+    """
+
+    __slots__ = ("fields",)
+
+    def __init__(self, fields: Mapping[str, Type] | Iterable[tuple[str, Type]]):
+        items = list(fields.items()) if isinstance(fields, Mapping) else list(fields)
+        seen: dict[str, Type] = {}
+        for label, typ in items:
+            if not isinstance(label, str) or not label:
+                raise TypeModelError(f"tuple type labels must be non-empty strings, got {label!r}")
+            if label in seen:
+                raise TypeModelError(f"duplicate label {label!r} in tuple type")
+            if not isinstance(typ, Type):
+                raise TypeModelError(f"field {label!r} is not a Type: {typ!r}")
+            seen[label] = typ
+        self.fields = seen
+
+    def labels(self) -> tuple[str, ...]:
+        return tuple(self.fields)
+
+    def field(self, label: str) -> Type:
+        try:
+            return self.fields[label]
+        except KeyError:
+            raise TypeModelError(f"tuple type has no field {label!r}; has {sorted(self.fields)}") from None
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TupleType) and self.fields == other.fields
+
+    def __hash__(self) -> int:
+        return hash(("tuple", frozenset(self.fields.items())))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}: {v!r}" for k, v in self.fields.items())
+        return f"({inner})"
+
+
+class SetType(Type):
+    """The set constructor ℙ. Sets are duplicate free."""
+
+    __slots__ = ("element",)
+
+    def __init__(self, element: Type):
+        if not isinstance(element, Type):
+            raise TypeModelError(f"set element is not a Type: {element!r}")
+        self.element = element
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SetType) and self.element == other.element
+
+    def __hash__(self) -> int:
+        return hash(("set", self.element))
+
+    def __repr__(self) -> str:
+        return f"P{self.element!r}" if isinstance(self.element, TupleType) else f"P({self.element!r})"
+
+
+class ListType(Type):
+    """The list constructor (ordered, duplicates allowed)."""
+
+    __slots__ = ("element",)
+
+    def __init__(self, element: Type):
+        if not isinstance(element, Type):
+            raise TypeModelError(f"list element is not a Type: {element!r}")
+        self.element = element
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ListType) and self.element == other.element
+
+    def __hash__(self) -> int:
+        return hash(("list", self.element))
+
+    def __repr__(self) -> str:
+        return f"L({self.element!r})"
+
+
+class VariantType(Type):
+    """The variant (tagged union) constructor. ``cases`` maps tag → type."""
+
+    __slots__ = ("cases",)
+
+    def __init__(self, cases: Mapping[str, Type] | Iterable[tuple[str, Type]]):
+        items = list(cases.items()) if isinstance(cases, Mapping) else list(cases)
+        seen: dict[str, Type] = {}
+        for tag, typ in items:
+            if not isinstance(tag, str) or not tag:
+                raise TypeModelError(f"variant tags must be non-empty strings, got {tag!r}")
+            if tag in seen:
+                raise TypeModelError(f"duplicate tag {tag!r} in variant type")
+            if not isinstance(typ, Type):
+                raise TypeModelError(f"case {tag!r} is not a Type: {typ!r}")
+            seen[tag] = typ
+        if not seen:
+            raise TypeModelError("variant type needs at least one case")
+        self.cases = seen
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VariantType) and self.cases == other.cases
+
+    def __hash__(self) -> int:
+        return hash(("variant", frozenset(self.cases.items())))
+
+    def __repr__(self) -> str:
+        inner = " | ".join(f"{k}: {v!r}" for k, v in self.cases.items())
+        return f"V({inner})"
+
+
+class ClassType(Type):
+    """A reference to a named class (resolved against a schema).
+
+    Objects are represented *by value* in this library: a class-typed value
+    is the object's attribute tuple (set-valued attributes are materialised,
+    as the paper notes they conceptually are). The schema resolves a
+    ClassType to the class's attribute :class:`TupleType`.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not isinstance(name, str) or not name:
+            raise TypeModelError(f"class names must be non-empty strings, got {name!r}")
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ClassType) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("class", self.name))
+
+    def __repr__(self) -> str:
+        return f"Class({self.name})"
+
+
+def is_numeric(t: Type) -> bool:
+    """True for INT and FLOAT."""
+    return t == INT or t == FLOAT
+
+
+def is_subtype(sub: Type, sup: Type) -> bool:
+    """Structural subtyping: width/depth on tuples, covariant sets/lists.
+
+    ``ANY`` is the top type; ``NULL_T`` is a subtype of everything (it only
+    arises in baseline plans where NULL pads any attribute position);
+    ``INT <: FLOAT``.
+    """
+    if isinstance(sup, AnyType) or isinstance(sub, NullType):
+        return True
+    if isinstance(sub, AnyType):
+        return isinstance(sup, AnyType)
+    if sub == sup:
+        return True
+    if sub == INT and sup == FLOAT:
+        return True
+    if isinstance(sub, TupleType) and isinstance(sup, TupleType):
+        return all(
+            label in sub.fields and is_subtype(sub.fields[label], typ)
+            for label, typ in sup.fields.items()
+        )
+    if isinstance(sub, SetType) and isinstance(sup, SetType):
+        return is_subtype(sub.element, sup.element)
+    if isinstance(sub, ListType) and isinstance(sup, ListType):
+        return is_subtype(sub.element, sup.element)
+    if isinstance(sub, VariantType) and isinstance(sup, VariantType):
+        # Variants are covariant in *fewer* cases: a value of a variant type
+        # with cases {a} can be used where {a, b} is expected.
+        return all(
+            tag in sup.cases and is_subtype(typ, sup.cases[tag])
+            for tag, typ in sub.cases.items()
+        )
+    return False
+
+
+def unify(a: Type, b: Type) -> Type | None:
+    """Least upper bound of two types, or None if they are incompatible.
+
+    Used to type heterogeneous-looking constructs such as set literals and
+    the two branches of a comparison. Tuple types unify field-wise on the
+    *common* shape only when both have identical label sets (a join of
+    records with different labels has no useful LUB for our purposes).
+    """
+    if isinstance(a, AnyType) or isinstance(b, AnyType):
+        # ANY is the top type: the least upper bound of ANY and anything
+        # is ANY. (Refinement of unknowns is done by seeding folds with
+        # None, not by treating ANY as a bottom — see _element_type.)
+        return ANY
+    if isinstance(a, NullType):
+        return b
+    if isinstance(b, NullType):
+        return a
+    if a == b:
+        return a
+    if is_numeric(a) and is_numeric(b):
+        return FLOAT
+    if isinstance(a, SetType) and isinstance(b, SetType):
+        elem = unify(a.element, b.element)
+        return SetType(elem) if elem is not None else None
+    if isinstance(a, ListType) and isinstance(b, ListType):
+        elem = unify(a.element, b.element)
+        return ListType(elem) if elem is not None else None
+    if isinstance(a, TupleType) and isinstance(b, TupleType):
+        if set(a.fields) != set(b.fields):
+            return None
+        fields = {}
+        for label in a.fields:
+            t = unify(a.fields[label], b.fields[label])
+            if t is None:
+                return None
+            fields[label] = t
+        return TupleType(fields)
+    if isinstance(a, VariantType) and isinstance(b, VariantType):
+        cases = dict(a.cases)
+        for tag, typ in b.cases.items():
+            if tag in cases:
+                t = unify(cases[tag], typ)
+                if t is None:
+                    return None
+                cases[tag] = t
+            else:
+                cases[tag] = typ
+        return VariantType(cases)
+    return None
+
+
+def type_of_value(v: Any) -> Type:
+    """Infer the (most specific structural) type of a model value.
+
+    Set/list element types are the unification of member types; empty
+    collections get ``ANY`` elements.
+    """
+    if isinstance(v, Null):
+        return NULL_T
+    if isinstance(v, bool):
+        return BOOL
+    if isinstance(v, int):
+        return INT
+    if isinstance(v, float):
+        return FLOAT
+    if isinstance(v, str):
+        return STRING
+    if isinstance(v, Tup):
+        return TupleType({label: type_of_value(val) for label, val in v.items()})
+    if isinstance(v, Variant):
+        return VariantType({v.tag: type_of_value(v.value)})
+    if isinstance(v, frozenset):
+        return SetType(_element_type(v))
+    if isinstance(v, tuple):
+        return ListType(_element_type(v))
+    raise TypeModelError(f"not a model value: {type(v).__name__}")
+
+
+def _element_type(members) -> Type:
+    elem: Type | None = None
+    for m in members:
+        t = type_of_value(m)
+        u = t if elem is None else unify(elem, t)
+        if u is None:
+            return ANY  # heterogeneous collection: fall back to top
+        elem = u
+    return ANY if elem is None else elem

@@ -1,0 +1,104 @@
+"""Value/type conformance checking.
+
+:func:`conforms` and :func:`check` verify that a model value inhabits a
+(resolved) type. Used by the catalog when tables are loaded and by tests to
+keep generators honest.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ValidationError
+from repro.model.types import (
+    BOOL,
+    FLOAT,
+    INT,
+    STRING,
+    AnyType,
+    BaseType,
+    ClassType,
+    ListType,
+    NullType,
+    SetType,
+    TupleType,
+    Type,
+    VariantType,
+)
+from repro.model.values import Null, Tup, Variant
+
+__all__ = ["conforms", "check"]
+
+
+def conforms(value: Any, type_: Type) -> bool:
+    """True iff *value* inhabits *type_* (which must be resolved: no class refs)."""
+    try:
+        check(value, type_)
+    except ValidationError:
+        return False
+    return True
+
+
+def check(value: Any, type_: Type, path: str = "$") -> None:
+    """Raise :class:`ValidationError` (with a path) if *value* does not inhabit *type_*."""
+    if isinstance(type_, AnyType):
+        return
+    if isinstance(type_, NullType):
+        if not isinstance(value, Null):
+            raise ValidationError(f"{path}: expected NULL, got {type(value).__name__}")
+        return
+    if isinstance(type_, ClassType):
+        raise ValidationError(
+            f"{path}: unresolved class reference {type_.name!r}; resolve the schema first"
+        )
+    if isinstance(type_, BaseType):
+        _check_base(value, type_, path)
+        return
+    if isinstance(type_, TupleType):
+        if not isinstance(value, Tup):
+            raise ValidationError(f"{path}: expected tuple, got {type(value).__name__}")
+        missing = set(type_.fields) - set(value.labels())
+        extra = set(value.labels()) - set(type_.fields)
+        if missing:
+            raise ValidationError(f"{path}: missing fields {sorted(missing)}")
+        if extra:
+            raise ValidationError(f"{path}: unexpected fields {sorted(extra)}")
+        for label, field_type in type_.fields.items():
+            check(value[label], field_type, f"{path}.{label}")
+        return
+    if isinstance(type_, SetType):
+        if not isinstance(value, frozenset):
+            raise ValidationError(f"{path}: expected set, got {type(value).__name__}")
+        for i, member in enumerate(value):
+            check(member, type_.element, f"{path}{{{i}}}")
+        return
+    if isinstance(type_, ListType):
+        if not isinstance(value, tuple):
+            raise ValidationError(f"{path}: expected list, got {type(value).__name__}")
+        for i, member in enumerate(value):
+            check(member, type_.element, f"{path}[{i}]")
+        return
+    if isinstance(type_, VariantType):
+        if not isinstance(value, Variant):
+            raise ValidationError(f"{path}: expected variant, got {type(value).__name__}")
+        if value.tag not in type_.cases:
+            raise ValidationError(f"{path}: unknown variant tag {value.tag!r}")
+        check(value.value, type_.cases[value.tag], f"{path}<{value.tag}>")
+        return
+    raise ValidationError(f"{path}: unknown type {type_!r}")
+
+
+def _check_base(value: Any, type_: BaseType, path: str) -> None:
+    if type_ == BOOL:
+        ok = isinstance(value, bool)
+    elif type_ == INT:
+        ok = isinstance(value, int) and not isinstance(value, bool)
+    elif type_ == FLOAT:
+        # INT <: FLOAT — integers inhabit FLOAT as well.
+        ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+    elif type_ == STRING:
+        ok = isinstance(value, str)
+    else:  # pragma: no cover - BaseType constructor forbids other names
+        ok = False
+    if not ok:
+        raise ValidationError(f"{path}: expected {type_!r}, got {type(value).__name__} {value!r}")

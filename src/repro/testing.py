@@ -1,0 +1,304 @@
+"""Differential-testing utilities: random catalogs and random nested queries.
+
+Downstream users extending the optimizer can fuzz their changes the same
+way the test suite does::
+
+    from repro.testing import random_catalog, random_query, check_engines_agree
+
+    rng = random.Random(1234)
+    catalog = random_catalog(rng)
+    query = random_query(rng)
+    check_engines_agree(query, catalog)   # raises AssertionError on divergence
+
+Queries are generated from type-correct templates over a fixed trio of
+schemas (X with a set-valued attribute, Y and W flat), covering the
+predicate classes of Table 2, multi-level nesting, SELECT-clause nesting,
+quantifiers, and disjunctions — every code path of the translator,
+including its interpreter fallbacks.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.pipeline import run_query
+from repro.engine.table import Catalog
+from repro.model.values import Tup, Variant
+
+__all__ = [
+    "random_catalog",
+    "random_query",
+    "random_plan",
+    "check_engines_agree",
+    "fuzz_campaign",
+    "ENGINE_NAMES",
+]
+
+ENGINE_NAMES = ("interpret", "logical", "physical")
+
+#: Subquery templates; `{T}` is a table, `{u}` its variable, `{corr}` the
+#: correlation conjunct, `{extra}` an optional additional local conjunct.
+_SUBQUERY = "(SELECT {u}.a FROM {T} {u} WHERE {corr}{extra})"
+
+#: WHERE-clause conjunct templates over outer variable x and a subquery z.
+_PREDICATE_TEMPLATES = [
+    "x.c IN {z}",
+    "x.c NOT IN {z}",
+    "{z} = {{}}",
+    "{z} <> {{}}",
+    "COUNT({z}) = 0",
+    "COUNT({z}) > 0",
+    "x.c = COUNT({z})",
+    "x.c < COUNT({z})",
+    "x.a SUBSETEQ {z}",
+    "x.a SUPSETEQ {z}",
+    "x.a SUBSET {z}",
+    "x.a = {z}",
+    "(x.a INTERSECT {z}) = {{}}",
+    "(x.a INTERSECT {z}) <> {{}}",
+    "EXISTS v IN {z} (v = x.c)",
+    "FORALL v IN {z} (v <> x.c)",
+    "FORALL w IN x.a (w IN {z})",
+    "EXISTS w IN x.a (w IN {z})",
+    "x.c = SUM({z})",
+    "x.c <= MAX({z} UNION {{0}})",
+]
+
+_SCALAR_TEMPLATES = [
+    "x.b = {k}",
+    "x.c <> {k}",
+    "x.c < {k}",
+    "x.b >= {k}",
+    "{k} IN x.a",
+    "{k} NOT IN x.a",
+    "COUNT(x.a) = {k}",
+    "EXISTS w IN x.a (w > {k})",
+    "TAG(x.v) = 'ok'",
+    "TAG(x.v) = 'err' OR PAYLOAD(x.v) >= {k}",
+    "PAYLOAD(x.v) = {k}",
+]
+
+_SELECT_TEMPLATES = [
+    "x",
+    "x.c",
+    "(b = x.b, c = x.c)",
+    "(c = x.c, n = COUNT(x.a))",
+    "(c = x.c, zs = {z})",
+    "x.a UNION {z}",
+]
+
+
+def random_catalog(
+    rng: random.Random,
+    max_rows: int = 8,
+    domain: int = 4,
+) -> Catalog:
+    """A catalog with tables X(a: set int, b, c), Y(a, b), W(a, b)."""
+    cat = Catalog()
+    cat.add_rows("X", [_x_row(rng, domain) for _ in range(rng.randrange(max_rows + 1))])
+    cat.add_rows("Y", [_flat_row(rng, domain) for _ in range(rng.randrange(max_rows + 1))])
+    cat.add_rows("W", [_flat_row(rng, domain) for _ in range(rng.randrange(max_rows + 1))])
+    return cat
+
+
+def _x_row(rng: random.Random, domain: int) -> Tup:
+    members = frozenset(
+        rng.randrange(domain) for _ in range(rng.randrange(3))
+    )
+    status = Variant(rng.choice(["ok", "err"]), rng.randrange(domain))
+    return Tup(a=members, b=rng.randrange(domain), c=rng.randrange(domain), v=status)
+
+
+def _flat_row(rng: random.Random, domain: int) -> Tup:
+    return Tup(a=rng.randrange(domain), b=rng.randrange(domain))
+
+
+def _subquery(rng: random.Random, outer: str, depth: int) -> str:
+    table = rng.choice(["Y", "W"])
+    u = f"u{depth}{rng.randrange(100)}"
+    # The outer variable 'x' ranges over X(a, b, c); inner u-variables range
+    # over Y/W(a, b) — correlate only through attributes that exist.
+    outer_attrs = ("b", "c") if outer == "x" else ("a", "b")
+    corr = rng.choice(
+        [
+            f"{outer}.{rng.choice(outer_attrs)} = {u}.b",
+            f"{outer}.{rng.choice(outer_attrs)} <= {u}.a",
+        ]
+    )
+    extra = ""
+    roll = rng.random()
+    if roll < 0.25 and depth < 2:
+        inner = _subquery(rng, u, depth + 1)
+        extra = f" AND {u}.a IN {inner}"
+    elif roll < 0.45:
+        extra = f" AND {u}.a >= {rng.randrange(4)}"
+    return _SUBQUERY.format(T=table, u=u, corr=corr, extra=extra)
+
+
+def _conjunct(rng: random.Random) -> str:
+    if rng.random() < 0.65:
+        template = rng.choice(_PREDICATE_TEMPLATES)
+        return template.format(z=_subquery(rng, "x", 0))
+    return rng.choice(_SCALAR_TEMPLATES).format(k=rng.randrange(4))
+
+
+def random_query(rng: random.Random) -> str:
+    """A random (well-typed) nested query text over the fuzz schemas."""
+    select = rng.choice(_SELECT_TEMPLATES)
+    if "{z}" in select:
+        select = select.format(z=_subquery(rng, "x", 0))
+    n_conjuncts = rng.randrange(0, 3)
+    conjuncts = [_conjunct(rng) for _ in range(n_conjuncts)]
+    if conjuncts and rng.random() < 0.2:
+        # Exercise the disjunction fallback path too.
+        conjuncts[0] = f"({conjuncts[0]} OR {_conjunct(rng)})"
+    where = f" WHERE {' AND '.join(conjuncts)}" if conjuncts else ""
+    return f"SELECT {select} FROM X x{where}"
+
+
+def random_plan(rng: random.Random, max_depth: int = 4):
+    """A random well-formed logical plan over the fuzz schemas.
+
+    Covers operator shapes the translator never emits (outer-join chains,
+    stacked Nest/Unnest, Distinct towers) so the physical engine is tested
+    beyond translated queries. Returns a plan whose predicates only touch
+    numeric attributes; set-valued bindings produced by NestJoin/Nest are
+    consumed by Unnest and COUNT selections.
+    """
+    from repro.algebra.plan import (
+        AntiJoin,
+        Distinct,
+        Drop,
+        Extend,
+        Join,
+        Nest,
+        NestJoin,
+        OuterJoin,
+        Plan,
+        Scan,
+        Select,
+        SemiJoin,
+        Unnest,
+    )
+    from repro.lang.parser import parse
+
+    counter = [0]
+
+    def fresh(prefix: str) -> str:
+        counter[0] += 1
+        return f"{prefix}{counter[0]}"
+
+    def leaf() -> tuple["Plan", dict[str, list[str]], list[str]]:
+        table = rng.choice(["Y", "W"])
+        var = fresh("t")
+        # numeric attrs per binding; set-valued bindings tracked separately
+        return Scan(table, var), {var: ["a", "b"]}, []
+
+    def numeric_ref(attrs: dict[str, list[str]]) -> str:
+        var = rng.choice(sorted(attrs))
+        return f"{var}.{rng.choice(attrs[var])}"
+
+    def build(depth: int):
+        if depth <= 0 or rng.random() < 0.25:
+            return leaf()
+        plan, attrs, sets = build(depth - 1)
+        roll = rng.random()
+        if roll < 0.20 and attrs:
+            pred = parse(f"{numeric_ref(attrs)} {rng.choice(['=', '<', '>=', '<>'])} {rng.randrange(4)}")
+            return Select(plan, pred), attrs, sets
+        if roll < 0.30 and attrs:
+            label = fresh("e")
+            plan = Extend(plan, parse(f"{numeric_ref(attrs)} + {rng.randrange(3)}"), label)
+            return plan, attrs, sets
+        if roll < 0.38 and sets:
+            label = rng.choice(sets)
+            pred = parse(f"COUNT({label}) {rng.choice(['=', '>='])} {rng.randrange(3)}")
+            return Select(plan, pred), attrs, sets
+        if roll < 0.46 and sets:
+            label = rng.choice(sets)
+            var = fresh("u")
+            plan = Unnest(plan, label, var)
+            new_sets = [s for s in sets if s != label]
+            # the unnested member is a right-operand row: numeric a/b
+            return plan, {**attrs, var: ["a", "b"]}, new_sets
+        if roll < 0.52:
+            return Distinct(plan), attrs, sets
+        if roll < 0.60 and len(attrs) + len(sets) > 1 and sets:
+            label = rng.choice(sets)
+            return Drop(plan, (label,)), attrs, [s for s in sets if s != label]
+        # join with a fresh leaf
+        right, rattrs, _ = leaf()
+        lref = numeric_ref(attrs)
+        rref = numeric_ref(rattrs)
+        pred = parse(f"{lref} = {rref}")
+        kind = rng.randrange(5)
+        if kind == 0:
+            return Join(plan, right, pred), {**attrs, **rattrs}, sets
+        if kind == 1:
+            return SemiJoin(plan, right, pred), attrs, sets
+        if kind == 2:
+            return AntiJoin(plan, right, pred), attrs, sets
+        if kind == 3:
+            # Outer join pads with NULL: keep right attrs out of later
+            # predicates (ordering on NULL raises), but a Nest* may group.
+            outer = OuterJoin(plan, right, pred)
+            if rng.random() < 0.5:
+                by = tuple(sorted(attrs))
+                label = fresh("g")
+                rvar = list(rattrs)[0]
+                grouped = Nest(outer, by=by, nest=rvar, label=label, null_to_empty=True)
+                # Nest keeps only the grouping bindings plus the new label:
+                # previously tracked set labels are gone from the output.
+                return grouped, attrs, [label]
+            return outer, {**attrs}, sets
+        label = fresh("zs")
+        # Identity nest join: the nested set holds whole right rows, so a
+        # later Unnest re-exposes row bindings with a/b attributes.
+        nj = NestJoin(plan, right, pred, None, label)
+        return nj, attrs, sets + [label]
+
+    plan, _attrs, _sets = build(max_depth)
+    return plan
+
+
+def fuzz_campaign(
+    n_queries: int = 500,
+    seed: int = 0,
+    engines: tuple[str, ...] = ENGINE_NAMES,
+    max_rows: int = 8,
+) -> list[tuple[int, str, str]]:
+    """Run *n_queries* random queries across all engines.
+
+    Returns the list of failures as ``(seed, query, message)`` — empty when
+    every engine agreed on every query. Deterministic in *seed*.
+    """
+    failures: list[tuple[int, str, str]] = []
+    base = random.Random(seed)
+    for i in range(n_queries):
+        case_seed = base.randrange(2**31)
+        rng = random.Random(case_seed)
+        catalog = random_catalog(rng, max_rows=max_rows)
+        query = random_query(rng)
+        try:
+            check_engines_agree(query, catalog, engines)
+        except AssertionError as exc:
+            failures.append((case_seed, query, str(exc)))
+        except Exception as exc:  # noqa: BLE001 - report, don't crash the campaign
+            failures.append((case_seed, query, f"{type(exc).__name__}: {exc}"))
+    return failures
+
+
+def check_engines_agree(
+    query: str, catalog: Catalog, engines: tuple[str, ...] = ENGINE_NAMES
+) -> frozenset:
+    """Run *query* on every engine; assert identical results; return them."""
+    results = {}
+    for engine in engines:
+        results[engine] = run_query(query, catalog, engine=engine).value
+    baseline = results[engines[0]]
+    for engine, value in results.items():
+        assert value == baseline, (
+            f"engine {engine!r} diverged on query:\n  {query}\n"
+            f"  {engines[0]}: {len(baseline)} rows, {engine}: {len(value)} rows"
+        )
+    return baseline

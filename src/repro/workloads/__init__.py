@@ -1,0 +1,39 @@
+"""Seeded synthetic workloads for the paper's examples and benchmarks."""
+
+from repro.workloads.company import CITIES, STREETS, make_company
+from repro.workloads.queries import (
+    COUNT_BUG_NESTED,
+    Q1_SAME_STREET,
+    Q2_EMPS_BY_CITY,
+    SECTION8_FLAT_VARIANT,
+    SECTION8_QUERY,
+    SUBSETEQ_BUG_NESTED,
+    UNNEST_COLLAPSE,
+)
+from repro.workloads.library import LIBRARY_DDL, LIBRARY_QUERIES, make_library
+from repro.workloads.relational import (
+    JoinWorkload,
+    make_chain_workload,
+    make_join_workload,
+    make_set_workload,
+)
+
+__all__ = [
+    "make_library",
+    "LIBRARY_DDL",
+    "LIBRARY_QUERIES",
+    "make_company",
+    "CITIES",
+    "STREETS",
+    "JoinWorkload",
+    "make_join_workload",
+    "make_chain_workload",
+    "make_set_workload",
+    "Q1_SAME_STREET",
+    "Q2_EMPS_BY_CITY",
+    "COUNT_BUG_NESTED",
+    "SUBSETEQ_BUG_NESTED",
+    "SECTION8_QUERY",
+    "SECTION8_FLAT_VARIANT",
+    "UNNEST_COLLAPSE",
+]

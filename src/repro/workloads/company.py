@@ -1,0 +1,118 @@
+"""The paper's running example: Employees and Departments (Section 3.2).
+
+Generates a catalog with extensions ``EMP`` and ``DEPT`` conforming to the
+classes of :func:`repro.model.schema.company_schema`. Department employee
+sets are materialised by value (as the paper notes set-valued attributes
+conceptually are).
+
+Tunables match what the example queries Q1/Q2 exercise: the probability
+that some employee of a department lives in the department's street/city
+controls the selectivity of Q1; the number of employees per city controls
+the size of Q2's nested results.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine.table import Catalog
+from repro.model.schema import company_schema
+from repro.model.values import Tup
+
+__all__ = ["make_company", "CITIES", "STREETS"]
+
+CITIES = [
+    "Enschede",
+    "Hengelo",
+    "Almelo",
+    "Zwolle",
+    "Deventer",
+    "Apeldoorn",
+    "Arnhem",
+    "Nijmegen",
+]
+
+STREETS = [
+    "Drienerlolaan",
+    "Oude Markt",
+    "Langestraat",
+    "Haverstraatpassage",
+    "Stationsplein",
+    "De Heurne",
+    "Boulevard 1945",
+    "Hengelosestraat",
+]
+
+_FIRST = ["Anna", "Bram", "Carla", "Daan", "Eva", "Frank", "Greet", "Hugo", "Iris", "Jan"]
+_LAST = ["de Vries", "Jansen", "Bakker", "Visser", "Smit", "Meijer", "Mulder", "Bos"]
+
+
+def _address(rng: random.Random) -> Tup:
+    return Tup(
+        street=rng.choice(STREETS),
+        nr=str(rng.randrange(1, 200)),
+        city=rng.choice(CITIES),
+    )
+
+
+def _children(rng: random.Random, max_children: int) -> frozenset:
+    n = rng.randrange(0, max_children + 1)
+    kids = set()
+    for _ in range(n):
+        kids.add(Tup(name=rng.choice(_FIRST), age=rng.randrange(0, 18)))
+    return frozenset(kids)
+
+
+def make_company(
+    n_departments: int = 10,
+    n_employees: int = 100,
+    max_children: int = 3,
+    p_same_street: float = 0.2,
+    seed: int = 0,
+    validate: bool = True,
+) -> Catalog:
+    """Build a company catalog (extensions ``EMP`` and ``DEPT``).
+
+    Every employee belongs to exactly one department; with probability
+    ``p_same_street`` a department is guaranteed at least one employee whose
+    address street+city equal the department's (making it a Q1 answer).
+    """
+    rng = random.Random(seed)
+    employees: list[Tup] = []
+    for i in range(n_employees):
+        name = f"{rng.choice(_FIRST)} {rng.choice(_LAST)} #{i}"
+        employees.append(
+            Tup(
+                name=name,
+                address=_address(rng),
+                sal=rng.randrange(20, 120) * 1000,
+                children=_children(rng, max_children),
+            )
+        )
+    # Partition employees over departments.
+    assignments: list[list[Tup]] = [[] for _ in range(n_departments)]
+    for emp in employees:
+        assignments[rng.randrange(n_departments)].append(emp)
+    departments: list[Tup] = []
+    for d in range(n_departments):
+        dept_address = _address(rng)
+        members = assignments[d]
+        if members and rng.random() < p_same_street:
+            # Relocate one member to the department's street and city.
+            chosen = rng.randrange(len(members))
+            emp = members[chosen]
+            relocated = emp.replace(
+                address=emp.address.replace(
+                    street=dept_address.street, city=dept_address.city
+                )
+            )
+            members[chosen] = relocated
+            employees[employees.index(emp)] = relocated
+        departments.append(
+            Tup(name=f"Dept-{d}", address=dept_address, emps=frozenset(members))
+        )
+    schema = company_schema() if validate else None
+    catalog = Catalog(schema)
+    catalog.add_rows("EMP", employees)
+    catalog.add_rows("DEPT", departments)
+    return catalog

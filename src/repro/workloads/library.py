@@ -1,0 +1,134 @@
+"""A second complex-object domain: a bibliographic database.
+
+Papers with set-valued author and citation attributes, plus flat author
+and venue tables — the shape that motivated complex-object models in the
+first place (NF² databases grew out of office/document management). Used
+by the `bibliography.py` example and the breadth tests; all generation is
+seeded.
+
+Schema (DDL in :data:`LIBRARY_DDL`):
+
+* ``PAPERS``  — title, year, venue, authors (set of names), cites (set of
+  titles), keywords (set of strings);
+* ``AUTHORS`` — name, affiliation;
+* ``VENUES``  — name, field.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine.table import Catalog
+from repro.model.ddl import parse_schema
+from repro.model.values import Tup
+
+__all__ = ["LIBRARY_DDL", "make_library", "LIBRARY_QUERIES"]
+
+LIBRARY_DDL = """
+CLASS Paper WITH EXTENSION PAPERS
+ATTRIBUTES
+    title : STRING,
+    year : INT,
+    venue : STRING,
+    authors : P STRING,
+    cites : P STRING,
+    keywords : P STRING
+END Paper
+
+CLASS Author WITH EXTENSION AUTHORS
+ATTRIBUTES
+    name : STRING,
+    affiliation : STRING
+END Author
+
+CLASS Venue WITH EXTENSION VENUES
+ATTRIBUTES
+    name : STRING,
+    field : STRING
+END Venue
+"""
+
+_FIELDS = ["databases", "systems", "theory", "pl"]
+_KEYWORDS = ["nested", "join", "optimization", "objects", "algebra", "sql", "types"]
+_AFFILIATIONS = ["Twente", "Wisconsin", "Berkeley", "IBM", "INRIA"]
+
+
+def make_library(
+    n_papers: int = 60,
+    n_authors: int = 25,
+    n_venues: int = 6,
+    seed: int = 0,
+) -> Catalog:
+    """A seeded bibliographic catalog conforming to :data:`LIBRARY_DDL`."""
+    rng = random.Random(seed)
+    schema = parse_schema(LIBRARY_DDL)
+    catalog = Catalog(schema)
+
+    author_names = [f"author-{i:02d}" for i in range(n_authors)]
+    catalog.add_rows(
+        "AUTHORS",
+        [Tup(name=n, affiliation=rng.choice(_AFFILIATIONS)) for n in author_names],
+    )
+    venue_names = [f"venue-{i}" for i in range(n_venues)]
+    catalog.add_rows(
+        "VENUES",
+        [Tup(name=n, field=rng.choice(_FIELDS)) for n in venue_names],
+    )
+    titles = [f"paper-{i:03d}" for i in range(n_papers)]
+    papers = []
+    for i, title in enumerate(titles):
+        # Papers cite strictly earlier papers: the citation graph is acyclic.
+        pool = titles[:i]
+        cites = frozenset(rng.sample(pool, k=min(len(pool), rng.randrange(4))))
+        papers.append(
+            Tup(
+                title=title,
+                year=1986 + i % 9,
+                venue=rng.choice(venue_names),
+                authors=frozenset(rng.sample(author_names, k=rng.randrange(1, 4))),
+                cites=cites,
+                keywords=frozenset(rng.sample(_KEYWORDS, k=rng.randrange(1, 4))),
+            )
+        )
+    catalog.add_rows("PAPERS", papers)
+    return catalog
+
+
+#: Named nested queries over the library (used by tests and the example).
+LIBRARY_QUERIES = {
+    # WHERE-nesting, grouping (⊆ between blocks): papers all of whose
+    # citations appear in the same venue's proceedings.
+    "self_contained_venues": """
+        SELECT p.title FROM PAPERS p
+        WHERE p.cites SUBSETEQ (SELECT q.title FROM PAPERS q
+                                WHERE q.venue = p.venue)
+    """,
+    # Aggregate between blocks (COUNT-bug shape): papers whose year parity
+    # equals their in-venue citation count parity — dangling papers count 0.
+    "citation_count_parity": """
+        SELECT p.title FROM PAPERS p
+        WHERE p.year % 2 = COUNT(SELECT q FROM PAPERS q
+                                 WHERE q.venue = p.venue AND
+                                       p.title IN q.cites) % 2
+    """,
+    # ∃-form (semijoin): papers cited by some paper in the same venue.
+    "cited_in_venue": """
+        SELECT p.title FROM PAPERS p
+        WHERE EXISTS q IN (SELECT q2 FROM PAPERS q2 WHERE q2.venue = p.venue)
+                    (p.title IN q.cites)
+    """,
+    # SELECT-clause nesting (nest join): per venue, the titles published there.
+    "venue_portfolios": """
+        SELECT (venue = v.name,
+                titles = (SELECT p.title FROM PAPERS p WHERE p.venue = v.name))
+        FROM VENUES v
+    """,
+    # Set-valued attribute subquery (stays nested, quantifier-rewritten):
+    # papers with an author affiliated with Twente.
+    "twente_papers": """
+        SELECT p.title FROM PAPERS p
+        WHERE EXISTS a IN (SELECT t.name FROM AUTHORS t
+                           WHERE t.affiliation = 'Twente')
+                   (a IN p.authors)
+    """,
+}

@@ -1,0 +1,76 @@
+"""The paper's queries, verbatim (modulo concrete syntax).
+
+Every worked example of the paper is available as a named constant so
+tests, examples, and benchmarks all run exactly the same text.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Q1_SAME_STREET",
+    "Q2_EMPS_BY_CITY",
+    "COUNT_BUG_NESTED",
+    "SUBSETEQ_BUG_NESTED",
+    "SECTION8_QUERY",
+    "SECTION8_FLAT_VARIANT",
+    "UNNEST_COLLAPSE",
+]
+
+#: Q1 (Section 3.2): departments with an employee living in the same street
+#: the department is located. The subquery ranges over the *set-valued
+#: attribute* d.emps — the paper argues such subqueries should stay nested.
+Q1_SAME_STREET = """
+SELECT d FROM DEPT d
+WHERE (s = d.address.street, c = d.address.city)
+      IN (SELECT (s = e.address.street, c = e.address.city) FROM d.emps e)
+"""
+
+#: Q2 (Section 3.2): per department, its name and the employees living in
+#: the department's city. SELECT-clause nesting over a stored table →
+#: nest join.
+Q2_EMPS_BY_CITY = """
+SELECT (dname = d.name,
+        emps = (SELECT e FROM EMP e WHERE e.address.city = d.address.city))
+FROM DEPT d
+"""
+
+#: The COUNT-bug query of Section 2: R rows whose b equals the number of
+#: matching S rows. Dangling R rows with b = 0 belong to the answer.
+COUNT_BUG_NESTED = """
+SELECT r FROM R r
+WHERE r.b = COUNT(SELECT s FROM S s WHERE r.c = s.c)
+"""
+
+#: The SUBSETEQ-bug query of Section 4: the generalised COUNT bug. X rows
+#: with x.a = ∅ and no Y partner belong to the answer.
+SUBSETEQ_BUG_NESTED = """
+SELECT x FROM X x
+WHERE x.a SUBSETEQ (SELECT y.a FROM Y y WHERE x.b = y.b)
+"""
+
+#: The Section 8 example: an acyclic linear query, both inter-block
+#: predicates requiring grouping (P1: ⊆ between X and Y; P2: ⊆ between Y
+#: and Z) — processed with two nest joins.
+SECTION8_QUERY = """
+SELECT x FROM X x
+WHERE x.a SUBSETEQ (SELECT y.a FROM Y y
+                    WHERE x.b = y.b AND
+                          y.c SUBSETEQ (SELECT z.c FROM Z z
+                                        WHERE y.d = z.d))
+"""
+
+#: Section 8's closing remark: change ⊆ into ∈ (P1) and NOT-⊆ into ∉ (P2) —
+#: then the nest joins become a semijoin and an antijoin.
+SECTION8_FLAT_VARIANT = """
+SELECT x FROM X x
+WHERE x.c IN (SELECT y.a FROM Y y
+              WHERE x.b = y.b AND
+                    y.a NOT IN (SELECT z.c FROM Z z
+                                WHERE y.d = z.d))
+"""
+
+#: The Section 5 special case: UNNEST of a directly nested SELECT collapses
+#: to a flat join query.
+UNNEST_COLLAPSE = """
+UNNEST(SELECT (SELECT (a = x.a, b = y.b) FROM Y y WHERE x.b = y.a) FROM X x)
+"""

@@ -1,0 +1,151 @@
+"""Synthetic flat-relation workloads.
+
+These generators produce the R/S/T-style relations the paper's relational
+discussion (Section 2) and the benchmarks use. All generation is seeded and
+deterministic. The two knobs the paper's arguments hinge on are explicit:
+
+* ``match_rate`` — the fraction of left tuples with at least one join
+  partner (``1 - match_rate`` is the *dangling* fraction, the tuples the
+  COUNT bug loses);
+* ``fanout`` — how many right tuples match each matching left tuple (drives
+  grouping cost and the size of nested sets).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.engine.table import Catalog
+from repro.model.values import Tup
+
+__all__ = ["JoinWorkload", "make_join_workload", "make_chain_workload", "make_set_workload"]
+
+
+@dataclass
+class JoinWorkload:
+    """A pair of relations R(a, b, c) and S(c, d) with known join structure."""
+
+    catalog: Catalog
+    n_left: int
+    n_right: int
+    match_rate: float
+    fanout: int
+    seed: int
+
+    @property
+    def dangling(self) -> int:
+        """Number of R tuples with no S partner (the COUNT-bug victims)."""
+        return self.n_left - int(self.n_left * self.match_rate)
+
+
+def make_join_workload(
+    n_left: int = 100,
+    n_right: int | None = None,
+    match_rate: float = 0.5,
+    fanout: int = 2,
+    seed: int = 0,
+    left_name: str = "R",
+    right_name: str = "S",
+) -> JoinWorkload:
+    """Build R(a, b, c) ⋈ S(c, d) with exact match structure.
+
+    R tuple *i* joins S on ``c = i``; tuples with ``i < n_left*match_rate``
+    get exactly ``fanout`` S partners, the rest none. ``R.b`` is set to the
+    *actual* partner count for half of the matching tuples and for half of
+    the dangling ones (b = 0), so ``R.b = COUNT(...)`` selects a known mix
+    of matched and dangling tuples — the COUNT bug is then a visible row
+    deficit, not a coincidence.
+    """
+    rng = random.Random(seed)
+    matching = int(n_left * match_rate)
+    r_rows = []
+    for i in range(n_left):
+        partners = fanout if i < matching else 0
+        # Half the tuples carry their true partner count in b (so the
+        # COUNT predicate accepts them), half carry a wrong count.
+        honest = rng.random() < 0.5
+        b = partners if honest else partners + 1 + rng.randrange(3)
+        r_rows.append(Tup(a=i, b=b, c=i))
+    s_rows = []
+    for i in range(matching):
+        for j in range(fanout):
+            s_rows.append(Tup(c=i, d=i * fanout + j))
+    if n_right is not None:
+        # Pad with non-joining tuples to reach the requested size.
+        extra = n_right - len(s_rows)
+        for k in range(max(0, extra)):
+            s_rows.append(Tup(c=n_left + k, d=-(k + 1)))
+    catalog = Catalog()
+    catalog.add_rows(left_name, r_rows, key=("a",))
+    catalog.add_rows(right_name, s_rows)
+    return JoinWorkload(catalog, n_left, len(s_rows), match_rate, fanout, seed)
+
+
+def make_chain_workload(
+    n_x: int = 50,
+    n_y: int = 50,
+    n_z: int = 50,
+    match_rate: float = 0.7,
+    fanout: int = 2,
+    set_size: int = 2,
+    seed: int = 0,
+) -> Catalog:
+    """Three relations for Section 8-style linear queries.
+
+    X(a: set of int, b, c), Y(a, b, c: set of int, d), Z(c, d): X joins Y
+    on b, Y joins Z on d; X.a and Y.c use small int domains so that
+    SUBSETEQ predicates hold for a controllable fraction of tuples.
+    """
+    rng = random.Random(seed)
+    catalog = Catalog()
+    x_rows = []
+    for i in range(n_x):
+        members = frozenset(rng.sample(range(8), k=min(set_size, 8)))
+        x_rows.append(
+            Tup(a=members, b=i % max(1, int(n_y * match_rate)), c=rng.randrange(8))
+        )
+    y_rows = []
+    for i in range(n_y):
+        c_members = frozenset(rng.sample(range(8), k=min(set_size, 8)))
+        y_rows.append(Tup(a=rng.randrange(8), b=i, c=c_members, d=i % max(1, int(n_z * match_rate))))
+    z_rows = []
+    for i in range(n_z):
+        for j in range(fanout):
+            z_rows.append(Tup(c=rng.randrange(8), d=i))
+    catalog.add_rows("X", x_rows)
+    catalog.add_rows("Y", y_rows)
+    catalog.add_rows("Z", z_rows)
+    return catalog
+
+
+def make_set_workload(
+    n_left: int = 50,
+    n_right: int = 50,
+    domain: int = 6,
+    set_size: int = 2,
+    match_rate: float = 0.6,
+    seed: int = 0,
+) -> Catalog:
+    """X(a: set of int, b, c) and Y(a, b) for the TM-specific predicates.
+
+    Used by the SUBSETEQ-bug experiment: a controllable fraction of X
+    tuples have no Y partner on b (dangling) and ``X.a = ∅`` for some of
+    those, so ``x.a ⊆ z`` accepts dangling tuples exactly when a = ∅.
+    """
+    rng = random.Random(seed)
+    catalog = Catalog()
+    matching_b = max(1, int(n_right * match_rate))
+    x_rows = []
+    for i in range(n_left):
+        empty = rng.random() < 0.3
+        members = frozenset() if empty else frozenset(rng.sample(range(domain), k=set_size))
+        dangling = rng.random() > match_rate
+        b = (i % matching_b) if not dangling else n_right + i  # no Y partner
+        x_rows.append(Tup(a=members, b=b, c=rng.randrange(domain)))
+    y_rows = []
+    for i in range(n_right):
+        y_rows.append(Tup(a=rng.randrange(domain), b=i % matching_b))
+    catalog.add_rows("X", x_rows)
+    catalog.add_rows("Y", y_rows)
+    return catalog

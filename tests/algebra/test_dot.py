@@ -1,0 +1,40 @@
+"""Tests for Graphviz plan rendering."""
+
+from repro.algebra.dot import physical_to_dot, plan_to_dot
+from repro.algebra.plan import Join, NestJoin, Scan, Select
+from repro.engine.physical import compile_plan
+from repro.engine.table import Catalog
+from repro.lang.parser import parse
+from repro.model.values import Tup
+
+
+def make_plan():
+    return Select(
+        NestJoin(Scan("X", "x"), Scan("Y", "y"), parse("x.b = y.d"), None, "zs"),
+        parse("COUNT(zs) = 0"),
+    )
+
+
+def test_logical_dot_structure():
+    dot = plan_to_dot(make_plan())
+    assert dot.startswith("digraph logical_plan {")
+    assert dot.rstrip().endswith("}")
+    assert dot.count("->") == 3  # select→nestjoin, nestjoin→2 scans
+    assert "NestJoin" in dot
+    assert "Scan X AS x" in dot
+
+def test_quotes_are_escaped():
+    plan = Select(Scan("X", "x"), parse("x.b = 'say \"hi\"'"))
+    dot = plan_to_dot(plan)
+    assert '\\"hi\\"' in dot
+
+
+def test_physical_dot_includes_algorithm_and_estimates():
+    cat = Catalog()
+    cat.add_rows("X", [Tup(a=1, b=1)] )
+    cat.add_rows("Y", [Tup(c=1, d=1)])
+    compiled = compile_plan(Join(Scan("X", "x"), Scan("Y", "y"), parse("x.b = y.d")), cat)
+    dot = physical_to_dot(compiled)
+    assert "rows" in dot
+    assert "Join(" in dot
+    assert dot.count("->") == 2

@@ -1,0 +1,168 @@
+"""Unit tests for the logical plan reference executor."""
+
+import pytest
+
+from repro.algebra.interpreter import result_set, result_values, run_logical
+from repro.algebra.plan import (
+    AntiJoin,
+    Distinct,
+    Drop,
+    Extend,
+    Join,
+    Map,
+    Nest,
+    NestJoin,
+    OuterJoin,
+    Scan,
+    Select,
+    SemiJoin,
+    Unnest,
+)
+from repro.engine.table import Catalog, Table
+from repro.errors import PlanError
+from repro.lang.parser import parse
+from repro.model.values import NULL, Tup
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.add_rows("X", [Tup(a=1, b=1), Tup(a=1, b=2), Tup(a=2, b=3)])
+    cat.add_rows("Y", [Tup(c=1, d=1), Tup(c=2, d=1), Tup(c=3, d=3)])
+    return cat
+
+
+X = Scan("X", "x")
+Y = Scan("Y", "y")
+
+
+class TestBasics:
+    def test_scan(self, catalog):
+        rows = run_logical(X, catalog)
+        assert rows == [Tup(x=Tup(a=1, b=1)), Tup(x=Tup(a=1, b=2)), Tup(x=Tup(a=2, b=3))]
+
+    def test_select(self, catalog):
+        rows = run_logical(Select(X, parse("x.a = 1")), catalog)
+        assert len(rows) == 2
+
+    def test_map(self, catalog):
+        rows = run_logical(Map(X, parse("x.a * 10"), "v"), catalog)
+        assert result_values(rows) == [10, 10, 20]
+
+    def test_extend_and_drop(self, catalog):
+        plan = Drop(Extend(X, parse("x.a + x.b"), "s"), ("x",))
+        assert result_values(run_logical(plan, catalog)) == [2, 3, 5]
+
+    def test_distinct(self, catalog):
+        plan = Distinct(Map(X, parse("x.a"), "v"))
+        assert result_values(run_logical(plan, catalog)) == [1, 2]
+
+
+class TestJoins:
+    def test_inner_join(self, catalog):
+        rows = run_logical(Join(X, Y, parse("x.b = y.d")), catalog)
+        # X(1,1) matches two Y rows; X(2,3) matches one; X(1,2) dangles.
+        assert len(rows) == 3
+
+    def test_semijoin(self, catalog):
+        rows = run_logical(SemiJoin(X, Y, parse("x.b = y.d")), catalog)
+        assert result_set(rows) == frozenset({Tup(a=1, b=1), Tup(a=2, b=3)})
+
+    def test_antijoin(self, catalog):
+        rows = run_logical(AntiJoin(X, Y, parse("x.b = y.d")), catalog)
+        assert result_set(rows) == frozenset({Tup(a=1, b=2)})
+
+    def test_semijoin_antijoin_partition_left(self, catalog):
+        semi = result_set(run_logical(SemiJoin(X, Y, parse("x.b = y.d")), catalog))
+        anti = result_set(run_logical(AntiJoin(X, Y, parse("x.b = y.d")), catalog))
+        assert semi | anti == catalog["X"].as_set()
+        assert semi & anti == frozenset()
+
+    def test_outer_join_pads_with_null(self, catalog):
+        rows = run_logical(OuterJoin(X, Y, parse("x.b = y.d")), catalog)
+        assert len(rows) == 4  # 3 matches + 1 dangling
+        dangling = [t for t in rows if t["y"] == NULL]
+        assert len(dangling) == 1
+        assert dangling[0]["x"] == Tup(a=1, b=2)
+
+
+class TestNestJoinTable1:
+    """Reproduction of Table 1 of the paper (E1).
+
+    X and Y are flat relations equijoined on the second attribute with the
+    identity nest-join function; the dangling X-tuple survives with s = ∅.
+    """
+
+    def test_table1(self, catalog):
+        plan = Map(
+            NestJoin(X, Y, parse("x.b = y.d"), None, "s"),
+            parse("(a = x.a, b = x.b, s = s)"),
+            "row",
+        )
+        result = result_set(run_logical(plan, catalog))
+        expected = frozenset(
+            {
+                Tup(a=1, b=1, s=frozenset({Tup(c=1, d=1), Tup(c=2, d=1)})),
+                Tup(a=1, b=2, s=frozenset()),
+                Tup(a=2, b=3, s=frozenset({Tup(c=3, d=3)})),
+            }
+        )
+        assert result == expected
+
+    def test_nest_join_function_projects(self, catalog):
+        plan = NestJoin(X, Y, parse("x.b = y.d"), parse("y.c"), "cs")
+        rows = run_logical(plan, catalog)
+        by_x = {t["x"]: t["cs"] for t in rows}
+        assert by_x[Tup(a=1, b=1)] == frozenset({1, 2})
+        assert by_x[Tup(a=1, b=2)] == frozenset()
+
+    def test_every_left_tuple_survives_exactly_once(self, catalog):
+        rows = run_logical(NestJoin(X, Y, parse("x.b = y.d"), None, "s"), catalog)
+        assert len(rows) == len(catalog["X"])
+
+    def test_nest_join_function_may_use_left_bindings(self, catalog):
+        plan = NestJoin(X, Y, parse("x.b = y.d"), parse("x.a + y.c"), "ss")
+        rows = run_logical(plan, catalog)
+        by_x = {t["x"]: t["ss"] for t in rows}
+        assert by_x[Tup(a=1, b=1)] == frozenset({2, 3})
+
+
+class TestNestUnnest:
+    def test_nest_groups(self, catalog):
+        plan = Nest(Join(X, Y, parse("x.b = y.d")), by=("x",), nest="y", label="ys")
+        rows = run_logical(plan, catalog)
+        by_x = {t["x"]: t["ys"] for t in rows}
+        # The dangling X-tuple never reaches Nest — the classic loss.
+        assert Tup(a=1, b=2) not in by_x
+        assert by_x[Tup(a=1, b=1)] == frozenset({Tup(c=1, d=1), Tup(c=2, d=1)})
+
+    def test_nest_star_maps_null_group_to_empty(self, catalog):
+        plan = Nest(
+            OuterJoin(X, Y, parse("x.b = y.d")),
+            by=("x",),
+            nest="y",
+            label="ys",
+            null_to_empty=True,
+        )
+        rows = run_logical(plan, catalog)
+        by_x = {t["x"]: t["ys"] for t in rows}
+        assert by_x[Tup(a=1, b=2)] == frozenset()
+
+    def test_unnest_flattens(self, catalog):
+        nj = NestJoin(X, Y, parse("x.b = y.d"), None, "s")
+        rows = run_logical(Unnest(nj, "s", "y"), catalog)
+        join_rows = run_logical(Join(X, Y, parse("x.b = y.d")), catalog)
+        assert frozenset(rows) == frozenset(join_rows)
+
+    def test_unnest_loses_dangling(self, catalog):
+        nj = NestJoin(X, Y, parse("x.b = y.d"), None, "s")
+        flattened = run_logical(Unnest(nj, "s", "y"), catalog)
+        xs = {t["x"] for t in flattened}
+        assert Tup(a=1, b=2) not in xs  # the dangling tuple is gone
+
+
+class TestResultHelpers:
+    def test_result_values_requires_single_binding(self, catalog):
+        rows = run_logical(Join(X, Y, parse("x.b = y.d")), catalog)
+        with pytest.raises(PlanError):
+            result_values(rows)

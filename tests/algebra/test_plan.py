@@ -1,0 +1,107 @@
+"""Unit tests for logical plan construction and binding bookkeeping."""
+
+import pytest
+
+from repro.algebra.plan import (
+    AntiJoin,
+    Distinct,
+    Drop,
+    Extend,
+    Join,
+    Map,
+    Nest,
+    NestJoin,
+    OuterJoin,
+    Scan,
+    Select,
+    SemiJoin,
+    Unnest,
+)
+from repro.errors import PlanError
+from repro.lang.parser import parse
+
+
+X = Scan("X", "x")
+Y = Scan("Y", "y")
+
+
+class TestBindings:
+    def test_scan(self):
+        assert X.bindings() == ("x",)
+
+    def test_select_preserves(self):
+        assert Select(X, parse("x.a = 1")).bindings() == ("x",)
+
+    def test_map_rebinds(self):
+        assert Map(X, parse("x.a"), "out").bindings() == ("out",)
+
+    def test_extend_appends(self):
+        assert Extend(X, parse("x.a + 1"), "b").bindings() == ("x", "b")
+
+    def test_drop_removes(self):
+        plan = Drop(Join(X, Y, parse("x.a = y.a")), ("y",))
+        assert plan.bindings() == ("x",)
+
+    def test_join_concatenates(self):
+        assert Join(X, Y).bindings() == ("x", "y")
+
+    def test_semi_anti_keep_left_only(self):
+        assert SemiJoin(X, Y).bindings() == ("x",)
+        assert AntiJoin(X, Y).bindings() == ("x",)
+
+    def test_outer_join_concatenates(self):
+        assert OuterJoin(X, Y).bindings() == ("x", "y")
+
+    def test_nest_join_adds_label(self):
+        assert NestJoin(X, Y, parse("x.a = y.a"), None, "zs").bindings() == ("x", "zs")
+
+    def test_nest(self):
+        plan = Nest(Join(X, Y), by=("x",), nest="y", label="ys")
+        assert plan.bindings() == ("x", "ys")
+
+    def test_unnest(self):
+        nj = NestJoin(X, Y, parse("x.a = y.a"), None, "zs")
+        assert Unnest(nj, "zs", "v").bindings() == ("x", "v")
+
+    def test_distinct(self):
+        assert Distinct(X).bindings() == ("x",)
+
+
+class TestValidation:
+    def test_join_rejects_overlapping_bindings(self):
+        with pytest.raises(PlanError, match="overlap"):
+            Join(X, Scan("X2", "x"))
+
+    def test_nestjoin_rejects_label_collision(self):
+        with pytest.raises(PlanError, match="collides"):
+            NestJoin(X, Y, parse("TRUE"), None, "x")
+
+    def test_extend_rejects_bound_label(self):
+        with pytest.raises(PlanError):
+            Extend(X, parse("1"), "x")
+
+    def test_drop_rejects_unknown(self):
+        with pytest.raises(PlanError, match="unknown"):
+            Drop(X, ("ghost",))
+
+    def test_drop_rejects_total(self):
+        with pytest.raises(PlanError, match="every binding"):
+            Drop(X, ("x",))
+
+    def test_nest_rejects_unknown_bindings(self):
+        with pytest.raises(PlanError):
+            Nest(X, by=("ghost",), nest="x", label="g")
+
+    def test_nest_rejects_nest_in_by(self):
+        with pytest.raises(PlanError):
+            Nest(Join(X, Y), by=("x", "y"), nest="y", label="g")
+
+    def test_unnest_rejects_unknown_label(self):
+        with pytest.raises(PlanError):
+            Unnest(X, "ghost", "v")
+
+    def test_children(self):
+        j = Join(X, Y)
+        assert j.children() == (X, Y)
+        assert Select(X, parse("TRUE")).children() == (X,)
+        assert X.children() == ()

@@ -1,0 +1,151 @@
+"""Tests for static typing of logical plans."""
+
+import pytest
+
+from repro.algebra.plan import (
+    AntiJoin,
+    Drop,
+    Extend,
+    Join,
+    Map,
+    Nest,
+    NestJoin,
+    OuterJoin,
+    Scan,
+    Select,
+    SemiJoin,
+    Unnest,
+)
+from repro.algebra.typing import check_plan, plan_types
+from repro.errors import TypeCheckError
+from repro.lang.parser import parse
+from repro.model.types import ANY, BOOL, INT, STRING, SetType, TupleType
+
+X_ROW = TupleType({"a": INT, "b": INT})
+Y_ROW = TupleType({"c": INT, "d": STRING})
+TABLES = {"X": X_ROW, "Y": Y_ROW}
+
+X = Scan("X", "x")
+Y = Scan("Y", "y")
+EQUI = parse("x.a = y.c")
+
+
+class TestBindingTypes:
+    def test_scan(self):
+        assert plan_types(X, TABLES) == {"x": X_ROW}
+
+    def test_unknown_table(self):
+        with pytest.raises(TypeCheckError, match="unknown table"):
+            plan_types(Scan("GHOST", "g"), TABLES)
+
+    def test_join_merges(self):
+        assert plan_types(Join(X, Y, EQUI), TABLES) == {"x": X_ROW, "y": Y_ROW}
+
+    def test_semi_anti_keep_left(self):
+        assert plan_types(SemiJoin(X, Y, EQUI), TABLES) == {"x": X_ROW}
+        assert plan_types(AntiJoin(X, Y, EQUI), TABLES) == {"x": X_ROW}
+
+    def test_outer_join_right_becomes_any(self):
+        types = plan_types(OuterJoin(X, Y, EQUI), TABLES)
+        assert types["x"] == X_ROW
+        assert types["y"] == ANY
+
+    def test_nest_join_label_is_set_of_func_type(self):
+        nj = NestJoin(X, Y, EQUI, parse("y.d"), "zs")
+        types = plan_types(nj, TABLES)
+        assert types["zs"] == SetType(STRING)
+
+    def test_identity_nest_join(self):
+        nj = NestJoin(X, Y, EQUI, None, "zs")
+        assert plan_types(nj, TABLES)["zs"] == SetType(Y_ROW)
+
+    def test_map_and_extend(self):
+        assert plan_types(Map(X, parse("x.a + 1"), "v"), TABLES) == {"v": INT}
+        types = plan_types(Extend(X, parse("x.a = 1"), "flag"), TABLES)
+        assert types == {"x": X_ROW, "flag": BOOL}
+
+    def test_drop(self):
+        types = plan_types(Drop(Join(X, Y, EQUI), ("y",)), TABLES)
+        assert types == {"x": X_ROW}
+
+    def test_nest_and_unnest(self):
+        grouped = Nest(Join(X, Y, EQUI), by=("x",), nest="y", label="g")
+        types = plan_types(grouped, TABLES)
+        assert types == {"x": X_ROW, "g": SetType(Y_ROW)}
+        flat = Unnest(grouped, "g", "y2")
+        types = plan_types(flat, TABLES)
+        assert types == {"x": X_ROW, "y2": Y_ROW}
+
+
+class TestChecking:
+    def test_non_boolean_select_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check_plan(Select(X, parse("x.a + 1")), TABLES)
+
+    def test_non_boolean_join_pred_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check_plan(Join(X, Y, parse("x.a + y.c")), TABLES)
+
+    def test_bad_attribute_in_pred_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check_plan(Select(X, parse("x.zzz = 1")), TABLES)
+
+    def test_incompatible_join_keys_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check_plan(Join(X, Y, parse("x.a = y.d")), TABLES)  # INT vs STRING
+
+    def test_unnest_of_scalar_rejected(self):
+        plan = Unnest(Extend(X, parse("x.a"), "s"), "s", "v")
+        with pytest.raises(TypeCheckError, match="non-set"):
+            check_plan(plan, TABLES)
+
+
+class TestTranslatorOutputTypes:
+    """Every plan the translator emits must type-check."""
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_translations_type_check(self, seed):
+        import random
+
+        from repro.core.pipeline import prepare
+        from repro.testing import random_catalog, random_query
+
+        rng = random.Random(seed)
+        catalog = random_catalog(rng)
+        tr = prepare(random_query(rng), catalog)
+        if tr is not None:
+            check_plan(tr.plan, catalog.row_types())
+
+    def test_paper_query_translations_type_check(self):
+        from repro.core.pipeline import prepare
+        from repro.workloads import (
+            COUNT_BUG_NESTED,
+            SECTION8_FLAT_VARIANT,
+            SECTION8_QUERY,
+            SUBSETEQ_BUG_NESTED,
+            make_chain_workload,
+            make_join_workload,
+            make_set_workload,
+        )
+
+        wl = make_join_workload(n_left=10, seed=0)
+        check_plan(prepare(COUNT_BUG_NESTED, wl.catalog).plan, wl.catalog.row_types())
+        cat = make_set_workload(n_left=10, n_right=10, seed=0)
+        check_plan(prepare(SUBSETEQ_BUG_NESTED, cat).plan, cat.row_types())
+        chain = make_chain_workload(n_x=5, n_y=5, n_z=5, seed=0)
+        check_plan(prepare(SECTION8_QUERY, chain).plan, chain.row_types())
+        check_plan(prepare(SECTION8_FLAT_VARIANT, chain).plan, chain.row_types())
+
+    def test_rewritten_plans_type_check(self):
+        import random
+
+        from repro.algebra.rewrite import optimize_logical
+        from repro.core.pipeline import prepare
+        from repro.testing import random_catalog, random_query
+
+        for seed in range(20):
+            rng = random.Random(seed)
+            catalog = random_catalog(rng)
+            tr = prepare(random_query(rng), catalog)
+            if tr is not None:
+                check_plan(optimize_logical(tr.plan), catalog.row_types())

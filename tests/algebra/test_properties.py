@@ -1,0 +1,155 @@
+"""Property tests for the Section 6 algebraic laws of the nest join.
+
+Each law is executed on randomly generated relations (hypothesis) and the
+two sides compared as sets of binding tuples. The *non-laws* the paper
+warns about (commutativity, Unnest∘NestJoin = Join) are demonstrated with
+explicit counterexamples.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.interpreter import run_logical
+from repro.algebra.plan import Join, NestJoin, Scan
+from repro.algebra.properties import (
+    ALL_LAWS,
+    join_nestjoin_assoc,
+    nestjoin_join_exchange,
+    nestjoin_via_outerjoin,
+    outerjoin_nest_expansion,
+    project_collapse,
+    unnest_of_nestjoin,
+)
+from repro.engine.table import Catalog
+from repro.lang.parser import parse
+from repro.model.values import Tup
+
+
+def rows(labels, max_size=5):
+    """Strategy: a small relation over the given labels with tiny int domains."""
+    row = st.builds(
+        lambda *vals: Tup(dict(zip(labels, vals))),
+        *[st.integers(0, 3) for _ in labels],
+    )
+    return st.lists(row, max_size=max_size, unique=True)
+
+
+def catalog_of(**tables):
+    cat = Catalog()
+    for name, rs in tables.items():
+        cat.add_rows(name, rs)
+    return cat
+
+
+def as_set(plan, catalog):
+    return frozenset(run_logical(plan, catalog))
+
+
+X = Scan("X", "x")
+Y = Scan("Y", "y")
+Z = Scan("Z", "z")
+
+
+@settings(max_examples=60)
+@given(rows(("a", "b")), rows(("c", "d")))
+def test_project_collapse(xs, ys):
+    cat = catalog_of(X=xs, Y=ys)
+    pred = parse("x.b = y.d")
+    lhs = project_collapse.lhs(X, Y, pred)
+    rhs = project_collapse.rhs(X, Y, pred)
+    assert as_set(lhs, cat) == as_set(rhs, cat)
+
+
+@settings(max_examples=60)
+@given(rows(("a", "b")), rows(("c", "d")), rows(("e", "f")))
+def test_nestjoin_join_exchange(xs, ys, zs):
+    cat = catalog_of(X=xs, Y=ys, Z=zs)
+    r_xy = parse("x.b = y.d")
+    s_xz = parse("x.a = z.f")
+    lhs = nestjoin_join_exchange.lhs(X, Y, Z, r_xy, s_xz)
+    rhs = nestjoin_join_exchange.rhs(X, Y, Z, r_xy, s_xz)
+    assert as_set(lhs, cat) == as_set(rhs, cat)
+
+
+@settings(max_examples=60)
+@given(rows(("a", "b")), rows(("c", "d")), rows(("e", "f")))
+def test_join_nestjoin_assoc(xs, ys, zs):
+    cat = catalog_of(X=xs, Y=ys, Z=zs)
+    r_xy = parse("x.b = y.d")
+    s_yz = parse("y.c = z.e")
+    lhs = join_nestjoin_assoc.lhs(X, Y, Z, r_xy, s_yz)
+    rhs = join_nestjoin_assoc.rhs(X, Y, Z, r_xy, s_yz)
+    assert as_set(lhs, cat) == as_set(rhs, cat)
+
+
+@settings(max_examples=60)
+@given(rows(("a", "b")), rows(("c", "d")))
+def test_outerjoin_nest_expansion(xs, ys):
+    cat = catalog_of(X=xs, Y=ys)
+    pred = parse("x.b = y.d")
+    lhs = outerjoin_nest_expansion.lhs(X, Y, pred)
+    rhs = outerjoin_nest_expansion.rhs(X, Y, pred)
+    assert as_set(lhs, cat) == as_set(rhs, cat)
+
+
+@settings(max_examples=60)
+@given(rows(("a", "b")), rows(("c", "d")))
+def test_nestjoin_via_outerjoin_rewrite(xs, ys):
+    cat = catalog_of(X=xs, Y=ys)
+    nj = NestJoin(X, Y, parse("x.b = y.d"), None, "zs")
+    rewritten = nestjoin_via_outerjoin(nj)
+    assert as_set(nj, cat) == as_set(rewritten, cat)
+
+
+@settings(max_examples=60)
+@given(rows(("a", "b")), rows(("c", "d")))
+def test_unnest_of_nestjoin_equals_join_exactly_on_matching_tuples(xs, ys):
+    cat = catalog_of(X=xs, Y=ys)
+    unnest_plan, join_plan = unnest_of_nestjoin(X, Y, parse("x.b = y.d"))
+    assert as_set(unnest_plan, cat) == as_set(join_plan, cat)
+
+
+class TestNonLaws:
+    """Counterexamples for the properties the paper says do NOT hold."""
+
+    def test_nest_join_is_not_commutative(self):
+        cat = catalog_of(X=[Tup(a=1, b=1)], Y=[Tup(c=1, d=1)])
+        xy = run_logical(NestJoin(X, Y, parse("x.b = y.d"), None, "zs"), cat)
+        yx = run_logical(NestJoin(Y, X, parse("x.b = y.d"), None, "zs"), cat)
+        # Different shapes entirely: x ++ zs vs y ++ zs.
+        assert frozenset(xy) != frozenset(yx)
+
+    def test_unnest_nestjoin_loses_dangling_tuples(self):
+        # With a dangling X-tuple the two sides of unnest_of_nestjoin agree
+        # (both drop it); but NestJoin itself retains it — showing why the
+        # nest join cannot be replaced by join + nest when dangling matter.
+        cat = catalog_of(X=[Tup(a=1, b=99)], Y=[Tup(c=1, d=1)])
+        nj_rows = run_logical(NestJoin(X, Y, parse("x.b = y.d"), None, "zs"), cat)
+        join_rows = run_logical(Join(X, Y, parse("x.b = y.d")), cat)
+        assert len(nj_rows) == 1 and nj_rows[0]["zs"] == frozenset()
+        assert join_rows == []
+
+    def test_nestjoin_does_not_associate_with_join_in_other_grouping(self):
+        # X Δ (Y ⋈ Z) is typed differently from (X Δ Y) ⋈ Z: the former
+        # nests y-z pairs, the latter nests y alone then joins z flat.
+        cat = catalog_of(
+            X=[Tup(a=1, b=1)],
+            Y=[Tup(c=1, d=1)],
+            Z=[Tup(e=1, f=1)],
+        )
+        lhs = NestJoin(X, Join(Y, Z, parse("y.c = z.e")), parse("x.b = y.d"), parse("(y = y, z = z)"), "zs")
+        rhs = Join(NestJoin(X, Y, parse("x.b = y.d"), None, "zs"), Z, parse("z.f = x.a"))
+        left_rows = frozenset(run_logical(lhs, cat))
+        right_rows = frozenset(run_logical(rhs, cat))
+        assert left_rows != right_rows
+
+    def test_all_laws_registry(self):
+        names = {law.name for law in ALL_LAWS}
+        assert names == {
+            "project_collapse",
+            "nestjoin_join_exchange",
+            "join_nestjoin_assoc",
+            "outerjoin_nest_expansion",
+        }
+        for law in ALL_LAWS:
+            assert law.description

@@ -1,0 +1,184 @@
+"""Tests for the logical rewrite pass: correctness and effect."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.interpreter import run_logical
+from repro.algebra.plan import (
+    AntiJoin,
+    Distinct,
+    Drop,
+    Extend,
+    Join,
+    Map,
+    Nest,
+    NestJoin,
+    OuterJoin,
+    Scan,
+    Select,
+    SemiJoin,
+    Unnest,
+)
+from repro.algebra.rewrite import optimize_logical, push_selection
+from repro.engine.table import Catalog
+from repro.lang.ast import TRUE
+from repro.lang.parser import parse
+from repro.model.values import Tup
+
+
+X = Scan("X", "x")
+Y = Scan("Y", "y")
+EQUI = parse("x.b = y.d")
+
+
+def catalog(seed=0, n=20):
+    import random
+
+    rng = random.Random(seed)
+    cat = Catalog()
+    cat.add_rows("X", [Tup(a=rng.randrange(4), b=rng.randrange(5)) for _ in range(n)])
+    cat.add_rows("Y", [Tup(c=rng.randrange(4), d=rng.randrange(5)) for _ in range(n)])
+    return cat
+
+
+class TestPushdownStructure:
+    def test_left_only_conjunct_sinks_below_join(self):
+        plan = Select(Join(X, Y, EQUI), parse("x.a = 1"))
+        out = optimize_logical(plan)
+        assert out == Join(Select(X, parse("x.a = 1")), Y, EQUI)
+
+    def test_right_only_conjunct_sinks_into_inner_join_right(self):
+        plan = Select(Join(X, Y, EQUI), parse("y.c = 2"))
+        out = optimize_logical(plan)
+        assert out == Join(X, Select(Y, parse("y.c = 2")), EQUI)
+
+    def test_mixed_conjunct_stays(self):
+        pred = parse("x.a < y.c")
+        plan = Select(Join(X, Y, EQUI), pred)
+        assert optimize_logical(plan) == plan
+
+    def test_conjuncts_travel_independently(self):
+        plan = Select(Join(X, Y, EQUI), parse("x.a = 1 AND y.c = 2 AND x.a < y.c"))
+        out = optimize_logical(plan)
+        assert out == Select(
+            Join(Select(X, parse("x.a = 1")), Select(Y, parse("y.c = 2")), EQUI),
+            parse("x.a < y.c"),
+        )
+
+    @pytest.mark.parametrize(
+        "mk",
+        [
+            lambda: SemiJoin(X, Y, EQUI),
+            lambda: AntiJoin(X, Y, EQUI),
+            lambda: OuterJoin(X, Y, EQUI),
+            lambda: NestJoin(X, Y, EQUI, None, "zs"),
+        ],
+        ids=["semi", "anti", "outer", "nest"],
+    )
+    def test_left_pushdown_through_every_join_mode(self, mk):
+        plan = Select(mk(), parse("x.a = 1"))
+        out = optimize_logical(plan)
+        join = out
+        assert type(join) is type(mk())
+        assert join.left == Select(X, parse("x.a = 1"))
+
+    def test_no_right_pushdown_for_outer_or_nest(self):
+        # A selection above OuterJoin referencing y is legal (y is bound);
+        # it must NOT sink into the right operand.
+        plan = Select(OuterJoin(X, Y, EQUI), parse("y.c = 2"))
+        out = optimize_logical(plan)
+        assert isinstance(out, Select)
+        assert isinstance(out.child, OuterJoin)
+        assert out.child.right == Y
+
+    def test_pushdown_through_extend_drop_distinct(self):
+        inner = Distinct(Drop(Extend(Join(X, Y, EQUI), parse("x.a + 1"), "e"), ("e",)))
+        plan = Select(inner, parse("x.a = 1"))
+        out = optimize_logical(plan)
+        # The selection ends up directly above the X scan.
+        node = out
+        while not isinstance(node, Join):
+            node = node.children()[0]
+        assert node.left == Select(X, parse("x.a = 1"))
+
+    def test_selection_on_extend_label_stays_above_extend(self):
+        plan = Select(Extend(X, parse("x.a + 1"), "e"), parse("e = 2"))
+        assert optimize_logical(plan) == plan
+
+    def test_pushdown_through_unnest_unless_var_used(self):
+        nj = NestJoin(X, Y, EQUI, None, "zs")
+        flat = Unnest(nj, "zs", "y2")
+        sinkable = Select(flat, parse("x.a = 1"))
+        out = optimize_logical(sinkable)
+        assert isinstance(out, Unnest)
+        stuck = Select(flat, parse("y2.c = 1"))
+        assert optimize_logical(stuck) == stuck
+
+    def test_pushdown_into_nest_on_group_keys_only(self):
+        grouped = Nest(Join(X, Y, EQUI), by=("x",), nest="y", label="g")
+        sinkable = Select(grouped, parse("x.a = 1"))
+        out = optimize_logical(sinkable)
+        assert isinstance(out, Nest)
+        stuck = Select(grouped, parse("COUNT(g) = 0"))
+        assert optimize_logical(stuck) == stuck
+
+    def test_true_selection_removed(self):
+        assert optimize_logical(Select(X, TRUE)) == X
+
+    def test_stacked_selects_merge_and_sink(self):
+        plan = Select(Select(Join(X, Y, EQUI), parse("x.a = 1")), parse("y.c = 2"))
+        out = optimize_logical(plan)
+        assert out == Join(Select(X, parse("x.a = 1")), Select(Y, parse("y.c = 2")), EQUI)
+
+    def test_nested_distinct_collapses(self):
+        assert optimize_logical(Distinct(Distinct(X))) == Distinct(X)
+
+    def test_push_selection_returns_none_when_stuck(self):
+        assert push_selection(X, parse("x.a = 1")) is None
+
+
+PLAN_BUILDERS = [
+    lambda: Select(Join(X, Y, EQUI), parse("x.a = 1 AND y.c = 2")),
+    lambda: Select(NestJoin(X, Y, EQUI, parse("y.c"), "zs"), parse("x.a = 1 AND COUNT(zs) >= 0")),
+    lambda: Select(SemiJoin(X, Y, EQUI), parse("x.a <> 3")),
+    lambda: Select(OuterJoin(X, Y, EQUI), parse("x.b >= 1")),
+    lambda: Map(
+        Select(Drop(NestJoin(X, Y, EQUI, parse("y.c"), "zs"), ("zs",)), parse("x.a = 1")),
+        parse("x.b"),
+        "v",
+    ),
+    lambda: Select(
+        Nest(OuterJoin(X, Y, EQUI), by=("x",), nest="y", label="g", null_to_empty=True),
+        parse("x.a = 2 AND COUNT(g) = 0"),
+    ),
+]
+
+
+@pytest.mark.parametrize("mk", range(len(PLAN_BUILDERS)))
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 1000), n=st.integers(0, 25))
+def test_rewrites_preserve_semantics(mk, seed, n):
+    cat = catalog(seed, n)
+    plan = PLAN_BUILDERS[mk]()
+    before = Counter(run_logical(plan, cat))
+    after = Counter(run_logical(optimize_logical(plan), cat))
+    assert before == after
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_rewrites_preserve_random_query_results(seed):
+    import random
+
+    from repro.core.pipeline import run_query
+    from repro.testing import random_catalog, random_query
+
+    rng = random.Random(seed)
+    cat = random_catalog(rng)
+    query = random_query(rng)
+    with_rewrite = run_query(query, cat, engine="physical", rewrite=True).value
+    without = run_query(query, cat, engine="physical", rewrite=False).value
+    assert with_rewrite == without

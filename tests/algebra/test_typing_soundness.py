@@ -1,0 +1,52 @@
+"""Typing soundness: statically computed binding types describe runtime rows.
+
+For random translated (and rewritten) plans, every row the reference
+executor produces must *conform* to the types :func:`plan_types` predicted
+— the classic "well-typed programs don't go wrong" property, here for the
+algebra.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.interpreter import run_logical
+from repro.algebra.rewrite import optimize_logical
+from repro.algebra.typing import plan_types
+from repro.core.pipeline import prepare
+from repro.model.validate import conforms
+from repro.testing import random_catalog, random_query
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_runtime_rows_conform_to_static_types(seed):
+    rng = random.Random(seed)
+    catalog = random_catalog(rng)
+    tr = prepare(random_query(rng), catalog)
+    if tr is None:
+        return
+    types = plan_types(tr.plan, catalog.row_types())
+    rows = run_logical(tr.plan, catalog)
+    for row in rows:
+        assert set(row.labels()) == set(types)
+        for label, value in row.items():
+            assert conforms(value, types[label]), (
+                f"binding {label!r} = {value!r} does not conform to {types[label]!r}"
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_rewritten_plans_keep_typing_soundness(seed):
+    rng = random.Random(seed)
+    catalog = random_catalog(rng)
+    tr = prepare(random_query(rng), catalog)
+    if tr is None:
+        return
+    plan = optimize_logical(tr.plan)
+    types = plan_types(plan, catalog.row_types())
+    for row in run_logical(plan, catalog):
+        for label, value in row.items():
+            assert conforms(value, types[label])

@@ -1,0 +1,129 @@
+"""The COUNT bug, demonstrated and fixed (E3's correctness half).
+
+The nested query ``SELECT r FROM R r WHERE r.b = COUNT(...)`` is evaluated
+
+* by the oracle (naive nested-loop — correct by definition),
+* by Kim's two variants (buggy: they lose dangling R-tuples with b = 0),
+* by the Ganski–Wong outerjoin fix (correct),
+* by Muralikrishna's antijoin-predicate fix (correct),
+* by this library's nest-join translation (correct).
+
+The missing rows of Kim's plans are shown to be *exactly* the dangling
+b = 0 tuples.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.interpreter import result_set, run_logical
+from repro.baselines import (
+    ganski_wong_plan,
+    kim_ja_group_first_plan,
+    kim_ja_join_first_plan,
+    kim_type_nj_plan,
+    mural_plan,
+)
+from repro.core.pipeline import run_query
+from repro.engine.executor import run_physical
+from repro.engine.table import Catalog
+from repro.model.values import Tup
+from repro.workloads import COUNT_BUG_NESTED, make_join_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_join_workload(n_left=80, match_rate=0.5, fanout=2, seed=11)
+
+
+@pytest.fixture(scope="module")
+def oracle(workload):
+    return run_query(COUNT_BUG_NESTED, workload.catalog, engine="interpret").value
+
+
+def run_plan(plan, catalog):
+    return result_set(run_logical(plan, catalog))
+
+
+class TestKimIsBuggy:
+    def test_group_first_loses_dangling_zero_rows(self, workload, oracle):
+        got = run_plan(kim_ja_group_first_plan(), workload.catalog)
+        missing = oracle - got
+        assert missing, "the workload must trigger the COUNT bug"
+        assert all(t["b"] == 0 for t in missing)
+        # And nothing else is wrong: got ∪ missing == oracle, got ⊆ oracle.
+        assert got <= oracle
+        assert got | missing == oracle
+
+    def test_join_first_loses_the_same_rows(self, workload, oracle):
+        got = run_plan(kim_ja_join_first_plan(), workload.catalog)
+        missing = oracle - got
+        assert missing and all(t["b"] == 0 for t in missing)
+        assert got <= oracle
+
+    def test_both_variants_agree_with_each_other(self, workload):
+        a = run_plan(kim_ja_group_first_plan(), workload.catalog)
+        b = run_plan(kim_ja_join_first_plan(), workload.catalog)
+        assert a == b
+
+    def test_missing_rows_are_exactly_dangling_b0(self, workload, oracle):
+        got = run_plan(kim_ja_group_first_plan(), workload.catalog)
+        s_cs = {s["c"] for s in workload.catalog["S"].rows}
+        expected_missing = {
+            r
+            for r in workload.catalog["R"].rows
+            if r["b"] == 0 and r["c"] not in s_cs
+        }
+        assert oracle - got == expected_missing
+
+
+class TestFixesAreCorrect:
+    def test_ganski_wong(self, workload, oracle):
+        assert run_plan(ganski_wong_plan(), workload.catalog) == oracle
+
+    def test_mural(self, workload, oracle):
+        assert run_plan(mural_plan(), workload.catalog) == oracle
+
+    def test_nest_join_translation(self, workload, oracle):
+        assert run_query(COUNT_BUG_NESTED, workload.catalog, engine="logical").value == oracle
+        assert run_query(COUNT_BUG_NESTED, workload.catalog, engine="physical").value == oracle
+
+    def test_fixes_work_on_physical_engine_too(self, workload, oracle):
+        for plan in (ganski_wong_plan(), mural_plan()):
+            assert result_set(run_physical(plan, workload.catalog)) == oracle
+
+
+class TestTypeNJ:
+    def test_in_subquery_flattening_is_correct(self):
+        # Type-N/J has no aggregate → no bug (the contrast Kim relied on).
+        wl = make_join_workload(n_left=60, match_rate=0.6, fanout=2, seed=3)
+        query = "SELECT r FROM R r WHERE r.b IN (SELECT s.d FROM S s WHERE r.c = s.c)"
+        oracle = run_query(query, wl.catalog, engine="interpret").value
+        got = run_plan(kim_type_nj_plan(), wl.catalog)
+        assert got == oracle
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    r_rows=st.lists(
+        st.builds(lambda b, c: Tup(b=b, c=c), st.integers(0, 3), st.integers(0, 4)),
+        max_size=8,
+        unique=True,
+    ),
+    s_rows=st.lists(
+        st.builds(lambda c, d: Tup(c=c, d=d), st.integers(0, 4), st.integers(0, 3)),
+        max_size=8,
+        unique=True,
+    ),
+)
+def test_fixes_match_oracle_on_random_data(r_rows, s_rows):
+    cat = Catalog()
+    cat.add_rows("R", r_rows)
+    cat.add_rows("S", s_rows)
+    oracle = run_query(COUNT_BUG_NESTED, cat, engine="interpret").value
+    assert run_plan(ganski_wong_plan(), cat) == oracle
+    assert run_plan(mural_plan(), cat) == oracle
+    assert run_query(COUNT_BUG_NESTED, cat, engine="logical").value == oracle
+    # Kim's variants may only ever lose rows, never invent them.
+    assert run_plan(kim_ja_group_first_plan(), cat) <= oracle
+    assert run_plan(kim_ja_join_first_plan(), cat) <= oracle

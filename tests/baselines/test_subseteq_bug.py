@@ -1,0 +1,67 @@
+"""The SUBSETEQ bug (Section 4) — the COUNT bug generalized (E4's correctness half)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.interpreter import result_set, run_logical
+from repro.baselines import kim_style_subseteq_plan
+from repro.core.pipeline import run_query
+from repro.engine.table import Catalog
+from repro.model.values import Tup
+from repro.workloads import SUBSETEQ_BUG_NESTED, make_set_workload
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return make_set_workload(n_left=60, n_right=40, match_rate=0.5, seed=21)
+
+
+@pytest.fixture(scope="module")
+def oracle(catalog):
+    return run_query(SUBSETEQ_BUG_NESTED, catalog, engine="interpret").value
+
+
+class TestSubseteqBug:
+    def test_kim_style_plan_loses_dangling_empty_set_tuples(self, catalog, oracle):
+        got = result_set(run_logical(kim_style_subseteq_plan(), catalog))
+        missing = oracle - got
+        assert missing, "workload must trigger the SUBSETEQ bug"
+        # Exactly the X-tuples with a = ∅ and no Y partner on b.
+        y_bs = {y["b"] for y in catalog["Y"].rows}
+        assert all(t["a"] == frozenset() and t["b"] not in y_bs for t in missing)
+        assert got <= oracle
+        assert got | missing == oracle
+
+    def test_nest_join_translation_is_correct(self, catalog, oracle):
+        assert run_query(SUBSETEQ_BUG_NESTED, catalog, engine="logical").value == oracle
+        assert run_query(SUBSETEQ_BUG_NESTED, catalog, engine="physical").value == oracle
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    xs=st.lists(
+        st.builds(
+            lambda a, b: Tup(a=frozenset(a), b=b),
+            st.frozensets(st.integers(0, 3), max_size=2),
+            st.integers(0, 3),
+        ),
+        max_size=8,
+        unique=True,
+    ),
+    ys=st.lists(
+        st.builds(lambda a, b: Tup(a=a, b=b), st.integers(0, 3), st.integers(0, 3)),
+        max_size=8,
+        unique=True,
+    ),
+)
+def test_bug_is_only_ever_a_row_deficit(xs, ys):
+    cat = Catalog()
+    cat.add_rows("X", xs)
+    cat.add_rows("Y", ys)
+    oracle = run_query(SUBSETEQ_BUG_NESTED, cat, engine="interpret").value
+    got = result_set(run_logical(kim_style_subseteq_plan(), cat))
+    assert got <= oracle
+    missing = oracle - got
+    y_bs = {y["b"] for y in ys}
+    assert all(t["a"] == frozenset() and t["b"] not in y_bs for t in missing)

@@ -1,0 +1,62 @@
+"""Tests for the strategy comparator and its CLI subcommand."""
+
+import pytest
+
+from repro.bench.compare import compare_strategies
+from repro.engine.table import Catalog
+from repro.model.values import Tup
+from repro.workloads import COUNT_BUG_NESTED, make_join_workload
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return make_join_workload(n_left=40, match_rate=0.5, fanout=2, seed=2).catalog
+
+
+class TestCompareStrategies:
+    def test_all_strategies_listed_and_correct(self, catalog):
+        table = compare_strategies(COUNT_BUG_NESTED, catalog, repeat=1)
+        names = table.column("strategy")
+        assert names[0] == "naive nested-loop (interpret)"
+        assert any("reference executor" in n for n in names)
+        assert any("rewrites on" in n for n in names)
+        assert any("nested_loop" in n for n in names)
+        assert any("hash" in n for n in names)
+        assert any("sort_merge" in n for n in names)
+        assert any("index_nested_loop" in n for n in names)
+        assert all(table.column("correct"))
+        # Every strategy returns the same number of rows.
+        assert len(set(table.column("rows"))) == 1
+
+    def test_translation_note(self, catalog):
+        table = compare_strategies(COUNT_BUG_NESTED, catalog, repeat=1)
+        assert any("nestjoin" in note for note in table.notes)
+
+    def test_without_forced_algorithms(self, catalog):
+        table = compare_strategies(
+            COUNT_BUG_NESTED, catalog, repeat=1, include_forced_algorithms=False
+        )
+        assert not any("all joins" in n for n in table.column("strategy"))
+
+    def test_unplannable_query(self):
+        cat = Catalog()
+        cat.add_rows("U", [Tup(items=frozenset({1}), k=1)])
+        table = compare_strategies(
+            "SELECT v FROM (SELECT u.items FROM U u) s WITH v = s", cat, repeat=1
+        )
+        # Falls back to interpretation-only with a note.
+        assert any("no plan" in note for note in table.notes)
+
+
+class TestCli:
+    def test_compare_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.io import dump_catalog
+
+        cat = make_join_workload(n_left=15, match_rate=0.5, fanout=1, seed=1).catalog
+        path = tmp_path / "db.json"
+        dump_catalog(cat, path)
+        assert main(["compare", COUNT_BUG_NESTED, "--db", str(path), "--repeat", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "strategy comparison" in out
+        assert "naive nested-loop (interpret)" in out

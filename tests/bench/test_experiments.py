@@ -1,0 +1,128 @@
+"""Smoke tests for the experiment suite at tiny scales.
+
+The benchmarks assert shapes at report scale; these tests keep every
+experiment function covered and correct in the ordinary unit-test run.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    e1_table1,
+    e2_table2,
+    e3_count_bug,
+    e4_subseteq_bug,
+    e5_q1_q2,
+    e6_unnest_collapse,
+    e7_section8,
+    e8_nested_vs_flat,
+    e9_nestjoin_impls,
+    e10_outerjoin_detour,
+    e11_semijoin_vs_nestjoin,
+    e12_scaling,
+)
+
+
+class TestExactExperiments:
+    def test_e1_table1(self):
+        table = e1_table1()
+        assert len(table.rows) == 3
+        assert "dangling tuple preserved with s = ∅: True" in table.notes
+
+    def test_e2_table2(self):
+        table = e2_table2()
+        assert len(table.rows) == 16
+        classes = set(table.column("class"))
+        assert classes == {"exists", "not_exists", "grouping"}
+
+
+class TestTimedExperimentsAtTinyScale:
+    def test_e3(self):
+        table = e3_count_bug(n_left=40)
+        correct = dict(zip(table.column("strategy"), table.column("correct")))
+        assert correct["naive nested-loop"] is True
+        assert correct["Kim (1) group-first"] is False
+        assert correct["Ganski–Wong outerjoin"] is True
+        assert correct["Muralikrishna antijoin"] is True
+        assert correct["nest join (this paper)"] is True
+
+    def test_e4(self):
+        table = e4_subseteq_bug(n_left=40, n_right=30)
+        correct = dict(zip(table.column("strategy"), table.column("correct")))
+        assert correct["Kim-style group+join"] is False
+        assert correct["nest join (this paper)"] is True
+
+    def test_e5(self):
+        table = e5_q1_q2(n_departments=4, n_employees=25)
+        assert all(table.column("correct"))
+
+    def test_e6(self):
+        table = e6_unnest_collapse(n=60)
+        assert all(table.column("correct"))
+
+    def test_e7(self):
+        table = e7_section8(n=25)
+        assert all(table.column("correct"))
+        strategies = table.column("strategy")
+        assert "nestjoin+nestjoin" in strategies
+        assert "antijoin+semijoin" in strategies
+
+    def test_e8(self):
+        table = e8_nested_vs_flat(sizes=(20, 40))
+        assert all(table.column("correct"))
+
+    def test_e9(self):
+        table = e9_nestjoin_impls(sizes=(30,))
+        assert all(table.column("agree"))
+
+    def test_e10(self):
+        table = e10_outerjoin_detour(sizes=(30,))
+        assert all(table.column("equal"))
+
+    def test_e11(self):
+        table = e11_semijoin_vs_nestjoin(sizes=(40,))
+        assert all(table.column("equal"))
+
+    def test_e12(self):
+        table = e12_scaling(sizes=(20, 40))
+        assert all(table.column("correct"))
+
+
+class TestExtensionAblations:
+    def test_e13(self):
+        from repro.bench.experiments import e13_rewrite_ablation
+
+        table = e13_rewrite_ablation(n_left=60, n_right=50)
+        assert "equal results: True" in table.notes[0]
+
+    def test_e14(self):
+        from repro.bench.experiments import e14_index_join
+
+        table = e14_index_join(n_left=60)
+        assert "equal results: True" in table.notes[0]
+
+    def test_e15(self):
+        from repro.bench.experiments import e15_plan_enumeration
+
+        table = e15_plan_enumeration()
+        assert "equal results: True" in table.notes[0]
+        assert table.column("shape") == ["(X ⋈ Y) Δ Z", "(X Δ Z) ⋈ Y"]
+
+
+class TestRegistryAndMain:
+    def test_registry_complete(self):
+        assert list(EXPERIMENTS) == [f"E{i}" for i in range(1, 16)]
+        for key, (title, fn) in EXPERIMENTS.items():
+            assert callable(fn) and title
+
+    def test_main_runs_selected(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["E1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_main_rejects_unknown(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["E99"]) == 2

@@ -1,0 +1,72 @@
+"""Unit tests for the benchmark harness."""
+
+import pytest
+
+from repro.bench.harness import ResultTable, fmt_seconds, speedup, time_best
+
+
+class TestResultTable:
+    def test_add_and_column(self):
+        t = ResultTable("T", ("a", "b"))
+        t.add(1, "x")
+        t.add(2, "y")
+        assert t.column("a") == [1, 2]
+        assert t.column("b") == ["x", "y"]
+
+    def test_add_rejects_wrong_arity(self):
+        t = ResultTable("T", ("a", "b"))
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_render_aligns_columns(self):
+        t = ResultTable("Title", ("name", "n"))
+        t.add("short", 1)
+        t.add("a-much-longer-name", 22)
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert lines[1] == "====="
+        # header and data rows share column boundaries
+        header = lines[2]
+        assert header.startswith("name")
+        widths = {len(line) for line in lines[3:5]}
+        assert len(widths) >= 1  # rendered without raising
+
+    def test_notes_rendered(self):
+        t = ResultTable("T", ("a",))
+        t.add(1)
+        t.note("hello note")
+        assert "* hello note" in t.render()
+
+    def test_float_formatting(self):
+        t = ResultTable("T", ("v",))
+        t.add(3.14159265)
+        assert "3.142" in t.render()
+
+    def test_str_is_render(self):
+        t = ResultTable("T", ("a",))
+        t.add(1)
+        assert str(t) == t.render()
+
+
+class TestTiming:
+    def test_time_best_returns_positive(self):
+        assert time_best(lambda: sum(range(100)), repeat=2) > 0
+
+    def test_time_best_takes_minimum(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+
+        time_best(fn, repeat=4)
+        assert len(calls) == 4
+
+    def test_fmt_seconds_ranges(self):
+        assert fmt_seconds(0.0000005).endswith("µs")
+        assert fmt_seconds(0.005).endswith("ms")
+        assert fmt_seconds(2.5).endswith("s")
+
+    def test_speedup_guards_zero(self):
+        assert speedup(1.0, 0.0) > 0
+        assert speedup(2.0, 1.0) == 2.0

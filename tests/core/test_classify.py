@@ -1,0 +1,134 @@
+"""Unit tests for the Table 2 classifier.
+
+Each row of the reconstructed Table 2 (DESIGN.md §5) asserts the expected
+classification; the semantic *equivalence* of the rewrites is proven
+separately by the differential tests in test_equivalence.py.
+"""
+
+import pytest
+
+from repro.core.classify import PredicateClass, classify, contains_expr, replace_expr
+from repro.core.normalize import normalize_predicate
+from repro.lang.ast import SFW, Cmp, CmpOp, Var, is_true_const
+from repro.lang.parser import parse
+
+Z = "(SELECT y.a FROM Y y WHERE x.b = y.b)"
+
+
+def classify_text(template: str):
+    pred = normalize_predicate(parse(template.format(z=Z)))
+    sub = parse(Z)
+    assert isinstance(sub, SFW)
+    return classify(pred, sub)
+
+
+TABLE2 = [
+    # -- SQL-expressible rows (above the line in the paper's Table 2) -----
+    ("{z} = {{}}", PredicateClass.NOT_EXISTS),
+    ("{{}} = {z}", PredicateClass.NOT_EXISTS),
+    ("{z} <> {{}}", PredicateClass.EXISTS),
+    ("COUNT({z}) = 0", PredicateClass.NOT_EXISTS),
+    ("0 = COUNT({z})", PredicateClass.NOT_EXISTS),
+    ("COUNT({z}) > 0", PredicateClass.EXISTS),
+    ("COUNT({z}) <> 0", PredicateClass.EXISTS),
+    ("COUNT({z}) >= 1", PredicateClass.EXISTS),
+    ("COUNT({z}) < 1", PredicateClass.NOT_EXISTS),
+    ("x.c = COUNT({z})", PredicateClass.GROUPING),
+    ("COUNT({z}) = x.c", PredicateClass.GROUPING),
+    ("x.c < COUNT({z})", PredicateClass.GROUPING),
+    ("x.c IN {z}", PredicateClass.EXISTS),
+    ("x.c NOT IN {z}", PredicateClass.NOT_EXISTS),
+    ("NOT (x.c IN {z})", PredicateClass.NOT_EXISTS),
+    # -- TM-specific rows (set-valued attribute a) ------------------------
+    ("x.a SUBSETEQ {z}", PredicateClass.GROUPING),
+    ("x.a SUBSET {z}", PredicateClass.GROUPING),
+    ("x.a SUPSET {z}", PredicateClass.GROUPING),
+    ("x.a SUPSETEQ {z}", PredicateClass.NOT_EXISTS),
+    ("NOT (x.a SUPSETEQ {z})", PredicateClass.EXISTS),
+    ("{z} SUBSETEQ x.a", PredicateClass.NOT_EXISTS),
+    ("x.a = {z}", PredicateClass.GROUPING),
+    ("x.a <> {z}", PredicateClass.GROUPING),
+    ("(x.a INTERSECT {z}) = {{}}", PredicateClass.NOT_EXISTS),
+    ("({z} INTERSECT x.a) = {{}}", PredicateClass.NOT_EXISTS),
+    ("(x.a INTERSECT {z}) <> {{}}", PredicateClass.EXISTS),
+    ("FORALL w IN x.a (w IN {z})", PredicateClass.GROUPING),
+    ("FORALL w IN x.a (w NOT IN {z})", PredicateClass.NOT_EXISTS),
+    ("EXISTS w IN x.a (w IN {z})", PredicateClass.EXISTS),
+    # -- explicit calculus forms ------------------------------------------
+    ("EXISTS v IN {z} (TRUE)", PredicateClass.EXISTS),
+    ("EXISTS v IN {z} (v = x.c)", PredicateClass.EXISTS),
+    ("NOT (EXISTS v IN {z} (v = x.c))", PredicateClass.NOT_EXISTS),
+    ("FORALL v IN {z} (v > x.c)", PredicateClass.NOT_EXISTS),
+    # -- other aggregates always group -------------------------------------
+    ("x.c = SUM({z})", PredicateClass.GROUPING),
+    ("x.c <= MAX({z})", PredicateClass.GROUPING),
+    ("AVG({z}) = x.c", PredicateClass.GROUPING),
+    ("MIN({z}) <> x.c", PredicateClass.GROUPING),
+]
+
+
+@pytest.mark.parametrize("template,expected", TABLE2, ids=[t for t, _ in TABLE2])
+def test_table2_classification(template, expected):
+    assert classify_text(template).kind == expected
+
+
+class TestRewriteShape:
+    def test_membership_member_pred(self):
+        cls = classify_text("x.c IN {z}")
+        assert cls.kind == PredicateClass.EXISTS
+        assert cls.member_pred == Cmp(CmpOp.EQ, Var(cls.var), parse("x.c"))
+
+    def test_emptiness_member_pred_is_true(self):
+        cls = classify_text("{z} = {{}}")
+        assert is_true_const(cls.member_pred)
+
+    def test_supseteq_member_pred(self):
+        cls = classify_text("x.a SUPSETEQ {z}")
+        assert cls.member_pred == Cmp(CmpOp.NOT_IN, Var(cls.var), parse("x.a"))
+
+    def test_intersection_member_pred(self):
+        cls = classify_text("(x.a INTERSECT {z}) <> {{}}")
+        assert cls.member_pred == Cmp(CmpOp.IN, Var(cls.var), parse("x.a"))
+
+    def test_explicit_exists_keeps_pred(self):
+        cls = classify_text("EXISTS v IN {z} (v = x.c)")
+        assert cls.var == "v"
+        assert cls.member_pred == parse("v = x.c")
+
+    def test_grouping_grouped_pred_replaces_subquery(self):
+        cls = classify_text("x.a SUBSETEQ {z}")
+        grouped = cls.grouped_pred("zs")
+        assert grouped == parse("x.a SUBSETEQ zs")
+
+    def test_fresh_member_var_avoids_collisions(self):
+        cls = classify_text("x.c IN {z}")
+        assert cls.var not in {"x", "y", "Y"}
+
+
+class TestDomainGuards:
+    def test_subquery_in_quantifier_domain_and_pred_groups(self):
+        # ∃v∈z (v IN z): z occurs in domain *and* body — not a flat form.
+        pred = normalize_predicate(parse(f"EXISTS v IN {Z} (v IN {Z})"))
+        sub = parse(Z)
+        assert classify(pred, sub).kind == PredicateClass.GROUPING
+
+    def test_unknown_shape_groups(self):
+        cls = classify_text("COUNT({z}) + 1 = x.c")
+        assert cls.kind == PredicateClass.GROUPING
+
+
+class TestExprHelpers:
+    def test_contains_expr(self):
+        sub = parse(Z)
+        assert contains_expr(parse(f"x.c IN {Z}"), sub)
+        assert not contains_expr(parse("x.c IN w"), sub)
+
+    def test_replace_expr_all_occurrences(self):
+        sub = parse(Z)
+        pred = parse(f"COUNT({Z}) = COUNT({Z})")
+        out = replace_expr(pred, sub, Var("zs"))
+        assert out == parse("COUNT(zs) = COUNT(zs)")
+
+    def test_replace_expr_at_root(self):
+        sub = parse(Z)
+        assert replace_expr(sub, sub, Var("zs")) == Var("zs")

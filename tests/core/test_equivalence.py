@@ -1,0 +1,167 @@
+"""Differential proofs: translated plans ≡ naive nested-loop semantics.
+
+For every Table 2 predicate form (and several composites), hypothesis
+generates random relations and the translated plan (logical executor) is
+compared against the interpreter. This is the machine-checked version of
+the paper's Theorem 1 rewrites *and* of the claim that the nest join avoids
+the COUNT/SUBSETEQ bugs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import run_query
+from repro.engine.table import Catalog
+from repro.model.values import Tup
+
+Z = "(SELECT y.a FROM Y y WHERE x.b = y.b)"
+
+# Every predicate template over x (outer) and z (correlated subquery).
+PREDICATES = [
+    "{z} = {{}}",
+    "{z} <> {{}}",
+    "COUNT({z}) = 0",
+    "COUNT({z}) > 0",
+    "x.c = COUNT({z})",
+    "x.c < COUNT({z})",
+    "x.c IN {z}",
+    "x.c NOT IN {z}",
+    "x.a SUBSETEQ {z}",
+    "x.a SUBSET {z}",
+    "x.a SUPSETEQ {z}",
+    "x.a SUPSET {z}",
+    "NOT (x.a SUPSETEQ {z})",
+    "{z} SUBSETEQ x.a",
+    "x.a = {z}",
+    "x.a <> {z}",
+    "(x.a INTERSECT {z}) = {{}}",
+    "(x.a INTERSECT {z}) <> {{}}",
+    "FORALL w IN x.a (w IN {z})",
+    "FORALL w IN x.a (w NOT IN {z})",
+    "EXISTS w IN x.a (w IN {z})",
+    "EXISTS v IN {z} (v = x.c)",
+    "NOT (EXISTS v IN {z} (v = x.c))",
+    "FORALL v IN {z} (v > x.c)",
+    "x.c = SUM({z})",
+    "x.c <= COUNT({z}) + 1",
+]
+
+
+def x_rows():
+    """Rows for X(a: set of int, b: int, c: int)."""
+    return st.lists(
+        st.builds(
+            lambda a, b, c: Tup(a=frozenset(a), b=b, c=c),
+            st.frozensets(st.integers(0, 3), max_size=3),
+            st.integers(0, 2),
+            st.integers(0, 3),
+        ),
+        max_size=5,
+        unique=True,
+    )
+
+
+def y_rows():
+    """Rows for Y(a: int, b: int)."""
+    return st.lists(
+        st.builds(lambda a, b: Tup(a=a, b=b), st.integers(0, 3), st.integers(0, 2)),
+        max_size=5,
+        unique=True,
+    )
+
+
+def make_catalog(xs, ys):
+    cat = Catalog()
+    cat.add_rows("X", xs)
+    cat.add_rows("Y", ys)
+    return cat
+
+
+@pytest.mark.parametrize("engine", ["logical", "physical"])
+@pytest.mark.parametrize("template", PREDICATES, ids=PREDICATES)
+@settings(max_examples=40, deadline=None)
+@given(xs=x_rows(), ys=y_rows())
+def test_where_clause_equivalence(template, engine, xs, ys):
+    cat = make_catalog(xs, ys)
+    query = f"SELECT x FROM X x WHERE {template.format(z=Z)}"
+    oracle = run_query(query, cat, engine="interpret")
+    translated = run_query(query, cat, engine=engine)
+    assert translated.value == oracle.value
+
+
+@settings(max_examples=40, deadline=None)
+@given(xs=x_rows(), ys=y_rows())
+def test_conjunction_of_flat_and_grouping(xs, ys):
+    cat = make_catalog(xs, ys)
+    query = (
+        f"SELECT x.c FROM X x WHERE x.c IN {Z} AND x.a SUBSETEQ {Z} AND x.c >= 0"
+    )
+    assert (
+        run_query(query, cat, engine="logical").value
+        == run_query(query, cat, engine="interpret").value
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(xs=x_rows(), ys=y_rows())
+def test_select_clause_nesting(xs, ys):
+    cat = make_catalog(xs, ys)
+    query = f"SELECT (c = x.c, ys = {Z}) FROM X x"
+    assert (
+        run_query(query, cat, engine="logical").value
+        == run_query(query, cat, engine="interpret").value
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(xs=x_rows(), ys=y_rows())
+def test_unnest_collapse(xs, ys):
+    cat = make_catalog(xs, ys)
+    query = f"UNNEST(SELECT (SELECT (c = x.c, a = y.a) FROM Y y WHERE x.b = y.b) FROM X x)"
+    assert (
+        run_query(query, cat, engine="logical").value
+        == run_query(query, cat, engine="interpret").value
+    )
+
+
+@pytest.mark.parametrize("engine", ["logical", "physical"])
+@settings(max_examples=30, deadline=None)
+@given(xs=x_rows(), ys=y_rows(), zs=y_rows())
+def test_three_block_linear_query(engine, xs, ys, zs):
+    """Section 8-style pipeline: nested subquery inside the subquery."""
+    cat = make_catalog(xs, ys)
+    cat.add_rows("W", zs)
+    query = (
+        "SELECT x FROM X x WHERE x.a SUBSETEQ "
+        "(SELECT y.a FROM Y y WHERE x.b = y.b AND "
+        "y.a IN (SELECT w.a FROM W w WHERE w.b = y.b))"
+    )
+    assert (
+        run_query(query, cat, engine=engine).value
+        == run_query(query, cat, engine="interpret").value
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(xs=x_rows(), ys=y_rows())
+def test_disjunction_is_interpreted_but_correct(xs, ys):
+    # OR between a flat and a grouping predicate is outside the conjunct
+    # machinery; the translator must fall back without changing semantics.
+    cat = make_catalog(xs, ys)
+    query = f"SELECT x FROM X x WHERE x.c IN {Z} OR x.a SUBSETEQ {Z}"
+    assert (
+        run_query(query, cat, engine="logical").value
+        == run_query(query, cat, engine="interpret").value
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(xs=x_rows(), ys=y_rows())
+def test_uncorrelated_subquery_constant(xs, ys):
+    cat = make_catalog(xs, ys)
+    query = "SELECT x FROM X x WHERE x.c IN (SELECT y.a FROM Y y WHERE y.b = 0)"
+    assert (
+        run_query(query, cat, engine="logical").value
+        == run_query(query, cat, engine="interpret").value
+    )

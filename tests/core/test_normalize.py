@@ -1,0 +1,83 @@
+"""Unit tests for predicate normalization."""
+
+from repro.core.normalize import normalize_predicate, push_not
+from repro.lang.ast import Cmp, CmpOp, Const, Not, Quant, QuantKind
+from repro.lang.parser import parse
+
+
+def norm(src):
+    return normalize_predicate(parse(src))
+
+
+class TestNegationPushing:
+    def test_double_negation(self):
+        assert norm("NOT (NOT (x.a = 1))") == parse("x.a = 1")
+
+    def test_de_morgan_and(self):
+        assert norm("NOT (x.a = 1 AND x.b = 2)") == parse("x.a <> 1 OR x.b <> 2")
+
+    def test_de_morgan_or(self):
+        assert norm("NOT (x.a = 1 OR x.b = 2)") == parse("x.a <> 1 AND x.b <> 2")
+
+    def test_comparison_flipping(self):
+        assert norm("NOT (x.a < 1)") == parse("x.a >= 1")
+        assert norm("NOT (x.a IN z)") == parse("x.a NOT IN z")
+        assert norm("NOT (x.a NOT IN z)") == parse("x.a IN z")
+
+    def test_subset_ops_keep_not(self):
+        # ⊆ has no dual operator in the language: NOT stays.
+        assert norm("NOT (x.a SUBSETEQ z)") == Not(parse("x.a SUBSETEQ z"))
+
+    def test_not_exists_is_kept(self):
+        e = norm("NOT (EXISTS v IN z (v = 1))")
+        assert isinstance(e, Not)
+        assert isinstance(e.operand, Quant)
+
+    def test_constants(self):
+        assert norm("NOT TRUE") == Const(False)
+        assert norm("NOT FALSE") == Const(True)
+
+
+class TestForallElimination:
+    def test_forall_becomes_not_exists(self):
+        e = norm("FORALL v IN z (v = 1)")
+        assert isinstance(e, Not)
+        inner = e.operand
+        assert isinstance(inner, Quant) and inner.kind == QuantKind.EXISTS
+        assert inner.pred == parse("v <> 1")
+
+    def test_nested_forall(self):
+        e = norm("NOT (FORALL v IN z (v = 1))")
+        # ¬∀v(p) = ∃v(¬p)
+        assert isinstance(e, Quant) and e.kind == QuantKind.EXISTS
+        assert e.pred == parse("v <> 1")
+
+
+class TestCountCanonicalisation:
+    def test_zero_on_left_is_mirrored(self):
+        assert norm("0 = COUNT(z)") == parse("COUNT(z) = 0")
+
+    def test_ge_one_becomes_gt_zero(self):
+        assert norm("COUNT(z) >= 1") == parse("COUNT(z) > 0")
+
+    def test_ne_zero_becomes_gt_zero(self):
+        assert norm("COUNT(z) <> 0") == parse("COUNT(z) > 0")
+
+    def test_lt_one_becomes_eq_zero(self):
+        assert norm("COUNT(z) < 1") == parse("COUNT(z) = 0")
+
+    def test_le_zero_becomes_eq_zero(self):
+        assert norm("COUNT(z) <= 0") == parse("COUNT(z) = 0")
+
+    def test_not_count_positive(self):
+        assert norm("NOT (COUNT(z) > 0)") == parse("COUNT(z) = 0")
+
+    def test_other_counts_untouched(self):
+        assert norm("COUNT(z) = 3") == parse("COUNT(z) = 3")
+        assert norm("x.a = COUNT(z)") == parse("x.a = COUNT(z)")
+
+
+class TestPushNotDirect:
+    def test_push_not_without_negation_is_identity_on_leaves(self):
+        e = parse("x.a SUBSETEQ z")
+        assert push_not(e) == e

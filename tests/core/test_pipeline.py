@@ -1,0 +1,150 @@
+"""End-to-end tests: the paper's worked examples through the full pipeline."""
+
+import pytest
+
+from repro.core.pipeline import explain_query, prepare, run_query
+from repro.engine.table import Catalog
+from repro.errors import UnsupportedQueryError
+from repro.model.values import Tup
+from repro.workloads import (
+    COUNT_BUG_NESTED,
+    Q1_SAME_STREET,
+    Q2_EMPS_BY_CITY,
+    SECTION8_FLAT_VARIANT,
+    SECTION8_QUERY,
+    SUBSETEQ_BUG_NESTED,
+    make_chain_workload,
+    make_company,
+    make_join_workload,
+    make_set_workload,
+)
+
+
+class TestPaperQueries:
+    def test_q1_runs_interpreted_and_matches_itself(self):
+        # Q1's subquery ranges over a set-valued attribute: stays nested.
+        cat = make_company(n_departments=6, n_employees=40, seed=1)
+        result = run_query(Q1_SAME_STREET, cat, engine="logical")
+        oracle = run_query(Q1_SAME_STREET, cat, engine="interpret")
+        assert result.value == oracle.value
+        # At least one department qualifies with p_same_street defaulting on.
+        tr = prepare(Q1_SAME_STREET, cat)
+        assert tr is not None and not tr.fully_flattened
+
+    def test_q1_selectivity_knob(self):
+        none = make_company(n_departments=8, n_employees=30, p_same_street=0.0, seed=3)
+        all_ = make_company(n_departments=8, n_employees=30, p_same_street=1.0, seed=3)
+        r_none = run_query(Q1_SAME_STREET, none, engine="interpret").value
+        r_all = run_query(Q1_SAME_STREET, all_, engine="interpret").value
+        assert len(r_none) <= len(r_all)
+        assert len(r_all) >= 1
+
+    def test_q2_flattens_to_nestjoin_and_matches_oracle(self):
+        cat = make_company(n_departments=5, n_employees=30, seed=2)
+        tr = prepare(Q2_EMPS_BY_CITY, cat)
+        assert tr is not None
+        assert "nestjoin-select-clause" in [s.kind for s in tr.steps]
+        result = run_query(Q2_EMPS_BY_CITY, cat, engine="logical")
+        oracle = run_query(Q2_EMPS_BY_CITY, cat, engine="interpret")
+        assert result.value == oracle.value
+        # Every department appears (nest join preserves dangling).
+        assert len(result.value) == len(cat["DEPT"])
+
+    def test_count_bug_query_correct_via_nestjoin(self):
+        wl = make_join_workload(n_left=60, match_rate=0.5, fanout=2, seed=4)
+        result = run_query(COUNT_BUG_NESTED, wl.catalog, engine="logical")
+        oracle = run_query(COUNT_BUG_NESTED, wl.catalog, engine="interpret")
+        assert result.value == oracle.value
+        tr = prepare(COUNT_BUG_NESTED, wl.catalog)
+        assert tr.join_kinds() == ["nestjoin"]
+        # Dangling rows with b = 0 are part of the answer.
+        dangling_hits = {t for t in result.value if t["b"] == 0}
+        assert dangling_hits, "workload should produce dangling b=0 winners"
+
+    def test_subseteq_bug_query_correct_via_nestjoin(self):
+        cat = make_set_workload(n_left=50, n_right=40, seed=5)
+        result = run_query(SUBSETEQ_BUG_NESTED, cat, engine="logical")
+        oracle = run_query(SUBSETEQ_BUG_NESTED, cat, engine="interpret")
+        assert result.value == oracle.value
+        empty_a_dangling = {t for t in result.value if t["a"] == frozenset()}
+        assert empty_a_dangling, "workload should produce a=∅ winners"
+
+    def test_section8_two_nestjoins(self):
+        cat = make_chain_workload(n_x=20, n_y=20, n_z=20, seed=6)
+        tr = prepare(SECTION8_QUERY, cat)
+        assert tr.join_kinds() == ["nestjoin", "nestjoin"]
+        assert (
+            run_query(SECTION8_QUERY, cat, engine="logical").value
+            == run_query(SECTION8_QUERY, cat, engine="interpret").value
+        )
+
+    def test_section8_flat_variant_semijoin_antijoin(self):
+        cat = make_chain_workload(n_x=20, n_y=20, n_z=20, seed=6)
+        tr = prepare(SECTION8_FLAT_VARIANT, cat)
+        assert tr.join_kinds() == ["antijoin", "semijoin"]
+        assert (
+            run_query(SECTION8_FLAT_VARIANT, cat, engine="logical").value
+            == run_query(SECTION8_FLAT_VARIANT, cat, engine="interpret").value
+        )
+
+
+class TestPipelineSurface:
+    @pytest.fixture
+    def cat(self):
+        c = Catalog()
+        c.add_rows("T", [Tup(a=1), Tup(a=2)])
+        return c
+
+    def test_run_query_accepts_ast(self, cat):
+        from repro.lang.parser import parse
+
+        assert run_query(parse("SELECT t.a FROM T t"), cat, engine="logical").value == frozenset({1, 2})
+
+    def test_typecheck_catches_bad_query(self, cat):
+        from repro.errors import TypeCheckError
+
+        with pytest.raises(TypeCheckError):
+            run_query("SELECT t.nope FROM T t", cat)
+
+    def test_typecheck_can_be_disabled(self, cat):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            run_query("SELECT t.nope FROM T t", cat, typecheck=False, engine="logical")
+
+    def test_non_sfw_top_level_rejected(self, cat):
+        with pytest.raises(UnsupportedQueryError):
+            run_query("1 + 1", cat, engine="logical")
+
+    def test_non_set_interpret_result_rejected(self, cat):
+        with pytest.raises(UnsupportedQueryError):
+            run_query("COUNT(SELECT t.a FROM T t)", cat, engine="interpret")
+
+    def test_unknown_engine(self, cat):
+        with pytest.raises(UnsupportedQueryError):
+            run_query("SELECT t FROM T t", cat, engine="quantum")
+
+    def test_from_expression_falls_back_to_interpreter(self, cat):
+        c = Catalog()
+        c.add_rows("U", [Tup(items=frozenset({1, 2}))])
+        # Outer FROM over an expression can't be planned; still answered.
+        result = run_query(
+            "SELECT v FROM (SELECT u.items FROM U u) s WHERE COUNT(s) = 2 WITH v = s",
+            c,
+            engine="logical",
+            typecheck=False,
+        )
+        assert result.engine == "interpret"
+
+    def test_explain_mentions_steps_and_plan(self, cat):
+        c = Catalog()
+        c.add_rows("R", [Tup(b=0, c=1)])
+        c.add_rows("S", [Tup(c=1, d=1)])
+        text = explain_query(COUNT_BUG_NESTED, c)
+        assert "nestjoin" in text
+        assert "Scan R AS r" in text
+
+    def test_explain_interpreted_query(self):
+        cat = make_company(n_departments=2, n_employees=5, seed=0)
+        text = explain_query(Q1_SAME_STREET, cat)
+        assert "interpreted" in text

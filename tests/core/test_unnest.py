@@ -1,0 +1,179 @@
+"""Unit tests for the unnesting translator: plan shapes and audit trail."""
+
+import pytest
+
+from repro.algebra.plan import (
+    AntiJoin,
+    Drop,
+    Join,
+    Map,
+    NestJoin,
+    Scan,
+    Select,
+    SemiJoin,
+)
+from repro.core.unnest import translate_query
+from repro.engine.table import Catalog
+from repro.lang.parser import parse, parse_query
+from repro.model.values import Tup
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.add_rows("X", [Tup(a=frozenset({1}), b=1, c=1)])
+    cat.add_rows("Y", [Tup(a=1, b=1)])
+    cat.add_rows("W", [Tup(a=1, b=1)])
+    return cat
+
+
+Z = "(SELECT y.a FROM Y y WHERE x.b = y.b)"
+
+
+def plan_of(query, catalog):
+    tr = translate_query(parse_query(query) if not query.upper().startswith("UNNEST") else parse(query), catalog)
+    assert tr is not None
+    return tr
+
+
+class TestJoinOperatorChoice:
+    def test_membership_becomes_semijoin(self, catalog):
+        tr = plan_of(f"SELECT x FROM X x WHERE x.c IN {Z}", catalog)
+        assert tr.join_kinds() == ["semijoin"]
+        assert isinstance(tr.plan, Map)
+        assert isinstance(tr.plan.child, SemiJoin)
+
+    def test_non_membership_becomes_antijoin(self, catalog):
+        tr = plan_of(f"SELECT x FROM X x WHERE x.c NOT IN {Z}", catalog)
+        assert tr.join_kinds() == ["antijoin"]
+        assert isinstance(tr.plan.child, AntiJoin)
+
+    def test_subseteq_becomes_nestjoin(self, catalog):
+        tr = plan_of(f"SELECT x FROM X x WHERE x.a SUBSETEQ {Z}", catalog)
+        assert tr.join_kinds() == ["nestjoin"]
+        # NestJoin → Select over nested attr → Drop → Map
+        m = tr.plan
+        assert isinstance(m, Map)
+        assert isinstance(m.child, Drop)
+        assert isinstance(m.child.child, Select)
+        assert isinstance(m.child.child.child, NestJoin)
+
+    def test_count_comparison_becomes_nestjoin(self, catalog):
+        tr = plan_of(f"SELECT x FROM X x WHERE x.c = COUNT({Z})", catalog)
+        assert tr.join_kinds() == ["nestjoin"]
+
+    def test_emptiness_becomes_antijoin(self, catalog):
+        tr = plan_of(f"SELECT x FROM X x WHERE {Z} = {{}}", catalog)
+        assert tr.join_kinds() == ["antijoin"]
+
+    def test_plain_conjunct_is_selection(self, catalog):
+        tr = plan_of("SELECT x FROM X x WHERE x.c = 1", catalog)
+        assert [s.kind for s in tr.steps] == ["select"]
+        assert tr.fully_flattened
+
+    def test_join_predicate_contains_correlation_and_member_pred(self, catalog):
+        tr = plan_of(f"SELECT x FROM X x WHERE x.c IN {Z}", catalog)
+        semi = tr.plan.child
+        assert semi.pred == parse("x.b = y.b AND y.a = x.c")
+
+
+class TestSelectClause:
+    def test_select_clause_subquery_becomes_nestjoin(self, catalog):
+        tr = plan_of(f"SELECT (c = x.c, ys = {Z}) FROM X x", catalog)
+        kinds = [s.kind for s in tr.steps]
+        assert "nestjoin-select-clause" in kinds
+        assert isinstance(tr.plan.child, NestJoin)
+
+    def test_set_valued_attribute_subquery_stays_nested(self, catalog):
+        # FROM x.a — not a stored table; must be left to the interpreter.
+        tr = plan_of("SELECT (c = x.c, vs = (SELECT v FROM x.a v)) FROM X x", catalog)
+        kinds = [s.kind for s in tr.steps]
+        assert "interpreted" in kinds
+        assert not tr.fully_flattened
+
+
+class TestUnnestCollapse:
+    def test_unnest_becomes_flat_join(self, catalog):
+        q = "UNNEST(SELECT (SELECT (c = x.c, a = y.a) FROM Y y WHERE x.b = y.b) FROM X x)"
+        tr = plan_of(q, catalog)
+        assert [s.kind for s in tr.steps] == ["unnest-join"]
+        assert isinstance(tr.plan, Map)
+        assert isinstance(tr.plan.child, Join)
+
+    def test_unnest_of_non_nested_select_falls_back(self, catalog):
+        tr = translate_query(parse("UNNEST(SELECT x.a FROM X x)"), catalog)
+        assert tr is None
+
+
+class TestMultiLevel:
+    def test_section8_style_pipeline(self, catalog):
+        q = (
+            "SELECT x FROM X x WHERE x.a SUBSETEQ "
+            "(SELECT y.a FROM Y y WHERE x.b = y.b AND "
+            "y.a IN (SELECT w.a FROM W w WHERE w.b = y.b))"
+        )
+        tr = plan_of(q, catalog)
+        # Inner IN → semijoin on the right operand; outer ⊆ → nest join.
+        assert tr.join_kinds() == ["semijoin", "nestjoin"]
+
+    def test_shadowing_subquery_variable_means_no_correlation(self, catalog):
+        # The inner block rebinds 'x', so it cannot reference the outer 'x':
+        # the subquery is a constant and correctly left interpreted.
+        q = "SELECT x FROM X x WHERE x.c IN (SELECT x.a FROM Y x WHERE x.b = 1)"
+        tr = plan_of(q, catalog)
+        assert [s.kind for s in tr.steps] == ["interpreted"]
+
+    def test_sibling_subqueries_reusing_a_variable_are_renamed(self, catalog):
+        q = (
+            "SELECT x FROM X x WHERE "
+            "x.c IN (SELECT y.a FROM Y y WHERE y.b = x.b) AND "
+            "x.c IN (SELECT y.a FROM W y WHERE y.b = x.b)"
+        )
+        tr = plan_of(q, catalog)
+        assert tr.join_kinds() == ["semijoin", "semijoin"]
+        # Two Scans with distinct variables despite both blocks writing 'y'.
+        scans = []
+
+        def collect(p):
+            if isinstance(p, Scan):
+                scans.append(p)
+            for c in p.children():
+                collect(c)
+
+        collect(tr.plan)
+        variables = [s.var for s in scans]
+        assert len(set(variables)) == len(variables)
+
+
+class TestFallbacks:
+    def test_outer_from_not_a_table(self, catalog):
+        tr = translate_query(parse_query("SELECT v FROM s.items v"), catalog)
+        assert tr is None
+
+    def test_two_distinct_subqueries_in_one_conjunct_both_materialize(self, catalog):
+        # Beyond the paper (its future-work list): each subquery gets its
+        # own nest join instead of falling back to interpretation.
+        q = (
+            "SELECT x FROM X x WHERE "
+            "COUNT(SELECT y.a FROM Y y WHERE y.b = x.b) = "
+            "COUNT(SELECT w.a FROM W w WHERE w.b = x.b)"
+        )
+        tr = plan_of(q, catalog)
+        assert [s.kind for s in tr.steps] == ["nestjoin", "nestjoin"]
+        assert tr.fully_flattened
+
+    def test_uncorrelated_subquery_is_interpreted(self, catalog):
+        q = "SELECT x FROM X x WHERE x.c IN (SELECT y.a FROM Y y WHERE y.b = 1)"
+        tr = plan_of(q, catalog)
+        assert [s.kind for s in tr.steps] == ["interpreted"]
+
+    def test_table_named_like_variable(self, catalog):
+        # A variable with the same name as a table must shadow it safely:
+        # the translator renames rather than mis-binding.
+        q = "SELECT Y FROM X Y WHERE Y.c = 1"
+        tr = translate_query(parse_query(q), catalog)
+        assert tr is not None
+        scan = tr.plan
+        while not isinstance(scan, Scan):
+            scan = scan.children()[0]
+        assert scan.var != "Y"

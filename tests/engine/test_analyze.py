@@ -1,0 +1,85 @@
+"""Tests for EXPLAIN ANALYZE (instrumented execution)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.algebra.plan import Join, Map, NestJoin, Scan, Select
+from repro.engine.analyze import analyze, explain_analyze
+from repro.engine.executor import run_physical
+from repro.engine.physical import compile_plan
+from repro.engine.table import Catalog
+from repro.lang.parser import parse
+from repro.model.values import Tup
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.add_rows("X", [Tup(a=i, b=i % 3) for i in range(9)])
+    cat.add_rows("Y", [Tup(c=i, d=i % 3) for i in range(6)])
+    return cat
+
+
+def plan():
+    return Map(
+        Select(
+            NestJoin(Scan("X", "x"), Scan("Y", "y"), parse("x.b = y.d"), None, "zs"),
+            parse("COUNT(zs) = 2"),
+        ),
+        parse("x.a"),
+        "v",
+    )
+
+
+class TestAnalyze:
+    def test_rows_match_uninstrumented_run(self, catalog):
+        compiled = compile_plan(plan(), catalog)
+        run = analyze(compiled, catalog)
+        plain = run_physical(plan(), catalog)
+        assert Counter(run.rows) == Counter(plain)
+
+    def test_operator_row_counts(self, catalog):
+        compiled = compile_plan(plan(), catalog)
+        run = analyze(compiled, catalog)
+        # Map at the root: its row count equals the result size.
+        assert run.stats.rows == len(run.rows)
+        # Below it the Select, then the NestJoin emitting one row per X row.
+        select_stats = run.stats.children[0]
+        nest_stats = select_stats.children[0]
+        assert nest_stats.rows == len(catalog["X"])
+        # Scans emit one binding per table row.
+        scan_x = nest_stats.children[0]
+        assert scan_x.rows == len(catalog["X"])
+
+    def test_times_are_recorded(self, catalog):
+        run = analyze(compile_plan(plan(), catalog), catalog)
+        assert run.total_seconds > 0
+        assert run.stats.seconds > 0
+
+    def test_render(self, catalog):
+        run = analyze(compile_plan(plan(), catalog), catalog)
+        text = explain_analyze(run)
+        assert "total:" in text
+        assert "actual" in text
+        assert "Scan X AS x" in text
+        assert "NestJoin" in text
+
+    def test_join_with_index_algorithm(self, catalog):
+        compiled = compile_plan(
+            Join(Scan("X", "x"), Scan("Y", "y"), parse("x.b = y.d")),
+            catalog,
+            force_algorithm="index_nested_loop",
+        )
+        run = analyze(compiled, catalog)
+        plain = run_physical(
+            Join(Scan("X", "x"), Scan("Y", "y"), parse("x.b = y.d")),
+            catalog,
+            force_algorithm="index_nested_loop",
+        )
+        assert Counter(run.rows) == Counter(plain)
+
+    def test_estimate_vs_actual_visible(self, catalog):
+        run = analyze(compile_plan(plan(), catalog), catalog)
+        text = explain_analyze(run)
+        assert "est ~" in text

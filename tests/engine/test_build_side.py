@@ -1,0 +1,85 @@
+"""Hash-join build-side choice (Section 6's aside on the regular join)."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.plan import Join, NestJoin, Scan, SemiJoin
+from repro.engine.executor import run_physical
+from repro.engine.joins.common import analyse_join
+from repro.engine.joins.hash_join import hash_inner_join, hash_inner_join_build_left
+from repro.engine.physical import PJoin, compile_plan
+from repro.engine.table import Catalog
+from repro.lang.parser import parse
+from repro.model.values import Tup
+
+X = Scan("X", "x")
+Y = Scan("Y", "y")
+EQUI = parse("x.b = y.d")
+SPEC = analyse_join(EQUI, ("x",), ("y",))
+
+
+def catalog(nx, ny, seed=0):
+    import random
+
+    rng = random.Random(seed)
+    cat = Catalog()
+    cat.add_rows("X", [Tup(a=i, b=rng.randrange(5)) for i in range(nx)])
+    cat.add_rows("Y", [Tup(c=i, d=rng.randrange(5)) for i in range(ny)])
+    return cat
+
+
+def find_join(op):
+    if isinstance(op, PJoin):
+        return op
+    for c in op.children():
+        j = find_join(c)
+        if j:
+            return j
+    return None
+
+
+class TestBuildSideChoice:
+    def test_small_left_builds_left(self):
+        cat = catalog(10, 500)
+        join = find_join(compile_plan(Join(X, Y, EQUI), cat, force_algorithm="hash"))
+        assert join.hash_build_left is True
+
+    def test_small_right_builds_right(self):
+        cat = catalog(500, 10)
+        join = find_join(compile_plan(Join(X, Y, EQUI), cat, force_algorithm="hash"))
+        assert join.hash_build_left is False
+
+    @pytest.mark.parametrize(
+        "mk", [lambda: SemiJoin(X, Y, EQUI), lambda: NestJoin(X, Y, EQUI, None, "zs")],
+        ids=["semi", "nest"],
+    )
+    def test_asymmetric_modes_never_build_left(self, mk):
+        cat = catalog(10, 500)
+        join = find_join(compile_plan(mk(), cat, force_algorithm="hash"))
+        assert join.hash_build_left is False
+
+    def test_results_agree_regardless_of_build_side(self):
+        cat = catalog(10, 500, seed=3)
+        small_left = Counter(run_physical(Join(X, Y, EQUI), cat, force_algorithm="hash"))
+        reference = Counter(run_physical(Join(X, Y, EQUI), cat, force_algorithm="nested_loop"))
+        assert small_left == reference
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    left=st.lists(
+        st.builds(lambda a, b: Tup(x=Tup(a=a, b=b)), st.integers(0, 3), st.integers(0, 3)),
+        max_size=8,
+    ),
+    right=st.lists(
+        st.builds(lambda c, d: Tup(y=Tup(c=c, d=d)), st.integers(0, 3), st.integers(0, 3)),
+        max_size=8,
+    ),
+)
+def test_build_sides_produce_identical_multisets(left, right):
+    a = Counter(hash_inner_join(left, list(right), SPEC, {}))
+    b = Counter(hash_inner_join_build_left(list(left), right, SPEC, {}))
+    assert a == b

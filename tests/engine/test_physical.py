@@ -1,0 +1,144 @@
+"""Tests for physical compilation, algorithm selection, and execution."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.interpreter import run_logical
+from repro.algebra.plan import (
+    AntiJoin,
+    Drop,
+    Join,
+    Map,
+    Nest,
+    NestJoin,
+    OuterJoin,
+    Scan,
+    Select,
+    SemiJoin,
+    Unnest,
+)
+from repro.engine.executor import run_physical
+from repro.engine.physical import PJoin, compile_plan
+from repro.engine.table import Catalog
+from repro.errors import PlanError
+from repro.lang.parser import parse
+from repro.model.values import Tup
+
+
+def catalog_sizes(n_left, n_right, seed=0):
+    import random
+
+    rng = random.Random(seed)
+    cat = Catalog()
+    cat.add_rows("X", [Tup(a=rng.randrange(4), b=rng.randrange(max(1, n_left // 2))) for _ in range(n_left)])
+    cat.add_rows("Y", [Tup(c=rng.randrange(4), d=rng.randrange(max(1, n_right // 2))) for _ in range(n_right)])
+    return cat
+
+
+X = Scan("X", "x")
+Y = Scan("Y", "y")
+EQUI = parse("x.b = y.d")
+THETA = parse("x.a < y.c")
+
+
+def find_join(op):
+    if isinstance(op, PJoin):
+        return op
+    for c in op.children():
+        j = find_join(c)
+        if j is not None:
+            return j
+    return None
+
+
+class TestAlgorithmSelection:
+    def test_large_equi_join_avoids_nested_loop(self):
+        cat = catalog_sizes(300, 300)
+        op = compile_plan(Join(X, Y, EQUI), cat)
+        assert find_join(op).algorithm in ("hash", "sort_merge", "index_nested_loop")
+
+    def test_theta_join_forces_nested_loop(self):
+        cat = catalog_sizes(300, 300)
+        op = compile_plan(Join(X, Y, THETA), cat)
+        assert find_join(op).algorithm == "nested_loop"
+
+    def test_force_algorithm(self):
+        cat = catalog_sizes(10, 10)
+        for algo in ("nested_loop", "hash", "sort_merge"):
+            op = compile_plan(Join(X, Y, EQUI), cat, force_algorithm=algo)
+            assert find_join(op).algorithm == algo
+
+    def test_force_falls_back_without_keys(self):
+        cat = catalog_sizes(10, 10)
+        op = compile_plan(Join(X, Y, THETA), cat, force_algorithm="hash")
+        assert find_join(op).algorithm == "nested_loop"
+
+    def test_unknown_forced_algorithm_rejected(self):
+        cat = catalog_sizes(5, 5)
+        with pytest.raises(PlanError):
+            compile_plan(Join(X, Y, EQUI), cat, force_algorithm="quantum")
+
+
+PLANS = [
+    ("join", lambda: Join(X, Y, EQUI)),
+    ("semi", lambda: SemiJoin(X, Y, EQUI)),
+    ("anti", lambda: AntiJoin(X, Y, EQUI)),
+    ("outer", lambda: OuterJoin(X, Y, EQUI)),
+    ("nest", lambda: NestJoin(X, Y, EQUI, parse("y.c"), "zs")),
+    ("nest-select", lambda: Select(NestJoin(X, Y, EQUI, parse("y.c"), "zs"), parse("COUNT(zs) >= 0"))),
+    ("nest-op", lambda: Nest(Join(X, Y, EQUI), by=("x",), nest="y", label="g")),
+    ("unnest-op", lambda: Unnest(NestJoin(X, Y, EQUI, None, "g"), "g", "y")),
+    ("map-drop", lambda: Map(Drop(NestJoin(X, Y, EQUI, parse("y.c"), "zs"), ("zs",)), parse("x.a"), "v")),
+]
+
+
+@pytest.mark.parametrize("name,mk", PLANS, ids=[n for n, _ in PLANS])
+@pytest.mark.parametrize("algo", ["nested_loop", "hash", "sort_merge"])
+def test_physical_matches_logical_reference(name, mk, algo):
+    cat = catalog_sizes(40, 40, seed=7)
+    plan = mk()
+    logical = Counter(run_logical(plan, cat))
+    physical = Counter(run_physical(plan, cat, force_algorithm=algo))
+    assert physical == logical
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_left=st.integers(0, 30),
+    n_right=st.integers(0, 30),
+    seed=st.integers(0, 5),
+)
+def test_physical_matches_logical_on_random_sizes(n_left, n_right, seed):
+    cat = catalog_sizes(n_left, n_right, seed)
+    plan = Select(NestJoin(X, Y, EQUI, parse("y.c"), "zs"), parse("COUNT(zs) = 0"))
+    assert Counter(run_physical(plan, cat)) == Counter(run_logical(plan, cat))
+
+
+class TestEstimates:
+    def test_estimates_attached(self):
+        cat = catalog_sizes(100, 50)
+        op = compile_plan(Join(X, Y, EQUI), cat)
+        assert op.est_rows > 0
+        join = find_join(op)
+        assert join.left.est_rows == 100
+        assert join.right.est_rows == 50
+
+    def test_nest_join_estimate_is_left_cardinality(self):
+        cat = catalog_sizes(80, 20)
+        op = compile_plan(NestJoin(X, Y, EQUI, None, "zs"), cat)
+        assert op.est_rows == 80
+
+
+class TestExplainPhysical:
+    def test_explain_shows_algorithms_and_estimates(self):
+        from repro.engine.explain import explain_physical
+
+        cat = catalog_sizes(200, 200)
+        op = compile_plan(SemiJoin(X, Y, EQUI), cat)
+        text = explain_physical(op)
+        assert "SemiJoin(" in text
+        assert "rows" in text
+        assert "Scan X AS x" in text

@@ -1,0 +1,60 @@
+"""Unit tests for whole-plan cost estimation."""
+
+import pytest
+
+from repro.algebra.plan import Join, Map, NestJoin, Scan, Select, SemiJoin
+from repro.engine.plan_cost import plan_cost
+from repro.engine.stats import StatsCatalog
+from repro.engine.table import Catalog
+from repro.errors import PlanError
+from repro.lang.parser import parse
+from repro.model.values import Tup
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.add_rows("X", [Tup(a=i % 5, b=i % 3) for i in range(100)])
+    cat.add_rows("Y", [Tup(c=i % 5, d=i % 3) for i in range(50)])
+    return cat
+
+
+X = Scan("X", "x")
+Y = Scan("Y", "y")
+EQUI = parse("x.b = y.d")
+THETA = parse("x.a < y.c")
+
+
+class TestPlanCost:
+    def test_scan_cost_is_cardinality(self, catalog):
+        assert plan_cost(X, catalog) == 100.0
+
+    def test_accepts_raw_catalog_or_stats(self, catalog):
+        assert plan_cost(X, catalog) == plan_cost(X, StatsCatalog(catalog))
+
+    def test_filters_add_per_row_work(self, catalog):
+        assert plan_cost(Select(X, parse("x.a = 1")), catalog) > plan_cost(X, catalog)
+
+    def test_equi_join_cheaper_than_theta_join(self, catalog):
+        equi = plan_cost(Join(X, Y, EQUI), catalog)
+        theta = plan_cost(Join(X, Y, THETA), catalog)
+        assert equi < theta  # hash/index beats forced nested-loop
+
+    def test_cost_is_monotone_in_tree_size(self, catalog):
+        base = Join(X, Y, EQUI)
+        bigger = Map(Select(base, parse("x.a = 1")), parse("x.a"), "v")
+        assert plan_cost(bigger, catalog) > plan_cost(base, catalog)
+
+    def test_semijoin_no_more_expensive_than_join(self, catalog):
+        assert plan_cost(SemiJoin(X, Y, EQUI), catalog) <= plan_cost(Join(X, Y, EQUI), catalog)
+
+    def test_nest_join_costed(self, catalog):
+        cost = plan_cost(NestJoin(X, Y, EQUI, None, "zs"), catalog)
+        assert cost > 0
+
+    def test_unknown_node_rejected(self, catalog):
+        class Weird:
+            pass
+
+        with pytest.raises(PlanError):
+            plan_cost(Weird(), catalog)  # type: ignore[arg-type]

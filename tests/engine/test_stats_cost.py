@@ -1,0 +1,111 @@
+"""Tests for statistics, cardinality estimation, and the cost model."""
+
+import pytest
+
+from repro.algebra.plan import (
+    AntiJoin,
+    Join,
+    Map,
+    NestJoin,
+    Scan,
+    Select,
+    SemiJoin,
+    Unnest,
+)
+from repro.engine.cost import (
+    cheapest_algorithm,
+    hash_cost,
+    nested_loop_cost,
+    sort_merge_cost,
+)
+from repro.engine.stats import StatsCatalog, estimate_rows
+from repro.engine.table import Catalog
+from repro.lang.parser import parse
+from repro.model.values import Tup
+
+
+@pytest.fixture
+def stats():
+    cat = Catalog()
+    cat.add_rows("X", [Tup(a=i % 10, b=i) for i in range(100)])
+    cat.add_rows("Y", [Tup(c=i % 5, d=i % 20) for i in range(60)])
+    return StatsCatalog(cat)
+
+
+X = Scan("X", "x")
+Y = Scan("Y", "y")
+
+
+class TestTableStats:
+    def test_rows_and_distinct(self, stats):
+        assert stats.table("X").rows == 100
+        assert stats.table("X").distinct("a") == 10
+        assert stats.table("X").distinct("b") == 100
+        assert stats.table("Y").distinct("c") == 5
+
+    def test_distinct_is_cached(self, stats):
+        t = stats.table("X")
+        assert t.distinct("a") == t.distinct("a")
+
+    def test_missing_attr_distinct_is_at_least_one(self, stats):
+        assert stats.table("X").distinct("zzz") == 1
+
+
+class TestEstimates:
+    def test_scan(self, stats):
+        assert estimate_rows(X, stats) == 100
+
+    def test_select_reduces(self, stats):
+        est = estimate_rows(Select(X, parse("x.a = 1")), stats)
+        assert 1 <= est < 100
+
+    def test_equi_join_uses_distinct(self, stats):
+        est = estimate_rows(Join(X, Y, parse("x.b = y.d")), stats)
+        # sel = 1/max(distinct(b)=100, distinct(d)=20) = 1/100
+        assert est == pytest.approx(100 * 60 / 100)
+
+    def test_semijoin_bounded_by_left(self, stats):
+        assert estimate_rows(SemiJoin(X, Y, parse("x.b = y.d")), stats) <= 100
+
+    def test_antijoin_bounded_by_left(self, stats):
+        assert estimate_rows(AntiJoin(X, Y, parse("x.b = y.d")), stats) <= 100
+
+    def test_nestjoin_equals_left(self, stats):
+        assert estimate_rows(NestJoin(X, Y, parse("x.b = y.d"), None, "zs"), stats) == 100
+
+    def test_unnest_multiplies(self, stats):
+        nj = NestJoin(X, Y, parse("x.b = y.d"), None, "zs")
+        assert estimate_rows(Unnest(nj, "zs", "v"), stats) > 100
+
+    def test_map_preserves(self, stats):
+        assert estimate_rows(Map(X, parse("x.a"), "v"), stats) == 100
+
+
+class TestCostModel:
+    def test_nested_loop_is_quadratic(self):
+        assert nested_loop_cost(100, 100) == pytest.approx(10_000)
+
+    def test_hash_is_roughly_linear(self):
+        small = hash_cost(100, 100, 100)
+        big = hash_cost(1000, 1000, 1000)
+        assert big / small == pytest.approx(10, rel=0.05)
+
+    def test_sort_merge_is_nlogn(self):
+        assert sort_merge_cost(1000, 1000, 0) > sort_merge_cost(100, 100, 0) * 10
+
+    def test_cheapest_prefers_nl_for_tiny_inputs(self):
+        assert cheapest_algorithm(2, 2, 2, True).algorithm == "nested_loop"
+
+    def test_cheapest_prefers_hash_for_large_equi(self):
+        assert cheapest_algorithm(10_000, 10_000, 10_000, True).algorithm == "hash"
+
+    def test_theta_joins_only_have_nested_loop(self):
+        assert cheapest_algorithm(10_000, 10_000, 10_000, False).algorithm == "nested_loop"
+
+    def test_crossover_exists(self):
+        # Somewhere between tiny and large the winner flips — the shape the
+        # benchmarks (E8/E12) rely on.
+        winners = {
+            cheapest_algorithm(n, n, n, True).algorithm for n in (2, 10, 100, 10_000)
+        }
+        assert "nested_loop" in winners and "hash" in winners

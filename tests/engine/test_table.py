@@ -1,0 +1,88 @@
+"""Unit tests for tables and the catalog."""
+
+import pytest
+
+from repro.engine.table import Catalog, Table
+from repro.errors import CatalogError, ValidationError
+from repro.model.schema import company_schema
+from repro.model.types import ANY, INT, STRING, TupleType
+from repro.model.values import Tup
+
+
+class TestTable:
+    def test_infers_row_type(self):
+        t = Table("T", [Tup(a=1, b="x")])
+        assert t.row_type == TupleType({"a": INT, "b": STRING})
+
+    def test_empty_table_row_type_is_any(self):
+        assert Table("T", []).row_type == ANY
+
+    def test_incompatible_rows_rejected(self):
+        with pytest.raises(CatalogError):
+            Table("T", [Tup(a=1), Tup(b="x")])
+
+    def test_non_tup_rows_rejected(self):
+        with pytest.raises(CatalogError):
+            Table("T", [{"a": 1}])
+
+    def test_validate_against_declared_type(self):
+        with pytest.raises(ValidationError):
+            Table("T", [Tup(a="not int")], TupleType({"a": INT}), validate=True)
+
+    def test_key_uniqueness_checked(self):
+        with pytest.raises(CatalogError, match="duplicate key"):
+            Table("T", [Tup(a=1, b=1), Tup(a=1, b=2)], key=("a",), validate=True)
+
+    def test_as_set_dedupes_and_caches(self):
+        t = Table("T", [Tup(a=1), Tup(a=1)])
+        assert t.as_set() == frozenset({Tup(a=1)})
+        assert t.as_set() is t.as_set()
+
+    def test_len_iter(self):
+        t = Table("T", [Tup(a=1), Tup(a=2)])
+        assert len(t) == 2
+        assert list(t) == [Tup(a=1), Tup(a=2)]
+
+
+class TestCatalog:
+    def test_add_and_lookup(self):
+        cat = Catalog()
+        cat.add_rows("T", [Tup(a=1)])
+        assert cat.table("T").name == "T"
+        assert cat["T"] is cat.table("T")
+        assert "T" in cat and len(cat) == 1
+
+    def test_duplicate_table_rejected(self):
+        cat = Catalog()
+        cat.add_rows("T", [])
+        with pytest.raises(CatalogError):
+            cat.add_rows("T", [])
+
+    def test_unknown_table(self):
+        with pytest.raises(CatalogError, match="unknown table"):
+            Catalog().table("NOPE")
+
+    def test_row_types_mapping(self):
+        cat = Catalog()
+        cat.add_rows("T", [Tup(a=1)])
+        assert cat.row_types() == {"T": TupleType({"a": INT})}
+
+    def test_schema_validation_on_add(self):
+        cat = Catalog(company_schema())
+        with pytest.raises(ValidationError):
+            cat.add_rows("EMP", [Tup(name="x")])  # missing attributes
+
+    def test_schema_declares_row_type(self):
+        cat = Catalog(company_schema())
+        addr = Tup(street="s", nr="1", city="c")
+        emp = Tup(name="e", address=addr, sal=1000, children=frozenset())
+        cat.add_rows("EMP", [emp])
+        assert "children" in cat["EMP"].row_type.fields
+
+    def test_works_as_eval_table_mapping(self):
+        from repro.lang.eval import evaluate
+        from repro.lang.parser import parse
+
+        cat = Catalog()
+        cat.add_rows("T", [Tup(a=1), Tup(a=2)])
+        assert evaluate(parse("SELECT t.a FROM T t"), tables=cat) == frozenset({1, 2})

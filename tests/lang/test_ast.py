@@ -1,0 +1,147 @@
+"""Unit tests for AST utilities: traversal, transformation, substitution."""
+
+from repro.lang.ast import (
+    FALSE,
+    SFW,
+    TRUE,
+    And,
+    Attr,
+    Cmp,
+    CmpOp,
+    Const,
+    Not,
+    Or,
+    Quant,
+    QuantKind,
+    Var,
+    children,
+    conjuncts,
+    contains_sfw,
+    fresh_name,
+    make_and,
+    make_or,
+    negate,
+    rename_var,
+    substitute,
+    transform,
+    walk,
+)
+from repro.lang.freevars import free_vars
+from repro.lang.parser import parse
+
+
+class TestTraversal:
+    def test_children_of_comparison(self):
+        e = parse("x.a = y.b")
+        assert children(e) == (Attr(Var("x"), "a"), Attr(Var("y"), "b"))
+
+    def test_children_of_tuple_expr(self):
+        e = parse("(a = 1, b = 2)")
+        assert children(e) == (Const(1), Const(2))
+
+    def test_walk_visits_everything(self):
+        e = parse("x.a = 1 AND y.b IN {2}")
+        names = {n.name for n in walk(e) if isinstance(n, Var)}
+        assert names == {"x", "y"}
+
+    def test_transform_bottom_up(self):
+        e = parse("1 + 2")
+
+        def bump(node):
+            if isinstance(node, Const) and node.value == 1:
+                return Const(10)
+            return node
+
+        assert transform(e, bump) == parse("10 + 2")
+
+    def test_transform_preserves_identity_when_unchanged(self):
+        e = parse("x.a = 1")
+        assert transform(e, lambda n: n) is e
+
+
+class TestSubstitution:
+    def test_simple(self):
+        e = parse("x.a = z")
+        assert substitute(e, "z", parse("y.b")) == parse("x.a = y.b")
+
+    def test_shadowed_by_quantifier(self):
+        e = parse("EXISTS z IN {1} (z = 1) AND z = 2")
+        out = substitute(e, "z", Const(9))
+        # Bound z untouched, free z replaced.
+        assert out == parse("EXISTS z IN {1} (z = 1) AND 9 = 2")
+
+    def test_domain_of_binder_is_substituted(self):
+        e = parse("EXISTS v IN z (v = 1)")
+        out = substitute(e, "z", parse("{1, 2}"))
+        assert out == parse("EXISTS v IN {1, 2} (v = 1)")
+
+    def test_sfw_shadowing(self):
+        e = parse("SELECT x FROM x x")  # inner var x shadows; source x is free
+        out = substitute(e, "x", Var("T"))
+        assert isinstance(out, SFW)
+        assert out.source == Var("T")
+        assert out.select == Var("x")  # bound occurrence untouched
+
+    def test_capture_avoidance_in_quantifier(self):
+        # Substituting an expression mentioning v into a binder of v must rename.
+        e = parse("EXISTS v IN {1} (v = z)")
+        out = substitute(e, "z", Var("v"))
+        assert isinstance(out, Quant)
+        assert out.var != "v"  # alpha-renamed
+        # The substituted v refers to the *outer* v.
+        assert free_vars(out) == {"v"}
+
+    def test_capture_avoidance_in_sfw(self):
+        e = parse("SELECT y FROM Y y WHERE y.a = z")
+        out = substitute(e, "z", parse("y.b"))
+        assert isinstance(out, SFW)
+        assert out.var != "y"
+        assert free_vars(out) == {"Y", "y"}
+
+    def test_rename_var(self):
+        e = parse("x.a = x.b")
+        assert rename_var(e, "x", "t") == parse("t.a = t.b")
+
+
+class TestBooleanHelpers:
+    def test_conjuncts_flatten(self):
+        e = parse("a.p AND (b.q AND c.r)")
+        assert len(conjuncts(e)) == 3
+
+    def test_conjuncts_of_true_and_none(self):
+        assert conjuncts(TRUE) == ()
+        assert conjuncts(None) == ()
+
+    def test_make_and_simplifies(self):
+        assert make_and([]) == TRUE
+        p = parse("x.a = 1")
+        assert make_and([p]) == p
+        assert make_and([p, TRUE]) == p
+
+    def test_make_or_simplifies(self):
+        assert make_or([]) == FALSE
+        p = parse("x.a = 1")
+        assert make_or([p]) == p
+        assert make_or([p, FALSE]) == p
+
+    def test_negate(self):
+        p = parse("x.a = 1")
+        assert negate(p) == Not(p)
+        assert negate(Not(p)) == p
+        assert negate(TRUE) == FALSE
+        assert negate(FALSE) == TRUE
+
+    def test_contains_sfw(self):
+        assert contains_sfw(parse("COUNT(SELECT y FROM Y y) = 1"))
+        assert not contains_sfw(parse("x.a = 1"))
+
+
+class TestFreshNames:
+    def test_fresh_avoids(self):
+        avoid = {"v_0", "v_1"}
+        name = fresh_name("v", avoid)
+        assert name not in avoid
+
+    def test_fresh_names_never_repeat(self):
+        names = {fresh_name("q") for _ in range(50)}
+        assert len(names) == 50

@@ -1,0 +1,166 @@
+"""Tests for the fluent expression builder: builders ≡ parsed text."""
+
+import pytest
+
+from repro.lang.builder import (
+    E,
+    and_,
+    avg_,
+    col,
+    count_,
+    exists,
+    forall,
+    list_,
+    max_,
+    min_,
+    not_,
+    or_,
+    payload_,
+    set_,
+    sfw,
+    sum_,
+    tag_,
+    tup,
+    unnest,
+    val,
+    variant,
+)
+from repro.lang.parser import parse
+
+
+def same(builder: E, text: str):
+    assert builder.expr == parse(text)
+
+
+class TestBasics:
+    def test_paths(self):
+        same(col("x").a, "x.a")
+        same(col("d").address.city, "d.address.city")
+
+    def test_comparisons(self):
+        x = col("x")
+        same(x.a == 1, "x.a = 1")
+        same(x.a != 1, "x.a <> 1")
+        same(x.a < col("y").b, "x.a < y.b")
+        same(x.a >= 0, "x.a >= 0")
+
+    def test_membership_and_inclusion(self):
+        x, z = col("x"), col("z")
+        same(x.a.in_(z), "x.a IN z")
+        same(x.a.not_in(z), "x.a NOT IN z")
+        same(x.a.subseteq(z), "x.a SUBSETEQ z")
+        same(x.a.supset(z), "x.a SUPSET z")
+
+    def test_arithmetic(self):
+        x = col("x")
+        same(x.a + 1, "x.a + 1")
+        same(1 + x.a, "1 + x.a")
+        same(-(x.a), "-(x.a)")
+        same(x.a % 2, "x.a % 2")
+
+    def test_set_algebra(self):
+        a, b = col("a"), col("b")
+        same(a | b, "a UNION b")
+        same(a & b, "a INTERSECT b")
+        same(a.diff(b), "a DIFF b")
+
+    def test_constructors(self):
+        same(tup(a=1, b=col("x").c), "(a = 1, b = x.c)")
+        same(set_(1, 2), "{1, 2}")
+        same(list_(1, 2), "[1, 2]")
+        same(variant("ok", 1), "<ok: 1>")
+
+    def test_val_coerces_python_data(self):
+        from repro.lang.ast import Const
+
+        assert val(frozenset({1})).expr == Const(frozenset({1}))
+        assert val({"a": 1}).expr == Const({"a": 1})  # dict → Tup via Const
+
+    def test_aggregates(self):
+        z = col("z")
+        same(count_(z), "COUNT(z)")
+        same(sum_(z) + min_(z), "SUM(z) + MIN(z)")
+        same(avg_(set_(1, 2)), "AVG({1, 2})")
+        same(max_(z), "MAX(z)")
+
+    def test_boolean_combinators(self):
+        x = col("x")
+        same(and_(x.a == 1, x.b == 2), "x.a = 1 AND x.b = 2")
+        same(or_(x.a == 1, x.b == 2), "x.a = 1 OR x.b = 2")
+        same(not_(x.a == 1), "NOT (x.a = 1)")
+
+    def test_variant_elimination(self):
+        same(tag_(col("v")) == "ok", "TAG(v) = 'ok'")
+        same(payload_(col("v")) > 2, "PAYLOAD(v) > 2")
+
+
+class TestQuantifiersAndBlocks:
+    def test_exists_with_lambda(self):
+        same(
+            exists("v", col("z"), lambda v: v == col("x").a),
+            "EXISTS v IN z (v = x.a)",
+        )
+
+    def test_forall_with_expression(self):
+        same(
+            forall("w", col("x").a, col("w").in_(col("z"))),
+            "FORALL w IN x.a (w IN z)",
+        )
+
+    def test_sfw(self):
+        y = col("y")
+        same(
+            sfw(select=y.a, var="y", source=col("Y"), where=col("x").b == y.b),
+            "SELECT y.a FROM Y y WHERE x.b = y.b",
+        )
+
+    def test_unnest(self):
+        same(unnest(col("z")), "UNNEST(z)")
+
+    def test_count_bug_query(self):
+        from repro.workloads import COUNT_BUG_NESTED
+
+        r, s = col("r"), col("s")
+        built = sfw(
+            select=r,
+            var="r",
+            source=col("R"),
+            where=r.b
+            == count_(sfw(select=s, var="s", source=col("S"), where=r.c == s.c)),
+        )
+        assert built.expr == parse(COUNT_BUG_NESTED)
+
+
+class TestBuilderHygiene:
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            col("x").expr = None
+
+    def test_get_for_shadowed_labels(self):
+        # 'expr', 'get', 'diff', 'in_' are builder attributes (and DIFF is
+        # even a language keyword); .get() reaches same-named tuple fields.
+        from repro.lang.ast import Attr, Var
+
+        assert col("x").get("diff").expr == Attr(Var("x"), "diff")
+        assert col("x").get("expr").expr == Attr(Var("x"), "expr")
+
+    def test_repr_is_pretty(self):
+        assert repr(col("x").a == 1) == "E(x.a = 1)"
+
+    def test_end_to_end_execution(self):
+        from repro.core.pipeline import run_query
+        from repro.engine.table import Catalog
+        from repro.model.values import Tup
+
+        cat = Catalog()
+        cat.add_rows("R", [Tup(b=0, c=9), Tup(b=1, c=1)])
+        cat.add_rows("S", [Tup(c=1, d=1)])
+        r, s = col("r"), col("s")
+        query = sfw(
+            select=r.b,
+            var="r",
+            source=col("R"),
+            where=r.b
+            == count_(sfw(select=s, var="s", source=col("S"), where=r.c == s.c)),
+        )
+        assert run_query(query.expr, cat).value == frozenset({0, 1})

@@ -1,0 +1,202 @@
+"""Unit tests for the interpreter — the semantics oracle of the library."""
+
+import pytest
+
+from repro.errors import ExecutionError, NameError_
+from repro.lang.ast import Quant, QuantKind, Var
+from repro.lang.eval import Env, evaluate, evaluate_predicate
+from repro.lang.parser import parse
+from repro.model.values import NULL, Tup, make_value
+
+
+def ev(src, env=None, tables=None):
+    return evaluate(parse(src), env, tables)
+
+
+class TestScalars:
+    def test_arithmetic(self):
+        assert ev("1 + 2 * 3") == 7
+        assert ev("7 % 3") == 1
+        assert ev("-(2 + 3)") == -5
+
+    def test_division(self):
+        assert ev("7 / 2") == 3.5
+        assert ev("8 / 2") == 4  # exact division stays integral
+        with pytest.raises(ExecutionError, match="division by zero"):
+            ev("1 / 0")
+        with pytest.raises(ExecutionError, match="modulo by zero"):
+            ev("1 % 0")
+
+    def test_string_concat(self):
+        assert ev("'a' + 'b'") == "ab"
+
+    def test_comparisons(self):
+        assert ev("1 < 2") is True
+        assert ev("'a' < 'b'") is True
+        assert ev("2 >= 2") is True
+        assert ev("1 <> 2") is True
+
+    def test_mixed_order_comparison_rejected(self):
+        with pytest.raises(ExecutionError):
+            ev("1 < 'a'")
+
+    def test_boolean_connectives(self):
+        assert ev("TRUE AND NOT FALSE") is True
+        assert ev("FALSE OR FALSE") is False
+
+    def test_non_boolean_predicate_rejected(self):
+        with pytest.raises(ExecutionError):
+            evaluate_predicate(parse("1 + 1"), Env.empty())
+
+
+class TestCollections:
+    def test_set_literal_dedupes(self):
+        assert ev("{1, 1, 2}") == frozenset({1, 2})
+
+    def test_membership(self):
+        assert ev("2 IN {1, 2}") is True
+        assert ev("3 NOT IN {1, 2}") is True
+
+    def test_inclusion(self):
+        assert ev("{1} SUBSETEQ {1, 2}") is True
+        assert ev("{1} SUBSET {1}") is False
+        assert ev("{1, 2} SUPSETEQ {1}") is True
+        assert ev("{1, 2} SUPSET {1, 2}") is False
+
+    def test_set_algebra(self):
+        assert ev("{1, 2} UNION {3}") == frozenset({1, 2, 3})
+        assert ev("{1, 2} INTERSECT {2, 3}") == frozenset({2})
+        assert ev("{1, 2} DIFF {2}") == frozenset({1})
+
+    def test_set_equality(self):
+        assert ev("{1, 2} = {2, 1}") is True
+        assert ev("{} = {}") is True
+
+    def test_unnest(self):
+        assert ev("UNNEST({{1, 2}, {2, 3}, {}})") == frozenset({1, 2, 3})
+
+    def test_tuple_construction_and_access(self):
+        assert ev("(a = 1, b = 2).b") == 2
+
+    def test_attr_on_non_tuple_rejected(self):
+        with pytest.raises(ExecutionError):
+            ev("(1).a" if False else "{1}.a")
+
+
+class TestAggregates:
+    def test_count(self):
+        assert ev("COUNT({})") == 0
+        assert ev("COUNT({1, 2, 3})") == 3
+
+    def test_sum_empty_is_zero(self):
+        assert ev("SUM({})") == 0
+        assert ev("SUM({1, 2, 3})") == 6
+
+    def test_avg_min_max(self):
+        assert ev("AVG({2, 4})") == 3
+        assert ev("MIN({3, 1, 2})") == 1
+        assert ev("MAX({'a', 'c'})") == "c"
+
+    def test_empty_avg_raises(self):
+        with pytest.raises(ExecutionError, match="empty"):
+            ev("AVG({})")
+
+    def test_aggregate_over_list_counts_duplicates(self):
+        assert ev("COUNT([1, 1, 2])") == 3
+        assert ev("SUM([1, 1])") == 2
+
+
+class TestQuantifiers:
+    def test_exists(self):
+        assert ev("EXISTS v IN {1, 2} (v = 2)") is True
+        assert ev("EXISTS v IN {} (TRUE)") is False
+
+    def test_forall(self):
+        assert ev("FORALL v IN {2, 4} (v % 2 = 0)") is True
+        assert ev("FORALL v IN {} (FALSE)") is True  # vacuous truth
+
+    def test_nested_scoping(self):
+        assert ev("EXISTS v IN {1} (EXISTS v IN {2} (v = 2))") is True
+
+
+class TestSFWSemantics:
+    def test_select_from_where_over_literal_set(self):
+        assert ev("SELECT v + 1 FROM {1, 2, 3} v WHERE v < 3") == frozenset({2, 3})
+
+    def test_result_is_a_set_no_duplicates(self):
+        assert ev("SELECT v * 0 FROM {1, 2, 3} v") == frozenset({0})
+
+    def test_table_lookup(self):
+        tables = {"X": frozenset({Tup(a=1), Tup(a=2)})}
+        assert ev("SELECT x.a FROM X x", tables=tables) == frozenset({1, 2})
+
+    def test_env_shadows_tables(self):
+        tables = {"X": frozenset({Tup(a=1)})}
+        env = Env({"X": frozenset({Tup(a=9)})})
+        assert ev("SELECT x.a FROM X x", env=env, tables=tables) == frozenset({9})
+
+    def test_correlated_nested_query(self):
+        tables = {
+            "X": frozenset({Tup(a=1, b=10), Tup(a=2, b=20)}),
+            "Y": frozenset({Tup(a=1, c=10), Tup(a=1, c=30)}),
+        }
+        result = ev(
+            "SELECT x.b FROM X x WHERE x.b IN (SELECT y.c FROM Y y WHERE x.a = y.a)",
+            tables=tables,
+        )
+        assert result == frozenset({10})
+
+    def test_count_between_blocks_keeps_dangling(self):
+        # The COUNT-bug query of Section 2: dangling x with b = 0 must stay.
+        tables = {
+            "R": frozenset({Tup(b=0, c=99), Tup(b=1, c=1)}),
+            "S": frozenset({Tup(c=1, d=1)}),
+        }
+        result = ev(
+            "SELECT r FROM R r WHERE r.b = COUNT(SELECT s FROM S s WHERE r.c = s.c)",
+            tables=tables,
+        )
+        assert result == frozenset({Tup(b=0, c=99), Tup(b=1, c=1)})
+
+    def test_unknown_table(self):
+        with pytest.raises(NameError_):
+            ev("SELECT x FROM NOPE x")
+
+    def test_from_non_collection_rejected(self):
+        with pytest.raises(ExecutionError):
+            ev("SELECT x FROM 1 x")
+
+    def test_with_clause_desugaring_evaluates(self):
+        tables = {
+            "X": frozenset({Tup(a=frozenset({1}), b=1), Tup(a=frozenset({9}), b=2)}),
+            "Y": frozenset({Tup(a=1, b=1)}),
+        }
+        result = ev(
+            "SELECT x.b FROM X x WHERE x.a SUBSETEQ z "
+            "WITH z = SELECT y.a FROM Y y WHERE x.b = y.b",
+            tables=tables,
+        )
+        assert result == frozenset({1})
+
+
+class TestEnv:
+    def test_bind_and_lookup_chain(self):
+        env = Env({"a": 1}).bind("b", 2)
+        assert env.lookup("a") == 1
+        assert env.lookup("b") == 2
+        assert "a" in env and "c" not in env
+
+    def test_inner_shadows_outer(self):
+        env = Env({"a": 1}).bind("a", 2)
+        assert env.lookup("a") == 2
+
+    def test_unbound_raises(self):
+        with pytest.raises(NameError_):
+            Env.empty().lookup("ghost")
+
+
+class TestNullSemantics:
+    def test_null_equals_null(self):
+        assert ev("NULL = NULL") is True
+        assert ev("NULL = 1") is False
+        assert ev("NULL <> 1") is True

@@ -1,0 +1,84 @@
+"""Unit tests for free-variable and correlation analysis."""
+
+from repro.lang.ast import SFW, Var
+from repro.lang.freevars import (
+    attr_root,
+    correlation_vars,
+    find_subqueries,
+    free_vars,
+    is_correlated,
+    uses_only,
+)
+from repro.lang.parser import parse
+
+
+class TestFreeVars:
+    def test_var_is_free(self):
+        assert free_vars(parse("x.a")) == {"x"}
+
+    def test_const_has_none(self):
+        assert free_vars(parse("1 + 2")) == frozenset()
+
+    def test_quantifier_binds(self):
+        e = parse("EXISTS v IN z (v = x.a)")
+        assert free_vars(e) == {"z", "x"}
+
+    def test_sfw_binds_var(self):
+        e = parse("SELECT y.a FROM Y y WHERE y.b = x.b")
+        assert free_vars(e) == {"Y", "x"}
+
+    def test_source_is_outside_binding(self):
+        # The FROM operand is evaluated outside the block's own variable.
+        e = SFW(Var("y"), "y", Var("y"), None)
+        assert free_vars(e) == {"y"}
+
+    def test_shadowing(self):
+        e = parse("SELECT x FROM X x WHERE EXISTS x IN {1} (x = 1)")
+        assert free_vars(e) == {"X"}
+
+    def test_complex_expression(self):
+        e = parse("COUNT(SELECT y FROM Y y WHERE y.a = x.a) + z.b")
+        assert free_vars(e) == {"Y", "x", "z"}
+
+
+class TestCorrelation:
+    def test_correlated_subquery(self):
+        sub = parse("SELECT y FROM Y y WHERE y.a = x.a")
+        assert is_correlated(sub, {"x"})
+        assert correlation_vars(sub, {"x", "w"}) == {"x"}
+
+    def test_uncorrelated_subquery_is_constant(self):
+        sub = parse("SELECT y FROM Y y WHERE y.a = 1")
+        assert not is_correlated(sub, {"x"})
+
+
+class TestFindSubqueries:
+    def test_finds_maximal_blocks_only(self):
+        outer = parse(
+            "SELECT x FROM X x WHERE x.a IN "
+            "(SELECT y.a FROM Y y WHERE y.b IN (SELECT z.b FROM Z z))"
+        )
+        occs = find_subqueries(outer.where)
+        assert len(occs) == 1  # the inner-inner block is *inside* the found one
+        assert occs[0].subquery.var == "y"
+
+    def test_multiple_subqueries(self):
+        e = parse("COUNT(SELECT a FROM A a) = COUNT(SELECT b FROM B b)")
+        occs = find_subqueries(e)
+        assert {o.subquery.var for o in occs} == {"a", "b"}
+
+    def test_root_sfw_is_not_its_own_subquery(self):
+        e = parse("SELECT x FROM X x")
+        assert find_subqueries(e) == ()
+
+
+class TestHelpers:
+    def test_attr_root(self):
+        assert attr_root(parse("x.a.b")) == "x"
+        assert attr_root(parse("x")) == "x"
+        assert attr_root(parse("1 + 2")) is None
+
+    def test_uses_only(self):
+        e = parse("x.a = y.b")
+        assert uses_only(e, {"x", "y"})
+        assert not uses_only(e, {"x"})

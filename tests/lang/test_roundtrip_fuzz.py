@@ -1,0 +1,25 @@
+"""Parser ↔ pretty-printer round trips over the whole fuzz corpus."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+from repro.testing import random_query
+
+
+@settings(max_examples=300, deadline=None)
+@given(seed=st.integers(0, 1_000_000))
+def test_random_queries_round_trip(seed):
+    ast = parse(random_query(random.Random(seed)))
+    assert parse(pretty(ast)) == ast
+
+
+@settings(max_examples=100, deadline=None)
+@given(seed=st.integers(0, 1_000_000))
+def test_pretty_is_a_fixpoint(seed):
+    ast = parse(random_query(random.Random(seed)))
+    once = pretty(ast)
+    assert pretty(parse(once)) == once

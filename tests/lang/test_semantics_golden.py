@@ -1,0 +1,136 @@
+"""Golden semantics: tricky corners of the language, pinned exactly.
+
+Each case documents a semantic decision the rest of the stack depends on;
+if one of these changes, every engine must change with it.
+"""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.lang.eval import Env, evaluate
+from repro.lang.parser import parse
+from repro.model.values import NULL, Tup, Variant
+
+
+def ev(src, **bindings):
+    return evaluate(parse(src), Env(bindings))
+
+
+class TestScoping:
+    def test_three_level_shadowing(self):
+        # Each SELECT rebinds v; the innermost one wins in its own block.
+        result = ev(
+            "SELECT (a = v, inner = (SELECT v * 10 FROM {7} v)) FROM {1, 2} v"
+        )
+        assert result == frozenset(
+            {Tup(a=1, inner=frozenset({70})), Tup(a=2, inner=frozenset({70}))}
+        )
+
+    def test_quantifier_inside_sfw_sees_outer_var(self):
+        result = ev("SELECT v FROM {1, 2, 3} v WHERE EXISTS w IN {2, 3} (w = v)")
+        assert result == frozenset({2, 3})
+
+    def test_with_chain_latest_binding_wins_inside_value(self):
+        result = ev(
+            "SELECT x FROM {1, 2} x WHERE x IN z2 "
+            "WITH z1 = {1}, z2 = z1 UNION {2}"
+        )
+        assert result == frozenset({1, 2})
+
+    def test_from_operand_evaluated_outside_block_binding(self):
+        # The source expression cannot see the block's own variable.
+        result = ev("SELECT s FROM outer s", outer=frozenset({5}))
+        assert result == frozenset({5})
+
+
+class TestSetSemantics:
+    def test_select_deduplicates(self):
+        assert ev("SELECT v % 2 FROM {1, 2, 3, 4} v") == frozenset({0, 1})
+
+    def test_nested_empty_sets_are_distinct_from_absent(self):
+        rows = frozenset({Tup(s=frozenset()), Tup(s=frozenset({1}))})
+        assert ev("COUNT(SELECT r FROM rows r WHERE r.s = {})", rows=rows) == 1
+
+    def test_sets_compare_by_extension(self):
+        assert ev("(SELECT v FROM {1, 2} v) = {2, 1}") is True
+
+    def test_count_counts_distinct_values(self):
+        assert ev("COUNT(SELECT v % 2 FROM {1, 2, 3} v)") == 2
+
+
+class TestAggregateCorners:
+    def test_count_and_sum_of_empty_are_zero(self):
+        assert ev("COUNT(SELECT v FROM {} v)") == 0
+        assert ev("SUM(SELECT v FROM {} v)") == 0
+
+    def test_min_of_empty_raises_in_any_position(self):
+        with pytest.raises(ExecutionError):
+            ev("SELECT v FROM {1} v WHERE MIN(SELECT w FROM {} w) = 0")
+
+    def test_avg_is_float(self):
+        assert ev("AVG({1, 2})") == 1.5
+        assert isinstance(ev("AVG({2, 2, 4})"), float)
+
+    def test_aggregates_over_lists_see_duplicates(self):
+        assert ev("COUNT([1, 1, 1])") == 3
+        assert ev("SUM([2, 2])") == 4
+
+
+class TestHeterogeneity:
+    def test_equality_across_types_is_false_not_an_error(self):
+        assert ev("1 = 'a'") is False
+        assert ev("{1} = (a = 1)") is False
+
+    def test_ordering_across_types_raises(self):
+        with pytest.raises(ExecutionError):
+            ev("1 < 'a'")
+        with pytest.raises(ExecutionError):
+            ev("{1} < {2}")
+
+    def test_membership_in_heterogeneous_set(self):
+        assert ev("'a' IN {1, 'a', {2}}") is True
+
+
+class TestNullCorners:
+    def test_null_equality_is_two_valued(self):
+        assert ev("NULL = NULL") is True
+        assert ev("NULL <> NULL") is False
+        assert ev("NULL = 0") is False
+
+    def test_null_in_set(self):
+        assert ev("NULL IN {NULL, 1}") is True
+
+
+class TestVariantCorners:
+    def test_dispatch_inside_quantifier(self):
+        events = frozenset(
+            {Tup(s=Variant("ok", 1)), Tup(s=Variant("err", 2)), Tup(s=Variant("ok", 3))}
+        )
+        assert (
+            ev(
+                "COUNT(SELECT e FROM events e WHERE TAG(e.s) = 'ok')",
+                events=events,
+            )
+            == 2
+        )
+
+    def test_variants_with_same_payload_different_tags_are_distinct(self):
+        assert ev("<ok: 1> = <err: 1>") is False
+        assert ev("COUNT({<ok: 1>, <err: 1>})") == 2
+
+
+class TestPathsAndArithmetic:
+    def test_deep_attribute_path(self):
+        v = Tup(a=Tup(b=Tup(c=42)))
+        assert ev("x.a.b.c", x=v) == 42
+
+    def test_integer_division_stays_integral_when_exact(self):
+        assert ev("8 / 4") == 2
+        assert isinstance(ev("8 / 4"), int)
+        assert ev("9 / 4") == 2.25
+
+    def test_modulo_of_negative(self):
+        assert ev("-7 % 3") == ev("(0 - 7) % 3") == 2  # Python semantics
+
+    def test_unnest_of_empty_outer(self):
+        assert ev("UNNEST({})") == frozenset()

@@ -1,0 +1,101 @@
+"""Variant construction and elimination: <tag: e>, TAG(), PAYLOAD()."""
+
+import pytest
+
+from repro.errors import ExecutionError, TypeCheckError
+from repro.lang.ast import PayloadOf, TagOf
+from repro.lang.compile import compile_expr
+from repro.lang.eval import Env, evaluate
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+from repro.lang.typing import TypeEnv, type_of
+from repro.model.types import INT, STRING, VariantType
+from repro.model.values import Tup, Variant
+
+
+class TestParsing:
+    def test_tag_and_payload(self):
+        assert parse("TAG(v)") == TagOf(parse("v"))
+        assert parse("PAYLOAD(x.status)") == PayloadOf(parse("x.status"))
+
+    def test_round_trip(self):
+        for src in ["TAG(v)", "PAYLOAD(x.status)", "TAG(<ok: 1>) = 'ok'"]:
+            assert parse(pretty(parse(src))) == parse(src)
+
+
+class TestEvaluation:
+    def test_tag(self):
+        assert evaluate(parse("TAG(<ok: 42>)")) == "ok"
+
+    def test_payload(self):
+        assert evaluate(parse("PAYLOAD(<ok: 42>)")) == 42
+
+    def test_dispatch_idiom(self):
+        env = Env({"v": Variant("err", "boom")})
+        assert evaluate(parse("TAG(v) = 'err' AND PAYLOAD(v) = 'boom'"), env) is True
+
+    def test_tag_of_non_variant_raises(self):
+        with pytest.raises(ExecutionError, match="non-variant"):
+            evaluate(parse("TAG(1)"))
+        with pytest.raises(ExecutionError, match="non-variant"):
+            evaluate(parse("PAYLOAD({1})"))
+
+    def test_compiled_agrees(self):
+        for src in ["TAG(<ok: 42>)", "PAYLOAD(<ok: 42>)", "TAG(v)"]:
+            expr = parse(src)
+            env = {"v": Variant("a", 1)}
+            assert compile_expr(expr)(env, {}) == evaluate(expr, Env(env))
+
+
+class TestTyping:
+    def test_tag_is_string(self):
+        env = TypeEnv().bind("v", VariantType({"ok": INT, "err": STRING}))
+        assert type_of(parse("TAG(v)"), env) == STRING
+
+    def test_payload_unifies_cases(self):
+        env = TypeEnv().bind("v", VariantType({"a": INT, "b": INT}))
+        assert type_of(parse("PAYLOAD(v)"), env) == INT
+
+    def test_payload_of_mixed_cases_is_any(self):
+        from repro.model.types import ANY
+
+        env = TypeEnv().bind("v", VariantType({"ok": INT, "err": STRING}))
+        assert type_of(parse("PAYLOAD(v)"), env) == ANY
+
+    def test_tag_of_scalar_rejected(self):
+        with pytest.raises(TypeCheckError):
+            type_of(parse("TAG(1)"), TypeEnv())
+
+
+class TestEndToEnd:
+    def test_query_dispatching_on_variants(self):
+        from repro.core.pipeline import run_query
+        from repro.engine.table import Catalog
+
+        cat = Catalog()
+        cat.add_rows(
+            "EVENTS",
+            [
+                Tup(id=1, status=Variant("ok", 200)),
+                Tup(id=2, status=Variant("err", "timeout")),
+                Tup(id=3, status=Variant("ok", 201)),
+            ],
+        )
+        query = "SELECT e.id FROM EVENTS e WHERE TAG(e.status) = 'ok'"
+        for engine in ("interpret", "logical", "physical"):
+            assert run_query(query, cat, engine=engine).value == frozenset({1, 3})
+
+    def test_payload_filter(self):
+        from repro.core.pipeline import run_query
+        from repro.engine.table import Catalog
+
+        cat = Catalog()
+        cat.add_rows(
+            "EVENTS",
+            [Tup(id=1, status=Variant("ok", 200)), Tup(id=2, status=Variant("ok", 500))],
+        )
+        query = (
+            "SELECT e.id FROM EVENTS e "
+            "WHERE TAG(e.status) = 'ok' AND PAYLOAD(e.status) < 300"
+        )
+        assert run_query(query, cat, typecheck=False).value == frozenset({1})

@@ -1,0 +1,129 @@
+"""Unit and property tests for the total order over model values."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.compare import compare, sort_key, value_max, value_min
+from repro.model.values import NULL, Tup, Variant
+
+
+def models(max_leaves=8):
+    """Hypothesis strategy generating arbitrary model values."""
+    atoms = st.one_of(
+        st.just(NULL),
+        st.booleans(),
+        st.integers(-100, 100),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.text(max_size=4),
+    )
+    return st.recursive(
+        atoms,
+        lambda inner: st.one_of(
+            st.frozensets(inner, max_size=3),
+            st.lists(inner, max_size=3).map(tuple),
+            st.dictionaries(st.sampled_from("abc"), inner, max_size=3).map(Tup),
+            st.tuples(st.sampled_from(["l", "r"]), inner).map(lambda p: Variant(p[0], p[1])),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+class TestRankOrder:
+    def test_kind_ranking(self):
+        # NULL < number < string < list < tuple < variant < set
+        ordering = [NULL, 0, "", (), Tup(), Variant("t", 0), frozenset()]
+        for i, lo in enumerate(ordering):
+            for hi in ordering[i + 1 :]:
+                assert compare(lo, hi) < 0
+                assert compare(hi, lo) > 0
+
+    def test_bools_rank_with_numbers(self):
+        # Python identifies True with 1; the order must agree with equality.
+        assert compare(True, 1) == 0
+        assert compare(False, 0) == 0
+        assert compare(False, -1) > 0
+        assert compare(True, 2) < 0
+
+    def test_numbers_mix_int_float(self):
+        assert compare(1, 1.0) == 0
+        assert compare(1, 1.5) < 0
+        assert compare(2.5, 2) > 0
+
+    def test_strings(self):
+        assert compare("a", "b") < 0
+        assert compare("b", "a") > 0
+        assert compare("a", "a") == 0
+
+    def test_lists_lexicographic(self):
+        assert compare((1, 2), (1, 3)) < 0
+        assert compare((1, 2), (1, 2, 0)) < 0
+        assert compare((2,), (1, 9)) > 0
+
+    def test_tuples_by_label_then_value(self):
+        assert compare(Tup(a=1), Tup(a=2)) < 0
+        assert compare(Tup(a=1), Tup(b=0)) < 0  # label 'a' < 'b'
+        assert compare(Tup(a=1, b=2), Tup(a=1, b=2)) == 0
+
+    def test_variants(self):
+        assert compare(Variant("a", 9), Variant("b", 0)) < 0
+        assert compare(Variant("a", 1), Variant("a", 2)) < 0
+
+    def test_sets_as_sorted_sequences(self):
+        assert compare(frozenset({1, 2}), frozenset({1, 3})) < 0
+        assert compare(frozenset(), frozenset({0})) < 0
+        assert compare(frozenset({2, 1}), frozenset({1, 2})) == 0
+
+    def test_non_value_raises(self):
+        from repro.errors import ValueModelError
+
+        with pytest.raises(ValueModelError):
+            compare(object(), 1)
+
+
+class TestMinMax:
+    def test_value_min_max(self):
+        vals = [3, 1, 2]
+        assert value_min(vals) == 1
+        assert value_max(vals) == 3
+
+    def test_empty_default(self):
+        assert value_min([], default="d") == "d"
+        assert value_max([]) is None
+
+    def test_heterogeneous(self):
+        vals = ["s", 5, frozenset()]
+        assert value_min(vals) == 5
+        assert value_max(vals) == frozenset()
+
+
+@settings(max_examples=200)
+@given(models(), models())
+def test_antisymmetry(a, b):
+    assert compare(a, b) == -compare(b, a)
+
+
+@settings(max_examples=200)
+@given(models(), models())
+def test_consistent_with_equality(a, b):
+    if a == b and type(a) is type(b):
+        assert compare(a, b) == 0
+
+
+@settings(max_examples=150)
+@given(models(), models(), models())
+def test_transitivity(a, b, c):
+    xs = sorted([a, b, c], key=sort_key)
+    assert compare(xs[0], xs[1]) <= 0
+    assert compare(xs[1], xs[2]) <= 0
+    assert compare(xs[0], xs[2]) <= 0
+
+
+@settings(max_examples=100)
+@given(st.lists(models(), max_size=8))
+def test_sorting_is_order_independent_up_to_ties(values):
+    once = sorted(values, key=sort_key)
+    twice = sorted(list(reversed(values)), key=sort_key)
+    # Positions may swap tied values (e.g. False vs 0) but each position
+    # must hold a compare-equal value.
+    assert all(compare(a, b) == 0 for a, b in zip(once, twice))

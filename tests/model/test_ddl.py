@@ -1,0 +1,148 @@
+"""Tests for the TM DDL parser, including the paper's exact definitions."""
+
+import pytest
+
+from repro.errors import ParseError, SchemaError
+from repro.model.ddl import parse_schema, parse_type
+from repro.model.schema import company_schema
+from repro.model.types import (
+    BOOL,
+    FLOAT,
+    INT,
+    STRING,
+    ClassType,
+    ListType,
+    SetType,
+    TupleType,
+    VariantType,
+)
+
+#: Section 3.2 of the paper, verbatim (modulo the ℙ → P spelling).
+PAPER_DDL = """
+CLASS Employee WITH EXTENSION EMP
+ATTRIBUTES
+    name : STRING,
+    address : Address,
+    sal : INT,
+    children : P(name : STRING, age : INT)
+END Employee
+
+CLASS Department WITH EXTENSION DEPT
+ATTRIBUTES
+    name : STRING,
+    address : Address,
+    emps : P Employee
+END Department
+
+SORT Address
+TYPE (street : STRING, nr : STRING, city : STRING)
+END Address
+"""
+
+
+class TestPaperSchema:
+    def test_parses(self):
+        schema = parse_schema(PAPER_DDL)
+        assert set(schema.classes) == {"Employee", "Department"}
+        assert set(schema.sorts) == {"Address"}
+
+    def test_matches_builtin_company_schema(self):
+        parsed = parse_schema(PAPER_DDL)
+        builtin = company_schema()
+        assert parsed.extension_row_type("EMP") == builtin.extension_row_type("EMP")
+        assert parsed.extension_row_type("DEPT") == builtin.extension_row_type("DEPT")
+
+    def test_extension_names(self):
+        schema = parse_schema(PAPER_DDL)
+        assert schema.class_by_extension("EMP").name == "Employee"
+        assert schema.class_by_extension("DEPT").name == "Department"
+
+
+class TestTypes:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("STRING", STRING),
+            ("int", INT),
+            ("FLOAT", FLOAT),
+            ("BOOL", BOOL),
+            ("P INT", SetType(INT)),
+            ("L STRING", ListType(STRING)),
+            ("P P INT", SetType(SetType(INT))),
+            ("(a : INT)", TupleType({"a": INT})),
+            ("(a : INT, b : P STRING)", TupleType({"a": INT, "b": SetType(STRING)})),
+            ("Address", ClassType("Address")),
+            ("P Employee", SetType(ClassType("Employee"))),
+            ("V(ok : INT | err : STRING)", VariantType({"ok": INT, "err": STRING})),
+            ("V(ok : INT, err : STRING)", VariantType({"ok": INT, "err": STRING})),
+        ],
+    )
+    def test_type_expressions(self, text, expected):
+        assert parse_type(text) == expected
+
+    def test_deep_nesting(self):
+        t = parse_type("P(kids : P(age : INT), tags : L STRING)")
+        assert t == SetType(
+            TupleType({"kids": SetType(TupleType({"age": INT})), "tags": ListType(STRING)})
+        )
+
+    @pytest.mark.parametrize("bad", ["", "P", "(a INT)", "(: INT)", "V()", "INT extra"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ParseError):
+            parse_type(bad)
+
+
+class TestErrors:
+    def test_mismatched_end(self):
+        with pytest.raises(ParseError, match="does not close"):
+            parse_schema("CLASS A WITH EXTENSION AS ATTRIBUTES x : INT END B")
+
+    def test_duplicate_class(self):
+        ddl = (
+            "CLASS A WITH EXTENSION AS ATTRIBUTES x : INT END A "
+            "CLASS A WITH EXTENSION AS2 ATTRIBUTES x : INT END A"
+        )
+        with pytest.raises(SchemaError):
+            parse_schema(ddl)
+
+    def test_garbage_at_top_level(self):
+        with pytest.raises(ParseError, match="CLASS or SORT"):
+            parse_schema("HELLO")
+
+    def test_keyword_as_name_rejected(self):
+        with pytest.raises(ParseError):
+            parse_schema("CLASS class WITH EXTENSION C ATTRIBUTES x : INT END class")
+
+
+class TestIntegration:
+    def test_parsed_schema_validates_catalog(self):
+        from repro.engine.table import Catalog
+        from repro.model.values import Tup
+
+        schema = parse_schema(
+            "CLASS Point WITH EXTENSION POINTS ATTRIBUTES x : INT, y : INT END Point"
+        )
+        catalog = Catalog(schema)
+        catalog.add_rows("POINTS", [Tup(x=1, y=2)])
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            catalog2 = Catalog(schema)
+            catalog2.add_rows("POINTS", [Tup(x="not int", y=2)])
+
+    def test_queries_over_ddl_defined_schema(self):
+        from repro.core.pipeline import run_query
+        from repro.engine.table import Catalog
+        from repro.model.values import Tup
+
+        schema = parse_schema(PAPER_DDL)
+        catalog = Catalog(schema)
+        addr = Tup(street="s", nr="1", city="c")
+        emp = Tup(name="e1", address=addr, sal=50_000, children=frozenset())
+        catalog.add_rows("EMP", [emp])
+        catalog.add_rows("DEPT", [Tup(name="d1", address=addr, emps=frozenset({emp}))])
+        result = run_query(
+            "SELECT d.name FROM DEPT d WHERE EXISTS e IN d.emps (e.sal >= 50000)",
+            catalog,
+        )
+        assert result.value == frozenset({"d1"})

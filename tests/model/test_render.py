@@ -1,0 +1,83 @@
+"""Round-trip tests: render types/schemas to DDL and parse them back."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TypeModelError
+from repro.model.ddl import parse_schema, parse_type
+from repro.model.render import render_schema, render_type
+from repro.model.schema import company_schema
+from repro.model.types import (
+    ANY,
+    BOOL,
+    FLOAT,
+    INT,
+    NULL_T,
+    STRING,
+    ClassType,
+    ListType,
+    SetType,
+    TupleType,
+    VariantType,
+)
+
+
+def types(max_depth=3):
+    base = st.sampled_from([INT, FLOAT, STRING, BOOL, ClassType("Ref")])
+    labels = st.sampled_from(["a", "b", "c", "kids", "tags"])
+
+    def extend(inner):
+        return st.one_of(
+            st.builds(SetType, inner),
+            st.builds(ListType, inner),
+            st.dictionaries(labels, inner, min_size=1, max_size=3).map(TupleType),
+            st.dictionaries(labels, inner, min_size=1, max_size=2).map(VariantType),
+        )
+
+    return st.recursive(base, extend, max_leaves=8)
+
+
+@settings(max_examples=200)
+@given(types())
+def test_type_round_trip(t):
+    assert parse_type(render_type(t)) == t
+
+
+@pytest.mark.parametrize(
+    "t,text",
+    [
+        (SetType(INT), "P INT"),
+        (TupleType({"a": INT, "b": SetType(STRING)}), "(a : INT, b : P STRING)"),
+        (VariantType({"ok": INT}), "V(ok : INT)"),
+        (ListType(ClassType("Emp")), "L Emp"),
+    ],
+)
+def test_examples(t, text):
+    assert render_type(t) == text
+
+
+def test_unrenderable_types_rejected():
+    with pytest.raises(TypeModelError):
+        render_type(ANY)
+    with pytest.raises(TypeModelError):
+        render_type(NULL_T)
+
+
+class TestSchemaRoundTrip:
+    def test_company_schema(self):
+        original = company_schema()
+        back = parse_schema(render_schema(original))
+        assert set(back.classes) == set(original.classes)
+        assert set(back.sorts) == set(original.sorts)
+        for name, cls in original.classes.items():
+            assert back.classes[name].extension == cls.extension
+            assert back.classes[name].attributes == cls.attributes
+        for name, sort in original.sorts.items():
+            assert back.sorts[name].type == sort.type
+
+    def test_rendered_text_is_readable(self):
+        text = render_schema(company_schema())
+        assert "CLASS Employee WITH EXTENSION EMP" in text
+        assert "children : P(name : STRING, age : INT)" in text
+        assert "SORT Address" in text

@@ -1,0 +1,94 @@
+"""Unit tests for schemas, sorts, classes, and resolution."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.model.schema import Schema, company_schema
+from repro.model.types import INT, STRING, ClassType, SetType, TupleType
+
+
+class TestSchemaDefinition:
+    def test_add_and_lookup(self):
+        s = Schema()
+        s.add_class("C", "CS", TupleType({"a": INT}))
+        assert s.class_by_extension("CS").name == "C"
+        assert s.extension_names() == ("CS",)
+
+    def test_duplicate_class_name_rejected(self):
+        s = Schema()
+        s.add_class("C", "CS", TupleType({"a": INT}))
+        with pytest.raises(SchemaError):
+            s.add_class("C", "CS2", TupleType({"a": INT}))
+
+    def test_duplicate_extension_rejected(self):
+        s = Schema()
+        s.add_class("C", "CS", TupleType({"a": INT}))
+        with pytest.raises(SchemaError):
+            s.add_class("D", "CS", TupleType({"a": INT}))
+
+    def test_sort_and_class_share_namespace(self):
+        s = Schema()
+        s.add_sort("N", INT)
+        with pytest.raises(SchemaError):
+            s.add_class("N", "NS", TupleType({"a": INT}))
+
+    def test_unknown_extension(self):
+        with pytest.raises(SchemaError):
+            Schema().class_by_extension("NOPE")
+
+
+class TestResolution:
+    def test_sort_reference_resolved(self):
+        s = Schema()
+        s.add_sort("Addr", TupleType({"city": STRING}))
+        s.add_class("C", "CS", TupleType({"a": ClassType("Addr")}))
+        row = s.extension_row_type("CS")
+        assert row == TupleType({"a": TupleType({"city": STRING})})
+
+    def test_class_reference_resolved_by_value(self):
+        s = Schema()
+        s.add_class("E", "ES", TupleType({"n": STRING}))
+        s.add_class("D", "DS", TupleType({"emps": SetType(ClassType("E"))}))
+        row = s.extension_row_type("DS")
+        assert row == TupleType({"emps": SetType(TupleType({"n": STRING}))})
+
+    def test_direct_recursion_rejected(self):
+        s = Schema()
+        s.add_class("C", "CS", TupleType({"self": ClassType("C")}))
+        with pytest.raises(SchemaError):
+            s.extension_row_type("CS")
+
+    def test_recursion_through_set_allowed_one_level(self):
+        s = Schema()
+        s.add_class("C", "CS", TupleType({"peers": SetType(ClassType("C"))}))
+        # A set constructor breaks the recursion at one materialisation level
+        # per resolve step; resolution must terminate.
+        row = s.extension_row_type("CS")
+        assert "peers" in row.fields
+
+    def test_unknown_reference(self):
+        s = Schema()
+        s.add_class("C", "CS", TupleType({"x": ClassType("Ghost")}))
+        with pytest.raises(SchemaError):
+            s.extension_row_type("CS")
+
+
+class TestCompanySchema:
+    def test_paper_classes_present(self):
+        s = company_schema()
+        assert set(s.classes) == {"Employee", "Department"}
+        assert set(s.sorts) == {"Address"}
+        assert s.class_by_extension("EMP").name == "Employee"
+        assert s.class_by_extension("DEPT").name == "Department"
+
+    def test_dept_row_type_materialises_employees(self):
+        s = company_schema()
+        dept = s.extension_row_type("DEPT")
+        emps = dept.field("emps")
+        assert isinstance(emps, SetType)
+        emp_row = emps.element
+        assert isinstance(emp_row, TupleType)
+        assert set(emp_row.fields) == {"name", "address", "sal", "children"}
+        assert emp_row.field("address") == TupleType(
+            {"street": STRING, "nr": STRING, "city": STRING}
+        )

@@ -1,0 +1,161 @@
+"""Unit tests for the TM type system."""
+
+import pytest
+
+from repro.errors import TypeModelError
+from repro.model.types import (
+    ANY,
+    BOOL,
+    FLOAT,
+    INT,
+    NULL_T,
+    STRING,
+    BaseType,
+    ClassType,
+    ListType,
+    SetType,
+    TupleType,
+    VariantType,
+    is_numeric,
+    is_subtype,
+    type_of_value,
+    unify,
+)
+from repro.model.values import NULL, Tup, Variant
+
+
+class TestConstruction:
+    def test_base_type_singletons_compare_equal(self):
+        assert INT == BaseType("int")
+        assert hash(STRING) == hash(BaseType("string"))
+
+    def test_unknown_base_type_rejected(self):
+        with pytest.raises(TypeModelError):
+            BaseType("decimal")
+
+    def test_tuple_type_duplicate_label_rejected(self):
+        with pytest.raises(TypeModelError):
+            TupleType([("a", INT), ("a", STRING)])
+
+    def test_tuple_type_equality_order_insensitive(self):
+        a = TupleType([("a", INT), ("b", STRING)])
+        b = TupleType([("b", STRING), ("a", INT)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_variant_needs_cases(self):
+        with pytest.raises(TypeModelError):
+            VariantType({})
+
+    def test_nested_constructors(self):
+        t = SetType(TupleType({"kids": SetType(TupleType({"age": INT}))}))
+        assert t.element.field("kids").element.field("age") == INT
+
+    def test_field_lookup_error(self):
+        with pytest.raises(TypeModelError):
+            TupleType({"a": INT}).field("b")
+
+
+class TestSubtyping:
+    def test_reflexive(self):
+        for t in (INT, STRING, SetType(INT), TupleType({"a": INT})):
+            assert is_subtype(t, t)
+
+    def test_int_subtype_of_float(self):
+        assert is_subtype(INT, FLOAT)
+        assert not is_subtype(FLOAT, INT)
+
+    def test_any_is_top(self):
+        assert is_subtype(INT, ANY)
+        assert is_subtype(SetType(TupleType({"a": INT})), ANY)
+
+    def test_null_is_bottom(self):
+        assert is_subtype(NULL_T, INT)
+        assert is_subtype(NULL_T, SetType(STRING))
+
+    def test_tuple_width_subtyping(self):
+        wide = TupleType({"a": INT, "b": STRING})
+        narrow = TupleType({"a": INT})
+        assert is_subtype(wide, narrow)
+        assert not is_subtype(narrow, wide)
+
+    def test_tuple_depth_subtyping(self):
+        sub = TupleType({"a": INT})
+        sup = TupleType({"a": FLOAT})
+        assert is_subtype(sub, sup)
+
+    def test_set_covariance(self):
+        assert is_subtype(SetType(INT), SetType(FLOAT))
+        assert not is_subtype(SetType(FLOAT), SetType(INT))
+
+    def test_variant_fewer_cases(self):
+        small = VariantType({"a": INT})
+        big = VariantType({"a": INT, "b": STRING})
+        assert is_subtype(small, big)
+        assert not is_subtype(big, small)
+
+
+class TestUnify:
+    def test_identical(self):
+        assert unify(INT, INT) == INT
+
+    def test_numeric_promotion(self):
+        assert unify(INT, FLOAT) == FLOAT
+
+    def test_any_is_absorbing_top(self):
+        # ANY is top: its LUB with anything is ANY (soundness — an ANY
+        # that arose from a heterogeneous set must not be refined away).
+        assert unify(ANY, INT) == ANY
+        assert unify(SetType(ANY), SetType(INT)) == SetType(ANY)
+
+    def test_null_absorbs(self):
+        assert unify(NULL_T, STRING) == STRING
+
+    def test_incompatible(self):
+        assert unify(INT, STRING) is None
+        assert unify(SetType(INT), ListType(INT)) is None
+
+    def test_tuples_fieldwise(self):
+        a = TupleType({"a": INT})
+        b = TupleType({"a": FLOAT})
+        assert unify(a, b) == TupleType({"a": FLOAT})
+        assert unify(a, TupleType({"b": INT})) is None
+
+    def test_variants_merge_cases(self):
+        a = VariantType({"x": INT})
+        b = VariantType({"y": STRING})
+        assert unify(a, b) == VariantType({"x": INT, "y": STRING})
+
+
+class TestTypeOfValue:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (True, BOOL),
+            (3, INT),
+            (2.5, FLOAT),
+            ("s", STRING),
+            (NULL, NULL_T),
+            (Tup(a=1), TupleType({"a": INT})),
+            (Variant("t", 1), VariantType({"t": INT})),
+            (frozenset({1, 2}), SetType(INT)),
+            ((1, 2), ListType(INT)),
+            (frozenset(), SetType(ANY)),
+        ],
+    )
+    def test_inference(self, value, expected):
+        assert type_of_value(value) == expected
+
+    def test_mixed_numeric_set(self):
+        assert type_of_value(frozenset({1, 2.5})) == SetType(FLOAT)
+
+    def test_heterogeneous_set_falls_back_to_any(self):
+        assert type_of_value(frozenset({1, "s"})) == SetType(ANY)
+
+    def test_is_numeric(self):
+        assert is_numeric(INT) and is_numeric(FLOAT)
+        assert not is_numeric(STRING)
+
+    def test_class_type_identity(self):
+        assert ClassType("Emp") == ClassType("Emp")
+        assert ClassType("Emp") != ClassType("Dept")

@@ -1,0 +1,95 @@
+"""Unit tests for value/type conformance checking."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.model.types import (
+    ANY,
+    BOOL,
+    FLOAT,
+    INT,
+    NULL_T,
+    STRING,
+    ClassType,
+    ListType,
+    SetType,
+    TupleType,
+    VariantType,
+)
+from repro.model.validate import check, conforms
+from repro.model.values import NULL, Tup, Variant
+
+
+class TestBasics:
+    def test_int(self):
+        assert conforms(3, INT)
+        assert not conforms(3.5, INT)
+        assert not conforms(True, INT)  # bools are not INTs
+
+    def test_float_accepts_int(self):
+        assert conforms(3, FLOAT)
+        assert conforms(3.5, FLOAT)
+
+    def test_bool_and_string(self):
+        assert conforms(True, BOOL)
+        assert not conforms(1, BOOL)
+        assert conforms("s", STRING)
+        assert not conforms(1, STRING)
+
+    def test_any_accepts_everything(self):
+        assert conforms(Tup(a=1), ANY)
+        assert conforms(frozenset(), ANY)
+
+    def test_null(self):
+        assert conforms(NULL, NULL_T)
+        assert not conforms(0, NULL_T)
+
+
+class TestStructures:
+    def test_tuple_exact_fields(self):
+        t = TupleType({"a": INT, "b": STRING})
+        assert conforms(Tup(a=1, b="x"), t)
+        assert not conforms(Tup(a=1), t)  # missing
+        assert not conforms(Tup(a=1, b="x", c=0), t)  # extra
+        assert not conforms(Tup(a="no", b="x"), t)  # wrong type
+
+    def test_set_members(self):
+        t = SetType(INT)
+        assert conforms(frozenset({1, 2}), t)
+        assert conforms(frozenset(), t)
+        assert not conforms(frozenset({"s"}), t)
+        assert not conforms((1, 2), t)
+
+    def test_list_members(self):
+        t = ListType(STRING)
+        assert conforms(("a", "b"), t)
+        assert not conforms(frozenset({"a"}), t)
+
+    def test_variant(self):
+        t = VariantType({"ok": INT, "err": STRING})
+        assert conforms(Variant("ok", 1), t)
+        assert conforms(Variant("err", "boom"), t)
+        assert not conforms(Variant("other", 1), t)
+        assert not conforms(Variant("ok", "not int"), t)
+
+    def test_deep_nesting(self):
+        t = SetType(TupleType({"kids": SetType(TupleType({"age": INT}))}))
+        good = frozenset({Tup(kids=frozenset({Tup(age=4)}))})
+        bad = frozenset({Tup(kids=frozenset({Tup(age="x")}))})
+        assert conforms(good, t)
+        assert not conforms(bad, t)
+
+
+class TestErrors:
+    def test_unresolved_class_reference_reported(self):
+        with pytest.raises(ValidationError, match="unresolved"):
+            check(Tup(a=1), ClassType("C"))
+
+    def test_error_paths_point_at_failure(self):
+        t = TupleType({"a": SetType(TupleType({"b": INT}))})
+        with pytest.raises(ValidationError, match=r"\$\.a"):
+            check(Tup(a=frozenset({Tup(b="x")})), t)
+
+    def test_missing_field_message(self):
+        with pytest.raises(ValidationError, match="missing fields"):
+            check(Tup(), TupleType({"a": INT}))

@@ -1,0 +1,84 @@
+"""Property tests for value-model laws and type inference consistency."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.types import type_of_value
+from repro.model.validate import conforms
+from repro.model.values import Tup, make_value
+
+labels = st.sampled_from(["a", "b", "c", "d"])
+
+atoms = st.one_of(
+    st.booleans(),
+    st.integers(-50, 50),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=4),
+)
+
+values = st.recursive(
+    atoms,
+    lambda inner: st.one_of(
+        st.frozensets(inner, max_size=3),
+        st.lists(inner, max_size=3).map(tuple),
+        st.dictionaries(labels, inner, max_size=3).map(Tup),
+    ),
+    max_leaves=10,
+)
+
+tups = st.dictionaries(labels, values, min_size=1, max_size=4).map(Tup)
+
+
+@settings(max_examples=200)
+@given(values)
+def test_every_value_conforms_to_its_inferred_type(v):
+    assert conforms(v, type_of_value(v))
+
+
+@settings(max_examples=150)
+@given(tups)
+def test_project_then_merge_is_identity(t):
+    labels_list = list(t.labels())
+    half = len(labels_list) // 2
+    left = t.project(labels_list[:half])
+    right = t.project(labels_list[half:])
+    assert left.concat(right) == t
+
+
+@settings(max_examples=150)
+@given(tups, st.integers(0, 3))
+def test_drop_removes_exactly_one_label(t, idx):
+    label = t.labels()[idx % len(t.labels())]
+    dropped = t.drop(label)
+    assert label not in dropped
+    assert set(dropped.labels()) == set(t.labels()) - {label}
+    for other in dropped.labels():
+        assert dropped[other] == t[other]
+
+
+@settings(max_examples=150)
+@given(tups)
+def test_extend_then_drop_is_identity(t):
+    extended = t.extend(zz_fresh=42)
+    assert extended.drop("zz_fresh") == t
+
+
+@settings(max_examples=150)
+@given(tups)
+def test_as_dict_round_trips(t):
+    assert Tup(t.as_dict()) == t
+    assert Tup(t.as_env()) == t
+
+
+@settings(max_examples=150)
+@given(values)
+def test_make_value_is_idempotent(v):
+    assert make_value(v) == v
+
+
+@settings(max_examples=100)
+@given(st.frozensets(tups, max_size=4))
+def test_sets_of_tuples_behave_as_sets(s):
+    # Rebuilding from a list with duplicates collapses them.
+    doubled = frozenset(list(s) + list(s))
+    assert doubled == s

@@ -1,0 +1,164 @@
+"""Unit tests for the immutable value model."""
+
+import pytest
+
+from repro.errors import ValueModelError
+from repro.model.values import NULL, Null, Tup, Variant, is_value, make_value, value_repr
+
+
+class TestTup:
+    def test_field_access_by_item_and_attr(self):
+        t = Tup(a=1, b="x")
+        assert t["a"] == 1
+        assert t.b == "x"
+
+    def test_missing_field_raises(self):
+        t = Tup(a=1)
+        with pytest.raises(KeyError):
+            t["nope"]
+        with pytest.raises(AttributeError):
+            t.nope
+
+    def test_equality_is_order_insensitive(self):
+        assert Tup(a=1, b=2) == Tup(b=2, a=1)
+        assert hash(Tup(a=1, b=2)) == hash(Tup(b=2, a=1))
+
+    def test_inequality_on_values_and_labels(self):
+        assert Tup(a=1) != Tup(a=2)
+        assert Tup(a=1) != Tup(b=1)
+        assert Tup(a=1) != Tup(a=1, b=2)
+
+    def test_labels_preserve_insertion_order(self):
+        t = Tup(b=1, a=2)
+        assert t.labels() == ("b", "a")
+        assert t.values() == (1, 2)
+        assert t.items() == (("b", 1), ("a", 2))
+
+    def test_immutable(self):
+        t = Tup(a=1)
+        with pytest.raises(ValueModelError):
+            t.a = 2
+
+    def test_extend_concatenation(self):
+        t = Tup(a=1).extend(b=2)
+        assert t == Tup(a=1, b=2)
+
+    def test_extend_rejects_label_collision(self):
+        with pytest.raises(ValueModelError):
+            Tup(a=1).extend(a=2)
+
+    def test_concat(self):
+        assert Tup(a=1).concat(Tup(b=2)) == Tup(a=1, b=2)
+        with pytest.raises(ValueModelError):
+            Tup(a=1).concat(Tup(a=2))
+
+    def test_project_and_drop(self):
+        t = Tup(a=1, b=2, c=3)
+        assert t.project(["c", "a"]) == Tup(c=3, a=1)
+        assert t.drop("b") == Tup(a=1, c=3)
+
+    def test_replace(self):
+        assert Tup(a=1, b=2).replace(a=9) == Tup(a=9, b=2)
+        with pytest.raises(ValueModelError):
+            Tup(a=1).replace(z=1)
+
+    def test_rejects_plain_python_collections(self):
+        with pytest.raises(ValueModelError):
+            Tup(a=[1, 2])
+        with pytest.raises(ValueModelError):
+            Tup(a={1})
+        with pytest.raises(ValueModelError):
+            Tup(a={"k": 1})
+
+    def test_nested_sets_of_tuples_hash(self):
+        inner = frozenset({Tup(x=1), Tup(x=2)})
+        t1 = Tup(s=inner)
+        t2 = Tup(s=frozenset({Tup(x=2), Tup(x=1)}))
+        assert t1 == t2
+        assert hash(t1) == hash(t2)
+        assert len({t1, t2}) == 1
+
+    def test_get_and_contains_and_len(self):
+        t = Tup(a=1, b=2)
+        assert "a" in t and "z" not in t
+        assert t.get("z", 42) == 42
+        assert len(t) == 2
+        assert list(t) == ["a", "b"]
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueModelError):
+            Tup({"": 1})
+
+
+class TestVariant:
+    def test_equality(self):
+        assert Variant("ok", 1) == Variant("ok", 1)
+        assert Variant("ok", 1) != Variant("err", 1)
+        assert Variant("ok", 1) != Variant("ok", 2)
+
+    def test_hashable(self):
+        assert len({Variant("a", 1), Variant("a", 1)}) == 1
+
+    def test_immutable(self):
+        v = Variant("a", 1)
+        with pytest.raises(ValueModelError):
+            v.tag = "b"
+
+    def test_rejects_bad_payload(self):
+        with pytest.raises(ValueModelError):
+            Variant("a", [1])
+
+
+class TestNull:
+    def test_singleton(self):
+        assert Null() is NULL
+        assert NULL == Null()
+        assert hash(NULL) == hash(Null())
+
+    def test_repr(self):
+        assert repr(NULL) == "NULL"
+
+
+class TestMakeValue:
+    def test_dict_to_tup(self):
+        assert make_value({"a": 1}) == Tup(a=1)
+
+    def test_nested_coercion(self):
+        v = make_value({"a": [1, 2], "b": {3, 4}, "c": {"d": 5}})
+        assert v == Tup(a=(1, 2), b=frozenset({3, 4}), c=Tup(d=5))
+
+    def test_set_of_dicts(self):
+        v = make_value({"rows": [{"x": 1}, {"x": 2}]})
+        assert v.rows == (Tup(x=1), Tup(x=2))
+
+    def test_passthrough(self):
+        assert make_value(5) == 5
+        assert make_value("s") == "s"
+        assert make_value(True) is True
+        assert make_value(NULL) is NULL
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueModelError):
+            make_value(object())
+
+
+class TestIsValue:
+    @pytest.mark.parametrize(
+        "v",
+        [1, 1.5, "s", True, NULL, Tup(a=1), Variant("t", 1), frozenset({1}), (1, 2)],
+    )
+    def test_accepts_model_values(self, v):
+        assert is_value(v)
+
+    @pytest.mark.parametrize("v", [[1], {1}, {"a": 1}, object()])
+    def test_rejects_others(self, v):
+        assert not is_value(v)
+
+
+class TestValueRepr:
+    def test_set_repr_is_sorted_and_stable(self):
+        assert value_repr(frozenset({3, 1, 2})) == "{1, 2, 3}"
+
+    def test_nested(self):
+        v = Tup(a=frozenset({Tup(x=2), Tup(x=1)}), b=(1, "s"))
+        assert value_repr(v) == "(a={(x=1), (x=2)}, b=[1, 's'])"

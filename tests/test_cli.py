@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.engine.table import Catalog
+from repro.io import dump_catalog
+from repro.model.values import Tup
+
+
+@pytest.fixture
+def db(tmp_path):
+    catalog = Catalog()
+    catalog.add_rows("R", [Tup(a=1, b=2, c=10), Tup(a=2, b=0, c=99)])
+    catalog.add_rows("S", [Tup(c=10, d=1), Tup(c=10, d=2)])
+    path = tmp_path / "db.json"
+    dump_catalog(catalog, path)
+    return str(path)
+
+
+COUNT_QUERY = "SELECT r FROM R r WHERE r.b = COUNT(SELECT s FROM S s WHERE r.c = s.c)"
+
+
+class TestQueryCommand:
+    def test_runs_and_prints_rows(self, db, capsys):
+        assert main(["query", COUNT_QUERY, "--db", db]) == 0
+        out = capsys.readouterr()
+        assert "(a=1, b=2, c=10)" in out.out
+        assert "(a=2, b=0, c=99)" in out.out  # the dangling row
+        assert "2 rows" in out.err
+
+    @pytest.mark.parametrize("engine", ["interpret", "logical", "physical"])
+    def test_engines(self, db, capsys, engine):
+        assert main(["query", COUNT_QUERY, "--db", db, "--engine", engine]) == 0
+        assert engine in capsys.readouterr().err
+
+    def test_type_error_is_reported(self, db, capsys):
+        assert main(["query", "SELECT r.nope FROM R r", "--db", db]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_no_typecheck_flag(self, db, capsys):
+        # Without typecheck the error surfaces at runtime instead.
+        code = main(["query", "SELECT r.a FROM R r", "--db", db, "--no-typecheck"])
+        assert code == 0
+
+    def test_parse_error_is_reported(self, db, capsys):
+        assert main(["query", "SELECT FROM", "--db", db]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestOtherCommands:
+    def test_explain(self, db, capsys):
+        assert main(["explain", COUNT_QUERY, "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "nestjoin" in out
+        assert "Scan R AS r" in out
+
+    def test_tables(self, db, capsys):
+        assert main(["tables", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "R: 2 rows" in out
+        assert "S: 2 rows" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "dangling" in out
+        assert "(a=2, b=0, c=99)" in out
+
+    def test_fuzz(self, capsys):
+        assert main(["fuzz", "--n", "15", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "15 random queries agreed" in out
+
+    def test_schema_option_validates(self, db, tmp_path, capsys):
+        good = tmp_path / "good.ddl"
+        good.write_text(
+            "CLASS RRow WITH EXTENSION R ATTRIBUTES a : INT, b : INT, c : INT END RRow"
+        )
+        assert main(["tables", "--db", db, "--schema", str(good)]) == 0
+        bad = tmp_path / "bad.ddl"
+        bad.write_text(
+            "CLASS RRow WITH EXTENSION R ATTRIBUTES a : STRING END RRow"
+        )
+        assert main(["tables", "--db", db, "--schema", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_db_file(self, tmp_path, capsys):
+        with pytest.raises(FileNotFoundError):
+            main(["tables", "--db", str(tmp_path / "ghost.json")])
+
+    def test_bad_catalog_json(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([1, 2]))
+        assert main(["tables", "--db", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,125 @@
+"""Tests for JSON import/export of values and catalogs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.table import Catalog
+from repro.errors import ValueModelError
+from repro.io import (
+    dump_catalog,
+    dumps_catalog,
+    load_catalog,
+    loads_catalog,
+    value_from_json,
+    value_to_json,
+)
+from repro.model.values import NULL, Tup, Variant
+
+
+def json_values(max_leaves=10):
+    atoms = st.one_of(
+        st.just(NULL),
+        st.booleans(),
+        st.integers(-1000, 1000),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.text(max_size=6),
+    )
+    labels = st.text(
+        alphabet="abcdefgh_", min_size=1, max_size=4
+    )
+    return st.recursive(
+        atoms,
+        lambda inner: st.one_of(
+            st.frozensets(inner, max_size=3),
+            st.lists(inner, max_size=3).map(tuple),
+            st.dictionaries(labels, inner, max_size=3).map(Tup),
+            st.builds(Variant, st.sampled_from(["l", "r"]), inner),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+class TestValueRoundTrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            1,
+            2.5,
+            "text",
+            True,
+            NULL,
+            frozenset({1, 2}),
+            frozenset(),
+            (1, "a"),
+            Tup(a=1, b=frozenset({Tup(x=1)})),
+            Variant("ok", Tup(code=7)),
+        ],
+    )
+    def test_examples(self, value):
+        assert value_from_json(value_to_json(value)) == value
+
+    @settings(max_examples=200)
+    @given(json_values())
+    def test_property_round_trip(self, value):
+        assert value_from_json(value_to_json(value)) == value
+
+    def test_null_is_json_null(self):
+        assert value_to_json(NULL) is None
+        assert value_from_json(None) == NULL
+
+    def test_sets_are_serialised_deterministically(self):
+        a = value_to_json(frozenset({3, 1, 2}))
+        assert a == {"$set": [1, 2, 3]}
+
+    def test_reserved_label_rejected(self):
+        with pytest.raises(ValueModelError, match="collides"):
+            value_to_json(Tup({"$set": 1}))
+
+    def test_malformed_set_wrapper(self):
+        with pytest.raises(ValueModelError, match="malformed"):
+            value_from_json({"$set": [], "extra": 1})
+
+    def test_malformed_variant_wrapper(self):
+        with pytest.raises(ValueModelError, match="malformed"):
+            value_from_json({"$variant": "t"})
+
+
+class TestCatalogRoundTrip:
+    def make_catalog(self):
+        cat = Catalog()
+        cat.add_rows("R", [Tup(a=1, b=frozenset({1, 2})), Tup(a=2, b=frozenset())])
+        cat.add_rows("S", [Tup(c="x", kids=(Tup(n="k"),))])
+        return cat
+
+    def test_string_round_trip(self):
+        cat = self.make_catalog()
+        back = loads_catalog(dumps_catalog(cat))
+        assert set(back) == {"R", "S"}
+        assert back["R"].rows == cat["R"].rows
+        assert back["S"].rows == cat["S"].rows
+
+    def test_file_round_trip(self, tmp_path):
+        cat = self.make_catalog()
+        path = tmp_path / "db.json"
+        dump_catalog(cat, path)
+        back = load_catalog(path)
+        assert back["R"].rows == cat["R"].rows
+
+    def test_queries_run_on_loaded_catalog(self, tmp_path):
+        from repro.core.pipeline import run_query
+
+        cat = self.make_catalog()
+        path = tmp_path / "db.json"
+        dump_catalog(cat, path)
+        back = load_catalog(path)
+        result = run_query("SELECT r.a FROM R r WHERE 1 IN r.b", back)
+        assert result.value == frozenset({1})
+
+    def test_bad_top_level(self):
+        with pytest.raises(ValueModelError):
+            loads_catalog("[1, 2]")
+
+    def test_non_tuple_row_rejected(self):
+        with pytest.raises(ValueModelError, match="not a tuple"):
+            loads_catalog('{"tables": {"R": [42]}}')

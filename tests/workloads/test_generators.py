@@ -1,0 +1,96 @@
+"""Unit tests for the workload generators."""
+
+from repro.core.pipeline import run_query
+from repro.model.schema import company_schema
+from repro.model.validate import check
+from repro.workloads import (
+    make_chain_workload,
+    make_company,
+    make_join_workload,
+    make_set_workload,
+)
+
+
+class TestJoinWorkload:
+    def test_sizes_and_structure(self):
+        wl = make_join_workload(n_left=40, match_rate=0.5, fanout=3, seed=0)
+        assert len(wl.catalog["R"]) == 40
+        matching = int(40 * 0.5)
+        assert len(wl.catalog["S"]) == matching * 3
+        assert wl.dangling == 40 - matching
+
+    def test_match_structure_is_exact(self):
+        wl = make_join_workload(n_left=20, match_rate=0.5, fanout=2, seed=1)
+        s_by_c = {}
+        for s in wl.catalog["S"].rows:
+            s_by_c.setdefault(s["c"], 0)
+            s_by_c[s["c"]] += 1
+        for r in wl.catalog["R"].rows:
+            partners = s_by_c.get(r["c"], 0)
+            assert partners in (0, 2)
+
+    def test_b_attribute_mixes_honest_and_wrong_counts(self):
+        wl = make_join_workload(n_left=60, match_rate=0.5, fanout=2, seed=2)
+        bs = {r["b"] for r in wl.catalog["R"].rows}
+        assert 0 in bs and 2 in bs
+
+    def test_deterministic(self):
+        a = make_join_workload(seed=5).catalog["R"].rows
+        b = make_join_workload(seed=5).catalog["R"].rows
+        assert a == b
+
+    def test_right_padding(self):
+        wl = make_join_workload(n_left=10, n_right=50, match_rate=0.5, fanout=1, seed=0)
+        assert len(wl.catalog["S"]) == 50
+
+
+class TestCompany:
+    def test_conforms_to_paper_schema(self):
+        cat = make_company(n_departments=4, n_employees=20, seed=0)
+        schema = company_schema()
+        for i, emp in enumerate(cat["EMP"].rows):
+            check(emp, schema.extension_row_type("EMP"), f"EMP[{i}]")
+        for i, dept in enumerate(cat["DEPT"].rows):
+            check(dept, schema.extension_row_type("DEPT"), f"DEPT[{i}]")
+
+    def test_employees_partition_over_departments(self):
+        cat = make_company(n_departments=5, n_employees=30, seed=1)
+        dept_members = [e for d in cat["DEPT"].rows for e in d["emps"]]
+        assert len(dept_members) == 30
+        assert set(dept_members) == set(cat["EMP"].rows)
+
+    def test_same_street_guarantee(self):
+        cat = make_company(n_departments=10, n_employees=60, p_same_street=1.0, seed=2)
+        hits = 0
+        for d in cat["DEPT"].rows:
+            for e in d["emps"]:
+                if (
+                    e["address"]["street"] == d["address"]["street"]
+                    and e["address"]["city"] == d["address"]["city"]
+                ):
+                    hits += 1
+                    break
+        # Departments with at least one member must qualify.
+        non_empty = sum(1 for d in cat["DEPT"].rows if d["emps"])
+        assert hits == non_empty
+
+    def test_deterministic(self):
+        assert (
+            make_company(seed=9)["DEPT"].rows == make_company(seed=9)["DEPT"].rows
+        )
+
+
+class TestChainAndSetWorkloads:
+    def test_chain_tables_exist_and_query_runs(self):
+        cat = make_chain_workload(n_x=10, n_y=10, n_z=10, seed=0)
+        assert set(cat) == {"X", "Y", "Z"}
+        from repro.workloads import SECTION8_QUERY
+
+        run_query(SECTION8_QUERY, cat, engine="interpret")  # should not raise
+
+    def test_set_workload_produces_empty_sets_and_dangling(self):
+        cat = make_set_workload(n_left=50, n_right=30, seed=3)
+        has_empty = any(x["a"] == frozenset() for x in cat["X"].rows)
+        y_bs = {y["b"] for y in cat["Y"].rows}
+        has_dangling = any(x["b"] not in y_bs for x in cat["X"].rows)
+        assert has_empty and has_dangling

@@ -1,0 +1,63 @@
+"""Tests for the bibliographic workload and its nested queries."""
+
+import pytest
+
+from repro.core.pipeline import prepare, run_query
+from repro.model.ddl import parse_schema
+from repro.model.validate import check
+from repro.workloads import LIBRARY_DDL, LIBRARY_QUERIES, make_library
+
+
+@pytest.fixture(scope="module")
+def library():
+    return make_library(n_papers=40, n_authors=15, n_venues=4, seed=5)
+
+
+class TestGenerator:
+    def test_conforms_to_ddl_schema(self, library):
+        schema = parse_schema(LIBRARY_DDL)
+        for i, paper in enumerate(library["PAPERS"].rows):
+            check(paper, schema.extension_row_type("PAPERS"), f"PAPERS[{i}]")
+
+    def test_citations_are_acyclic(self, library):
+        order = {p["title"]: i for i, p in enumerate(library["PAPERS"].rows)}
+        for paper in library["PAPERS"].rows:
+            for cited in paper["cites"]:
+                assert order[cited] < order[paper["title"]]
+
+    def test_deterministic(self):
+        a = make_library(seed=9)["PAPERS"].rows
+        b = make_library(seed=9)["PAPERS"].rows
+        assert a == b
+
+
+@pytest.mark.parametrize("name", sorted(LIBRARY_QUERIES), ids=sorted(LIBRARY_QUERIES))
+def test_queries_agree_across_engines(library, name):
+    query = LIBRARY_QUERIES[name]
+    oracle = run_query(query, library, engine="interpret").value
+    assert run_query(query, library, engine="logical").value == oracle
+    assert run_query(query, library, engine="physical").value == oracle
+
+
+class TestPlanShapes:
+    def test_self_contained_venues_uses_nestjoin(self, library):
+        tr = prepare(LIBRARY_QUERIES["self_contained_venues"], library)
+        assert "nestjoin" in tr.join_kinds()
+
+    def test_cited_in_venue_uses_semijoin(self, library):
+        tr = prepare(LIBRARY_QUERIES["cited_in_venue"], library)
+        assert tr.join_kinds() == ["semijoin"]
+
+    def test_venue_portfolios_uses_select_clause_nestjoin(self, library):
+        tr = prepare(LIBRARY_QUERIES["venue_portfolios"], library)
+        assert "nestjoin-select-clause" in [s.kind for s in tr.steps]
+
+    def test_citation_count_parity_groups(self, library):
+        tr = prepare(LIBRARY_QUERIES["citation_count_parity"], library)
+        assert "nestjoin" in tr.join_kinds()
+
+    def test_results_nonempty(self, library):
+        # The workload should make each query's answer non-trivial.
+        for name, query in LIBRARY_QUERIES.items():
+            result = run_query(query, library, engine="physical").value
+            assert result, f"{name} returned an empty answer at this scale"
