@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-shapes report fuzz examples all
+.PHONY: test bench bench-shapes bench-json report fuzz examples all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -12,6 +12,9 @@ bench:
 
 bench-shapes:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-disable
+
+bench-json:
+	$(PYTHON) -m repro.bench --json BENCH_report.json
 
 report:
 	$(PYTHON) -m repro.bench

@@ -1,0 +1,79 @@
+"""Prepared-query serving: cold per-call runs vs the warm cache stack.
+
+Shape asserted: on a build-heavy join workload, warm prepared execution
+(plan cache + per-version compilation + reusable build sides) is at least
+3x faster than cold ``run_query`` calls that pay every layer; results are
+identical across cold, warm, and the interpreter oracle; the cache
+counters show up in EXPLAIN.
+"""
+
+import pytest
+
+from repro.bench.harness import time_best
+from repro.core.pipeline import clear_plan_cache, prepared, run_query
+from repro.engine.cache import clear_build_cache
+from repro.workloads import (
+    COUNT_BUG_NESTED,
+    SECTION8_QUERY,
+    make_chain_workload,
+    make_join_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def serving_workload():
+    # Small probe side, large build side: the geometry where build-side
+    # reuse matters (an OLTP-ish lookup against a big stored table).
+    return make_join_workload(n_left=200, n_right=6000, fanout=4, seed=11)
+
+
+def _cold(query, catalog):
+    """One first-query-after-data-load call: every cache layer dropped."""
+    for name in catalog:
+        catalog[name].bump_version()
+    clear_plan_cache()
+    clear_build_cache()
+    return run_query(query, catalog).value
+
+
+class TestShape:
+    def test_warm_serving_beats_cold_3x(self, serving_workload):
+        catalog = serving_workload.catalog
+        cold_value = _cold(COUNT_BUG_NESTED, catalog)
+        t_cold = time_best(lambda: _cold(COUNT_BUG_NESTED, catalog), repeat=3)
+        warm_value = prepared(COUNT_BUG_NESTED, catalog).execute(catalog)
+        t_warm = time_best(
+            lambda: prepared(COUNT_BUG_NESTED, catalog).execute(catalog), repeat=3
+        )
+        assert warm_value == cold_value
+        assert t_cold / t_warm >= 3.0
+
+    def test_results_match_oracle(self, serving_workload):
+        catalog = serving_workload.catalog
+        oracle = run_query(COUNT_BUG_NESTED, catalog, engine="interpret").value
+        assert _cold(COUNT_BUG_NESTED, catalog) == oracle
+        assert prepared(COUNT_BUG_NESTED, catalog).execute(catalog) == oracle
+
+    def test_cache_counters_in_explain(self, serving_workload):
+        catalog = serving_workload.catalog
+        pq = prepared(COUNT_BUG_NESTED, catalog)
+        pq.execute(catalog)
+        pq.execute(catalog)
+        text = pq.explain(catalog)
+        assert "reusable" in text and "hits" in text
+
+    def test_section8_chain_also_serves_warm(self):
+        catalog = make_chain_workload(n_x=100, n_y=150, n_z=1500, seed=5)
+        cold_value = _cold(SECTION8_QUERY, catalog)
+        warm_value = prepared(SECTION8_QUERY, catalog).execute(catalog)
+        assert warm_value == cold_value
+
+
+class TestTimings:
+    def test_cold_run_query(self, benchmark, serving_workload):
+        benchmark(lambda: _cold(COUNT_BUG_NESTED, serving_workload.catalog))
+
+    def test_warm_prepared(self, benchmark, serving_workload):
+        catalog = serving_workload.catalog
+        prepared(COUNT_BUG_NESTED, catalog).execute(catalog)  # fill caches
+        benchmark(lambda: prepared(COUNT_BUG_NESTED, catalog).execute(catalog))

@@ -41,8 +41,11 @@ Quickstart::
 from repro.core.pipeline import (
     PreparedQuery,
     QueryResult,
+    clear_plan_cache,
     explain_query,
+    plan_cache_stats,
     prepare,
+    prepared,
     run_query,
 )
 from repro.engine.table import Catalog, Table
@@ -56,7 +59,10 @@ __all__ = [
     "run_query",
     "explain_query",
     "prepare",
+    "prepared",
     "PreparedQuery",
+    "plan_cache_stats",
+    "clear_plan_cache",
     "QueryResult",
     "Catalog",
     "Table",

@@ -1,23 +1,60 @@
-"""Run the full experiment suite: ``python -m repro.bench [E3 E7 ...]``."""
+"""Run the full experiment suite: ``python -m repro.bench [E3 E7 ...]``.
+
+``--json PATH`` additionally writes a machine-readable report (per
+experiment: title, wall-clock seconds, and the result table) — the
+``make bench-json`` target uses it to produce ``BENCH_report.json``.
+"""
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
+import time
 
 from repro.bench.experiments import EXPERIMENTS
 
 
 def main(argv: list[str]) -> int:
-    wanted = [a.upper() for a in argv] or list(EXPERIMENTS)
+    parser = argparse.ArgumentParser(prog="repro.bench", description=__doc__)
+    parser.add_argument("experiments", nargs="*", help="experiment keys (default: all)")
+    parser.add_argument("--json", metavar="PATH", help="also write a JSON report to PATH")
+    args = parser.parse_args(argv)
+
+    wanted = [a.upper() for a in args.experiments] or list(EXPERIMENTS)
     unknown = [w for w in wanted if w not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown}; available: {list(EXPERIMENTS)}")
         return 2
+    report = {}
     for key in wanted:
         title, fn = EXPERIMENTS[key]
+        start = time.perf_counter()
+        table = fn()
+        elapsed = time.perf_counter() - start
         print()
-        print(fn().render())
+        print(table.render())
+        report[key] = {
+            "title": title,
+            "seconds": elapsed,
+            "table": {
+                "title": table.title,
+                "columns": list(table.columns),
+                "rows": [[_jsonable(v) for v in row] for row in table.rows],
+                "notes": list(table.notes),
+            },
+        }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"\nwrote {args.json} ({len(report)} experiments)", file=sys.stderr)
     return 0
+
+
+def _jsonable(v):
+    if isinstance(v, (bool, int, float, str)) or v is None:
+        return v
+    return str(v)
 
 
 if __name__ == "__main__":

@@ -44,11 +44,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution engine (default: physical)",
     )
     query.add_argument("--no-typecheck", action="store_true", help="skip static type checking")
+    query.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="serve the query N times through the prepared-plan cache and "
+        "report per-call timing and cache counters (default: 1, plain run)",
+    )
 
     explain = sub.add_parser("explain", help="show translation steps and the plan")
     explain.add_argument("text", help="the SELECT-FROM-WHERE query")
     explain.add_argument("--db", required=True, help="catalog JSON file")
     explain.add_argument("--schema", help="TM DDL file to validate the catalog against")
+    explain.add_argument(
+        "--physical",
+        action="store_true",
+        help="also compile and show the physical plan with cache counters",
+    )
 
     tables = sub.add_parser("tables", help="list tables in a JSON catalog")
     tables.add_argument("--db", required=True, help="catalog JSON file")
@@ -93,6 +106,36 @@ def _demo_catalog() -> Catalog:
     return catalog
 
 
+def _serve_repeated(args: argparse.Namespace, catalog: Catalog) -> int:
+    """Serve one query ``--repeat`` times through the prepared-plan cache."""
+    import time
+
+    from repro.core.pipeline import plan_cache_stats, prepared
+    from repro.engine.cache import build_cache_stats
+
+    timings = []
+    result = None
+    for _ in range(args.repeat):
+        start = time.perf_counter()
+        result = prepared(args.text, catalog, typecheck=not args.no_typecheck).execute(
+            catalog
+        )
+        timings.append(time.perf_counter() - start)
+    assert result is not None
+    for value in sorted(result, key=sort_key):
+        print(value_repr(value))
+    first, rest = timings[0], timings[1:]
+    best = min(rest) if rest else first
+    print(
+        f"-- {len(result)} rows; {args.repeat} calls: "
+        f"first {first * 1e3:.2f}ms, best warm {best * 1e3:.2f}ms",
+        file=sys.stderr,
+    )
+    print(f"-- plan cache: {plan_cache_stats().render()}", file=sys.stderr)
+    print(f"-- build cache: {build_cache_stats().render()}", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -105,6 +148,8 @@ def main(argv: list[str] | None = None) -> int:
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "query":
         catalog = _load(args)
+        if args.repeat > 1:
+            return _serve_repeated(args, catalog)
         result = run_query(
             args.text, catalog, engine=args.engine, typecheck=not args.no_typecheck
         )
@@ -114,7 +159,18 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.command == "explain":
         catalog = _load(args)
-        print(explain_query(args.text, catalog))
+        text = explain_query(args.text, catalog)
+        if args.physical:
+            from repro.core.pipeline import prepared
+            from repro.engine.explain import explain_physical
+
+            pq = prepared(args.text, catalog)
+            if pq.plan is not None:
+                pq.execute(catalog)  # populate the cache counters
+                text += "\nphysical plan:\n" + explain_physical(
+                    pq.compile_for(catalog), 1
+                )
+        print(text)
         return 0
     if args.command == "tables":
         catalog = _load(args)

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from repro.algebra.interpreter import result_set, run_logical
 from repro.algebra.pretty import explain_plan
 from repro.core.unnest import Translation, translate_query
+from repro.engine.cache import CacheStats, LRUCache
 from repro.engine.table import Catalog
 from repro.errors import UnsupportedQueryError
 from repro.lang.ast import SFW, Expr, UnnestExpr
@@ -27,7 +28,16 @@ from repro.lang.eval import evaluate
 from repro.lang.parser import parse
 from repro.lang.typing import TypeEnv, type_of
 
-__all__ = ["QueryResult", "run_query", "explain_query", "prepare", "PreparedQuery"]
+__all__ = [
+    "QueryResult",
+    "run_query",
+    "explain_query",
+    "prepare",
+    "PreparedQuery",
+    "prepared",
+    "plan_cache_stats",
+    "clear_plan_cache",
+]
 
 
 @dataclass
@@ -112,8 +122,10 @@ class PreparedQuery:
 
     Preparation parses, type-checks, translates, and logically rewrites;
     physical compilation happens per catalog (statistics differ) but is
-    cached, so repeated execution against the same catalog pays the
-    optimizer exactly once.
+    cached and keyed by the catalog's data :attr:`~repro.engine.table.Catalog.version`,
+    so repeated execution against an unchanged catalog pays the optimizer
+    exactly once — and a mutation anywhere in the catalog transparently
+    recompiles with fresh statistics on the next execution.
 
     Falls back to the interpreter transparently when the query shape has
     no plan (outer FROM operand not a stored table).
@@ -135,20 +147,22 @@ class PreparedQuery:
             if self.translation is not None
             else None
         )
-        self._compiled: dict[int, object] = {}
+        #: id(catalog) → (catalog version at compile time, physical tree).
+        self._compiled: dict[int, tuple[object, object]] = {}
 
     def compile_for(self, catalog: Catalog):
-        """The physical operator tree for *catalog* (cached per catalog)."""
+        """The physical operator tree for *catalog* (cached per version)."""
         from repro.engine.physical import compile_plan
 
         if self.plan is None:
             raise UnsupportedQueryError("query has no plan; it is interpreted")
         key = id(catalog)
+        version = getattr(catalog, "version", None)
         entry = self._compiled.get(key)
-        if entry is None:
-            entry = compile_plan(self.plan, catalog)
+        if entry is None or entry[0] != version:
+            entry = (version, compile_plan(self.plan, catalog))
             self._compiled[key] = entry
-        return entry
+        return entry[1]
 
     def execute(self, catalog: Catalog) -> frozenset:
         """Run against *catalog* and return the result set."""
@@ -163,10 +177,67 @@ class PreparedQuery:
 
         return _analyze(self.compile_for(catalog), catalog)
 
-    def explain(self) -> str:
+    def explain(self, catalog: Catalog | None = None) -> str:
+        """The logical plan; with *catalog*, also the compiled physical plan
+        including the build-side cache hit/miss counters."""
         if self.plan is None:
             return "no plan: outer FROM operand is not a stored table (interpreted)"
-        return explain_plan(self.plan)
+        text = explain_plan(self.plan)
+        if catalog is not None:
+            from repro.engine.explain import explain_physical
+
+            text += "\nphysical plan:\n" + explain_physical(self.compile_for(catalog), 1)
+        return text
+
+
+# ---------------------------------------------------------------------------
+# The prepared-plan cache: (normalized query, schema fingerprint) → PreparedQuery
+# ---------------------------------------------------------------------------
+
+_PLAN_CACHE = LRUCache(capacity=128)
+
+
+def _plan_cache_key(ast: Expr, catalog: Catalog, typecheck: bool):
+    fingerprint = getattr(catalog, "schema_fingerprint", None)
+    if fingerprint is None:
+        return None  # plain mappings have no schema identity to key on
+    from repro.lang.pretty import pretty
+
+    return (pretty(ast), fingerprint(), typecheck)
+
+
+def prepared(query: str | Expr, catalog: Catalog, typecheck: bool = True) -> PreparedQuery:
+    """The serving front door: a cached :class:`PreparedQuery`.
+
+    Parses *query*, normalizes it (via the pretty-printer, so formatting
+    differences share one entry), and returns the LRU-cached preparation
+    for (normalized text, catalog schema fingerprint). Queries hitting the
+    cache skip parse/type-check/translate/rewrite entirely; physical
+    compilation is further cached inside :class:`PreparedQuery` per catalog
+    version. Repeated traffic therefore pays translation once per distinct
+    query shape, not once per call.
+    """
+    ast = _as_ast(query)
+    key = _plan_cache_key(ast, catalog, typecheck)
+    if key is None:
+        return PreparedQuery(ast, catalog, typecheck=typecheck)
+    entry = _PLAN_CACHE.get(key)
+    if entry is None:
+        entry = PreparedQuery(ast, catalog, typecheck=typecheck)
+        _PLAN_CACHE.put(key, entry)
+    return entry
+
+
+def plan_cache_stats() -> CacheStats:
+    """Hit/miss/eviction counters of the prepared-plan cache."""
+    return _PLAN_CACHE.stats
+
+
+def clear_plan_cache(capacity: int | None = None) -> None:
+    """Drop all cached preparations (and optionally resize the cache)."""
+    _PLAN_CACHE.clear()
+    if capacity is not None:
+        _PLAN_CACHE.capacity = capacity
 
 
 def explain_query(query: str | Expr, catalog: Catalog) -> str:

@@ -1,4 +1,11 @@
-"""EXPLAIN for physical plans: operators, chosen algorithms, row estimates."""
+"""EXPLAIN for physical plans: operators, chosen algorithms, row estimates,
+and build-side cache accounting.
+
+Join operators whose build side is reusable (see
+:mod:`repro.engine.cache`) carry hit/miss counters; ``explain_physical``
+renders them inline, so after a couple of executions the plan shows
+exactly which build tables were served from cache.
+"""
 
 from __future__ import annotations
 
@@ -11,6 +18,11 @@ def explain_physical(op: PhysicalOp, indent: int = 0) -> str:
     """Render a compiled plan with algorithm choices and cardinality estimates."""
     pad = "  " * indent
     line = f"{pad}{op.describe()}  (~{op.est_rows:.0f} rows)"
+    note = getattr(op, "cache_note", None)
+    if callable(note):
+        text = note()
+        if text is not None:
+            line += f"\n{pad}  [{text}]"
     lines = [line]
     for child in op.children():
         lines.append(explain_physical(child, indent + 1))

@@ -5,15 +5,22 @@ only references left-operand bindings and ``r`` only right-operand bindings
 (or mirrored) — and a *residual* predicate evaluated after key matching.
 Hash and sort-merge joins require at least one equi-conjunct; nested-loop
 handles anything.
+
+:class:`JoinSpec` carries the compiled closures for its key expressions
+and residual, resolved once (at physical-compile time via
+:meth:`JoinSpec.precompile`, or lazily on first use) instead of going
+through the per-expression memo dict for every row.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Mapping
 
 from repro.errors import ExecutionError
-from repro.lang.ast import Cmp, CmpOp, Expr, conjuncts, make_and
+from repro.lang.ast import Cmp, CmpOp, Expr, conjuncts, is_true_const, make_and
+from repro.lang.compile import compiled
 from repro.lang.freevars import free_vars
 from repro.model.values import Tup
 
@@ -31,6 +38,49 @@ class JoinSpec:
     @property
     def has_equi_keys(self) -> bool:
         return bool(self.left_keys)
+
+    # -- precompiled closures ------------------------------------------------
+    # cached_property stores straight into the instance __dict__, which is
+    # permitted on a frozen dataclass and excluded from equality/hashing.
+
+    @cached_property
+    def _left_fns(self):
+        return tuple(compiled(k) for k in self.left_keys)
+
+    @cached_property
+    def _right_fns(self):
+        return tuple(compiled(k) for k in self.right_keys)
+
+    @cached_property
+    def _residual_fn(self):
+        return compiled(self.residual)
+
+    @cached_property
+    def residual_trivial(self) -> bool:
+        """True when the residual is the constant TRUE (skip evaluation)."""
+        return is_true_const(self.residual)
+
+    def precompile(self) -> "JoinSpec":
+        """Resolve every closure now (called once at plan-compile time)."""
+        self._left_fns, self._right_fns, self._residual_fn, self.residual_trivial
+        return self
+
+    # -- per-row evaluation (the hot path) -----------------------------------
+    def eval_left(self, binding: Tup, tables: Mapping) -> tuple:
+        env = binding.as_env()
+        return tuple(fn(env, tables) for fn in self._left_fns)
+
+    def eval_right(self, binding: Tup, tables: Mapping) -> tuple:
+        env = binding.as_env()
+        return tuple(fn(env, tables) for fn in self._right_fns)
+
+    def eval_residual(self, binding: Tup, tables: Mapping) -> bool:
+        if self.residual_trivial:
+            return True
+        result = self._residual_fn(binding.as_env(), tables)
+        if not isinstance(result, bool):
+            raise ExecutionError(f"predicate evaluated to non-boolean {result!r}")
+        return result
 
 
 def analyse_join(pred: Expr, left_bindings, right_bindings) -> JoinSpec:
@@ -71,8 +121,6 @@ def _equi_pair(conj: Expr, left_set, right_set) -> tuple[Expr, Expr] | None:
 
 def eval_keys(keys: tuple[Expr, ...], binding: Tup, tables: Mapping) -> tuple:
     """Evaluate key expressions over one binding tuple (compiled closures)."""
-    from repro.lang.compile import compiled
-
     env = binding.as_env()
     return tuple(compiled(k)(env, tables) for k in keys)
 
@@ -88,8 +136,6 @@ def eval_pred(pred: Expr, binding: Tup, tables: Mapping) -> bool:
     executor keeps using the tree-walking interpreter, so the two are
     differentially tested against each other throughout the suite.
     """
-    from repro.lang.compile import compiled
-
     result = compiled(pred)(binding.as_env(), tables)
     if not isinstance(result, bool):
         raise ExecutionError(f"predicate evaluated to non-boolean {result!r}")

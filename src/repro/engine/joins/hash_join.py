@@ -7,18 +7,26 @@ be grouped by left-operand tuples, and when the join attribute is not a key
 of the right operand, only the right operand may be the build table —
 probing left tuples in order then yields each left tuple exactly once with
 its complete match set.
+
+Every mode accepts an optional prebuilt ``build`` table (key tuple → list
+of right binding tuples, as produced by :func:`build_table`). The physical
+layer uses this to reuse build sides across executions of a prepared plan
+(see :mod:`repro.engine.cache`); when a build is supplied the right operand
+is not consumed at all.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping
 
-from repro.lang.ast import Expr, is_true_const
+from repro.lang.ast import Expr
+from repro.lang.compile import compiled
 from repro.model.values import NULL, Tup
 
-from repro.engine.joins.common import JoinSpec, eval_keys, eval_pred, merge_env
+from repro.engine.joins.common import JoinSpec, merge_env
 
 __all__ = [
+    "build_table",
     "hash_inner_join",
     "hash_inner_join_build_left",
     "hash_semi_join",
@@ -28,29 +36,35 @@ __all__ = [
 ]
 
 
-def _build(right: Iterable[Tup], keys, tables) -> dict[tuple, list[Tup]]:
+def build_table(
+    right: Iterable[Tup], spec: JoinSpec, tables: Mapping
+) -> dict[tuple, list[Tup]]:
+    """The build side: right-key tuple → matching right binding tuples."""
     table: dict[tuple, list[Tup]] = {}
     for rt in right:
-        k = eval_keys(keys, rt, tables)
-        table.setdefault(k, []).append(rt)
+        table.setdefault(spec.eval_right(rt, tables), []).append(rt)
     return table
 
 
 def _matches(
     lt: Tup, build: dict, spec: JoinSpec, tables: Mapping
 ) -> Iterator[Tup]:
-    k = eval_keys(spec.left_keys, lt, tables)
-    residual_trivial = is_true_const(spec.residual)
+    k = spec.eval_left(lt, tables)
     for rt in build.get(k, ()):
         merged = merge_env(lt, rt)
-        if residual_trivial or eval_pred(spec.residual, merged, tables):
+        if spec.eval_residual(merged, tables):
             yield merged
 
 
 def hash_inner_join(
-    left: Iterable[Tup], right: list[Tup], spec: JoinSpec, tables: Mapping
+    left: Iterable[Tup],
+    right: Iterable[Tup],
+    spec: JoinSpec,
+    tables: Mapping,
+    build: dict[tuple, list[Tup]] | None = None,
 ) -> Iterator[Tup]:
-    build = _build(right, spec.right_keys, tables)
+    if build is None:
+        build = build_table(right, spec, tables)
     for lt in left:
         yield from _matches(lt, build, spec, tables)
 
@@ -67,20 +81,24 @@ def hash_inner_join_build_left(
     """
     build: dict[tuple, list[Tup]] = {}
     for lt in left:
-        build.setdefault(eval_keys(spec.left_keys, lt, tables), []).append(lt)
-    residual_trivial = is_true_const(spec.residual)
+        build.setdefault(spec.eval_left(lt, tables), []).append(lt)
     for rt in right:
-        k = eval_keys(spec.right_keys, rt, tables)
+        k = spec.eval_right(rt, tables)
         for lt in build.get(k, ()):
             merged = merge_env(lt, rt)
-            if residual_trivial or eval_pred(spec.residual, merged, tables):
+            if spec.eval_residual(merged, tables):
                 yield merged
 
 
 def hash_semi_join(
-    left: Iterable[Tup], right: list[Tup], spec: JoinSpec, tables: Mapping
+    left: Iterable[Tup],
+    right: Iterable[Tup],
+    spec: JoinSpec,
+    tables: Mapping,
+    build: dict[tuple, list[Tup]] | None = None,
 ) -> Iterator[Tup]:
-    build = _build(right, spec.right_keys, tables)
+    if build is None:
+        build = build_table(right, spec, tables)
     for lt in left:
         for _ in _matches(lt, build, spec, tables):
             yield lt
@@ -88,9 +106,14 @@ def hash_semi_join(
 
 
 def hash_anti_join(
-    left: Iterable[Tup], right: list[Tup], spec: JoinSpec, tables: Mapping
+    left: Iterable[Tup],
+    right: Iterable[Tup],
+    spec: JoinSpec,
+    tables: Mapping,
+    build: dict[tuple, list[Tup]] | None = None,
 ) -> Iterator[Tup]:
-    build = _build(right, spec.right_keys, tables)
+    if build is None:
+        build = build_table(right, spec, tables)
     for lt in left:
         if next(_matches(lt, build, spec, tables), None) is None:
             yield lt
@@ -98,12 +121,14 @@ def hash_anti_join(
 
 def hash_outer_join(
     left: Iterable[Tup],
-    right: list[Tup],
+    right: Iterable[Tup],
     spec: JoinSpec,
     tables: Mapping,
     right_bindings: tuple[str, ...],
+    build: dict[tuple, list[Tup]] | None = None,
 ) -> Iterator[Tup]:
-    build = _build(right, spec.right_keys, tables)
+    if build is None:
+        build = build_table(right, spec, tables)
     pad = {name: NULL for name in right_bindings}
     for lt in left:
         matched = False
@@ -116,11 +141,12 @@ def hash_outer_join(
 
 def hash_nest_join(
     left: Iterable[Tup],
-    right: list[Tup],
+    right: Iterable[Tup],
     spec: JoinSpec,
     func: Expr,
     label: str,
     tables: Mapping,
+    build: dict[tuple, list[Tup]] | None = None,
 ) -> Iterator[Tup]:
     """Nest join over a hash table built on the right operand.
 
@@ -128,9 +154,11 @@ def hash_nest_join(
     emitted (the paper's first implementation restriction), and left order
     is preserved (the output is grouped by left tuples by construction).
     """
-    build = _build(right, spec.right_keys, tables)
+    if build is None:
+        build = build_table(right, spec, tables)
+    func_fn = compiled(func)
     for lt in left:
         group = set()
         for merged in _matches(lt, build, spec, tables):
-            group.add(eval_keys((func,), merged, tables)[0])
+            group.add(func_fn(merged.as_env(), tables))
         yield lt.extend(**{label: frozenset(group)})

@@ -3,17 +3,20 @@
 The universal fallback: handles arbitrary predicates (no equi-key needed).
 Quadratic — exactly the naive strategy the paper wants the optimizer to
 escape from, and therefore also the baseline the benchmarks measure
-against.
+against. The predicate (and nest function) closures are resolved once per
+join invocation, not once per row pair.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping
 
+from repro.errors import ExecutionError
 from repro.lang.ast import Expr
+from repro.lang.compile import compiled
 from repro.model.values import NULL, Tup
 
-from repro.engine.joins.common import eval_pred, merge_env
+from repro.engine.joins.common import merge_env
 
 __all__ = [
     "nl_inner_join",
@@ -24,22 +27,36 @@ __all__ = [
 ]
 
 
+def _pred_fn(pred: Expr):
+    fn = compiled(pred)
+
+    def check(binding: Tup, tables: Mapping) -> bool:
+        result = fn(binding.as_env(), tables)
+        if not isinstance(result, bool):
+            raise ExecutionError(f"predicate evaluated to non-boolean {result!r}")
+        return result
+
+    return check
+
+
 def nl_inner_join(
     left: Iterable[Tup], right: list[Tup], pred: Expr, tables: Mapping
 ) -> Iterator[Tup]:
+    check = _pred_fn(pred)
     for lt in left:
         for rt in right:
             merged = merge_env(lt, rt)
-            if eval_pred(pred, merged, tables):
+            if check(merged, tables):
                 yield merged
 
 
 def nl_semi_join(
     left: Iterable[Tup], right: list[Tup], pred: Expr, tables: Mapping
 ) -> Iterator[Tup]:
+    check = _pred_fn(pred)
     for lt in left:
         for rt in right:
-            if eval_pred(pred, merge_env(lt, rt), tables):
+            if check(merge_env(lt, rt), tables):
                 yield lt
                 break
 
@@ -47,8 +64,9 @@ def nl_semi_join(
 def nl_anti_join(
     left: Iterable[Tup], right: list[Tup], pred: Expr, tables: Mapping
 ) -> Iterator[Tup]:
+    check = _pred_fn(pred)
     for lt in left:
-        if not any(eval_pred(pred, merge_env(lt, rt), tables) for rt in right):
+        if not any(check(merge_env(lt, rt), tables) for rt in right):
             yield lt
 
 
@@ -59,12 +77,13 @@ def nl_outer_join(
     tables: Mapping,
     right_bindings: tuple[str, ...],
 ) -> Iterator[Tup]:
+    check = _pred_fn(pred)
     pad = {name: NULL for name in right_bindings}
     for lt in left:
         matched = False
         for rt in right:
             merged = merge_env(lt, rt)
-            if eval_pred(pred, merged, tables):
+            if check(merged, tables):
                 matched = True
                 yield merged
         if not matched:
@@ -85,12 +104,12 @@ def nl_nest_join(
     only after its *entire* match set is known (trivially true here — the
     inner loop completes first).
     """
-    from repro.engine.joins.common import eval_keys
-
+    check = _pred_fn(pred)
+    func_fn = compiled(func)
     for lt in left:
         group = set()
         for rt in right:
             merged = merge_env(lt, rt)
-            if eval_pred(pred, merged, tables):
-                group.add(eval_keys((func,), merged, tables)[0])
+            if check(merged, tables):
+                group.add(func_fn(merged.as_env(), tables))
         yield lt.extend(**{label: frozenset(group)})

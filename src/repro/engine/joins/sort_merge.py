@@ -8,19 +8,26 @@ pairs inside a run pairing.
 The nest join again respects Section 6: a left tuple's output is produced
 only after its full matching right run has been consumed — natural here,
 because the right run is materialised before the left run is advanced.
+
+Every mode accepts optional presorted ``right_runs`` (as produced by
+:func:`right_runs`), letting the physical layer reuse the sorted right
+side across executions of a prepared plan (:mod:`repro.engine.cache`);
+when runs are supplied the right operand is not consumed at all.
 """
 
 from __future__ import annotations
 
 from typing import Iterator, Mapping
 
-from repro.lang.ast import Expr, is_true_const
+from repro.lang.ast import Expr
+from repro.lang.compile import compiled
 from repro.model.compare import compare, sort_key
 from repro.model.values import NULL, Tup
 
-from repro.engine.joins.common import JoinSpec, eval_keys, eval_pred, merge_env
+from repro.engine.joins.common import JoinSpec, merge_env
 
 __all__ = [
+    "right_runs",
     "sm_inner_join",
     "sm_semi_join",
     "sm_anti_join",
@@ -29,8 +36,8 @@ __all__ = [
 ]
 
 
-def _keyed(rows, keys, tables) -> list[tuple[tuple, Tup]]:
-    keyed = [(eval_keys(keys, t, tables), t) for t in rows]
+def _keyed(rows, eval_side, tables) -> list[tuple[tuple, Tup]]:
+    keyed = [(eval_side(t, tables), t) for t in rows]
     keyed.sort(key=lambda kt: tuple(sort_key(v) for v in kt[0]))
     return keyed
 
@@ -57,13 +64,18 @@ def _runs(keyed: list[tuple[tuple, Tup]]) -> Iterator[tuple[tuple, list[Tup]]]:
         i = j
 
 
+def right_runs(rows, spec: JoinSpec, tables: Mapping) -> list[tuple[tuple, list[Tup]]]:
+    """The right operand sorted and grouped into key runs (reusable)."""
+    return list(_runs(_keyed(rows, spec.eval_right, tables)))
+
+
 def _merge(
-    left_rows, right_rows, spec: JoinSpec, tables: Mapping
+    left_rows, right_rows, spec: JoinSpec, tables: Mapping, rruns=None
 ) -> Iterator[tuple[Tup, list[Tup]]]:
     """Yield (left_tuple, matching_right_run) pairs; run may be empty."""
-    lkeyed = _keyed(left_rows, spec.left_keys, tables)
-    rkeyed = _keyed(right_rows, spec.right_keys, tables)
-    rruns = list(_runs(rkeyed))
+    lkeyed = _keyed(left_rows, spec.eval_left, tables)
+    if rruns is None:
+        rruns = right_runs(right_rows, spec, tables)
     ri = 0
     for lkey, lrun in _runs(lkeyed):
         while ri < len(rruns) and _compare_keys(rruns[ri][0], lkey) < 0:
@@ -76,43 +88,50 @@ def _merge(
             yield lt, rrun
 
 
-def sm_inner_join(left_rows, right_rows, spec: JoinSpec, tables: Mapping) -> Iterator[Tup]:
-    trivial = is_true_const(spec.residual)
-    for lt, rrun in _merge(left_rows, right_rows, spec, tables):
+def sm_inner_join(
+    left_rows, right_rows, spec: JoinSpec, tables: Mapping, right_runs=None
+) -> Iterator[Tup]:
+    for lt, rrun in _merge(left_rows, right_rows, spec, tables, right_runs):
         for rt in rrun:
             merged = merge_env(lt, rt)
-            if trivial or eval_pred(spec.residual, merged, tables):
+            if spec.eval_residual(merged, tables):
                 yield merged
 
 
-def sm_semi_join(left_rows, right_rows, spec: JoinSpec, tables: Mapping) -> Iterator[Tup]:
-    trivial = is_true_const(spec.residual)
-    for lt, rrun in _merge(left_rows, right_rows, spec, tables):
+def sm_semi_join(
+    left_rows, right_rows, spec: JoinSpec, tables: Mapping, right_runs=None
+) -> Iterator[Tup]:
+    for lt, rrun in _merge(left_rows, right_rows, spec, tables, right_runs):
         for rt in rrun:
-            if trivial or eval_pred(spec.residual, merge_env(lt, rt), tables):
+            if spec.eval_residual(merge_env(lt, rt), tables):
                 yield lt
                 break
 
 
-def sm_anti_join(left_rows, right_rows, spec: JoinSpec, tables: Mapping) -> Iterator[Tup]:
-    trivial = is_true_const(spec.residual)
-    for lt, rrun in _merge(left_rows, right_rows, spec, tables):
+def sm_anti_join(
+    left_rows, right_rows, spec: JoinSpec, tables: Mapping, right_runs=None
+) -> Iterator[Tup]:
+    for lt, rrun in _merge(left_rows, right_rows, spec, tables, right_runs):
         if not any(
-            trivial or eval_pred(spec.residual, merge_env(lt, rt), tables) for rt in rrun
+            spec.eval_residual(merge_env(lt, rt), tables) for rt in rrun
         ):
             yield lt
 
 
 def sm_outer_join(
-    left_rows, right_rows, spec: JoinSpec, tables: Mapping, right_bindings: tuple[str, ...]
+    left_rows,
+    right_rows,
+    spec: JoinSpec,
+    tables: Mapping,
+    right_bindings: tuple[str, ...],
+    right_runs=None,
 ) -> Iterator[Tup]:
-    trivial = is_true_const(spec.residual)
     pad = {name: NULL for name in right_bindings}
-    for lt, rrun in _merge(left_rows, right_rows, spec, tables):
+    for lt, rrun in _merge(left_rows, right_rows, spec, tables, right_runs):
         matched = False
         for rt in rrun:
             merged = merge_env(lt, rt)
-            if trivial or eval_pred(spec.residual, merged, tables):
+            if spec.eval_residual(merged, tables):
                 matched = True
                 yield merged
         if not matched:
@@ -120,13 +139,19 @@ def sm_outer_join(
 
 
 def sm_nest_join(
-    left_rows, right_rows, spec: JoinSpec, func: Expr, label: str, tables: Mapping
+    left_rows,
+    right_rows,
+    spec: JoinSpec,
+    func: Expr,
+    label: str,
+    tables: Mapping,
+    right_runs=None,
 ) -> Iterator[Tup]:
-    trivial = is_true_const(spec.residual)
-    for lt, rrun in _merge(left_rows, right_rows, spec, tables):
+    func_fn = compiled(func)
+    for lt, rrun in _merge(left_rows, right_rows, spec, tables, right_runs):
         group = set()
         for rt in rrun:
             merged = merge_env(lt, rt)
-            if trivial or eval_pred(spec.residual, merged, tables):
-                group.add(eval_keys((func,), merged, tables)[0])
+            if spec.eval_residual(merged, tables):
+                group.add(func_fn(merged.as_env(), tables))
         yield lt.extend(**{label: frozenset(group)})

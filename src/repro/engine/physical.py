@@ -31,11 +31,14 @@ from repro.algebra.plan import (
     SemiJoin,
     Unnest,
 )
+from repro.engine.cache import BUILD_CACHE
 from repro.engine.cost import cheapest_algorithm
-from repro.engine.joins.common import JoinSpec, analyse_join, eval_pred
+from repro.engine.joins.common import JoinSpec, analyse_join
 from repro.engine.joins.hash_join import (
+    build_table,
     hash_anti_join,
     hash_inner_join,
+    hash_inner_join_build_left,
     hash_nest_join,
     hash_outer_join,
     hash_semi_join,
@@ -48,6 +51,7 @@ from repro.engine.joins.nested_loop import (
     nl_semi_join,
 )
 from repro.engine.joins.sort_merge import (
+    right_runs,
     sm_anti_join,
     sm_inner_join,
     sm_nest_join,
@@ -92,8 +96,10 @@ class PScan(PhysicalOp):
     def run(self, tables):
         source = tables[self.table]
         rows = source.rows if hasattr(source, "rows") else list(source)
+        wrap = Tup._from_validated
+        var = self.var
         for row in rows:
-            yield Tup({self.var: row})
+            yield wrap({var: row})
 
     def describe(self):
         return f"Scan {self.table} AS {self.var}"
@@ -106,8 +112,14 @@ class PFilter(PhysicalOp):
     est_rows: float = 0.0
 
     def run(self, tables):
+        from repro.lang.compile import compiled
+
+        fn = compiled(self.pred)
         for t in self.child.run(tables):
-            if eval_pred(self.pred, t, tables):
+            result = fn(t.as_env(), tables)
+            if not isinstance(result, bool):
+                raise ExecutionError(f"predicate evaluated to non-boolean {result!r}")
+            if result:
                 yield t
 
     def children(self):
@@ -221,39 +233,136 @@ class PJoin(PhysicalOp):
     #: set by the compiler from cardinality estimates. Ignored by the
     #: asymmetric modes, which must build on the right.
     hash_build_left: bool = False
+    #: (table, var, key fingerprint) when the right operand is a bare scan
+    #: whose join keys only reference the scan variable — the build side is
+    #: then a pure function of the table contents and reusable across
+    #: executions through :data:`repro.engine.cache.BUILD_CACHE`.
+    cache_source: tuple[str, str, tuple[str, ...]] | None = None
+    #: Set for nest joins whose function only references right-operand
+    #: bindings and whose residual is trivial: the whole *group table*
+    #: (key → frozenset of function values) is then a pure function of the
+    #: right table and reusable across executions — probing degenerates to
+    #: a dict lookup per left tuple.
+    group_source: tuple[str, str, tuple[str, ...]] | None = None
+    cache_hits: int = 0
+    cache_misses: int = 0
     est_rows: float = 0.0
 
     def run(self, tables):
         if self.algorithm == "index_nested_loop":
+            if self.mode == "nest" and self.group_source is not None:
+                groups = self._reusable("inl-groups", tables, lambda: self._inl_groups(tables))
+                yield from self._run_grouped(self.left.run(tables), groups, tables)
+                return
             yield from self._run_inl(self.left.run(tables), tables)
             return
         left = self.left.run(tables)
-        right = list(self.right.run(tables))
-        if self.algorithm == "nested_loop":
-            yield from self._run_nl(left, right, tables)
-        elif self.algorithm == "hash":
-            yield from self._run_hash(left, right, tables)
+        if self.algorithm == "hash":
+            if self.mode == "inner" and self.hash_build_left:
+                yield from hash_inner_join_build_left(
+                    list(left), self.right.run(tables), self.spec, tables
+                )
+                return
+            if self.mode == "nest" and self.group_source is not None:
+                groups = self._reusable("hash-groups", tables, lambda: self._hash_groups(tables))
+                yield from self._run_grouped(left, groups, tables)
+                return
+            build = self._reusable(
+                "hash-build",
+                tables,
+                lambda: build_table(self.right.run(tables), self.spec, tables),
+            )
+            yield from self._run_hash(left, build, tables)
         elif self.algorithm == "sort_merge":
-            yield from self._run_sm(left, right, tables)
+            runs = self._reusable(
+                "sorted-runs",
+                tables,
+                lambda: right_runs(self.right.run(tables), self.spec, tables),
+            )
+            yield from self._run_sm(list(left), runs, tables)
+        elif self.algorithm == "nested_loop":
+            yield from self._run_nl(left, list(self.right.run(tables)), tables)
         else:  # pragma: no cover
             raise ExecutionError(f"unknown join algorithm {self.algorithm!r}")
 
+    def _reusable(self, kind, tables, thunk):
+        """Fetch the build-side artifact from the cache, or make and store it.
+
+        Only joins the compiler marked cacheable (``cache_source`` /
+        ``group_source``) over a versioned table participate; everything
+        else just runs *thunk*. When the cache answers, the right child is
+        never executed.
+        """
+        fingerprint = self.group_source if kind.endswith("groups") else self.cache_source
+        if fingerprint is None:
+            return thunk()
+        table_name, var, keys_fp = fingerprint
+        try:
+            source = tables[table_name]
+        except (KeyError, TypeError):
+            source = None
+        key = BUILD_CACHE.key(kind, source, var, keys_fp)
+        if key is None:
+            return thunk()
+        artifact = BUILD_CACHE.get(key)
+        if artifact is not None:
+            self.cache_hits += 1
+            return artifact
+        self.cache_misses += 1
+        artifact = thunk()
+        BUILD_CACHE.put(key, artifact)
+        return artifact
+
+    def _hash_groups(self, tables):
+        """Right-key tuple → the nest group, from a fresh hash build."""
+        from repro.lang.compile import compiled
+
+        fn = compiled(self.func)
+        build = build_table(self.right.run(tables), self.spec, tables)
+        return {
+            k: frozenset(fn(rt.as_env(), tables) for rt in rts)
+            for k, rts in build.items()
+        }
+
+    def _inl_groups(self, tables):
+        """Right-key tuple → the nest group, from the persistent table index."""
+        from repro.lang.compile import compiled
+
+        table_name, var, attrs = self.index_target
+        index = tables[table_name].hash_index(attrs)
+        fn = compiled(self.func)
+        return {
+            k: frozenset(fn({var: row}, tables) for row in rows)
+            for k, rows in index.items()
+        }
+
+    def _run_grouped(self, left, groups, tables):
+        """Probe a precomputed group table: one lookup per left tuple."""
+        spec = self.spec
+        label = self.label
+        empty = frozenset()
+        for lt in left:
+            k = spec.eval_left(lt, tables)
+            yield lt.extend(**{label: groups.get(k, empty)})
+
     def _run_inl(self, left, tables):
         """Index-nested-loop: probe a persistent index on the right table."""
-        from repro.engine.joins.common import eval_keys, eval_pred, merge_env
-        from repro.lang.ast import is_true_const
+        from repro.engine.joins.common import merge_env
+        from repro.lang.compile import compiled
         from repro.model.values import NULL
 
         table_name, var, attrs = self.index_target
         index = tables[table_name].hash_index(attrs)
-        residual_trivial = is_true_const(self.spec.residual)
+        spec = self.spec
         pad = {name: NULL for name in self.right_bindings}
+        func_fn = compiled(self.func) if self.mode == "nest" else None
+        wrap = Tup._from_validated
         for lt in left:
-            key = eval_keys(self.spec.left_keys, lt, tables)
+            key = spec.eval_left(lt, tables)
             matches = []
             for row in index.get(key, ()):
-                merged = merge_env(lt, Tup({var: row}))
-                if residual_trivial or eval_pred(self.spec.residual, merged, tables):
+                merged = merge_env(lt, wrap({var: row}))
+                if spec.eval_residual(merged, tables):
                     matches.append(merged)
                     if self.mode == "semi":
                         break
@@ -271,9 +380,7 @@ class PJoin(PhysicalOp):
                 else:
                     yield lt.extend(**pad)
             else:  # nest
-                group = frozenset(
-                    eval_keys((self.func,), m, tables)[0] for m in matches
-                )
+                group = frozenset(func_fn(m.as_env(), tables) for m in matches)
                 yield lt.extend(**{self.label: group})
 
     def _run_nl(self, left, right, tables):
@@ -287,35 +394,54 @@ class PJoin(PhysicalOp):
             return nl_outer_join(left, right, self.pred, tables, self.right_bindings)
         return nl_nest_join(left, right, self.pred, self.func, self.label, tables)
 
-    def _run_hash(self, left, right, tables):
+    def _run_hash(self, left, build, tables):
         if self.mode == "inner":
-            if self.hash_build_left:
-                from repro.engine.joins.hash_join import hash_inner_join_build_left
-
-                return hash_inner_join_build_left(list(left), right, self.spec, tables)
-            return hash_inner_join(left, right, self.spec, tables)
+            return hash_inner_join(left, (), self.spec, tables, build=build)
         if self.mode == "semi":
-            return hash_semi_join(left, right, self.spec, tables)
+            return hash_semi_join(left, (), self.spec, tables, build=build)
         if self.mode == "anti":
-            return hash_anti_join(left, right, self.spec, tables)
+            return hash_anti_join(left, (), self.spec, tables, build=build)
         if self.mode == "outer":
-            return hash_outer_join(left, right, self.spec, tables, self.right_bindings)
-        return hash_nest_join(left, right, self.spec, self.func, self.label, tables)
+            return hash_outer_join(
+                left, (), self.spec, tables, self.right_bindings, build=build
+            )
+        return hash_nest_join(
+            left, (), self.spec, self.func, self.label, tables, build=build
+        )
 
-    def _run_sm(self, left, right, tables):
-        left = list(left)
+    def _run_sm(self, left, runs, tables):
         if self.mode == "inner":
-            return sm_inner_join(left, right, self.spec, tables)
+            return sm_inner_join(left, (), self.spec, tables, right_runs=runs)
         if self.mode == "semi":
-            return sm_semi_join(left, right, self.spec, tables)
+            return sm_semi_join(left, (), self.spec, tables, right_runs=runs)
         if self.mode == "anti":
-            return sm_anti_join(left, right, self.spec, tables)
+            return sm_anti_join(left, (), self.spec, tables, right_runs=runs)
         if self.mode == "outer":
-            return sm_outer_join(left, right, self.spec, tables, self.right_bindings)
-        return sm_nest_join(left, right, self.spec, self.func, self.label, tables)
+            return sm_outer_join(
+                left, (), self.spec, tables, self.right_bindings, right_runs=runs
+            )
+        return sm_nest_join(
+            left, (), self.spec, self.func, self.label, tables, right_runs=runs
+        )
 
     def children(self):
         return (self.left, self.right)
+
+    def cache_note(self) -> str | None:
+        """One-line build-side cache account for EXPLAIN, if applicable."""
+        if self.mode == "nest" and self.group_source is not None:
+            table_name, _var, keys_fp = self.group_source
+            what = "group table"
+        elif self.cache_source is not None and self.algorithm in ("hash", "sort_merge"):
+            table_name, _var, keys_fp = self.cache_source
+            what = "hash build" if self.algorithm == "hash" else "sorted runs"
+        else:
+            return None
+        keys = ", ".join(keys_fp)
+        return (
+            f"reusable {what} on {table_name}({keys}): "
+            f"{self.cache_hits} hits, {self.cache_misses} misses"
+        )
 
     def describe(self):
         from repro.lang.pretty import pretty
@@ -454,6 +580,10 @@ def _compile(plan: Plan, stats: StatsCatalog, force: str | None) -> PhysicalOp:
         if len(right_names) != 1:
             raise PlanError("identity nest join requires a single right binding")
         func = Var(right_names[0])
+    # Resolve the spec's key/residual closures now, at compile time, so no
+    # execution pays the per-row memo lookup.
+    spec.precompile()
+    hash_build_left = mode == "inner" and l_est < r_est
     return PJoin(
         mode=mode,
         algorithm=algorithm,
@@ -466,9 +596,67 @@ def _compile(plan: Plan, stats: StatsCatalog, force: str | None) -> PhysicalOp:
         label=plan.label if isinstance(plan, NestJoin) else "zs",
         index_target=index_target,
         # Only the symmetric inner join may flip its build side.
-        hash_build_left=(mode == "inner" and l_est < r_est),
+        hash_build_left=hash_build_left,
+        cache_source=_cache_source(plan.right, spec, algorithm, hash_build_left),
+        group_source=_group_source(plan, spec, mode, func, algorithm),
         est_rows=est,
     )
+
+
+def _scan_fingerprint(right: Plan, spec: JoinSpec) -> tuple[str, str, tuple[str, ...]] | None:
+    """(table, var, key fingerprint) when the right operand is a bare scan
+    of a named table and every right key only references the scan variable
+    — the build side is then a pure function of the table contents and the
+    key expressions, independent of the rest of the catalog, and can be
+    shared across executions keyed by the table's (uid, version)."""
+    from repro.lang.freevars import free_vars
+    from repro.lang.pretty import pretty
+
+    if not isinstance(right, Scan) or not spec.has_equi_keys:
+        return None
+    var = right.var
+    for key in spec.right_keys:
+        if free_vars(key) != {var}:
+            return None
+    return right.table, var, tuple(pretty(k) for k in spec.right_keys)
+
+
+def _cache_source(
+    right: Plan, spec: JoinSpec, algorithm: str, hash_build_left: bool
+) -> tuple[str, str, tuple[str, ...]] | None:
+    """The reusable raw build side (hash table / sorted runs), if any."""
+    if algorithm not in ("hash", "sort_merge"):
+        return None
+    if algorithm == "hash" and hash_build_left:
+        # The build is on the (non-scan) left side; nothing reusable.
+        return None
+    return _scan_fingerprint(right, spec)
+
+
+def _group_source(
+    plan: Plan, spec: JoinSpec, mode: str, func: Expr | None, algorithm: str
+) -> tuple[str, str, tuple[str, ...]] | None:
+    """The reusable nest-join *group table*, if any.
+
+    Requires a trivial residual and a function over right-operand bindings
+    only: the group of any probing tuple is then determined by its key
+    alone, so key → frozenset(func values) is a pure function of the right
+    table and each probe is a single dict lookup.
+    """
+    from repro.lang.freevars import free_vars
+    from repro.lang.pretty import pretty
+
+    if mode != "nest" or func is None or algorithm not in ("hash", "index_nested_loop"):
+        return None
+    if not spec.residual_trivial:
+        return None
+    if not free_vars(func) <= set(plan.right.bindings()):
+        return None
+    fingerprint = _scan_fingerprint(plan.right, spec)
+    if fingerprint is None:
+        return None
+    table, var, keys_fp = fingerprint
+    return table, var, keys_fp + (f"func={pretty(func)}",)
 
 
 def _index_target(right: Plan, spec: JoinSpec) -> tuple[str, str, tuple[str, ...]] | None:

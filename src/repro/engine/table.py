@@ -11,7 +11,8 @@ are available through :meth:`Table.as_set`.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping
+import itertools
+from typing import Callable, Iterable, Iterator, Mapping
 
 from repro.errors import CatalogError
 from repro.model.schema import Schema
@@ -21,9 +22,19 @@ from repro.model.values import Tup
 
 __all__ = ["Table", "Catalog"]
 
+#: Process-unique table ids; cache keys use (uid, version) so two distinct
+#: tables sharing a name can never alias each other's cached artifacts.
+_TABLE_UIDS = itertools.count(1)
+
 
 class Table:
-    """A named, typed, ordered collection of row tuples."""
+    """A named, typed, ordered collection of row tuples.
+
+    Tables are *versioned*: every mutation bumps :attr:`version` and drops
+    the derived artifacts (the set view and hash indexes). Caches keyed by
+    ``(uid, version)`` — prepared-plan compilations, join build sides —
+    therefore invalidate by construction, without registration hooks.
+    """
 
     def __init__(
         self,
@@ -47,6 +58,8 @@ class Table:
                 check(row, self.row_type, path=f"{name}[{i}]")
             if key is not None:
                 self._check_key(key)
+        self.uid = next(_TABLE_UIDS)
+        self.version = 1
         self._as_set: frozenset[Tup] | None = None
         self._indexes: dict[tuple[str, ...], dict[tuple, list[Tup]]] = {}
 
@@ -85,10 +98,10 @@ class Table:
     def hash_index(self, attrs: tuple[str, ...]) -> dict[tuple, list[Tup]]:
         """A persistent hash index on *attrs* (built on first use, cached).
 
-        Tables are immutable by convention, so the index never needs
-        invalidation; once built it is shared by every query — this is what
-        makes the index-nested-loop join cheaper than a per-query hash
-        build.
+        Mutations invalidate the index (see :meth:`bump_version`); once
+        built it is shared by every query against the current version —
+        this is what makes the index-nested-loop join cheaper than a
+        per-query hash build.
         """
         if attrs not in self._indexes:
             index: dict[tuple, list[Tup]] = {}
@@ -97,6 +110,54 @@ class Table:
                 index.setdefault(key, []).append(row)
             self._indexes[attrs] = index
         return self._indexes[attrs]
+
+    # -- mutation ------------------------------------------------------------
+    def bump_version(self) -> int:
+        """Advance the version and drop derived artifacts (set view, indexes).
+
+        Every mutating method funnels through here; external caches compare
+        versions instead of registering invalidation callbacks.
+        """
+        self.version += 1
+        self._as_set = None
+        self._indexes.clear()
+        return self.version
+
+    def _check_rows(self, rows: list[Tup], validate: bool) -> None:
+        for row in rows:
+            if not isinstance(row, Tup):
+                raise CatalogError(
+                    f"table {self.name!r}: rows must be Tup values, got {type(row).__name__}"
+                )
+        if validate:
+            for i, row in enumerate(rows):
+                check(row, self.row_type, path=f"{self.name}[+{i}]")
+
+    def insert(self, rows: Iterable[Tup], validate: bool = False) -> int:
+        """Append *rows* and bump the version; returns the new version."""
+        fresh = list(rows)
+        self._check_rows(fresh, validate)
+        self.rows.extend(fresh)
+        if self.key is not None:
+            self._check_key(self.key)
+        return self.bump_version()
+
+    def delete(self, pred: Callable[[Tup], bool]) -> int:
+        """Remove rows satisfying *pred*; bumps the version iff any matched."""
+        kept = [row for row in self.rows if not pred(row)]
+        if len(kept) == len(self.rows):
+            return self.version
+        self.rows = kept
+        return self.bump_version()
+
+    def replace_rows(self, rows: Iterable[Tup], validate: bool = False) -> int:
+        """Swap in a whole new row list and bump the version."""
+        fresh = list(rows)
+        self._check_rows(fresh, validate)
+        self.rows = fresh
+        if self.key is not None:
+            self._check_key(self.key)
+        return self.bump_version()
 
     def cardinality(self) -> int:
         return len(self.rows)
@@ -121,6 +182,29 @@ class Catalog(Mapping[str, Table]):
     def __init__(self, schema: Schema | None = None):
         self.schema = schema
         self._tables: dict[str, Table] = {}
+        self._structure_version = 0
+
+    # -- versioning ----------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """A monotonically increasing data version.
+
+        Combines the catalog's own structural counter (bumped on add/drop)
+        with every member table's version, so *any* mutation anywhere in
+        the catalog changes this number. Computed lazily — tables need no
+        back-reference to the catalogs holding them.
+        """
+        return self._structure_version + sum(t.version for t in self._tables.values())
+
+    def schema_fingerprint(self) -> tuple:
+        """A hashable digest of the catalog's *shape* (names and row types).
+
+        Two catalogs with the same fingerprint accept the same queries with
+        the same types, so a prepared plan keyed by (query, fingerprint) is
+        reusable across them; the data *contents* are deliberately not part
+        of it (that is what :attr:`version` tracks).
+        """
+        return tuple(sorted((name, repr(t.row_type)) for name, t in self._tables.items()))
 
     # -- construction -------------------------------------------------------
     def add(self, table: Table) -> Table:
@@ -132,6 +216,16 @@ class Catalog(Mapping[str, Table]):
                 check(row, declared, path=f"{table.name}[{i}]")
             table.row_type = declared
         self._tables[table.name] = table
+        self._structure_version += 1
+        return table
+
+    def drop(self, name: str) -> Table:
+        """Remove and return a table; keeps :attr:`version` monotonic."""
+        table = self.table(name)
+        del self._tables[name]
+        # The summed component loses table.version; compensate so the
+        # catalog version can only ever move forward.
+        self._structure_version += table.version + 1
         return table
 
     def add_rows(

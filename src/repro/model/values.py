@@ -99,6 +99,21 @@ class Tup:
         object.__setattr__(self, "_fields", fields)
         object.__setattr__(self, "_hash", None)
 
+    @classmethod
+    def _from_validated(cls, fields: dict) -> "Tup":
+        """Construct from labels/values that are already known to be valid.
+
+        The internal fast path for the engine's hot loops (scans, join
+        tuple concatenation, projections): every field either comes from an
+        existing ``Tup`` or was checked by the caller, so re-running the
+        per-field label/value validation of ``__init__`` would only burn
+        time. Takes ownership of *fields* — callers must pass a fresh dict.
+        """
+        t = object.__new__(cls)
+        object.__setattr__(t, "_fields", fields)
+        object.__setattr__(t, "_hash", None)
+        return t
+
     # -- mapping protocol -------------------------------------------------
     def __getitem__(self, label: str) -> Any:
         try:
@@ -159,35 +174,60 @@ class Tup:
 
         Raises :class:`ValueModelError` if a new label collides with an
         existing one (the paper requires the nest-join label to be fresh).
+        Only the *new* fields are validated; existing fields were already
+        checked when this tuple was built.
         """
-        for label in kwargs:
-            if label in self._fields:
+        fields = self._fields
+        for label, value in kwargs.items():
+            if label in fields:
                 raise ValueModelError(f"label {label!r} already present; concatenation requires fresh labels")
-        merged = dict(self._fields)
-        merged.update(kwargs)
-        return Tup(merged)
+            if not is_value(value):
+                raise ValueModelError(
+                    f"field {label!r} holds a non-model value of type {type(value).__name__}; "
+                    "use make_value() to coerce plain Python data"
+                )
+        return Tup._from_validated({**fields, **kwargs})
 
     def concat(self, other: "Tup") -> "Tup":
-        """Tuple concatenation ``self ++ other`` with disjoint labels."""
-        return self.extend(**other.as_dict())
+        """Tuple concatenation ``self ++ other`` with disjoint labels.
+
+        Both operands are already-validated tuples, so this only checks
+        label disjointness — the hot path of every join's tuple merge.
+        """
+        sf = self._fields
+        of = other._fields
+        merged = {**sf, **of}
+        if len(merged) != len(sf) + len(of):
+            clash = sorted(set(sf) & set(of))
+            raise ValueModelError(
+                f"label {clash[0]!r} already present; concatenation requires fresh labels"
+            )
+        return Tup._from_validated(merged)
 
     def project(self, labels: Iterable[str]) -> "Tup":
         """Keep only the given labels (in the given order)."""
-        return Tup({label: self[label] for label in labels})
+        return Tup._from_validated({label: self[label] for label in labels})
 
     def drop(self, *labels: str) -> "Tup":
         """Remove the given labels."""
         dropped = set(labels)
-        return Tup({k: v for k, v in self._fields.items() if k not in dropped})
+        return Tup._from_validated(
+            {k: v for k, v in self._fields.items() if k not in dropped}
+        )
 
     def replace(self, **kwargs: Any) -> "Tup":
         """Return a copy with existing fields replaced."""
-        for label in kwargs:
+        for label, value in kwargs.items():
             if label not in self._fields:
                 raise ValueModelError(f"cannot replace missing label {label!r}")
+            if not is_value(value):
+                raise ValueModelError(
+                    f"field {label!r} holds a non-model value of type {type(value).__name__}; "
+                    "use make_value() to coerce plain Python data"
+                )
         merged = dict(self._fields)
         merged.update(kwargs)
-        return Tup(merged)
+        return Tup._from_validated(merged)
 
     # -- equality / hashing -------------------------------------------------
     def __eq__(self, other: object) -> bool:

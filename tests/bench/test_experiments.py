@@ -111,7 +111,7 @@ class TestExtensionAblations:
 
 class TestRegistryAndMain:
     def test_registry_complete(self):
-        assert list(EXPERIMENTS) == [f"E{i}" for i in range(1, 16)]
+        assert list(EXPERIMENTS) == [f"E{i}" for i in range(1, 17)]
         for key, (title, fn) in EXPERIMENTS.items():
             assert callable(fn) and title
 

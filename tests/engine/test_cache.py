@@ -1,0 +1,180 @@
+"""The execution-time cache layer: LRU, build-side reuse, invalidation."""
+
+import pytest
+
+from repro.algebra.plan import Join, NestJoin, Scan
+from repro.engine.cache import (
+    BUILD_CACHE,
+    BuildSideCache,
+    CacheStats,
+    LRUCache,
+    build_cache_stats,
+    clear_build_cache,
+    set_build_cache_capacity,
+)
+from repro.engine.executor import run_physical
+from repro.engine.physical import PJoin, compile_plan
+from repro.engine.table import Catalog, Table
+from repro.lang.parser import parse
+from repro.model.values import Tup
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_build_cache()
+    yield
+    clear_build_cache()
+    set_build_cache_capacity(64)
+
+
+def catalog(nx=20, ny=30):
+    cat = Catalog()
+    cat.add_rows("X", [Tup(a=i, b=i % 5) for i in range(nx)])
+    cat.add_rows("Y", [Tup(c=i, d=i % 5) for i in range(ny)])
+    return cat
+
+
+def find_join(op):
+    if isinstance(op, PJoin):
+        return op
+    for child in op.children():
+        found = find_join(child)
+        if found:
+            return found
+    return None
+
+
+class TestLRUCache:
+    def test_get_put_and_counters(self):
+        lru = LRUCache(capacity=2)
+        assert lru.get("a") is None
+        lru.put("a", 1)
+        assert lru.get("a") == 1
+        assert lru.stats.hits == 1 and lru.stats.misses == 1
+        assert lru.stats.hit_rate == 0.5
+
+    def test_evicts_least_recently_used(self):
+        lru = LRUCache(capacity=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.get("a")  # refresh a; b is now LRU
+        lru.put("c", 3)
+        assert "a" in lru and "c" in lru and "b" not in lru
+        assert lru.stats.evictions == 1
+
+    def test_zero_capacity_disables(self):
+        lru = LRUCache(capacity=0)
+        lru.put("a", 1)
+        assert len(lru) == 0 and lru.get("a") is None
+
+    def test_clear_resets_counters(self):
+        lru = LRUCache(capacity=2)
+        lru.put("a", 1)
+        lru.get("a")
+        lru.clear()
+        assert len(lru) == 0 and lru.stats == CacheStats()
+
+
+class TestBuildSideKey:
+    def test_key_uses_uid_and_version(self):
+        t = Table("T", [Tup(a=1)])
+        k1 = BuildSideCache.key("hash-build", t, "x", ("x.a",))
+        t.bump_version()
+        k2 = BuildSideCache.key("hash-build", t, "x", ("x.a",))
+        assert k1 != k2
+
+    def test_same_name_distinct_tables_never_alias(self):
+        t1 = Table("T", [Tup(a=1)])
+        t2 = Table("T", [Tup(a=2)])
+        assert BuildSideCache.key("hash-build", t1, "x", ("x.a",)) != (
+            BuildSideCache.key("hash-build", t2, "x", ("x.a",))
+        )
+
+    def test_unversioned_source_is_uncacheable(self):
+        assert BuildSideCache.key("hash-build", [Tup(a=1)], "x", ("x.a",)) is None
+
+
+class TestBuildSideReuse:
+    def _compiled_hash_join(self, cat):
+        plan = Join(Scan("X", "x"), Scan("Y", "y"), parse("x.b = y.d"))
+        return compile_plan(plan, cat, force_algorithm="hash")
+
+    def test_second_execution_hits(self, ):
+        cat = catalog(nx=200, ny=50)  # large right: builds right
+        op = self._compiled_hash_join(cat)
+        join = find_join(op)
+        assert join.cache_source is not None
+        first = frozenset(op.run(cat))
+        second = frozenset(op.run(cat))
+        assert first == second
+        assert join.cache_misses == 1 and join.cache_hits == 1
+        assert build_cache_stats().hits == 1
+
+    def test_two_plans_share_one_build(self):
+        cat = catalog(nx=200, ny=50)
+        op1 = self._compiled_hash_join(cat)
+        op2 = self._compiled_hash_join(cat)
+        frozenset(op1.run(cat))
+        frozenset(op2.run(cat))
+        assert find_join(op1).cache_misses == 1
+        assert find_join(op2).cache_hits == 1
+
+    def test_mutation_invalidates(self):
+        cat = catalog(nx=200, ny=50)
+        op = self._compiled_hash_join(cat)
+        before = frozenset(op.run(cat))
+        cat["Y"].insert([Tup(c=999, d=1)])
+        after = frozenset(op.run(cat))
+        join = find_join(op)
+        assert join.cache_misses == 2 and join.cache_hits == 0
+        assert len(after) > len(before)
+
+    def test_results_stable_across_sort_merge_reuse(self):
+        cat = catalog(nx=30, ny=40)
+        plan = Join(Scan("X", "x"), Scan("Y", "y"), parse("x.b = y.d"))
+        op = compile_plan(plan, cat, force_algorithm="sort_merge")
+        assert frozenset(op.run(cat)) == frozenset(op.run(cat))
+        assert find_join(op).cache_hits == 1
+
+    def test_nest_join_group_table_reused(self):
+        cat = catalog(nx=30, ny=40)
+        plan = NestJoin(
+            Scan("X", "x"), Scan("Y", "y"), parse("x.b = y.d"), parse("y.c"), "ys"
+        )
+        op = compile_plan(plan, cat)
+        join = find_join(op)
+        assert join.group_source is not None
+        naive = frozenset(run_physical(plan, cat))
+        assert frozenset(op.run(cat)) == naive
+        assert frozenset(op.run(cat)) == naive
+        assert join.cache_hits >= 1
+
+    def test_eviction_under_tiny_capacity(self):
+        set_build_cache_capacity(1)
+        cat = catalog(nx=200, ny=50)
+        op1 = self._compiled_hash_join(cat)
+        plan2 = Join(Scan("X", "x"), Scan("Y", "y"), parse("x.a = y.c"))
+        op2 = compile_plan(plan2, cat, force_algorithm="hash")
+        frozenset(op1.run(cat))
+        frozenset(op2.run(cat))  # different keys: evicts op1's build
+        frozenset(op1.run(cat))  # must rebuild, still correct
+        assert BUILD_CACHE.stats.evictions >= 1
+        assert find_join(op1).cache_misses == 2
+
+    def test_explain_shows_counters(self):
+        cat = catalog(nx=200, ny=50)
+        op = self._compiled_hash_join(cat)
+        frozenset(op.run(cat))
+        frozenset(op.run(cat))
+        from repro.engine.explain import explain_physical
+
+        text = explain_physical(op)
+        assert "1 hits, 1 misses" in text
+
+    def test_plain_mapping_catalog_never_cached(self):
+        cat = catalog(nx=200, ny=50)
+        op = self._compiled_hash_join(cat)
+        plain = {"X": list(cat["X"]), "Y": list(cat["Y"])}
+        assert frozenset(op.run(plain)) == frozenset(op.run(cat))
+        # Only the Table-backed run used the cache.
+        assert find_join(op).cache_misses == 1

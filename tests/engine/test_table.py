@@ -44,6 +44,76 @@ class TestTable:
         assert list(t) == [Tup(a=1), Tup(a=2)]
 
 
+class TestVersioning:
+    def test_fresh_table_starts_at_one(self):
+        assert Table("T", [Tup(a=1)]).version == 1
+
+    def test_uids_are_process_unique(self):
+        assert Table("T", []).uid != Table("T", []).uid
+
+    def test_insert_bumps_and_appends(self):
+        t = Table("T", [Tup(a=1)])
+        v = t.insert([Tup(a=2)])
+        assert v == 2 and t.version == 2 and len(t) == 2
+
+    def test_delete_bumps_only_on_removal(self):
+        t = Table("T", [Tup(a=1), Tup(a=2)])
+        assert t.delete(lambda row: row.a == 99) == 1  # no match: unchanged
+        assert t.delete(lambda row: row.a == 1) == 2
+        assert list(t) == [Tup(a=2)]
+
+    def test_replace_rows_bumps(self):
+        t = Table("T", [Tup(a=1)])
+        t.replace_rows([Tup(a=7), Tup(a=8)])
+        assert t.version == 2 and len(t) == 2
+
+    def test_insert_validates_when_asked(self):
+        t = Table("T", [Tup(a=1)])
+        with pytest.raises(ValidationError):
+            t.insert([Tup(a="not int")], validate=True)
+
+    def test_insert_rechecks_declared_key(self):
+        t = Table("T", [Tup(a=1)], key=("a",), validate=True)
+        with pytest.raises(CatalogError, match="duplicate key"):
+            t.insert([Tup(a=1)])
+
+    def test_mutation_drops_derived_artifacts(self):
+        t = Table("T", [Tup(a=1)])
+        cached_set = t.as_set()
+        index = t.hash_index(("a",))
+        t.insert([Tup(a=2)])
+        assert t.as_set() is not cached_set
+        assert t.as_set() == frozenset({Tup(a=1), Tup(a=2)})
+        assert t.hash_index(("a",)) is not index
+        assert (2,) in t.hash_index(("a",))
+
+    def test_catalog_version_sums_tables_and_structure(self):
+        cat = Catalog()
+        v0 = cat.version
+        cat.add_rows("T", [Tup(a=1)])
+        v1 = cat.version
+        assert v1 > v0
+        cat["T"].insert([Tup(a=2)])
+        assert cat.version > v1
+
+    def test_catalog_version_monotonic_across_drop(self):
+        cat = Catalog()
+        cat.add_rows("T", [Tup(a=1)])
+        cat["T"].insert([Tup(a=2)])
+        before = cat.version
+        cat.drop("T")
+        assert cat.version > before
+
+    def test_schema_fingerprint_tracks_shape_not_data(self):
+        cat = Catalog()
+        cat.add_rows("T", [Tup(a=1)])
+        fp = cat.schema_fingerprint()
+        cat["T"].insert([Tup(a=2)])
+        assert cat.schema_fingerprint() == fp
+        cat.add_rows("U", [Tup(b="x")])
+        assert cat.schema_fingerprint() != fp
+
+
 class TestCatalog:
     def test_add_and_lookup(self):
         cat = Catalog()
