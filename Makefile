@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-shapes bench-json report fuzz examples all
+.PHONY: test bench bench-shapes bench-json serve-bench report fuzz examples all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -15,6 +15,9 @@ bench-shapes:
 
 bench-json:
 	$(PYTHON) -m repro.bench --json BENCH_report.json
+
+serve-bench:
+	$(PYTHON) -m repro serve-bench --json SERVE_report.json
 
 report:
 	$(PYTHON) -m repro.bench

@@ -81,6 +81,29 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--n", type=int, default=200, help="number of random queries")
     fuzz.add_argument("--seed", type=int, default=0, help="campaign seed")
 
+    serve = sub.add_parser(
+        "serve-bench",
+        help="hammer the concurrent query service with the mixed paper workload",
+    )
+    serve.add_argument("--workers", type=int, default=8, help="service worker threads")
+    serve.add_argument("--requests", type=int, default=400, help="requests in the batch")
+    serve.add_argument("--seed", type=int, default=0, help="workload seed")
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=0,
+        help="admission queue capacity (0 = unbounded, no shedding)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None, help="per-request deadline in seconds"
+    )
+    serve.add_argument(
+        "--no-oracle",
+        action="store_true",
+        help="skip the interpreter oracle cross-check (faster)",
+    )
+    serve.add_argument("--json", metavar="PATH", help="also write the JSON report to PATH")
+
     sub.add_parser("demo", help="run the COUNT-bug demo on built-in data")
     return parser
 
@@ -112,27 +135,83 @@ def _serve_repeated(args: argparse.Namespace, catalog: Catalog) -> int:
 
     from repro.core.pipeline import plan_cache_stats, prepared
     from repro.engine.cache import build_cache_stats
+    from repro.server.metrics import Histogram
 
-    timings = []
+    latency = Histogram()
     result = None
     for _ in range(args.repeat):
         start = time.perf_counter()
         result = prepared(args.text, catalog, typecheck=not args.no_typecheck).execute(
             catalog
         )
-        timings.append(time.perf_counter() - start)
+        latency.observe((time.perf_counter() - start) * 1e3)
     assert result is not None
     for value in sorted(result, key=sort_key):
         print(value_repr(value))
-    first, rest = timings[0], timings[1:]
-    best = min(rest) if rest else first
+    summary = latency.summary()
     print(
         f"-- {len(result)} rows; {args.repeat} calls: "
-        f"first {first * 1e3:.2f}ms, best warm {best * 1e3:.2f}ms",
+        f"mean {summary['mean']:.2f}ms, p50 {summary['p50']:.2f}ms, "
+        f"p95 {summary['p95']:.2f}ms, max {summary['max']:.2f}ms",
         file=sys.stderr,
     )
     print(f"-- plan cache: {plan_cache_stats().render()}", file=sys.stderr)
     print(f"-- build cache: {build_cache_stats().render()}", file=sys.stderr)
+    return 0
+
+
+def _serve_bench(args: argparse.Namespace) -> int:
+    """Run the mixed workload through the service and report throughput."""
+    from repro.server.bench import run_serve_bench
+
+    report = run_serve_bench(
+        workers=args.workers,
+        requests=args.requests,
+        seed=args.seed,
+        queue_limit=args.queue_limit,
+        timeout=args.timeout,
+        check_oracle=not args.no_oracle,
+    )
+    latency = report["latency_ms"]
+    print(
+        f"serve-bench: {report['requests']} requests "
+        f"({report['distinct_queries']} distinct), {report['workers']} workers"
+    )
+    print(
+        f"  sequential: {report['sequential_seconds'] * 1e3:8.1f}ms "
+        f"({report['sequential_rps']:8.0f} req/s)"
+    )
+    print(
+        f"  service:    {report['service_seconds'] * 1e3:8.1f}ms "
+        f"({report['service_rps']:8.0f} req/s)  -> {report['speedup']:.2f}x"
+    )
+    if latency:
+        print(
+            f"  latency: p50 {latency['p50']:.2f}ms, p95 {latency['p95']:.2f}ms, "
+            f"max {latency['max']:.2f}ms"
+        )
+    print(f"  outcomes: {report['outcomes']}")
+    caches = report["stats"]["caches"]
+    for name in ("plan", "build", "result"):
+        c = caches[name]
+        print(
+            f"  {name} cache: {c['hits']} hits, {c['misses']} misses "
+            f"({c['hit_rate']:.0%} hit rate)"
+        )
+    oracle = (
+        f"{report['oracle_mismatches']} mismatches"
+        if report["oracle_checked"]
+        else "skipped"
+    )
+    print(f"  oracle: {oracle}; lost requests: {report['lost_requests']}")
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if report["oracle_checked"] and report["oracle_mismatches"]:
+        return 1
     return 0
 
 
@@ -195,6 +274,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             return 1
         print(f"ok: {args.n} random queries agreed on all engines (seed {args.seed})")
         return 0
+    if args.command == "serve-bench":
+        return _serve_bench(args)
     if args.command == "demo":
         query = "SELECT r FROM R r WHERE r.b = COUNT(SELECT s FROM S s WHERE r.c = s.c)"
         catalog = _demo_catalog()

@@ -15,6 +15,7 @@ Engines:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.algebra.interpreter import result_set, run_logical
@@ -149,27 +150,40 @@ class PreparedQuery:
         )
         #: id(catalog) → (catalog version at compile time, physical tree).
         self._compiled: dict[int, tuple[object, object]] = {}
+        self._compile_lock = threading.Lock()
 
     def compile_for(self, catalog: Catalog):
-        """The physical operator tree for *catalog* (cached per version)."""
+        """The physical operator tree for *catalog* (cached per version).
+
+        Thread-safe: the stale-entry check and the recompilation happen
+        under a per-instance lock (double-checked against the fast path),
+        so concurrent service workers racing a catalog-version change
+        recompile exactly once instead of trampling each other's entries.
+        """
         from repro.engine.physical import compile_plan
 
         if self.plan is None:
             raise UnsupportedQueryError("query has no plan; it is interpreted")
         key = id(catalog)
-        version = getattr(catalog, "version", None)
         entry = self._compiled.get(key)
-        if entry is None or entry[0] != version:
-            entry = (version, compile_plan(self.plan, catalog))
-            self._compiled[key] = entry
-        return entry[1]
+        if entry is not None and entry[0] == getattr(catalog, "version", None):
+            return entry[1]
+        with self._compile_lock:
+            version = getattr(catalog, "version", None)
+            entry = self._compiled.get(key)
+            if entry is None or entry[0] != version:
+                entry = (version, compile_plan(self.plan, catalog))
+                self._compiled[key] = entry
+            return entry[1]
 
     def execute(self, catalog: Catalog) -> frozenset:
         """Run against *catalog* and return the result set."""
+        from repro.engine.executor import execute as _execute
+
         if self.plan is None:
             return _as_result_set(evaluate(self.ast, tables=catalog))
         physical = self.compile_for(catalog)
-        return result_set(list(physical.run(catalog)))
+        return result_set(_execute(physical, catalog))
 
     def analyze(self, catalog: Catalog):
         """Instrumented execution: returns an AnalyzedRun (see engine.analyze)."""
@@ -195,6 +209,10 @@ class PreparedQuery:
 # ---------------------------------------------------------------------------
 
 _PLAN_CACHE = LRUCache(capacity=128)
+
+#: Serializes the miss path of :func:`prepared` so concurrent first
+#: requests for the same query shape produce one PreparedQuery, not many.
+_PREPARE_LOCK = threading.Lock()
 
 
 def _plan_cache_key(ast: Expr, catalog: Catalog, typecheck: bool):
@@ -223,8 +241,14 @@ def prepared(query: str | Expr, catalog: Catalog, typecheck: bool = True) -> Pre
         return PreparedQuery(ast, catalog, typecheck=typecheck)
     entry = _PLAN_CACHE.get(key)
     if entry is None:
-        entry = PreparedQuery(ast, catalog, typecheck=typecheck)
-        _PLAN_CACHE.put(key, entry)
+        # Double-checked under a lock: concurrent misses for the same key
+        # prepare once and share the instance. peek() re-checks without
+        # inflating the hit/miss counters a second time.
+        with _PREPARE_LOCK:
+            entry = _PLAN_CACHE.peek(key)
+            if entry is None:
+                entry = PreparedQuery(ast, catalog, typecheck=typecheck)
+                _PLAN_CACHE.put(key, entry)
     return entry
 
 
@@ -237,7 +261,7 @@ def clear_plan_cache(capacity: int | None = None) -> None:
     """Drop all cached preparations (and optionally resize the cache)."""
     _PLAN_CACHE.clear()
     if capacity is not None:
-        _PLAN_CACHE.capacity = capacity
+        _PLAN_CACHE.resize(capacity)
 
 
 def explain_query(query: str | Expr, catalog: Catalog) -> str:

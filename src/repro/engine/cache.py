@@ -32,6 +32,7 @@ to lists of :class:`~repro.model.values.Tup` that consumers only read.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Hashable
@@ -77,45 +78,76 @@ class LRUCache:
     entry once ``capacity`` is exceeded. A non-positive capacity disables
     the cache entirely (every lookup misses, nothing is stored), which
     keeps call sites free of conditionals.
+
+    All operations (including the counter updates) are guarded by one
+    internal lock, so a cache instance can be shared by the query
+    service's worker threads. The lock protects each call, not
+    check-then-act sequences across calls; callers needing a single
+    writer for a miss path (e.g. :func:`repro.core.pipeline.prepared`)
+    layer their own lock on top, using :meth:`peek` for the re-check so
+    the counters are not skewed.
     """
 
     def __init__(self, capacity: int):
         self.capacity = capacity
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self.stats = CacheStats()
+        self._lock = threading.RLock()
 
     def get(self, key: Hashable, default: Any = None) -> Any:
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.stats.misses += 1
-            return default
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.stats.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Like :meth:`get` but touching neither recency nor the counters."""
+        with self._lock:
+            return self._entries.get(key, default)
 
     def put(self, key: Hashable, value: Any) -> None:
-        if self.capacity <= 0:
-            return
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            if self.capacity <= 0:
+                return
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def resize(self, capacity: int) -> None:
+        """Change the capacity, evicting (or dropping everything) as needed."""
+        with self._lock:
+            self.capacity = capacity
+            if capacity <= 0:
+                self._entries.clear()
+                return
+            while len(self._entries) > capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def keys(self):
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.stats = CacheStats()
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
 
 
 @dataclass
@@ -165,13 +197,7 @@ class BuildSideCache:
 
     def resize(self, capacity: int) -> None:
         self.capacity = capacity
-        self._lru.capacity = capacity
-        if capacity > 0:
-            while len(self._lru._entries) > capacity:
-                self._lru._entries.popitem(last=False)
-                self._lru.stats.evictions += 1
-        else:
-            self._lru._entries.clear()
+        self._lru.resize(capacity)
 
 
 #: The process-wide build-side cache used by the physical join operators.

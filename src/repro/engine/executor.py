@@ -1,10 +1,18 @@
-"""Physical plan execution entry points."""
+"""Physical plan execution entry points.
+
+Execution is cooperatively cancellable: when a :class:`~repro.engine.cancel.CancelToken`
+is installed for the current thread (see :func:`~repro.engine.cancel.cancel_scope`),
+both the scan operators and the output loop here poll it at operator-iteration
+boundaries, so a deadline set by the query service bounds how long a plan
+can run.
+"""
 
 from __future__ import annotations
 
 from typing import Mapping
 
 from repro.algebra.plan import Plan
+from repro.engine.cancel import current_token
 from repro.engine.physical import PhysicalOp, compile_plan
 from repro.model.values import Tup
 
@@ -16,9 +24,16 @@ def run_physical(
 ) -> list[Tup]:
     """Compile *plan* (choosing join algorithms) and run it to a row list."""
     physical = compile_plan(plan, catalog, force_algorithm)
-    return list(physical.run(catalog))
+    return execute(physical, catalog)
 
 
 def execute(physical: PhysicalOp, catalog: Mapping) -> list[Tup]:
     """Run an already compiled physical operator tree."""
-    return list(physical.run(catalog))
+    token = current_token()
+    if token is None:
+        return list(physical.run(catalog))
+    out: list[Tup] = []
+    for row in physical.run(catalog):
+        token.check()
+        out.append(row)
+    return out

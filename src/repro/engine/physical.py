@@ -32,6 +32,7 @@ from repro.algebra.plan import (
     Unnest,
 )
 from repro.engine.cache import BUILD_CACHE
+from repro.engine.cancel import current_token
 from repro.engine.cost import cheapest_algorithm
 from repro.engine.joins.common import JoinSpec, analyse_join
 from repro.engine.joins.hash_join import (
@@ -98,7 +99,16 @@ class PScan(PhysicalOp):
         rows = source.rows if hasattr(source, "rows") else list(source)
         wrap = Tup._from_validated
         var = self.var
+        token = current_token()
+        if token is None:
+            for row in rows:
+                yield wrap({var: row})
+            return
+        # Cancellable execution: every base row scanned is a checkpoint.
+        # All data enters a plan through scans, so deadline expiry is
+        # noticed within one operator iteration of any long-running plan.
         for row in rows:
+            token.check()
             yield wrap({var: row})
 
     def describe(self):
@@ -310,7 +320,11 @@ class PJoin(PhysicalOp):
             return artifact
         self.cache_misses += 1
         artifact = thunk()
-        BUILD_CACHE.put(key, artifact)
+        # Re-derive the key before publishing: if the table mutated while
+        # the build ran, the artifact may mix row snapshots across versions
+        # and must not be stored under the version observed at lookup time.
+        if BUILD_CACHE.key(kind, source, var, keys_fp) == key:
+            BUILD_CACHE.put(key, artifact)
         return artifact
 
     def _hash_groups(self, tables):

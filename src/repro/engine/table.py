@@ -12,6 +12,7 @@ are available through :meth:`Table.as_set`.
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import Callable, Iterable, Iterator, Mapping
 
 from repro.errors import CatalogError
@@ -34,6 +35,17 @@ class Table:
     the derived artifacts (the set view and hash indexes). Caches keyed by
     ``(uid, version)`` — prepared-plan compilations, join build sides —
     therefore invalidate by construction, without registration hooks.
+
+    Mutations are atomic with respect to lock-free readers: each mutating
+    method builds (and validates) the complete new row list first, then —
+    under the table's lock — drops the derived artifacts, swaps in the new
+    list *as a fresh object*, and only then advances the version. A reader
+    that observes the new version can therefore never see a stale index or
+    set view, and a failed validation leaves the table untouched. Readers
+    that cache derived artifacts (:meth:`as_set`, :meth:`hash_index`)
+    snapshot ``self.rows`` and publish their result only if that exact
+    list object is still current, so a build that raced a mutation is used
+    once by its builder but never installed for the new version.
     """
 
     def __init__(
@@ -62,6 +74,7 @@ class Table:
         self.version = 1
         self._as_set: frozenset[Tup] | None = None
         self._indexes: dict[tuple[str, ...], dict[tuple, list[Tup]]] = {}
+        self._lock = threading.RLock()
 
     def _infer_row_type(self) -> TupleType:
         if not self.rows:
@@ -81,9 +94,9 @@ class Table:
         assert isinstance(merged, TupleType)
         return merged
 
-    def _check_key(self, key: tuple[str, ...]) -> None:
+    def _check_key(self, key: tuple[str, ...], rows: list[Tup] | None = None) -> None:
         seen: set[tuple] = set()
-        for row in self.rows:
+        for row in self.rows if rows is None else rows:
             k = tuple(row[a] for a in key)
             if k in seen:
                 raise CatalogError(f"table {self.name!r}: duplicate key {k!r} on {key}")
@@ -91,9 +104,16 @@ class Table:
 
     def as_set(self) -> frozenset[Tup]:
         """The rows as a duplicate-free set (cached)."""
-        if self._as_set is None:
-            self._as_set = frozenset(self.rows)
-        return self._as_set
+        cached = self._as_set
+        if cached is not None:
+            return cached
+        rows = self.rows
+        value = frozenset(rows)
+        with self._lock:
+            # Publish only if no mutation swapped the row list meanwhile.
+            if self.rows is rows:
+                self._as_set = value
+        return value
 
     def hash_index(self, attrs: tuple[str, ...]) -> dict[tuple, list[Tup]]:
         """A persistent hash index on *attrs* (built on first use, cached).
@@ -103,25 +123,42 @@ class Table:
         this is what makes the index-nested-loop join cheaper than a
         per-query hash build.
         """
-        if attrs not in self._indexes:
-            index: dict[tuple, list[Tup]] = {}
-            for row in self.rows:
-                key = tuple(row.get(a) for a in attrs)
-                index.setdefault(key, []).append(row)
-            self._indexes[attrs] = index
-        return self._indexes[attrs]
+        cached = self._indexes.get(attrs)
+        if cached is not None:
+            return cached
+        rows = self.rows
+        index: dict[tuple, list[Tup]] = {}
+        for row in rows:
+            key = tuple(row.get(a) for a in attrs)
+            index.setdefault(key, []).append(row)
+        with self._lock:
+            # Publish only if no mutation swapped the row list meanwhile;
+            # the builder still uses its (snapshot-consistent) index.
+            if self.rows is rows:
+                self._indexes[attrs] = index
+        return index
 
     # -- mutation ------------------------------------------------------------
     def bump_version(self) -> int:
         """Advance the version and drop derived artifacts (set view, indexes).
 
-        Every mutating method funnels through here; external caches compare
-        versions instead of registering invalidation callbacks.
+        Every mutating method funnels through :meth:`_publish`, which calls
+        this under the table lock; external caches compare versions instead
+        of registering invalidation callbacks. The derived artifacts are
+        dropped *before* the version advances, so a lock-free reader that
+        sees the new version can never pick up a stale index.
         """
-        self.version += 1
-        self._as_set = None
-        self._indexes.clear()
-        return self.version
+        with self._lock:
+            self._as_set = None
+            self._indexes.clear()
+            self.version += 1
+            return self.version
+
+    def _publish(self, rows: list[Tup]) -> int:
+        """Atomically install a fully built row list and advance the version."""
+        with self._lock:
+            self.rows = rows
+            return self.bump_version()
 
     def _check_rows(self, rows: list[Tup], validate: bool) -> None:
         for row in rows:
@@ -134,30 +171,35 @@ class Table:
                 check(row, self.row_type, path=f"{self.name}[+{i}]")
 
     def insert(self, rows: Iterable[Tup], validate: bool = False) -> int:
-        """Append *rows* and bump the version; returns the new version."""
+        """Append *rows* and bump the version; returns the new version.
+
+        The combined row list is validated before anything is published, so
+        a key violation raises without mutating the table.
+        """
         fresh = list(rows)
         self._check_rows(fresh, validate)
-        self.rows.extend(fresh)
-        if self.key is not None:
-            self._check_key(self.key)
-        return self.bump_version()
+        with self._lock:
+            combined = self.rows + fresh
+            if self.key is not None:
+                self._check_key(self.key, combined)
+            return self._publish(combined)
 
     def delete(self, pred: Callable[[Tup], bool]) -> int:
         """Remove rows satisfying *pred*; bumps the version iff any matched."""
-        kept = [row for row in self.rows if not pred(row)]
-        if len(kept) == len(self.rows):
-            return self.version
-        self.rows = kept
-        return self.bump_version()
+        with self._lock:
+            kept = [row for row in self.rows if not pred(row)]
+            if len(kept) == len(self.rows):
+                return self.version
+            return self._publish(kept)
 
     def replace_rows(self, rows: Iterable[Tup], validate: bool = False) -> int:
         """Swap in a whole new row list and bump the version."""
         fresh = list(rows)
         self._check_rows(fresh, validate)
-        self.rows = fresh
         if self.key is not None:
-            self._check_key(self.key)
-        return self.bump_version()
+            self._check_key(self.key, fresh)
+        with self._lock:
+            return self._publish(fresh)
 
     def cardinality(self) -> int:
         return len(self.rows)
@@ -194,7 +236,9 @@ class Catalog(Mapping[str, Table]):
         the catalog changes this number. Computed lazily — tables need no
         back-reference to the catalogs holding them.
         """
-        return self._structure_version + sum(t.version for t in self._tables.values())
+        # list() snapshots the table set atomically (C-level), so a racing
+        # add/drop cannot raise "dict changed size" out of this property.
+        return self._structure_version + sum(t.version for t in list(self._tables.values()))
 
     def schema_fingerprint(self) -> tuple:
         """A hashable digest of the catalog's *shape* (names and row types).

@@ -75,5 +75,16 @@ class ExecutionError(ReproError):
     """A runtime failure while evaluating an expression or plan."""
 
 
+class CancelledError(ReproError):
+    """Cooperative cancellation fired: a deadline expired or an explicit
+    cancel was requested while a physical plan was executing (see
+    :mod:`repro.engine.cancel`)."""
+
+
+class RejectedError(ReproError):
+    """The query service shed a request: the admission queue was at
+    capacity, or the service has been stopped (see :mod:`repro.server`)."""
+
+
 class CatalogError(ReproError):
     """A catalog lookup failed or a table definition is inconsistent."""

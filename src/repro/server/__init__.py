@@ -1,0 +1,33 @@
+"""The concurrent query service over the prepared-query layer.
+
+Public surface:
+
+* :class:`~repro.server.service.QueryService` — worker pool, bounded
+  admission queue with load shedding, per-request deadlines with
+  cooperative cancellation, version-race retries, result reuse;
+* :class:`~repro.server.request.QueryRequest` /
+  :class:`~repro.server.request.QueryResponse` — the wire shapes;
+* :mod:`~repro.server.metrics` — counters/histograms behind
+  ``QueryService.stats()``;
+* :func:`~repro.server.bench.run_serve_bench` — the mixed-workload
+  benchmark harness (``repro serve-bench``).
+
+See docs/serving.md for the architecture and the lifecycle of a request.
+"""
+
+from repro.server.metrics import Counter, Histogram, MetricsRegistry, percentile
+from repro.server.request import QueryRequest, QueryResponse, bind_params
+from repro.server.service import CatalogVersionRace, PendingQuery, QueryService
+
+__all__ = [
+    "QueryService",
+    "PendingQuery",
+    "QueryRequest",
+    "QueryResponse",
+    "CatalogVersionRace",
+    "bind_params",
+    "MetricsRegistry",
+    "Counter",
+    "Histogram",
+    "percentile",
+]

@@ -1,0 +1,110 @@
+"""The serve-bench harness: service throughput vs sequential execution.
+
+Runs the mixed workload twice over the same (warmed) catalog:
+
+1. **sequential baseline** — one thread executing every request
+   back-to-back through the prepared layer (plan + build caches warm, no
+   result reuse): the PR-1 state of the art;
+2. **service** — the same requests submitted to a :class:`~repro.server.service.QueryService`
+   with N workers, admission control, and the result cache.
+
+Every ``ok`` response is checked against the single-threaded oracle
+(:func:`repro.core.pipeline.run_query` on the interpreter engine), and
+the report counts lost requests (admitted but unanswered — must be zero
+by construction of :meth:`~repro.server.service.QueryService.serve_all`).
+
+Used by both ``repro serve-bench`` (CLI) and
+``benchmarks/bench_serving.py`` (shape assertions in CI).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.pipeline import clear_plan_cache, prepared, run_query
+from repro.engine.cache import clear_build_cache
+from repro.server.service import QueryService
+from repro.server.workload import make_requests, mixed_catalog
+
+__all__ = ["run_serve_bench"]
+
+
+def run_serve_bench(
+    workers: int = 8,
+    requests: int = 400,
+    seed: int = 0,
+    queue_limit: int = 0,
+    timeout: float | None = None,
+    check_oracle: bool = True,
+    n_left: int = 200,
+    n_right: int = 1200,
+    n_chain: int = 40,
+) -> dict:
+    """Run the mixed workload sequentially and through the service.
+
+    Returns a JSON-serializable report with throughputs, the speedup,
+    latency percentiles, outcome counts, oracle mismatches, lost
+    requests, and the service's cache/metric snapshot. ``queue_limit=0``
+    means an unbounded admission queue (no shedding — the benchmark's
+    accounting mode); pass a positive limit to observe load shedding.
+    """
+    clear_plan_cache()
+    clear_build_cache()
+    catalog = mixed_catalog(seed=seed, n_left=n_left, n_right=n_right, n_chain=n_chain)
+    batch = make_requests(requests, seed=seed, n_left=n_left, timeout=timeout)
+    texts = [r.bound_query() for r in batch]
+    distinct = sorted(set(texts))
+
+    oracle: dict[str, frozenset] = {}
+    if check_oracle:
+        for text in distinct:
+            oracle[text] = run_query(text, catalog, engine="interpret").value
+
+    # Warm the plan and build caches once so both contenders start from
+    # the same PR-1 steady state and the comparison isolates the service
+    # layer (scheduling + result reuse + coalescing).
+    for text in distinct:
+        prepared(text, catalog).execute(catalog)
+
+    start = time.perf_counter()
+    sequential_values = [prepared(text, catalog).execute(catalog) for text in texts]
+    sequential_seconds = time.perf_counter() - start
+
+    service = QueryService(
+        catalog, workers=workers, queue_limit=queue_limit, default_timeout=timeout
+    )
+    with service:
+        start = time.perf_counter()
+        responses = service.serve_all(batch)
+        service_seconds = time.perf_counter() - start
+        stats = service.stats()
+
+    outcomes: dict[str, int] = {}
+    for response in responses:
+        outcomes[response.outcome] = outcomes.get(response.outcome, 0) + 1
+    mismatches = 0
+    for text, value, response in zip(texts, sequential_values, responses):
+        if not response.ok:
+            continue
+        expected = oracle.get(text, value)
+        if response.value != expected:
+            mismatches += 1
+    lost = len(batch) - len(responses)
+
+    latency = stats["histograms"].get("latency_ms", {})
+    return {
+        "workers": workers,
+        "requests": len(batch),
+        "distinct_queries": len(distinct),
+        "sequential_seconds": sequential_seconds,
+        "service_seconds": service_seconds,
+        "sequential_rps": len(batch) / sequential_seconds if sequential_seconds else 0.0,
+        "service_rps": len(batch) / service_seconds if service_seconds else 0.0,
+        "speedup": sequential_seconds / service_seconds if service_seconds else 0.0,
+        "outcomes": outcomes,
+        "oracle_checked": check_oracle,
+        "oracle_mismatches": mismatches,
+        "lost_requests": lost,
+        "latency_ms": latency,
+        "stats": stats,
+    }

@@ -1,0 +1,160 @@
+"""Thread-safe serving metrics: counters, latency histograms, a registry.
+
+The query service records every request's fate here; :meth:`MetricsRegistry.snapshot`
+is what ``QueryService.stats()`` and the ``repro serve-bench`` JSON report
+serialize. The pieces are deliberately minimal:
+
+* :class:`Counter` — a monotonically increasing integer;
+* :class:`Histogram` — running count/sum/min/max plus a bounded ring of
+  the most recent observations, from which percentiles are computed at
+  read time (sorting a few thousand floats on demand beats maintaining a
+  sorted structure on every observation);
+* :class:`MetricsRegistry` — name → instrument, created on first use.
+
+:func:`percentile` is the shared interpolating-percentile helper; the CLI's
+``query --repeat`` reporting uses it directly on its timing samples.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Sequence
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry", "percentile"]
+
+
+def percentile(values: Sequence[float] | Iterable[float], q: float) -> float:
+    """The *q*-th percentile (0–100) of *values*, linearly interpolated.
+
+    Returns 0.0 for an empty input so report code needs no special case.
+    """
+    data = sorted(values)
+    if not data:
+        return 0.0
+    if len(data) == 1:
+        return float(data[0])
+    rank = (len(data) - 1) * (q / 100.0)
+    lo = int(rank)
+    hi = min(lo + 1, len(data) - 1)
+    frac = rank - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+class Counter:
+    """A thread-safe monotonically increasing counter."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self._value})"
+
+
+class Histogram:
+    """Running aggregates plus a recent-observation window for percentiles.
+
+    The window is a ring buffer of the last *window* observations; with
+    the default 4096 slots the percentile view covers the recent past
+    without unbounded growth. count/sum/min/max are exact over the whole
+    lifetime.
+    """
+
+    def __init__(self, window: int = 4096):
+        if window <= 0:
+            raise ValueError("histogram window must be positive")
+        self._window = window
+        self._ring: list[float] = []
+        self._pos = 0
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            if len(self._ring) < self._window:
+                self._ring.append(value)
+            else:
+                self._ring[self._pos] = value
+                self._pos = (self._pos + 1) % self._window
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def values(self) -> list[float]:
+        """A snapshot of the current observation window (unordered)."""
+        with self._lock:
+            return list(self._ring)
+
+    def percentile(self, q: float) -> float:
+        return percentile(self.values(), q)
+
+    def summary(self) -> dict:
+        """count/mean/min/max plus p50/p90/p95/p99 over the window."""
+        with self._lock:
+            window = list(self._ring)
+            count, total = self.count, self.total
+            lo, hi = self.min, self.max
+        data = sorted(window)
+        return {
+            "count": count,
+            "mean": total / count if count else 0.0,
+            "min": lo if lo is not None else 0.0,
+            "max": hi if hi is not None else 0.0,
+            "p50": percentile(data, 50),
+            "p90": percentile(data, 90),
+            "p95": percentile(data, 95),
+            "p99": percentile(data, 99),
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter()
+            return instrument
+
+    def histogram(self, name: str, window: int = 4096) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(window)
+            return instrument
+
+    def snapshot(self) -> dict:
+        """All instruments as plain JSON-serializable data."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "histograms": {name: h.summary() for name, h in sorted(histograms.items())},
+        }

@@ -1,0 +1,130 @@
+"""Request and response shapes of the query service, and parameter binding.
+
+A :class:`QueryRequest` carries the query text, optional named parameters
+(``$name`` placeholders in the text), and an optional per-request timeout.
+A :class:`QueryResponse` reports a structured outcome plus timing and
+cache-attribution metadata — enough for a client to know not just the
+answer but how the service produced it (fresh execution, result-cache hit,
+or coalesced onto a concurrent identical execution) and at which catalog
+version it is valid.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import ParseError
+
+__all__ = ["QueryRequest", "QueryResponse", "bind_params", "render_literal"]
+
+_REQUEST_IDS = itertools.count(1)
+
+_PARAM_RE = re.compile(r"\$([A-Za-z_][A-Za-z0-9_]*)")
+
+
+def render_literal(value: object) -> str:
+    """Render a Python value as a query-language literal.
+
+    Supports the scalar literal forms of the language: booleans, integers,
+    floats, and strings (single-quoted, with backslash escapes).
+    """
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    raise ParseError(f"cannot bind parameter value of type {type(value).__name__}")
+
+
+def bind_params(text: str, params: Mapping[str, object] | None) -> str:
+    """Substitute ``$name`` placeholders in *text* with literal renderings.
+
+    Binding is textual: the bound query is then prepared through the plan
+    cache like any other text, so repeated calls with the same parameter
+    values share one prepared plan (distinct values prepare distinct
+    plans — value-agnostic parameterized plans are future work; see
+    docs/serving.md). An unbound placeholder raises; unused parameters are
+    ignored. Placeholders are recognized anywhere in the text, including
+    inside string literals — avoid ``$`` in literals of parameterized
+    queries.
+    """
+    if not params and "$" not in text:
+        return text
+
+    def replace(match: re.Match) -> str:
+        name = match.group(1)
+        if params is None or name not in params:
+            raise ParseError(f"unbound query parameter ${name}")
+        return render_literal(params[name])
+
+    return _PARAM_RE.sub(replace, text)
+
+
+@dataclass
+class QueryRequest:
+    """One unit of work for the query service."""
+
+    query: str
+    params: Mapping[str, object] | None = None
+    #: Seconds from submission to deadline; None falls back to the
+    #: service's default_timeout (which may itself be None: no deadline).
+    timeout: float | None = None
+    request_id: str = field(default_factory=lambda: f"q{next(_REQUEST_IDS):06d}")
+
+    def bound_query(self) -> str:
+        """The query text with all ``$name`` parameters substituted."""
+        return bind_params(self.query, self.params)
+
+
+@dataclass
+class QueryResponse:
+    """The structured answer to one :class:`QueryRequest`.
+
+    ``outcome`` is one of ``"ok"``, ``"timeout"``, ``"rejected"``, or
+    ``"error"``; ``value`` is the result set for ``"ok"`` and None
+    otherwise. ``result_cache`` attributes where the answer came from:
+    ``"miss"`` (this request executed the plan), ``"hit"`` (served from
+    the result cache), or ``"coalesced"`` (waited on a concurrent
+    identical execution).
+    """
+
+    request_id: str
+    outcome: str
+    value: frozenset | None = None
+    error: str | None = None
+    #: Catalog data version the answer is consistent with (ok responses
+    #: are version-stable: the version did not move during execution).
+    catalog_version: int | None = None
+    attempts: int = 0
+    result_cache: str | None = None
+    queue_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    total_seconds: float = 0.0
+    worker: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == "ok"
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (row count instead of the value)."""
+        return {
+            "request_id": self.request_id,
+            "outcome": self.outcome,
+            "rows": len(self.value) if self.value is not None else None,
+            "error": self.error,
+            "catalog_version": self.catalog_version,
+            "attempts": self.attempts,
+            "result_cache": self.result_cache,
+            "queue_seconds": self.queue_seconds,
+            "execute_seconds": self.execute_seconds,
+            "total_seconds": self.total_seconds,
+            "worker": self.worker,
+        }

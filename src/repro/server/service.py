@@ -1,0 +1,428 @@
+"""The concurrent query service: workers, admission control, deadlines.
+
+:class:`QueryService` turns the PR-1 prepared-query layer into a shared,
+multi-threaded serving endpoint. Requests flow through:
+
+1. **Admission** — :meth:`QueryService.submit` places the request on a
+   bounded queue. A full queue sheds the request immediately
+   (:class:`~repro.errors.RejectedError`), bounding memory and tail
+   latency under overload instead of building an unbounded backlog.
+2. **Scheduling** — a fixed pool of worker threads drains the queue in
+   FIFO order. All workers share the process-wide prepared-plan cache,
+   the build-side cache, and this service's result cache.
+3. **Execution** — the worker binds parameters, prepares the query (plan
+   cache), and runs it under a :class:`~repro.engine.cancel.CancelToken`
+   carrying the request deadline; physical operators poll the token at
+   iteration boundaries, so a timed-out request stops mid-plan instead of
+   running to completion.
+4. **Consistency** — the catalog's data version is read before and after
+   execution; if a mutation landed mid-flight the attempt raises
+   :class:`CatalogVersionRace` and is retried with exponential backoff.
+   ``ok`` responses are therefore *version-stable*: the value is the
+   answer at one catalog version, never a blend of two.
+5. **Result reuse** — version-stable results are memoized in an LRU keyed
+   by (bound query text, catalog version), and concurrent identical
+   requests *coalesce*: one leader executes, followers wait on its
+   result. Under repetitive traffic this, not thread parallelism, is
+   where the throughput multiple comes from (the GIL serializes the
+   Python execution itself; see docs/serving.md).
+
+Every completed request is recorded in a :class:`~repro.server.metrics.MetricsRegistry`
+(:meth:`QueryService.stats`), and response hooks registered with
+:meth:`QueryService.add_hook` observe each (request, response) pair — the
+natural attachment point for a continuous differential-testing oracle.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import threading
+import time
+from typing import Callable, Iterable, Mapping
+
+from repro.core.pipeline import plan_cache_stats, prepared
+from repro.engine.cache import CacheStats, LRUCache, build_cache_stats
+from repro.engine.cancel import CancelToken, cancel_scope
+from repro.errors import CancelledError, RejectedError, ReproError
+from repro.server.request import QueryRequest, QueryResponse
+
+__all__ = ["QueryService", "PendingQuery", "CatalogVersionRace"]
+
+
+class CatalogVersionRace(ReproError):
+    """The catalog's data version moved while a request was executing."""
+
+
+class PendingQuery:
+    """A submitted request's future response."""
+
+    def __init__(self, request: QueryRequest):
+        self.request = request
+        self._event = threading.Event()
+        self._response: QueryResponse | None = None
+        # Stamped by submit():
+        self.enqueued_at: float = 0.0
+        self.deadline: float | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> QueryResponse:
+        """Block until the response arrives (raises TimeoutError if not)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request.request_id} not completed within {timeout}s"
+            )
+        assert self._response is not None
+        return self._response
+
+    def _fulfil(self, response: QueryResponse) -> None:
+        self._response = response
+        self._event.set()
+
+
+class _InFlight:
+    """A leader's execution that identical concurrent requests wait on."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: frozenset | None = None
+        self.error: BaseException | None = None
+
+
+_SENTINEL = object()
+
+
+class QueryService:
+    """A thread-pooled query-serving endpoint over one catalog.
+
+    Usable as a context manager; otherwise the first :meth:`submit` starts
+    the workers and :meth:`stop` drains and joins them.
+
+    Tuning knobs (all constructor arguments) are documented in
+    docs/serving.md; the defaults favor tests and small deployments.
+    """
+
+    def __init__(
+        self,
+        catalog,
+        workers: int = 4,
+        queue_limit: int = 64,
+        default_timeout: float | None = None,
+        max_attempts: int = 4,
+        backoff_base: float = 0.002,
+        result_cache_size: int = 256,
+        typecheck: bool = True,
+    ):
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        if max_attempts <= 0:
+            raise ValueError("max_attempts must be positive")
+        self.catalog = catalog
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self.default_timeout = default_timeout
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.typecheck = typecheck
+        self._queue: "queue_mod.Queue" = queue_mod.Queue(maxsize=max(0, queue_limit))
+        self._results = LRUCache(result_cache_size)
+        self._inflight: dict = {}
+        self._inflight_lock = threading.Lock()
+        self._hooks: list[Callable[[QueryRequest, QueryResponse], None]] = []
+        self._threads: list[threading.Thread] = []
+        self._state_lock = threading.Lock()
+        self._started = False
+        self._closed = False
+        from repro.server.metrics import MetricsRegistry
+
+        self.metrics = MetricsRegistry()
+        # Pre-create every counter so stats() always has the full shape,
+        # even for paths a given run never exercised.
+        for name in (
+            "submitted",
+            "admitted",
+            "shed",
+            "completed",
+            "ok",
+            "timeouts",
+            "errors",
+            "retries",
+            "version_race_failures",
+            "result_hits",
+            "result_misses",
+            "result_coalesced",
+            "hook_errors",
+        ):
+            self.metrics.counter(name)
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "QueryService":
+        with self._state_lock:
+            if self._closed:
+                raise RejectedError("service is stopped")
+            if self._started:
+                return self
+            self._started = True
+            for i in range(self.workers):
+                thread = threading.Thread(
+                    target=self._worker_loop, name=f"repro-serve-{i}", daemon=True
+                )
+                self._threads.append(thread)
+                thread.start()
+        return self
+
+    def stop(self, wait: bool = True) -> None:
+        """Refuse new submissions, drain the queue, and join the workers."""
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+            started = self._started
+        if not started:
+            return
+        for _ in self._threads:
+            self._queue.put(_SENTINEL)
+        if wait:
+            for thread in self._threads:
+                thread.join()
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def add_hook(self, hook: Callable[[QueryRequest, QueryResponse], None]) -> None:
+        """Observe every (request, response) pair after completion.
+
+        Hooks run on worker threads; exceptions are swallowed into the
+        ``hook_errors`` counter so a failing observer cannot take down
+        serving. Typical use: a continuous oracle cross-checking served
+        values against the single-threaded interpreter.
+        """
+        self._hooks.append(hook)
+
+    # -- serving -------------------------------------------------------------
+    def submit(
+        self,
+        request: QueryRequest | str,
+        params: Mapping[str, object] | None = None,
+        timeout: float | None = None,
+    ) -> PendingQuery:
+        """Admit a request; returns its :class:`PendingQuery` handle.
+
+        Raises :class:`~repro.errors.RejectedError` when the admission
+        queue is at capacity (load shedding) or the service is stopped.
+        """
+        if isinstance(request, str):
+            request = QueryRequest(request, params=params, timeout=timeout)
+        self.metrics.counter("submitted").inc()
+        if self._closed:
+            self.metrics.counter("shed").inc()
+            raise RejectedError("service is stopped")
+        if not self._started:
+            self.start()
+        pending = PendingQuery(request)
+        pending.enqueued_at = time.monotonic()
+        effective = request.timeout if request.timeout is not None else self.default_timeout
+        pending.deadline = None if effective is None else pending.enqueued_at + effective
+        try:
+            self._queue.put_nowait(pending)
+        except queue_mod.Full:
+            self.metrics.counter("shed").inc()
+            raise RejectedError(
+                f"service saturated: admission queue at capacity ({self.queue_limit})"
+            ) from None
+        self.metrics.counter("admitted").inc()
+        self.metrics.histogram("queue_depth").observe(self._queue.qsize())
+        return pending
+
+    def execute(
+        self,
+        query: QueryRequest | str,
+        params: Mapping[str, object] | None = None,
+        timeout: float | None = None,
+    ) -> QueryResponse:
+        """Submit and block for the response (the synchronous client path)."""
+        return self.submit(query, params=params, timeout=timeout).result()
+
+    def serve_all(self, requests: Iterable[QueryRequest | str]) -> list[QueryResponse]:
+        """Submit a batch and wait for every response, preserving order.
+
+        Requests shed at admission yield ``"rejected"`` responses in place
+        rather than raising, so the caller gets exactly one response per
+        request — the accounting the serving benchmark relies on.
+        """
+        slots: list[PendingQuery | QueryResponse] = []
+        for request in requests:
+            try:
+                slots.append(self.submit(request))
+            except RejectedError as exc:
+                rid = request.request_id if isinstance(request, QueryRequest) else "-"
+                slots.append(QueryResponse(rid, "rejected", error=str(exc)))
+        return [s.result() if isinstance(s, PendingQuery) else s for s in slots]
+
+    def stats(self) -> dict:
+        """Counters, latency histograms, queue depth, and cache hit rates."""
+        snap = self.metrics.snapshot()
+        snap["workers"] = self.workers
+        snap["queue_depth"] = self._queue.qsize()
+        snap["caches"] = {
+            "plan": _cache_dict(plan_cache_stats()),
+            "build": _cache_dict(build_cache_stats()),
+            "result": _cache_dict(self._results.stats),
+        }
+        return snap
+
+    # -- worker internals ----------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                return
+            response = self._handle(item)
+            item._fulfil(response)
+            for hook in self._hooks:
+                try:
+                    hook(item.request, response)
+                except Exception:
+                    self.metrics.counter("hook_errors").inc()
+
+    def _handle(self, pending: PendingQuery) -> QueryResponse:
+        request = pending.request
+        started = time.monotonic()
+        queue_seconds = started - pending.enqueued_at
+        worker = threading.current_thread().name
+        response = QueryResponse(
+            request.request_id,
+            "error",
+            queue_seconds=queue_seconds,
+            worker=worker,
+        )
+        if pending.deadline is not None and started >= pending.deadline:
+            # The deadline passed while the request sat in the queue.
+            self.metrics.counter("timeouts").inc()
+            response.outcome = "timeout"
+            response.error = "deadline exceeded while queued"
+        else:
+            token = CancelToken(deadline=pending.deadline)
+            try:
+                with cancel_scope(token):
+                    value, version, source, attempts = self._execute_with_retry(request, token)
+                response.outcome = "ok"
+                response.value = value
+                response.error = None
+                response.catalog_version = version
+                response.result_cache = source
+                response.attempts = attempts
+                self.metrics.counter("ok").inc()
+            except CancelledError as exc:
+                self.metrics.counter("timeouts").inc()
+                response.outcome = "timeout"
+                response.error = str(exc)
+            except CatalogVersionRace as exc:
+                self.metrics.counter("version_race_failures").inc()
+                response.error = str(exc)
+                response.attempts = self.max_attempts
+            except ReproError as exc:
+                self.metrics.counter("errors").inc()
+                response.error = str(exc)
+            except Exception as exc:  # defensive: never lose a request
+                self.metrics.counter("errors").inc()
+                response.error = f"{type(exc).__name__}: {exc}"
+        finished = time.monotonic()
+        response.execute_seconds = finished - started
+        response.total_seconds = finished - pending.enqueued_at
+        self.metrics.counter("completed").inc()
+        self.metrics.histogram("latency_ms").observe(response.total_seconds * 1e3)
+        self.metrics.histogram("execute_ms").observe(response.execute_seconds * 1e3)
+        self.metrics.histogram("queue_ms").observe(queue_seconds * 1e3)
+        return response
+
+    def _execute_with_retry(self, request: QueryRequest, token: CancelToken):
+        """Run until version-stable, retrying races with capped backoff."""
+        text = request.bound_query()
+        attempts = 0
+        while True:
+            attempts += 1
+            token.check()
+            try:
+                value, version, source = self._execute_shared(text, token)
+                return value, version, source, attempts
+            except CatalogVersionRace:
+                self.metrics.counter("retries").inc()
+                if attempts >= self.max_attempts:
+                    raise
+                delay = self.backoff_base * (2 ** (attempts - 1))
+                remaining = token.remaining()
+                if remaining is not None:
+                    delay = min(delay, remaining)
+                if delay > 0:
+                    time.sleep(delay)
+
+    def _execute_shared(self, text: str, token: CancelToken):
+        """One attempt: result cache → coalesce → leader execution.
+
+        The result cache is keyed by (bound text, catalog version) and
+        consulted *before* preparation, so a hit skips even the parse —
+        repeated traffic costs one dict probe per request.
+        """
+        version = getattr(self.catalog, "version", None)
+        key = (text, version)
+        cached = self._results.get(key)
+        if cached is not None:
+            self.metrics.counter("result_hits").inc()
+            return cached, version, "hit"
+        pq = prepared(text, self.catalog, typecheck=self.typecheck)
+        with self._inflight_lock:
+            entry = self._inflight.get(key)
+            leader = entry is None
+            if leader:
+                entry = self._inflight[key] = _InFlight()
+        if not leader:
+            if not entry.event.wait(timeout=token.remaining()):
+                raise CancelledError("deadline exceeded waiting on a coalesced execution")
+            if entry.error is not None:
+                raise entry.error
+            self.metrics.counter("result_coalesced").inc()
+            return entry.value, version, "coalesced"
+        try:
+            value = self._execute_leader(pq, version)
+        except BaseException as exc:
+            entry.error = exc
+            raise
+        else:
+            entry.value = value
+            self._results.put(key, value)
+            self.metrics.counter("result_misses").inc()
+            return value, version, "miss"
+        finally:
+            with self._inflight_lock:
+                self._inflight.pop(key, None)
+            entry.event.set()
+
+    def _execute_leader(self, pq, version):
+        """Execute the prepared query; raise if the catalog moved mid-flight.
+
+        A separate method so tests can wrap it to inject deterministic
+        version races.
+        """
+        value = pq.execute(self.catalog)
+        if getattr(self.catalog, "version", None) != version:
+            raise CatalogVersionRace(
+                f"catalog version moved from {version} to "
+                f"{getattr(self.catalog, 'version', None)} during execution"
+            )
+        return value
+
+
+def _cache_dict(stats: CacheStats) -> dict:
+    return {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "evictions": stats.evictions,
+        "hit_rate": stats.hit_rate,
+    }

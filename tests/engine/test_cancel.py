@@ -1,0 +1,80 @@
+"""Cooperative cancellation: tokens, scopes, and executor checkpoints."""
+
+import time
+
+import pytest
+
+from repro.core.pipeline import prepared, run_query
+from repro.engine.cancel import CancelToken, cancel_scope, checkpoint, current_token
+from repro.errors import CancelledError
+from repro.workloads import COUNT_BUG_NESTED, make_join_workload
+
+
+class TestToken:
+    def test_fresh_token_passes(self):
+        CancelToken().check()  # no deadline, not cancelled: no raise
+
+    def test_explicit_cancel(self):
+        token = CancelToken()
+        token.cancel("shutting down")
+        assert token.cancelled
+        with pytest.raises(CancelledError, match="shutting down"):
+            token.check()
+
+    def test_past_deadline_raises(self):
+        token = CancelToken(deadline=time.monotonic() - 1)
+        assert token.expired()
+        assert token.remaining() == 0.0
+        with pytest.raises(CancelledError, match="deadline"):
+            token.check()
+
+    def test_after_constructor(self):
+        assert CancelToken.after(None).deadline is None
+        token = CancelToken.after(60)
+        assert token.remaining() > 0
+        token.check()
+
+
+class TestScope:
+    def test_scope_installs_and_restores(self):
+        assert current_token() is None
+        outer, inner = CancelToken(), CancelToken()
+        with cancel_scope(outer):
+            assert current_token() is outer
+            with cancel_scope(inner):
+                assert current_token() is inner
+            assert current_token() is outer
+        assert current_token() is None
+
+    def test_checkpoint_without_scope_is_a_noop(self):
+        checkpoint()
+
+    def test_checkpoint_raises_inside_scope(self):
+        token = CancelToken()
+        token.cancel()
+        with cancel_scope(token):
+            with pytest.raises(CancelledError):
+                checkpoint()
+
+
+class TestExecutionCancellation:
+    @pytest.fixture
+    def catalog(self):
+        return make_join_workload(n_left=50, n_right=200, seed=4).catalog
+
+    def test_expired_deadline_stops_physical_execution(self, catalog):
+        pq = prepared(COUNT_BUG_NESTED, catalog)
+        with cancel_scope(CancelToken(deadline=time.monotonic() - 1)):
+            with pytest.raises(CancelledError):
+                pq.execute(catalog)
+
+    def test_cancel_flag_stops_run_query(self, catalog):
+        token = CancelToken()
+        token.cancel()
+        with cancel_scope(token):
+            with pytest.raises(CancelledError):
+                run_query(COUNT_BUG_NESTED, catalog)
+
+    def test_execution_unaffected_without_scope(self, catalog):
+        value = prepared(COUNT_BUG_NESTED, catalog).execute(catalog)
+        assert value == run_query(COUNT_BUG_NESTED, catalog, engine="interpret").value

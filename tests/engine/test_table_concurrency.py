@@ -1,0 +1,94 @@
+"""Table mutation atomicity: versions, derived artifacts, concurrent readers."""
+
+import threading
+
+import pytest
+
+from repro.engine.table import Catalog, Table
+from repro.errors import CatalogError
+from repro.model.values import Tup
+
+pytestmark = pytest.mark.thread_stress
+
+
+class TestAtomicMutation:
+    def test_failed_insert_leaves_table_untouched(self):
+        table = Table("T", [Tup(a=1), Tup(a=2)], key=("a",))
+        version = table.version
+        with pytest.raises(CatalogError):
+            table.insert([Tup(a=3), Tup(a=1)])  # duplicate key in the batch
+        assert table.rows == [Tup(a=1), Tup(a=2)]
+        assert table.version == version
+
+    def test_successful_mutations_bump_version_once(self):
+        table = Table("T", [Tup(a=1)])
+        v0 = table.version
+        table.insert([Tup(a=2)])
+        assert table.version == v0 + 1
+        table.delete(lambda row: row["a"] == 1)
+        assert table.version == v0 + 2
+        table.replace_rows([Tup(a=9)])
+        assert table.version == v0 + 3
+        assert table.rows == [Tup(a=9)]
+
+    def test_mutation_drops_derived_artifacts(self):
+        table = Table("T", [Tup(a=1, c=1), Tup(a=2, c=1)])
+        index = table.hash_index(("c",))
+        assert len(index[(1,)]) == 2
+        table.insert([Tup(a=3, c=1)])
+        assert len(table.hash_index(("c",))[(1,)]) == 3
+        assert len(table.as_set()) == 3
+
+
+class TestConcurrentReaders:
+    def test_readers_never_observe_mixed_snapshots(self):
+        # Two catalog states: all rows have d=0, or all have d=1.  Readers
+        # build derived artifacts (hash index, row set) while a writer flips
+        # between the states; a stale index published against fresh rows
+        # would surface as a mixed d-value within one artifact.
+        rows_a = [Tup(a=i, d=0) for i in range(50)]
+        rows_b = [Tup(a=i, d=1) for i in range(50)]
+        table = Table("T", list(rows_a), key=("a",))
+        stop = threading.Event()
+        violations = []
+
+        def writer():
+            flip = False
+            while not stop.is_set():
+                table.replace_rows(rows_b if flip else rows_a)
+                flip = not flip
+
+        def index_reader():
+            while not stop.is_set():
+                index = table.hash_index(("d",))
+                if len(index) != 1:
+                    violations.append(("index", sorted(index)))
+
+        def set_reader():
+            while not stop.is_set():
+                seen = {row["d"] for row in table.as_set()}
+                if len(seen) != 1:
+                    violations.append(("set", sorted(seen)))
+
+        threads = [
+            threading.Thread(target=writer),
+            threading.Thread(target=index_reader),
+            threading.Thread(target=set_reader),
+        ]
+        for t in threads:
+            t.start()
+        timer = threading.Timer(0.4, stop.set)
+        timer.start()
+        for t in threads:
+            t.join()
+        timer.cancel()
+        assert violations == []
+
+    def test_catalog_version_is_sum_of_table_versions(self):
+        catalog = Catalog()
+        t1 = catalog.add(Table("T", [Tup(a=1)]))
+        t2 = catalog.add(Table("U", [Tup(b=1)]))
+        before = catalog.version
+        t1.bump_version()
+        t2.bump_version()
+        assert catalog.version == before + 2

@@ -1,0 +1,99 @@
+"""The serving metrics: counters, histograms, percentile math, registry."""
+
+import threading
+
+from repro.server.metrics import Counter, Histogram, MetricsRegistry, percentile
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 50) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 95) == 7.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_extremes(self):
+        data = list(range(101))
+        assert percentile(data, 0) == 0
+        assert percentile(data, 100) == 100
+        assert percentile(data, 95) == 95
+
+    def test_accepts_unsorted_iterables(self):
+        assert percentile(iter([3.0, 1.0, 2.0]), 100) == 3.0
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        c = Counter()
+        n, per_thread = 8, 2000
+
+        def spin():
+            for _ in range(per_thread):
+                c.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == n * per_thread
+
+
+class TestHistogram:
+    def test_running_aggregates(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.mean == 2.0
+
+    def test_percentiles_over_window(self):
+        h = Histogram()
+        for v in range(100):
+            h.observe(float(v))
+        assert h.percentile(50) == 49.5
+        summary = h.summary()
+        assert summary["count"] == 100
+        assert summary["p95"] > summary["p50"] > 0
+
+    def test_window_wraps_but_totals_stay_exact(self):
+        h = Histogram(window=4)
+        for v in range(10):
+            h.observe(float(v))
+        assert h.count == 10
+        assert h.total == sum(range(10))
+        # The window only holds the most recent 4 observations.
+        assert sorted(h.values()) == [6.0, 7.0, 8.0, 9.0]
+
+    def test_empty_summary(self):
+        summary = Histogram().summary()
+        assert summary["count"] == 0
+        assert summary["mean"] == 0.0
+        assert summary["p99"] == 0.0
+
+
+class TestRegistry:
+    def test_instruments_created_once(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("requests").inc(3)
+        reg.histogram("latency").observe(1.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"requests": 3}
+        assert snap["histograms"]["latency"]["count"] == 1

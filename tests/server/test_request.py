@@ -1,0 +1,68 @@
+"""Request shapes and parameter binding."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.server.request import QueryRequest, QueryResponse, bind_params, render_literal
+
+
+class TestRenderLiteral:
+    def test_scalars(self):
+        assert render_literal(42) == "42"
+        assert render_literal(True) == "true"
+        assert render_literal(False) == "false"
+        assert render_literal(1.5) == "1.5"
+        assert render_literal("abc") == "'abc'"
+
+    def test_string_escaping(self):
+        assert render_literal("o'clock") == r"'o\'clock'"
+        assert render_literal("a\\b") == r"'a\\b'"
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(ParseError):
+            render_literal(frozenset())
+
+
+class TestBindParams:
+    def test_no_params_passthrough(self):
+        text = "SELECT r FROM R r"
+        assert bind_params(text, None) is text
+
+    def test_substitution(self):
+        bound = bind_params("SELECT r FROM R r WHERE r.a = $key", {"key": 7})
+        assert bound == "SELECT r FROM R r WHERE r.a = 7"
+
+    def test_multiple_and_repeated(self):
+        bound = bind_params("$a + $b + $a", {"a": 1, "b": 2})
+        assert bound == "1 + 2 + 1"
+
+    def test_unbound_raises(self):
+        with pytest.raises(ParseError, match="unbound query parameter"):
+            bind_params("SELECT r FROM R r WHERE r.a = $key", {})
+
+    def test_unused_params_ignored(self):
+        assert bind_params("SELECT r FROM R r", {"x": 1}) == "SELECT r FROM R r"
+
+    def test_string_param_round_trips_through_parser(self):
+        from repro.lang.parser import parse
+
+        bound = bind_params("SELECT r FROM R r WHERE r.name = $n", {"n": "o'clock"})
+        parse(bound)  # must lex/parse cleanly
+
+
+class TestShapes:
+    def test_request_ids_unique(self):
+        a, b = QueryRequest("SELECT r FROM R r"), QueryRequest("SELECT r FROM R r")
+        assert a.request_id != b.request_id
+
+    def test_bound_query_uses_params(self):
+        request = QueryRequest("SELECT r FROM R r WHERE r.a = $k", params={"k": 3})
+        assert request.bound_query().endswith("r.a = 3")
+
+    def test_response_ok_and_dict(self):
+        response = QueryResponse("q1", "ok", value=frozenset({1}), catalog_version=9)
+        assert response.ok
+        d = response.to_dict()
+        assert d["rows"] == 1
+        assert d["catalog_version"] == 9
+        assert not QueryResponse("q2", "timeout").ok

@@ -87,6 +87,32 @@ class TestOtherCommands:
         assert main(["tables", "--db", db, "--schema", str(bad)]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_query_repeat_reports_latency_percentiles(self, db, capsys):
+        assert main(["query", COUNT_QUERY, "--db", db, "--repeat", "5"]) == 0
+        err = capsys.readouterr().err
+        assert "5 calls" in err
+        assert "p50" in err and "p95" in err
+        assert "plan cache" in err
+
+    def test_serve_bench(self, tmp_path, capsys):
+        out_json = tmp_path / "serve.json"
+        code = main(
+            [
+                "serve-bench",
+                "--workers", "2",
+                "--requests", "30",
+                "--no-oracle",
+                "--json", str(out_json),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve-bench: 30 requests" in out
+        assert "result cache" in out
+        report = json.loads(out_json.read_text())
+        assert report["lost_requests"] == 0
+        assert report["outcomes"].get("ok") == 30
+
     def test_missing_db_file(self, tmp_path, capsys):
         with pytest.raises(FileNotFoundError):
             main(["tables", "--db", str(tmp_path / "ghost.json")])
