@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-shapes bench-json serve-bench report fuzz examples all
+.PHONY: test bench bench-shapes bench-json serve-bench trace-smoke report fuzz examples all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -18,6 +18,9 @@ bench-json:
 
 serve-bench:
 	$(PYTHON) -m repro serve-bench --json SERVE_report.json
+
+trace-smoke:
+	$(PYTHON) scripts/trace_smoke.py
 
 report:
 	$(PYTHON) -m repro.bench

@@ -49,6 +49,29 @@ class TestShape:
         assert counters["result_hits"] + counters["result_coalesced"] > 0
         assert counters["completed"] == report["requests"]
 
+    def test_rewrite_kind_counters(self, report):
+        # The mixed workload exercises nested queries, so the translator's
+        # decisions must show up in the per-kind counts, and each kind's
+        # count cannot exceed the distinct leader executions.
+        kinds = report["rewrite_kinds"]
+        assert kinds, "expected per-rewrite-kind counts in the report"
+        assert all(count > 0 for count in kinds.values())
+        misses = report["stats"]["counters"]["result_misses"]
+        assert all(count <= misses for count in kinds.values())
+
+    def test_tracing_overhead_recorded(self, report):
+        tracing = report["tracing"]
+        assert tracing["baseline_seconds"] > 0
+        assert tracing["traced_seconds"] > 0
+        assert "overhead_pct" in tracing
+
+    def test_slow_query_log_populated(self, report):
+        slow = report["stats"]["slow_queries"]
+        assert slow["slowest"], "expected slowest-N capture after a full run"
+        entry = slow["slowest"][0]
+        assert {"query", "trace_id", "total_seconds", "outcome"} <= set(entry)
+        assert entry["outcome"] == "ok"
+
 
 class TestTimings:
     @pytest.fixture(scope="class")

@@ -1,0 +1,87 @@
+"""Smoke-test the tracing surface end to end (``make trace-smoke``).
+
+Builds a small join catalog, then drives the real CLI as a subprocess:
+
+1. ``repro query --analyze`` — the plan tree must show per-operator
+   rows in/out, wall time, the build-cache account, and the peak group
+   size for the nest join;
+2. ``repro trace --format=chrome`` — the output must be valid Chrome
+   ``trace_event`` JSON (every event carries name/cat/ph/ts/pid/tid);
+3. ``repro trace`` (text) — the rewrite-decision log must name the
+   Table 2 row and the nest-join verdict.
+
+Exits non-zero with a diagnostic on the first violated expectation.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def run_cli(*args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args], capture_output=True, text=True
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(f"command failed: repro {' '.join(args)}\n{proc.stderr}")
+        sys.exit(1)
+    return proc.stdout
+
+
+def expect(condition: bool, message: str) -> None:
+    if not condition:
+        sys.stderr.write(f"trace-smoke FAILED: {message}\n")
+        sys.exit(1)
+
+
+def main() -> None:
+    from repro.io import dump_catalog
+    from repro.workloads import COUNT_BUG_NESTED, make_join_workload
+
+    tmp = Path(tempfile.mkdtemp(prefix="trace-smoke-"))
+    db = tmp / "catalog.json"
+    dump_catalog(make_join_workload(n_left=30, n_right=100, seed=7).catalog, db)
+    query = " ".join(COUNT_BUG_NESTED.split())
+
+    analyzed = run_cli("query", query, "--db", str(db), "--analyze")
+    for needle in ("NestJoin", "actual", "in ", "ms", "cache", "peak group"):
+        expect(needle in analyzed, f"--analyze output lacks {needle!r}:\n{analyzed}")
+
+    trace_path = tmp / "trace.json"
+    run_cli(
+        "trace", query, "--db", str(db), "--format", "chrome", "--out", str(trace_path)
+    )
+    doc = json.loads(trace_path.read_text())
+    events = doc.get("traceEvents")
+    expect(bool(events), "chrome export has no traceEvents")
+    for event in events:
+        missing = {"name", "cat", "ph", "ts", "pid", "tid"} - set(event)
+        expect(not missing, f"trace event missing fields {missing}: {event}")
+        expect(event["ph"] in ("X", "i"), f"unexpected event phase {event['ph']!r}")
+        if event["ph"] == "X":
+            expect(event["dur"] >= 0, f"negative duration: {event}")
+    expect(
+        doc.get("otherData", {}).get("query") == query,
+        "chrome export does not echo the query",
+    )
+    expect(
+        any(event["tid"] == 2 for event in events),
+        "chrome export lacks operator spans (tid 2)",
+    )
+
+    text = run_cli("trace", query, "--db", str(db))
+    for needle in ("table2:", "verdict=grouping", "nestjoin"):
+        expect(needle in text, f"text trace lacks {needle!r}:\n{text}")
+
+    print(
+        f"trace-smoke ok: {len(events)} chrome events, "
+        f"analyze and text trace validated ({db})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -50,11 +50,35 @@ _MAX_PASSES = 10
 
 
 def optimize_logical(plan: Plan) -> Plan:
-    """Rewrite *plan* to a fixpoint of the rules above."""
-    for _ in range(_MAX_PASSES):
+    """Rewrite *plan* to a fixpoint of the rules above.
+
+    When a :mod:`repro.core.trace` scope is active, each pass that changes
+    the plan emits a ``rewrite`` event carrying before/after plan
+    fingerprints, so a trace shows exactly how many passes ran and what
+    each one did to the plan shape.
+    """
+    from repro.core.trace import current_trace, plan_fingerprint
+
+    trace = current_trace()
+    for i in range(_MAX_PASSES):
         rewritten = _rewrite(plan)
         if rewritten == plan:
+            if trace is not None:
+                trace.record(
+                    "rewrite",
+                    "fixpoint",
+                    detail=f"stable after {i} pass(es)",
+                    after=plan_fingerprint(rewritten),
+                )
             return rewritten
+        if trace is not None:
+            trace.record(
+                "rewrite",
+                "rewrite-pass",
+                detail=f"pass {i + 1}",
+                before=plan_fingerprint(plan),
+                after=plan_fingerprint(rewritten),
+            )
         plan = rewritten
     return plan
 
@@ -124,6 +148,15 @@ def _rewrite_select(plan: Select) -> Plan:
             remaining.append(conj)
         else:
             child = sunk
+            from repro.core.trace import current_trace
+
+            trace = current_trace()
+            if trace is not None:
+                from repro.lang.pretty import pretty
+
+                trace.record(
+                    "rewrite", "selection-pushdown", detail=pretty(conj)
+                )
     if not remaining:
         return child
     return Select(child, make_and(remaining))

@@ -45,6 +45,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--no-typecheck", action="store_true", help="skip static type checking")
     query.add_argument(
+        "--analyze",
+        action="store_true",
+        help="instrument execution and print the EXPLAIN ANALYZE operator tree "
+        "(per-operator rows in/out, wall time, cache hits, peak group sizes)",
+    )
+    query.add_argument(
         "--repeat",
         type=int,
         default=1,
@@ -62,6 +68,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also compile and show the physical plan with cache counters",
     )
+    explain.add_argument(
+        "--analyze",
+        action="store_true",
+        help="also execute the query and show the annotated operator tree",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a query with end-to-end tracing and dump the trace",
+    )
+    trace.add_argument("text", help="the SELECT-FROM-WHERE query")
+    trace.add_argument("--db", required=True, help="catalog JSON file")
+    trace.add_argument("--schema", help="TM DDL file to validate the catalog against")
+    trace.add_argument(
+        "--format",
+        choices=("text", "chrome"),
+        default="text",
+        help="text (human-readable) or chrome (trace_event JSON for "
+        "chrome://tracing / Perfetto; default: text)",
+    )
+    trace.add_argument("--out", metavar="PATH", help="write the dump to PATH instead of stdout")
 
     tables = sub.add_parser("tables", help="list tables in a JSON catalog")
     tables.add_argument("--db", required=True, help="catalog JSON file")
@@ -215,6 +242,36 @@ def _serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_query(args: argparse.Namespace) -> int:
+    """Run one query with end-to-end tracing and dump the trace."""
+    from repro.core.trace import QueryTrace, chrome_trace
+    from repro.engine.analyze import explain_analyze
+
+    catalog = _load(args)
+    trace = QueryTrace(query=args.text)
+    result = run_query(args.text, catalog, analyze=True, trace=trace)
+    if args.format == "chrome":
+        import json
+
+        dump = json.dumps(chrome_trace(trace, result.analyzed), indent=2)
+    else:
+        dump = trace.render()
+        if result.analyzed is not None:
+            dump += "\n" + explain_analyze(result.analyzed)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(dump + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(dump)
+    print(
+        f"-- trace {trace.trace_id}: {len(trace.events)} events, "
+        f"{len(result.value)} rows ({result.engine} engine)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -230,11 +287,24 @@ def _dispatch(args: argparse.Namespace) -> int:
         if args.repeat > 1:
             return _serve_repeated(args, catalog)
         result = run_query(
-            args.text, catalog, engine=args.engine, typecheck=not args.no_typecheck
+            args.text,
+            catalog,
+            engine=args.engine,
+            typecheck=not args.no_typecheck,
+            analyze=args.analyze and args.engine == "physical",
         )
         for value in sorted(result.value, key=sort_key):
             print(value_repr(value))
         print(f"-- {len(result.value)} rows ({result.engine} engine)", file=sys.stderr)
+        if result.analyzed is not None:
+            from repro.engine.analyze import explain_analyze
+
+            print(explain_analyze(result.analyzed))
+        elif args.analyze:
+            print(
+                f"-- --analyze requires the physical engine (ran {result.engine})",
+                file=sys.stderr,
+            )
         return 0
     if args.command == "explain":
         catalog = _load(args)
@@ -249,8 +319,17 @@ def _dispatch(args: argparse.Namespace) -> int:
                 text += "\nphysical plan:\n" + explain_physical(
                     pq.compile_for(catalog), 1
                 )
+        if args.analyze:
+            from repro.core.pipeline import prepared
+            from repro.engine.analyze import explain_analyze
+
+            pq = prepared(args.text, catalog)
+            if pq.plan is not None:
+                text += "\nanalyze:\n" + explain_analyze(pq.analyze(catalog))
         print(text)
         return 0
+    if args.command == "trace":
+        return _trace_query(args)
     if args.command == "tables":
         catalog = _load(args)
         for name in sorted(catalog):

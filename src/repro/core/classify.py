@@ -94,6 +94,10 @@ class Classification:
     original: Expr
     var: str | None = None
     member_pred: Expr | None = None
+    #: Name of the Table 2 row that matched (``"grouping"`` when none did);
+    #: the tracing layer reports it so EXPLAIN/trace output can say *which*
+    #: row of the decision table fired, not just the verdict.
+    table2_row: str = "grouping"
 
     def grouped_pred(self, label: str) -> Expr:
         """``P`` with every occurrence of the subquery replaced by ``Var(label)``."""
@@ -145,17 +149,29 @@ def classify(pred: Expr, sub: SFW) -> Classification:
     ``z``; multiple *identical* occurrences are harmless).
     """
     result = _classify_flat(pred, sub)
-    if result is not None:
-        return result
-    return Classification(PredicateClass.GROUPING, sub, pred)
+    if result is None:
+        result = Classification(PredicateClass.GROUPING, sub, pred)
+    from repro.core.trace import emit
+
+    emit(
+        "classify",
+        f"table2:{result.table2_row}",
+        verdict=result.kind.value,
+        table2_row=result.table2_row,
+    )
+    return result
 
 
-def _exists(pred: Expr, sub: SFW, var: str, member_pred: Expr) -> Classification:
-    return Classification(PredicateClass.EXISTS, sub, pred, var, member_pred)
+def _exists(
+    pred: Expr, sub: SFW, var: str, member_pred: Expr, row: str
+) -> Classification:
+    return Classification(PredicateClass.EXISTS, sub, pred, var, member_pred, row)
 
 
-def _not_exists(pred: Expr, sub: SFW, var: str, member_pred: Expr) -> Classification:
-    return Classification(PredicateClass.NOT_EXISTS, sub, pred, var, member_pred)
+def _not_exists(
+    pred: Expr, sub: SFW, var: str, member_pred: Expr, row: str
+) -> Classification:
+    return Classification(PredicateClass.NOT_EXISTS, sub, pred, var, member_pred, row)
 
 
 def _classify_flat(pred: Expr, sub: SFW) -> Classification | None:
@@ -163,37 +179,39 @@ def _classify_flat(pred: Expr, sub: SFW) -> Classification | None:
     if isinstance(pred, Quant) and pred.kind == QuantKind.EXISTS:
         if pred.domain == sub and not contains_expr(pred.pred, sub):
             # ∃v∈z (P') — already the target form.
-            return _exists(pred, sub, pred.var, pred.pred)
+            return _exists(pred, sub, pred.var, pred.pred, "exists")
         inner = _quantifier_over_other_domain(pred, sub)
         if inner is not None:
             var, member = inner
-            return _exists(pred, sub, var, member)
+            return _exists(pred, sub, var, member, "exists-over-other-domain")
     if isinstance(pred, Not):
         inner = pred.operand
         if isinstance(inner, Quant) and inner.kind == QuantKind.EXISTS:
             if inner.domain == sub and not contains_expr(inner.pred, sub):
-                return _not_exists(pred, sub, inner.var, inner.pred)
+                return _not_exists(pred, sub, inner.var, inner.pred, "not-exists")
             flipped = _quantifier_over_other_domain(inner, sub)
             if flipped is not None:
                 var, member = flipped
-                return _not_exists(pred, sub, var, member)
+                return _not_exists(
+                    pred, sub, var, member, "not-exists-over-other-domain"
+                )
         if isinstance(inner, Cmp):
             flat = _classify_cmp(inner, sub)
             if flat is not None:
-                kind, var, member = flat
+                kind, var, member, row = flat
                 # Negate the polarity.
                 if kind == PredicateClass.EXISTS:
-                    return _not_exists(pred, sub, var, member)
-                return _exists(pred, sub, var, member)
+                    return _not_exists(pred, sub, var, member, f"not-{row}")
+                return _exists(pred, sub, var, member, f"not-{row}")
         return None
     # --- comparison forms -------------------------------------------------
     if isinstance(pred, Cmp):
         flat = _classify_cmp(pred, sub)
         if flat is not None:
-            kind, var, member = flat
+            kind, var, member, row = flat
             if kind == PredicateClass.EXISTS:
-                return _exists(pred, sub, var, member)
-            return _not_exists(pred, sub, var, member)
+                return _exists(pred, sub, var, member, row)
+            return _not_exists(pred, sub, var, member, row)
     return None
 
 
@@ -224,7 +242,7 @@ def _quantifier_over_other_domain(
 
 def _classify_cmp(
     cmp: Cmp, sub: SFW
-) -> tuple[PredicateClass, str, Expr] | None:
+) -> tuple[PredicateClass, str, Expr, str] | None:
     left, right, op = cmp.left, cmp.right, cmp.op
 
     # z = {} / {} = z  →  ¬∃v∈z(true);   z <> {} → ∃v∈z(true)
@@ -232,17 +250,17 @@ def _classify_cmp(
         if a == sub and _is_empty_set(b):
             var = _fresh_member_var(cmp, sub)
             if op == CmpOp.EQ:
-                return PredicateClass.NOT_EXISTS, var, TRUE
+                return PredicateClass.NOT_EXISTS, var, TRUE, "empty"
             if op == CmpOp.NE:
-                return PredicateClass.EXISTS, var, TRUE
+                return PredicateClass.EXISTS, var, TRUE, "nonempty"
 
     # count(z) OP 0 (normalizer canonicalised count to the left)
     if _count_of(left, sub) and _is_zero(right):
         var = _fresh_member_var(cmp, sub)
         if op == CmpOp.EQ or op == CmpOp.LE:
-            return PredicateClass.NOT_EXISTS, var, TRUE
+            return PredicateClass.NOT_EXISTS, var, TRUE, "count-zero"
         if op == CmpOp.GT or op == CmpOp.NE:
-            return PredicateClass.EXISTS, var, TRUE
+            return PredicateClass.EXISTS, var, TRUE, "count-positive"
         if op == CmpOp.GE:
             # count(z) >= 0 is vacuously true; not useful — treat as flat true?
             return None
@@ -253,19 +271,34 @@ def _classify_cmp(
     if right == sub and not contains_expr(left, sub):
         if op == CmpOp.IN:
             var = _fresh_member_var(cmp, sub)
-            return PredicateClass.EXISTS, var, Cmp(CmpOp.EQ, Var(var), left)
+            return PredicateClass.EXISTS, var, Cmp(CmpOp.EQ, Var(var), left), "in"
         if op == CmpOp.NOT_IN:
             var = _fresh_member_var(cmp, sub)
-            return PredicateClass.NOT_EXISTS, var, Cmp(CmpOp.EQ, Var(var), left)
+            return (
+                PredicateClass.NOT_EXISTS,
+                var,
+                Cmp(CmpOp.EQ, Var(var), left),
+                "not-in",
+            )
         # e SUPSETEQ z ≡ ¬∃v∈z (v NOT IN e)
         if op == CmpOp.SUPSETEQ:
             var = _fresh_member_var(cmp, sub)
-            return PredicateClass.NOT_EXISTS, var, Cmp(CmpOp.NOT_IN, Var(var), left)
+            return (
+                PredicateClass.NOT_EXISTS,
+                var,
+                Cmp(CmpOp.NOT_IN, Var(var), left),
+                "supseteq",
+            )
 
     # z SUBSETEQ e  (mirror of e SUPSETEQ z)
     if left == sub and not contains_expr(right, sub) and op == CmpOp.SUBSETEQ:
         var = _fresh_member_var(cmp, sub)
-        return PredicateClass.NOT_EXISTS, var, Cmp(CmpOp.NOT_IN, Var(var), right)
+        return (
+            PredicateClass.NOT_EXISTS,
+            var,
+            Cmp(CmpOp.NOT_IN, Var(var), right),
+            "supseteq-mirrored",
+        )
 
     # (e INTERSECT z) = {} and symmetric spellings
     for a, b in ((left, right), (right, left)):
@@ -273,9 +306,19 @@ def _classify_cmp(
         if other is not None and _is_empty_set(b) and not contains_expr(other, sub):
             var = _fresh_member_var(cmp, sub)
             if op == CmpOp.EQ:
-                return PredicateClass.NOT_EXISTS, var, Cmp(CmpOp.IN, Var(var), other)
+                return (
+                    PredicateClass.NOT_EXISTS,
+                    var,
+                    Cmp(CmpOp.IN, Var(var), other),
+                    "intersect-empty",
+                )
             if op == CmpOp.NE:
-                return PredicateClass.EXISTS, var, Cmp(CmpOp.IN, Var(var), other)
+                return (
+                    PredicateClass.EXISTS,
+                    var,
+                    Cmp(CmpOp.IN, Var(var), other),
+                    "intersect-nonempty",
+                )
 
     return None
 

@@ -43,9 +43,22 @@ __all__ = ["normalize_predicate", "push_not"]
 
 def normalize_predicate(expr: Expr) -> Expr:
     """Normalize a boolean expression for classification."""
+    original = expr
     expr = _eliminate_forall(expr)
     expr = push_not(expr)
     expr = transform(expr, _canonical_cmp)
+    if expr != original:
+        from repro.core.trace import current_trace
+
+        trace = current_trace()
+        if trace is not None:  # render the diff only when someone is looking
+            from repro.lang.pretty import pretty
+
+            trace.record(
+                "normalize",
+                "normalize-predicate",
+                detail=f"{pretty(original)} ⇒ {pretty(expr)}",
+            )
     return expr
 
 

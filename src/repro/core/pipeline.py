@@ -16,10 +16,12 @@ Engines:
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.algebra.interpreter import result_set, run_logical
 from repro.algebra.pretty import explain_plan
+from repro.core.trace import QueryTrace, span, trace_scope
 from repro.core.unnest import Translation, translate_query
 from repro.engine.cache import CacheStats, LRUCache
 from repro.engine.table import Catalog
@@ -43,11 +45,18 @@ __all__ = [
 
 @dataclass
 class QueryResult:
-    """A query answer plus how it was computed."""
+    """A query answer plus how it was computed.
+
+    ``analyzed`` (an :class:`repro.engine.analyze.AnalyzedRun`) and
+    ``trace`` are populated by ``run_query(..., analyze=True)`` /
+    ``run_query(..., trace=...)`` and None otherwise.
+    """
 
     value: frozenset
     engine: str
     translation: Translation | None
+    analyzed: object | None = None
+    trace: QueryTrace | None = None
 
     @property
     def fully_flattened(self) -> bool:
@@ -58,16 +67,35 @@ def _as_ast(query: str | Expr) -> Expr:
     return parse(query) if isinstance(query, str) else query
 
 
-def prepare(query: str | Expr, catalog: Catalog, typecheck: bool = True) -> Translation | None:
-    """Parse, optionally type-check, and translate a query (no execution)."""
-    ast = _as_ast(query)
-    if typecheck:
-        type_of(ast, TypeEnv.with_tables(catalog.row_types()))
-    if not isinstance(ast, (SFW, UnnestExpr)):
-        raise UnsupportedQueryError(
-            f"top-level query must be a SELECT-FROM-WHERE (or UNNEST of one), got {type(ast).__name__}"
-        )
-    return translate_query(ast, catalog)
+def prepare(
+    query: str | Expr,
+    catalog: Catalog,
+    typecheck: bool = True,
+    trace: QueryTrace | None = None,
+) -> Translation | None:
+    """Parse, optionally type-check, and translate a query (no execution).
+
+    With *trace*, the translation's rewrite decisions (Table 2 rows,
+    verdicts, join kinds) are recorded as structured events on it.
+    """
+    with trace_scope(trace) if trace is not None else _null_scope():
+        with span("parse"):
+            ast = _as_ast(query)
+        if typecheck:
+            with span("typecheck"):
+                type_of(ast, TypeEnv.with_tables(catalog.row_types()))
+        if not isinstance(ast, (SFW, UnnestExpr)):
+            raise UnsupportedQueryError(
+                f"top-level query must be a SELECT-FROM-WHERE (or UNNEST of one), got {type(ast).__name__}"
+            )
+        with span("translate"):
+            return translate_query(ast, catalog)
+
+
+@contextmanager
+def _null_scope():
+    """Leave whatever ambient trace scope is already installed untouched."""
+    yield
 
 
 def run_query(
@@ -76,6 +104,8 @@ def run_query(
     engine: str = "physical",
     typecheck: bool = True,
     rewrite: bool = True,
+    analyze: bool = False,
+    trace: QueryTrace | None = None,
 ) -> QueryResult:
     """Execute *query* against *catalog* and return its value as a set.
 
@@ -83,32 +113,71 @@ def run_query(
     plan cleanup) applied before physical compilation; the ``logical``
     engine always runs the raw translated plan, preserving a rewrite-free
     rung on the differential-testing ladder.
+
+    ``analyze=True`` (physical engine only) instruments execution and
+    attaches an :class:`repro.engine.analyze.AnalyzedRun` with
+    per-operator rows in/out, wall time, cache hits, and peak group sizes
+    to the result.  ``trace`` collects the rewrite-decision trace and
+    phase timings; pass a fresh :class:`~repro.core.trace.QueryTrace` (it
+    is also returned on the result).
     """
-    ast = _as_ast(query)
+    with trace_scope(trace) if trace is not None else _null_scope():
+        return _run_query_traced(query, catalog, engine, typecheck, rewrite, analyze, trace)
+
+
+def _run_query_traced(
+    query: str | Expr,
+    catalog: Catalog,
+    engine: str,
+    typecheck: bool,
+    rewrite: bool,
+    analyze: bool,
+    trace: QueryTrace | None,
+) -> QueryResult:
+    with span("parse"):
+        ast = _as_ast(query)
     if typecheck:
-        type_of(ast, TypeEnv.with_tables(catalog.row_types()))
+        with span("typecheck"):
+            type_of(ast, TypeEnv.with_tables(catalog.row_types()))
     if engine == "interpret":
-        value = evaluate(ast, tables=catalog)
-        return QueryResult(_as_result_set(value), "interpret", None)
+        with span("execute", detail="interpreter"):
+            value = evaluate(ast, tables=catalog)
+        return QueryResult(_as_result_set(value), "interpret", None, trace=trace)
     if not isinstance(ast, (SFW, UnnestExpr)):
         raise UnsupportedQueryError(
             f"top-level query must be a SELECT-FROM-WHERE (or UNNEST of one), got {type(ast).__name__}"
         )
-    translation = translate_query(ast, catalog)
+    with span("translate"):
+        translation = translate_query(ast, catalog)
     if translation is None:
         # The outermost FROM operand is not a stored table: interpret.
-        value = evaluate(ast, tables=catalog)
-        return QueryResult(_as_result_set(value), "interpret", None)
+        with span("execute", detail="interpreter fallback"):
+            value = evaluate(ast, tables=catalog)
+        return QueryResult(_as_result_set(value), "interpret", None, trace=trace)
     if engine == "logical":
-        rows = run_logical(translation.plan, catalog)
-        return QueryResult(result_set(rows), "logical", translation)
+        with span("execute", detail="reference executor"):
+            rows = run_logical(translation.plan, catalog)
+        return QueryResult(result_set(rows), "logical", translation, trace=trace)
     if engine == "physical":
         from repro.algebra.rewrite import optimize_logical
-        from repro.engine.executor import run_physical
+        from repro.engine.executor import execute
+        from repro.engine.physical import compile_plan
 
-        plan = optimize_logical(translation.plan) if rewrite else translation.plan
-        rows = run_physical(plan, catalog)
-        return QueryResult(result_set(rows), "physical", translation)
+        with span("rewrite"):
+            plan = optimize_logical(translation.plan) if rewrite else translation.plan
+        with span("compile"):
+            physical = compile_plan(plan, catalog)
+        if analyze:
+            from repro.engine.analyze import analyze as _analyze
+
+            with span("execute", detail="instrumented"):
+                run = _analyze(physical, catalog)
+            return QueryResult(
+                result_set(run.rows), "physical", translation, analyzed=run, trace=trace
+            )
+        with span("execute"):
+            rows = execute(physical, catalog)
+        return QueryResult(result_set(rows), "physical", translation, trace=trace)
     raise UnsupportedQueryError(f"unknown engine {engine!r}")
 
 
@@ -135,19 +204,29 @@ class PreparedQuery:
     def __init__(self, query: str | Expr, catalog: Catalog, typecheck: bool = True):
         from repro.algebra.rewrite import optimize_logical
 
-        self.ast = _as_ast(query)
-        if typecheck:
-            type_of(self.ast, TypeEnv.with_tables(catalog.row_types()))
-        if not isinstance(self.ast, (SFW, UnnestExpr)):
-            raise UnsupportedQueryError(
-                "top-level query must be a SELECT-FROM-WHERE (or UNNEST of one)"
-            )
-        self.translation = translate_query(self.ast, catalog)
-        self.plan = (
-            optimize_logical(self.translation.plan)
-            if self.translation is not None
-            else None
-        )
+        #: The preparation-time trace: which Table 2 rows matched, the
+        #: semijoin/antijoin/nest-join verdicts, and the rewrite passes.
+        #: Cached with the PreparedQuery, so the serving layer can report
+        #: the rewrite decisions of any query it has ever prepared.
+        self.trace = QueryTrace(query=query if isinstance(query, str) else "")
+        with trace_scope(self.trace):
+            with span("parse"):
+                self.ast = _as_ast(query)
+            if typecheck:
+                with span("typecheck"):
+                    type_of(self.ast, TypeEnv.with_tables(catalog.row_types()))
+            if not isinstance(self.ast, (SFW, UnnestExpr)):
+                raise UnsupportedQueryError(
+                    "top-level query must be a SELECT-FROM-WHERE (or UNNEST of one)"
+                )
+            with span("translate"):
+                self.translation = translate_query(self.ast, catalog)
+            with span("rewrite"):
+                self.plan = (
+                    optimize_logical(self.translation.plan)
+                    if self.translation is not None
+                    else None
+                )
         #: id(catalog) → (catalog version at compile time, physical tree).
         self._compiled: dict[int, tuple[object, object]] = {}
         self._compile_lock = threading.Lock()
@@ -190,6 +269,18 @@ class PreparedQuery:
         from repro.engine.analyze import analyze as _analyze
 
         return _analyze(self.compile_for(catalog), catalog)
+
+    def rewrite_kinds(self) -> tuple[str, ...]:
+        """The distinct join kinds translation chose, in decision order.
+
+        ``("interpreted",)`` when the query has no plan, ``("flat",)``
+        when the plan needed no subquery joins at all — the labels the
+        serving metrics aggregate per query.
+        """
+        if self.translation is None:
+            return ("interpreted",)
+        kinds = tuple(dict.fromkeys(self.translation.join_kinds()))
+        return kinds or ("flat",)
 
     def explain(self, catalog: Catalog | None = None) -> str:
         """The logical plan; with *catalog*, also the compiled physical plan

@@ -79,6 +79,30 @@ class Step:
     detail: str = ""
 
 
+def _step(
+    steps: list["Step"],
+    conjunct: Expr | None,
+    kind: str,
+    detail: str = "",
+    cls: Classification | None = None,
+) -> None:
+    """Record a translation decision and mirror it onto the ambient trace."""
+    steps.append(Step(conjunct, kind, detail))
+    from repro.core.trace import current_trace
+
+    trace = current_trace()
+    if trace is not None:
+        from repro.lang.pretty import pretty
+
+        trace.record(
+            "translate",
+            kind,
+            detail=detail or (pretty(conjunct) if conjunct is not None else ""),
+            verdict=cls.kind.value if cls is not None else None,
+            table2_row=cls.table2_row if cls is not None else None,
+        )
+
+
 @dataclass
 class Translation:
     """The result of translating a query: a plan plus an audit trail.
@@ -209,7 +233,7 @@ def _apply_conjunct(
     if isinstance(normalized, SFW):  # a bare SFW is not a boolean conjunct
         subs = set()
     if not subs:
-        steps.append(Step(conjunct, "select"))
+        _step(steps, conjunct, "select")
         return Select(plan, conjunct)
     if len(subs) > 1:
         # Beyond the paper's linear restriction (its future-work list):
@@ -220,30 +244,30 @@ def _apply_conjunct(
     sub = next(iter(subs))
     if sub in materialized and materialized[sub] in plan.bindings():
         label = materialized[sub]
-        steps.append(Step(conjunct, "reuse-nested", f"reusing materialized {label!r}"))
+        _step(steps, conjunct, "reuse-nested", f"reusing materialized {label!r}")
         return Select(plan, replace_expr(normalized, sub, Var(label)))
     prepared = _prepare_subquery(sub, ctx, bound_vars)
     if prepared is None:
-        steps.append(Step(conjunct, "interpreted", "subquery not over a stored table"))
+        _step(steps, conjunct, "interpreted", "subquery not over a stored table")
         return Select(plan, simplify_nested_predicates(conjunct))
     sub_plan, sub_renamed, sub_var, g_expr, corr_pred, inner_steps = prepared
     if corr_pred is None:
-        steps.append(Step(conjunct, "interpreted", "uncorrelated subquery (constant)"))
+        _step(steps, conjunct, "interpreted", "uncorrelated subquery (constant)")
         return Select(plan, simplify_nested_predicates(conjunct))
     steps.extend(inner_steps)
     normalized = replace_expr(normalized, sub, sub_renamed)
     cls = classify(normalized, sub_renamed)
     if cls.kind == PredicateClass.EXISTS:
         pred = make_and([corr_pred, substitute(cls.member_pred, cls.var, g_expr)])
-        steps.append(Step(conjunct, "semijoin", _describe(cls)))
+        _step(steps, conjunct, "semijoin", _describe(cls), cls=cls)
         return SemiJoin(plan, sub_plan, pred)
     if cls.kind == PredicateClass.NOT_EXISTS:
         pred = make_and([corr_pred, substitute(cls.member_pred, cls.var, g_expr)])
-        steps.append(Step(conjunct, "antijoin", _describe(cls)))
+        _step(steps, conjunct, "antijoin", _describe(cls), cls=cls)
         return AntiJoin(plan, sub_plan, pred)
     label = ctx.fresh("zs")
     grouped = cls.grouped_pred(label)
-    steps.append(Step(conjunct, "nestjoin", f"grouping needed; nested attribute {label!r}"))
+    _step(steps, conjunct, "nestjoin", f"grouping needed; nested attribute {label!r}", cls=cls)
     nested = NestJoin(plan, sub_plan, corr_pred, g_expr, label)
     materialized[sub] = label
     return Select(nested, grouped)
@@ -277,11 +301,11 @@ def _apply_multi_subquery_conjunct(
             continue
         prepared = _prepare_subquery(sub, ctx, bound_vars)
         if prepared is None:
-            steps.append(Step(conjunct, "interpreted", "subquery not over a stored table"))
+            _step(steps, conjunct, "interpreted", "subquery not over a stored table")
             return Select(plan, simplify_nested_predicates(conjunct))
         sub_plan, _renamed, _var, g_expr, corr_pred, inner_steps = prepared
         if corr_pred is None:
-            steps.append(Step(conjunct, "interpreted", "uncorrelated subquery (constant)"))
+            _step(steps, conjunct, "interpreted", "uncorrelated subquery (constant)")
             return Select(plan, simplify_nested_predicates(conjunct))
         steps.extend(inner_steps)
         label = ctx.fresh("zs")
@@ -290,9 +314,7 @@ def _apply_multi_subquery_conjunct(
     for sub, sub_plan, g_expr, corr_pred, label in planned:
         plan = NestJoin(plan, sub_plan, corr_pred, g_expr, label)
         materialized[sub] = label
-        steps.append(
-            Step(conjunct, "nestjoin", f"multi-subquery conjunct; nested attribute {label!r}")
-        )
+        _step(steps, conjunct, "nestjoin", f"multi-subquery conjunct; nested attribute {label!r}")
     return Select(plan, rewritten)
 
 
@@ -314,9 +336,7 @@ def _apply_select_subqueries(
             if sub in materialized and materialized[sub] in plan.bindings():
                 label = materialized[sub]
                 select_expr = replace_expr(select_expr, sub, Var(label))
-                steps.append(
-                    Step(None, "reuse-nested", f"SELECT clause reuses materialized {label!r}")
-                )
+                _step(steps, None, "reuse-nested", f"SELECT clause reuses materialized {label!r}")
                 progressed = True
                 break
             prepared = _prepare_subquery(sub, ctx, bound_vars)
@@ -330,16 +350,12 @@ def _apply_select_subqueries(
             plan = NestJoin(plan, sub_plan, corr_pred, g_expr, label)
             materialized[sub] = label
             select_expr = replace_expr(select_expr, sub, Var(label))
-            steps.append(
-                Step(None, "nestjoin-select-clause", f"SELECT-clause subquery → {label!r}")
-            )
+            _step(steps, None, "nestjoin-select-clause", f"SELECT-clause subquery → {label!r}")
             progressed = True
             break
         if not progressed:
             if candidates:
-                steps.append(
-                    Step(None, "interpreted", "SELECT-clause subquery left nested")
-                )
+                _step(steps, None, "interpreted", "SELECT-clause subquery left nested")
             return plan, select_expr
 
 
@@ -423,6 +439,6 @@ def _translate_unnest(query: UnnestExpr, catalog: Catalog) -> Translation | None
     from repro.lang.ast import TRUE
 
     plan = Join(plan, sub_plan, join_pred if join_pred is not None else TRUE)
-    steps.append(Step(None, "unnest-join", "UNNEST(SELECT (SELECT ...)) → flat join"))
+    _step(steps, None, "unnest-join", "UNNEST(SELECT (SELECT ...)) → flat join")
     plan = Map(plan, g_expr, RESULT_VAR)
     return Translation(plan, steps)

@@ -4,8 +4,19 @@ and wall time.
 :func:`analyze` runs a physical plan while counting the rows each operator
 produces and attributing elapsed time to it (inclusive of children, as is
 conventional for iterator engines); :func:`explain_analyze` renders the
-annotated tree. Estimated vs. actual rows side by side makes cost-model
-misestimates visible at a glance.
+annotated tree.  Per operator the run records:
+
+* ``rows`` (rows out) and, derived, ``rows_in`` (sum of children's output);
+* inclusive wall time and the start offset (for timeline export);
+* build-side cache hits/misses observed during *this* run (joins whose
+  build artifact came from :data:`repro.engine.cache.BUILD_CACHE`);
+* the peak group size materialized by nest joins and Nest operators —
+  the quantity that blows up memory when grouping skews.
+
+Estimated vs. actual rows side by side makes cost-model misestimates
+visible at a glance.  Instrumentation lives entirely in the proxy layer
+built here: plain (non-analyze) execution runs the raw operators and pays
+nothing.
 """
 
 from __future__ import annotations
@@ -14,7 +25,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
-from repro.engine.physical import PhysicalOp
+from repro.engine.physical import PhysicalOp, PJoin, PNest
 from repro.model.values import Tup
 
 __all__ = ["OpStats", "AnalyzedRun", "analyze", "explain_analyze"]
@@ -27,7 +38,20 @@ class OpStats:
     op: PhysicalOp
     rows: int = 0
     seconds: float = 0.0
+    #: Absolute :func:`time.perf_counter` instant of the first pull (0.0 if
+    #: the operator never ran — e.g. the right child of a cache-hit join).
+    started: float = 0.0
+    #: Build-side cache traffic attributable to this run (PJoin only).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Largest group materialized by a nest join / Nest operator, or None.
+    peak_group: int | None = None
     children: list["OpStats"] = field(default_factory=list)
+
+    @property
+    def rows_in(self) -> int:
+        """Rows pulled from the children (0 for leaves and cache-served joins)."""
+        return sum(child.rows for child in self.children)
 
 
 @dataclass
@@ -43,8 +67,19 @@ def _build_stats(op: PhysicalOp) -> OpStats:
     return OpStats(op, children=[_build_stats(c) for c in op.children()])
 
 
+def _group_label(op: PhysicalOp) -> str | None:
+    """The nested-attribute label whose group sizes this operator determines."""
+    if isinstance(op, PJoin) and op.mode == "nest":
+        return op.label
+    if isinstance(op, PNest):
+        return op.label
+    return None
+
+
 def _instrument(op: PhysicalOp, tables: Mapping, stats: OpStats) -> Iterator[Tup]:
     start = time.perf_counter()
+    stats.started = start
+    group_label = _group_label(op)
     # Physical operators pull from their children via attribute access;
     # wrap each child in a counting proxy bound to its stats node.
     original_children = op.children()
@@ -52,12 +87,34 @@ def _instrument(op: PhysicalOp, tables: Mapping, stats: OpStats) -> Iterator[Tup
         _Proxy(c, tables, cs) for c, cs in zip(original_children, stats.children)
     ]
     swapped = _swap_children(op, proxies)
+    # The clone is what runs, so cache traffic lands on *its* counters.
+    cache_before = (
+        (swapped.cache_hits, swapped.cache_misses)
+        if isinstance(swapped, PJoin)
+        else None
+    )
     try:
-        for row in swapped.run(tables):
-            stats.rows += 1
-            yield row
+        if group_label is None:
+            for row in swapped.run(tables):
+                stats.rows += 1
+                yield row
+        else:
+            peak = 0
+            for row in swapped.run(tables):
+                stats.rows += 1
+                try:
+                    size = len(row[group_label])
+                except (KeyError, TypeError):
+                    size = 0
+                if size > peak:
+                    peak = size
+                yield row
+            stats.peak_group = peak
     finally:
         stats.seconds = time.perf_counter() - start
+        if cache_before is not None:
+            stats.cache_hits = swapped.cache_hits - cache_before[0]
+            stats.cache_misses = swapped.cache_misses - cache_before[1]
 
 
 class _Proxy(PhysicalOp):
@@ -110,11 +167,17 @@ def explain_analyze(run: AnalyzedRun) -> str:
     def emit(stats: OpStats, indent: int) -> None:
         pad = "  " * indent
         op = stats.op
-        lines.append(
-            f"{pad}{op.describe()}  "
-            f"(est ~{op.est_rows:.0f} rows, actual {stats.rows}, "
-            f"{stats.seconds * 1e3:.2f} ms)"
-        )
+        parts = [
+            f"est ~{op.est_rows:.0f} rows",
+            f"in {stats.rows_in}",
+            f"actual {stats.rows}",
+            f"{stats.seconds * 1e3:.2f} ms",
+        ]
+        if stats.cache_hits or stats.cache_misses:
+            parts.append(f"cache {stats.cache_hits} hit/{stats.cache_misses} miss")
+        if stats.peak_group is not None:
+            parts.append(f"peak group {stats.peak_group}")
+        lines.append(f"{pad}{op.describe()}  ({', '.join(parts)})")
         for child in stats.children:
             emit(child, indent + 1)
 

@@ -355,7 +355,12 @@ class PJoin(PhysicalOp):
         spec = self.spec
         label = self.label
         empty = frozenset()
+        # A cached group table means the right child (and its scans) never
+        # runs, so this probe loop must poll the deadline itself.
+        token = current_token()
         for lt in left:
+            if token is not None:
+                token.check()
             k = spec.eval_left(lt, tables)
             yield lt.extend(**{label: groups.get(k, empty)})
 
@@ -371,7 +376,12 @@ class PJoin(PhysicalOp):
         pad = {name: NULL for name in self.right_bindings}
         func_fn = compiled(self.func) if self.mode == "nest" else None
         wrap = Tup._from_validated
+        # The index probe bypasses the right child's scan, so the left-row
+        # boundary is this loop's only cancellation checkpoint.
+        token = current_token()
         for lt in left:
+            if token is not None:
+                token.check()
             key = spec.eval_left(lt, tables)
             matches = []
             for row in index.get(key, ()):
@@ -478,7 +488,13 @@ class PNest(PhysicalOp):
 
         groups: dict[Tup, set] = {}
         order: list[Tup] = []
+        # Grouping buffers the whole input before emitting anything; poll
+        # per absorbed row so a deadline interrupts the accumulation even
+        # when the child itself never polls.
+        token = current_token()
         for t in self.child.run(tables):
+            if token is not None:
+                token.check()
             key = t.project(self.by)
             if key not in groups:
                 groups[key] = set()

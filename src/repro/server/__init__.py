@@ -7,17 +7,28 @@ Public surface:
   cooperative cancellation, version-race retries, result reuse;
 * :class:`~repro.server.request.QueryRequest` /
   :class:`~repro.server.request.QueryResponse` — the wire shapes;
-* :mod:`~repro.server.metrics` — counters/histograms behind
-  ``QueryService.stats()``;
+* :mod:`~repro.server.metrics` — counters (plain and labeled) and
+  histograms behind ``QueryService.stats()``;
+* :class:`~repro.server.slowlog.SlowQueryLog` — bounded capture of the
+  slowest served requests and recent rejections/timeouts
+  (``stats()["slow_queries"]``);
 * :func:`~repro.server.bench.run_serve_bench` — the mixed-workload
   benchmark harness (``repro serve-bench``).
 
-See docs/serving.md for the architecture and the lifecycle of a request.
+See docs/serving.md for the architecture and the lifecycle of a request,
+and docs/observability.md for tracing and the slow-query log.
 """
 
-from repro.server.metrics import Counter, Histogram, MetricsRegistry, percentile
+from repro.server.metrics import (
+    Counter,
+    Histogram,
+    LabeledCounter,
+    MetricsRegistry,
+    percentile,
+)
 from repro.server.request import QueryRequest, QueryResponse, bind_params
 from repro.server.service import CatalogVersionRace, PendingQuery, QueryService
+from repro.server.slowlog import SlowQueryLog
 
 __all__ = [
     "QueryService",
@@ -28,6 +39,8 @@ __all__ = [
     "bind_params",
     "MetricsRegistry",
     "Counter",
+    "LabeledCounter",
     "Histogram",
+    "SlowQueryLog",
     "percentile",
 ]

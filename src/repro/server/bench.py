@@ -22,6 +22,7 @@ from __future__ import annotations
 import time
 
 from repro.core.pipeline import clear_plan_cache, prepared, run_query
+from repro.core.trace import QueryTrace, trace_scope
 from repro.engine.cache import clear_build_cache
 from repro.server.service import QueryService
 from repro.server.workload import make_requests, mixed_catalog
@@ -70,6 +71,16 @@ def run_serve_bench(
     sequential_values = [prepared(text, catalog).execute(catalog) for text in texts]
     sequential_seconds = time.perf_counter() - start
 
+    # Tracing overhead: the same warm sequential loop with an ambient
+    # trace installed per request — what a serving deployment pays to keep
+    # tracing on. With caches warm the emitters mostly never fire, so this
+    # measures the fixed per-request cost (trace object + scope install).
+    start = time.perf_counter()
+    for text in texts:
+        with trace_scope(QueryTrace(query=text)):
+            prepared(text, catalog).execute(catalog)
+    traced_seconds = time.perf_counter() - start
+
     service = QueryService(
         catalog, workers=workers, queue_limit=queue_limit, default_timeout=timeout
     )
@@ -106,5 +117,15 @@ def run_serve_bench(
         "oracle_mismatches": mismatches,
         "lost_requests": lost,
         "latency_ms": latency,
+        "rewrite_kinds": stats["labeled"].get("queries_by_rewrite", {}),
+        "tracing": {
+            "baseline_seconds": sequential_seconds,
+            "traced_seconds": traced_seconds,
+            "overhead_pct": (
+                (traced_seconds - sequential_seconds) / sequential_seconds * 100.0
+                if sequential_seconds
+                else 0.0
+            ),
+        },
         "stats": stats,
     }

@@ -20,19 +20,21 @@ from __future__ import annotations
 import threading
 from typing import Iterable, Sequence
 
-__all__ = ["Counter", "Histogram", "MetricsRegistry", "percentile"]
+__all__ = ["Counter", "LabeledCounter", "Histogram", "MetricsRegistry", "percentile"]
 
 
 def percentile(values: Sequence[float] | Iterable[float], q: float) -> float:
     """The *q*-th percentile (0–100) of *values*, linearly interpolated.
 
     Returns 0.0 for an empty input so report code needs no special case.
+    *q* is clamped to [0, 100]: q<=0 is the minimum, q>=100 the maximum.
     """
     data = sorted(values)
     if not data:
         return 0.0
     if len(data) == 1:
         return float(data[0])
+    q = min(100.0, max(0.0, q))
     rank = (len(data) - 1) * (q / 100.0)
     lo = int(rank)
     hi = min(lo + 1, len(data) - 1)
@@ -59,6 +61,36 @@ class Counter:
 
     def __repr__(self) -> str:
         return f"Counter({self._value})"
+
+
+class LabeledCounter:
+    """A family of counters keyed by a string label.
+
+    One instrument, many time series — e.g. ``queries_by_rewrite`` with
+    labels ``semijoin`` / ``antijoin`` / ``nestjoin``.  Labels are created
+    on first increment; :meth:`values` snapshots the whole family.
+    """
+
+    __slots__ = ("_values", "_lock")
+
+    def __init__(self) -> None:
+        self._values: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def inc(self, label: str, n: int = 1) -> None:
+        with self._lock:
+            self._values[label] = self._values.get(label, 0) + n
+
+    def get(self, label: str) -> int:
+        with self._lock:
+            return self._values.get(label, 0)
+
+    def values(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._values)
+
+    def __repr__(self) -> str:
+        return f"LabeledCounter({self.values()})"
 
 
 class Histogram:
@@ -132,6 +164,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
+        self._labeled: dict[str, LabeledCounter] = {}
         self._histograms: dict[str, Histogram] = {}
         self._lock = threading.Lock()
 
@@ -140,6 +173,13 @@ class MetricsRegistry:
             instrument = self._counters.get(name)
             if instrument is None:
                 instrument = self._counters[name] = Counter()
+            return instrument
+
+    def labeled_counter(self, name: str) -> LabeledCounter:
+        with self._lock:
+            instrument = self._labeled.get(name)
+            if instrument is None:
+                instrument = self._labeled[name] = LabeledCounter()
             return instrument
 
     def histogram(self, name: str, window: int = 4096) -> Histogram:
@@ -153,8 +193,10 @@ class MetricsRegistry:
         """All instruments as plain JSON-serializable data."""
         with self._lock:
             counters = dict(self._counters)
+            labeled = dict(self._labeled)
             histograms = dict(self._histograms)
         return {
             "counters": {name: c.value for name, c in sorted(counters.items())},
+            "labeled": {name: c.values() for name, c in sorted(labeled.items())},
             "histograms": {name: h.summary() for name, h in sorted(histograms.items())},
         }

@@ -108,6 +108,13 @@ class QueryResponse:
     execute_seconds: float = 0.0
     total_seconds: float = 0.0
     worker: str | None = None
+    #: Identity of this request's service-side trace (see repro.core.trace);
+    #: correlates the response with the slow-query log and metrics.
+    trace_id: str | None = None
+    #: Join kinds the translator chose for the served plan (semijoin /
+    #: antijoin / nestjoin, or "flat"/"interpreted"); empty when the
+    #: request never reached execution (e.g. a result-cache hit).
+    rewrite_kinds: tuple = ()
 
     @property
     def ok(self) -> bool:
@@ -127,4 +134,6 @@ class QueryResponse:
             "execute_seconds": self.execute_seconds,
             "total_seconds": self.total_seconds,
             "worker": self.worker,
+            "trace_id": self.trace_id,
+            "rewrite_kinds": list(self.rewrite_kinds),
         }

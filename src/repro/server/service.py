@@ -28,7 +28,12 @@ multi-threaded serving endpoint. Requests flow through:
    Python execution itself; see docs/serving.md).
 
 Every completed request is recorded in a :class:`~repro.server.metrics.MetricsRegistry`
-(:meth:`QueryService.stats`), and response hooks registered with
+(:meth:`QueryService.stats`) and stamped with a trace id; the service keeps
+a bounded :class:`~repro.server.slowlog.SlowQueryLog` of the N slowest
+served requests (with their rewrite-decision traces) plus every rejected
+or deadline-exceeded one, exposed as ``stats()["slow_queries"]``. A
+labeled counter ``queries_by_rewrite`` counts leader executions by the
+translator's join choice. Response hooks registered with
 :meth:`QueryService.add_hook` observe each (request, response) pair — the
 natural attachment point for a continuous differential-testing oracle.
 """
@@ -41,10 +46,12 @@ import time
 from typing import Callable, Iterable, Mapping
 
 from repro.core.pipeline import plan_cache_stats, prepared
+from repro.core.trace import QueryTrace
 from repro.engine.cache import CacheStats, LRUCache, build_cache_stats
 from repro.engine.cancel import CancelToken, cancel_scope
 from repro.errors import CancelledError, RejectedError, ReproError
 from repro.server.request import QueryRequest, QueryResponse
+from repro.server.slowlog import SlowQueryLog
 
 __all__ = ["QueryService", "PendingQuery", "CatalogVersionRace"]
 
@@ -115,6 +122,7 @@ class QueryService:
         backoff_base: float = 0.002,
         result_cache_size: int = 256,
         typecheck: bool = True,
+        slow_query_capacity: int = 16,
     ):
         if workers <= 0:
             raise ValueError("workers must be positive")
@@ -136,9 +144,13 @@ class QueryService:
         self._state_lock = threading.Lock()
         self._started = False
         self._closed = False
+        self.slow_queries = SlowQueryLog(slow_query_capacity)
         from repro.server.metrics import MetricsRegistry
 
         self.metrics = MetricsRegistry()
+        # Queries by the translator's rewrite decision (semijoin/antijoin/
+        # nestjoin/flat/interpreted), counted once per leader execution.
+        self.metrics.labeled_counter("queries_by_rewrite")
         # Pre-create every counter so stats() always has the full shape,
         # even for paths a given run never exercised.
         for name in (
@@ -222,6 +234,9 @@ class QueryService:
         self.metrics.counter("submitted").inc()
         if self._closed:
             self.metrics.counter("shed").inc()
+            self.slow_queries.record_failure(
+                _slow_entry(request, "rejected", error="service is stopped")
+            )
             raise RejectedError("service is stopped")
         if not self._started:
             self.start()
@@ -233,9 +248,9 @@ class QueryService:
             self._queue.put_nowait(pending)
         except queue_mod.Full:
             self.metrics.counter("shed").inc()
-            raise RejectedError(
-                f"service saturated: admission queue at capacity ({self.queue_limit})"
-            ) from None
+            reason = f"service saturated: admission queue at capacity ({self.queue_limit})"
+            self.slow_queries.record_failure(_slow_entry(request, "rejected", error=reason))
+            raise RejectedError(reason) from None
         self.metrics.counter("admitted").inc()
         self.metrics.histogram("queue_depth").observe(self._queue.qsize())
         return pending
@@ -270,6 +285,7 @@ class QueryService:
         snap = self.metrics.snapshot()
         snap["workers"] = self.workers
         snap["queue_depth"] = self._queue.qsize()
+        snap["slow_queries"] = self.slow_queries.snapshot()
         snap["caches"] = {
             "plan": _cache_dict(plan_cache_stats()),
             "build": _cache_dict(build_cache_stats()),
@@ -296,51 +312,104 @@ class QueryService:
         started = time.monotonic()
         queue_seconds = started - pending.enqueued_at
         worker = threading.current_thread().name
+        trace = QueryTrace(query=request.query)
+        trace.record(
+            "service", "dequeue", detail=f"queued {queue_seconds * 1e3:.3f}ms, worker {worker}"
+        )
         response = QueryResponse(
             request.request_id,
             "error",
             queue_seconds=queue_seconds,
             worker=worker,
+            trace_id=trace.trace_id,
         )
+        pq = None
         if pending.deadline is not None and started >= pending.deadline:
             # The deadline passed while the request sat in the queue.
             self.metrics.counter("timeouts").inc()
             response.outcome = "timeout"
             response.error = "deadline exceeded while queued"
+            trace.record("service", "deadline-exceeded", detail=response.error)
         else:
             token = CancelToken(deadline=pending.deadline)
             try:
                 with cancel_scope(token):
-                    value, version, source, attempts = self._execute_with_retry(request, token)
+                    value, version, source, attempts, pq = self._execute_with_retry(
+                        request, token
+                    )
                 response.outcome = "ok"
                 response.value = value
                 response.error = None
                 response.catalog_version = version
                 response.result_cache = source
                 response.attempts = attempts
+                if pq is not None:
+                    response.rewrite_kinds = pq.rewrite_kinds()
+                trace.record(
+                    "service",
+                    "served",
+                    detail=f"result_cache={source}, attempts={attempts}",
+                )
+                if source == "miss" and pq is not None:
+                    # One leader execution per distinct (query, version):
+                    # count the translator's decision once, not per client.
+                    counter = self.metrics.labeled_counter("queries_by_rewrite")
+                    for kind in response.rewrite_kinds:
+                        counter.inc(kind)
                 self.metrics.counter("ok").inc()
             except CancelledError as exc:
                 self.metrics.counter("timeouts").inc()
                 response.outcome = "timeout"
                 response.error = str(exc)
+                trace.record("service", "deadline-exceeded", detail=response.error)
             except CatalogVersionRace as exc:
                 self.metrics.counter("version_race_failures").inc()
                 response.error = str(exc)
                 response.attempts = self.max_attempts
+                trace.record("service", "version-race", detail=response.error)
             except ReproError as exc:
                 self.metrics.counter("errors").inc()
                 response.error = str(exc)
+                trace.record("service", "error", detail=response.error)
             except Exception as exc:  # defensive: never lose a request
                 self.metrics.counter("errors").inc()
                 response.error = f"{type(exc).__name__}: {exc}"
+                trace.record("service", "error", detail=response.error)
         finished = time.monotonic()
         response.execute_seconds = finished - started
         response.total_seconds = finished - pending.enqueued_at
+        self._capture(request, response, trace, pq)
         self.metrics.counter("completed").inc()
         self.metrics.histogram("latency_ms").observe(response.total_seconds * 1e3)
         self.metrics.histogram("execute_ms").observe(response.execute_seconds * 1e3)
         self.metrics.histogram("queue_ms").observe(queue_seconds * 1e3)
         return response
+
+    def _capture(self, request, response, trace, pq) -> None:
+        """Feed the slow-query log: ok responses compete on latency,
+        timeouts are always kept (recency-bounded)."""
+        entry = _slow_entry(
+            request,
+            response.outcome,
+            trace_id=trace.trace_id,
+            error=response.error,
+            queue_seconds=response.queue_seconds,
+            execute_seconds=response.execute_seconds,
+            total_seconds=response.total_seconds,
+            worker=response.worker,
+            result_cache=response.result_cache,
+            rewrite_kinds=list(response.rewrite_kinds),
+            events=[e.to_dict() for e in trace.events],
+        )
+        if pq is not None and getattr(pq, "trace", None) is not None:
+            # The rewrite decisions were recorded when the plan was first
+            # prepared; link and embed them so a slow-log entry explains
+            # not just how long the query took but how it was translated.
+            entry["prepare_trace"] = pq.trace.to_dict()
+        if response.outcome == "ok":
+            self.slow_queries.record_ok(entry)
+        elif response.outcome == "timeout":
+            self.slow_queries.record_failure(entry)
 
     def _execute_with_retry(self, request: QueryRequest, token: CancelToken):
         """Run until version-stable, retrying races with capped backoff."""
@@ -350,8 +419,8 @@ class QueryService:
             attempts += 1
             token.check()
             try:
-                value, version, source = self._execute_shared(text, token)
-                return value, version, source, attempts
+                value, version, source, pq = self._execute_shared(text, token)
+                return value, version, source, attempts, pq
             except CatalogVersionRace:
                 self.metrics.counter("retries").inc()
                 if attempts >= self.max_attempts:
@@ -375,7 +444,7 @@ class QueryService:
         cached = self._results.get(key)
         if cached is not None:
             self.metrics.counter("result_hits").inc()
-            return cached, version, "hit"
+            return cached, version, "hit", None
         pq = prepared(text, self.catalog, typecheck=self.typecheck)
         with self._inflight_lock:
             entry = self._inflight.get(key)
@@ -388,7 +457,7 @@ class QueryService:
             if entry.error is not None:
                 raise entry.error
             self.metrics.counter("result_coalesced").inc()
-            return entry.value, version, "coalesced"
+            return entry.value, version, "coalesced", pq
         try:
             value = self._execute_leader(pq, version)
         except BaseException as exc:
@@ -398,7 +467,7 @@ class QueryService:
             entry.value = value
             self._results.put(key, value)
             self.metrics.counter("result_misses").inc()
-            return value, version, "miss"
+            return value, version, "miss", pq
         finally:
             with self._inflight_lock:
                 self._inflight.pop(key, None)
@@ -417,6 +486,17 @@ class QueryService:
                 f"{getattr(self.catalog, 'version', None)} during execution"
             )
         return value
+
+
+def _slow_entry(request: QueryRequest, outcome: str, **extra) -> dict:
+    """A JSON-serializable slow-query-log record for one request."""
+    entry = {
+        "request_id": request.request_id,
+        "query": request.query,
+        "outcome": outcome,
+    }
+    entry.update({k: v for k, v in extra.items() if v is not None})
+    return entry
 
 
 def _cache_dict(stats: CacheStats) -> dict:

@@ -1,0 +1,179 @@
+"""End-to-end query tracing: rewrite decisions, spans, and exports.
+
+Covers the trace primitives themselves (events, scopes, spans), then the
+load-bearing guarantee: for every row of the reconstructed Table 2 the
+classifier's trace names the row it matched and the EXISTS / NOT_EXISTS /
+GROUPING verdict, and full-pipeline traces show the translator's join
+choice — including the SUBSETEQ-bug query tracing to a nest join.
+"""
+
+import json
+
+import pytest
+
+from repro.core.classify import classify
+from repro.core.normalize import normalize_predicate
+from repro.core.pipeline import clear_plan_cache, prepare, prepared, run_query
+from repro.core.trace import (
+    QueryTrace,
+    chrome_trace,
+    current_trace,
+    emit,
+    plan_fingerprint,
+    span,
+    trace_scope,
+)
+from repro.lang.ast import SFW
+from repro.lang.parser import parse
+from repro.workloads import (
+    COUNT_BUG_NESTED,
+    SUBSETEQ_BUG_NESTED,
+    make_join_workload,
+    make_set_workload,
+)
+
+from tests.core.test_classify import TABLE2, Z
+
+
+class TestPrimitives:
+    def test_emit_without_scope_is_a_noop(self):
+        assert current_trace() is None
+        emit("classify", "table2:in")  # must not raise, records nowhere
+
+    def test_scope_installs_nests_and_restores(self):
+        outer, inner = QueryTrace(), QueryTrace()
+        with trace_scope(outer):
+            assert current_trace() is outer
+            emit("phase", "a")
+            with trace_scope(inner):
+                assert current_trace() is inner
+                emit("phase", "b")
+            assert current_trace() is outer
+        assert current_trace() is None
+        assert outer.rules() == ["a"]
+        assert inner.rules() == ["b"]
+
+    def test_span_records_duration(self):
+        trace = QueryTrace()
+        with trace_scope(trace):
+            with span("parse"):
+                pass
+        (event,) = trace.events
+        assert event.phase == "parse"
+        assert event.dur >= 0.0
+
+    def test_event_to_dict_elides_empty_fields(self):
+        trace = QueryTrace()
+        trace.record("classify", "table2:in", verdict="exists", table2_row="in")
+        d = trace.events[0].to_dict()
+        assert d["verdict"] == "exists"
+        assert "before" not in d and "detail" not in d
+
+    def test_trace_ids_are_unique(self):
+        assert QueryTrace().trace_id != QueryTrace().trace_id
+
+    def test_render_mentions_query_and_rules(self):
+        trace = QueryTrace(query="SELECT 1")
+        trace.record("classify", "table2:in", verdict="exists")
+        text = trace.render()
+        assert "SELECT 1" in text and "table2:in" in text and "verdict=exists" in text
+
+    def test_plan_fingerprint_stable_and_discriminating(self):
+        cat = make_join_workload(n_left=5, n_right=10, seed=0).catalog
+        plan_a = prepare(COUNT_BUG_NESTED, cat).plan
+        plan_b = prepare("SELECT r.a FROM R r", cat).plan
+        assert plan_fingerprint(plan_a) == plan_fingerprint(plan_a)
+        assert plan_fingerprint(plan_a) != plan_fingerprint(plan_b)
+
+
+@pytest.mark.parametrize("template,expected", TABLE2, ids=[t for t, _ in TABLE2])
+def test_table2_rows_trace_rule_and_verdict(template, expected):
+    pred = normalize_predicate(parse(template.format(z=Z)))
+    sub = parse(Z)
+    assert isinstance(sub, SFW)
+    trace = QueryTrace()
+    with trace_scope(trace):
+        result = classify(pred, sub)
+    events = [e for e in trace.events if e.phase == "classify"]
+    assert len(events) == 1
+    (event,) = events
+    # The rule names the Table 2 row that matched, and the verdict is the
+    # classification the equivalence tests prove correct.
+    assert event.rule == f"table2:{result.table2_row}"
+    assert event.table2_row == result.table2_row
+    assert event.verdict == expected.value
+    assert trace.verdicts() == [expected.value]
+
+
+class TestPipelineTraces:
+    """prepared()/run_query() traces carry the translator's decisions."""
+
+    @pytest.fixture
+    def join_catalog(self):
+        return make_join_workload(n_left=20, n_right=60, seed=1).catalog
+
+    def _trace_of(self, text, catalog):
+        clear_plan_cache()  # a plan-cache hit would skip preparation
+        return prepared(text, catalog).trace
+
+    def test_count_bug_traces_to_nest_join(self, join_catalog):
+        trace = self._trace_of(COUNT_BUG_NESTED, join_catalog)
+        assert "grouping" in trace.verdicts()
+        assert "nestjoin" in trace.rewrite_kinds()
+        assert any(e.table2_row == "count-positive" or e.table2_row for e in trace.events)
+
+    def test_subseteq_bug_traces_to_nest_join(self):
+        catalog = make_set_workload(n_left=10, n_right=10, seed=2)
+        trace = self._trace_of(SUBSETEQ_BUG_NESTED, catalog)
+        assert trace.verdicts() == ["grouping"]
+        assert trace.rewrite_kinds() == ["nestjoin"]
+        classify_events = [e for e in trace.events if e.phase == "classify"]
+        # SUBSETEQ has no flat rewrite: it falls through to the grouping row.
+        assert classify_events[0].rule == "table2:grouping"
+
+    def test_semijoin_and_antijoin_trace(self, join_catalog):
+        semi = self._trace_of(
+            "SELECT r.a FROM R r WHERE r.c IN (SELECT s.c FROM S s WHERE s.d = r.b)",
+            join_catalog,
+        )
+        assert semi.verdicts() == ["exists"]
+        assert semi.rewrite_kinds() == ["semijoin"]
+        anti = self._trace_of(
+            "SELECT r.a FROM R r WHERE r.c NOT IN (SELECT s.c FROM S s WHERE s.d = r.b)",
+            join_catalog,
+        )
+        assert anti.verdicts() == ["not_exists"]
+        assert anti.rewrite_kinds() == ["antijoin"]
+
+    def test_trace_has_phase_spans_and_fingerprints(self, join_catalog):
+        trace = self._trace_of(COUNT_BUG_NESTED, join_catalog)
+        phases = {e.phase for e in trace.events}
+        assert {"parse", "typecheck", "translate", "classify", "rewrite"} <= phases
+        fixpoints = [e for e in trace.events if e.rule == "fixpoint"]
+        assert fixpoints and fixpoints[0].after  # final plan fingerprint
+
+    def test_run_query_analyze_attaches_trace_and_stats(self, join_catalog):
+        trace = QueryTrace(query=COUNT_BUG_NESTED)
+        result = run_query(
+            COUNT_BUG_NESTED, join_catalog, analyze=True, trace=trace
+        )
+        assert result.trace is trace
+        assert result.analyzed is not None
+        assert result.analyzed.stats.rows == len(result.value)
+        assert "execute" in trace.rules()
+
+    def test_chrome_export_shape(self, join_catalog):
+        trace = QueryTrace(query=COUNT_BUG_NESTED)
+        result = run_query(COUNT_BUG_NESTED, join_catalog, analyze=True, trace=trace)
+        doc = chrome_trace(trace, result.analyzed)
+        payload = json.loads(json.dumps(doc))  # must be JSON-serializable
+        assert payload["otherData"]["trace_id"] == trace.trace_id
+        events = payload["traceEvents"]
+        assert events, "expected trace events"
+        for event in events:
+            assert event["ph"] in ("X", "i")
+            assert isinstance(event["ts"], (int, float))
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+        # Operator spans (tid 2) are present alongside pipeline spans (tid 1).
+        assert {e["tid"] for e in events} == {1, 2}

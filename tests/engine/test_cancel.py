@@ -1,12 +1,15 @@
 """Cooperative cancellation: tokens, scopes, and executor checkpoints."""
 
+import dataclasses
 import time
 
 import pytest
 
 from repro.core.pipeline import prepared, run_query
 from repro.engine.cancel import CancelToken, cancel_scope, checkpoint, current_token
+from repro.engine.physical import PhysicalOp, PJoin, PNest
 from repro.errors import CancelledError
+from repro.model.values import Tup
 from repro.workloads import COUNT_BUG_NESTED, make_join_workload
 
 
@@ -78,3 +81,87 @@ class TestExecutionCancellation:
     def test_execution_unaffected_without_scope(self, catalog):
         value = prepared(COUNT_BUG_NESTED, catalog).execute(catalog)
         assert value == run_query(COUNT_BUG_NESTED, catalog, engine="interpret").value
+
+
+class _NoPollRows(PhysicalOp):
+    """A stub child that yields pre-built rows and never polls the token."""
+
+    def __init__(self, rows):
+        self.rows = list(rows)
+        self.est_rows = float(len(self.rows))
+
+    def run(self, tables):
+        yield from self.rows
+
+    def describe(self):
+        return "NoPollRows"
+
+
+def _find_join(op, mode):
+    if isinstance(op, PJoin) and op.mode == mode:
+        return op
+    for child in op.children():
+        found = _find_join(child, mode)
+        if found is not None:
+            return found
+    return None
+
+
+class TestRowBoundaryPolls:
+    """Probe/grouping loops must poll even when no child ever does.
+
+    Index and cached-group-table probes bypass the right child's scan —
+    the usual checkpoint — and a left operand need not be a scan either.
+    Feeding a non-polling stub as the left/child input proves the loops
+    themselves notice cancellation at row boundaries.
+    """
+
+    SEMI_QUERY = "SELECT r.a FROM R r WHERE r.c IN (SELECT s.c FROM S s WHERE s.d = r.b)"
+
+    @pytest.fixture
+    def catalog(self):
+        return make_join_workload(n_left=50, n_right=200, seed=4).catalog
+
+    def _stub_left(self, text, mode, catalog):
+        join = _find_join(prepared(text, catalog).compile_for(catalog), mode)
+        assert join is not None and join.algorithm == "index_nested_loop"
+        left_rows = list(join.left.run(catalog))  # no scope: scan completes
+        return dataclasses.replace(join, left=_NoPollRows(left_rows))
+
+    def test_nest_join_group_probe_polls(self, catalog):
+        stubbed = self._stub_left(COUNT_BUG_NESTED, "nest", catalog)
+        assert stubbed.group_source is not None  # cached-group probe path
+        token = CancelToken()
+        token.cancel()
+        with cancel_scope(token):
+            with pytest.raises(CancelledError):
+                list(stubbed.run(catalog))
+
+    def test_semi_join_index_probe_polls(self, catalog):
+        stubbed = self._stub_left(self.SEMI_QUERY, "semi", catalog)
+        token = CancelToken()
+        token.cancel()
+        with cancel_scope(token):
+            with pytest.raises(CancelledError):
+                list(stubbed.run(catalog))
+
+    def test_stubbed_joins_still_correct_without_scope(self, catalog):
+        for text, mode in ((COUNT_BUG_NESTED, "nest"), (self.SEMI_QUERY, "semi")):
+            join = _find_join(prepared(text, catalog).compile_for(catalog), mode)
+            expected = list(join.run(catalog))
+            stubbed = dataclasses.replace(
+                join, left=_NoPollRows(join.left.run(catalog))
+            )
+            assert list(stubbed.run(catalog)) == expected
+
+    def test_pnest_grouping_polls(self):
+        rows = [Tup(a=i % 3, b=i) for i in range(10)]
+        op = PNest(
+            child=_NoPollRows(rows), by=("a",), nest="b", label="zs", null_to_empty=False
+        )
+        assert len(list(op.run({}))) == 3  # sanity: groups fine un-cancelled
+        token = CancelToken()
+        token.cancel()
+        with cancel_scope(token):
+            with pytest.raises(CancelledError):
+                list(op.run({}))

@@ -2,7 +2,21 @@
 
 import threading
 
-from repro.server.metrics import Counter, Histogram, MetricsRegistry, percentile
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.server.metrics import (
+    Counter,
+    Histogram,
+    LabeledCounter,
+    MetricsRegistry,
+    percentile,
+)
+
+_samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=50
+)
+_quantiles = st.floats(min_value=-50.0, max_value=150.0, allow_nan=False)
 
 
 class TestPercentile:
@@ -23,6 +37,37 @@ class TestPercentile:
 
     def test_accepts_unsorted_iterables(self):
         assert percentile(iter([3.0, 1.0, 2.0]), 100) == 3.0
+
+    def test_out_of_range_q_clamps(self):
+        data = [1.0, 2.0, 3.0]
+        assert percentile(data, -10) == 1.0
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 3.0
+        assert percentile(data, 250) == 3.0
+
+
+class TestPercentileProperties:
+    """Interpolating percentiles, under arbitrary samples and quantiles."""
+
+    @given(_samples, _quantiles)
+    def test_bounded_by_min_and_max(self, values, q):
+        p = percentile(values, q)
+        # Tiny tolerance: interpolation is two rounded float products.
+        assert min(values) - 1e-6 <= p <= max(values) + 1e-6
+
+    @given(_samples, _quantiles, _quantiles)
+    def test_monotone_in_q(self, values, q1, q2):
+        lo, hi = sorted((q1, q2))
+        assert percentile(values, lo) <= percentile(values, hi) + 1e-6
+
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), _quantiles)
+    def test_single_sample_is_its_own_percentile(self, value, q):
+        assert percentile([value], q) == value
+
+    @given(_samples)
+    def test_endpoints_are_min_and_max(self, values):
+        assert percentile(values, 0) == min(values)
+        assert percentile(values, 100) == max(values)
 
 
 class TestCounter:
@@ -81,7 +126,60 @@ class TestHistogram:
         summary = Histogram().summary()
         assert summary["count"] == 0
         assert summary["mean"] == 0.0
+        assert summary["min"] == 0.0
+        assert summary["max"] == 0.0
         assert summary["p99"] == 0.0
+
+    def test_empty_window_percentile(self):
+        h = Histogram()
+        assert h.values() == []
+        assert h.percentile(50) == 0.0
+
+    def test_single_sample_summary(self):
+        h = Histogram()
+        h.observe(3.5)
+        summary = h.summary()
+        assert summary["min"] == summary["max"] == 3.5
+        assert summary["p50"] == summary["p90"] == summary["p99"] == 3.5
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), max_size=40))
+    def test_summary_consistent_for_any_observations(self, values):
+        h = Histogram(window=16)
+        for v in values:
+            h.observe(v)
+        summary = h.summary()
+        assert summary["count"] == len(values)
+        if values:
+            assert summary["min"] == min(values)
+            assert summary["max"] == max(values)
+            assert summary["min"] - 1e-6 <= summary["p50"] <= summary["max"] + 1e-6
+            assert summary["p50"] <= summary["p90"] + 1e-6 <= summary["p99"] + 2e-6
+
+
+class TestLabeledCounter:
+    def test_labels_independent(self):
+        c = LabeledCounter()
+        c.inc("semijoin")
+        c.inc("nestjoin", 3)
+        assert c.get("semijoin") == 1
+        assert c.get("nestjoin") == 3
+        assert c.get("antijoin") == 0
+        assert c.values() == {"semijoin": 1, "nestjoin": 3}
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        c = LabeledCounter()
+        n, per_thread = 8, 2000
+
+        def spin():
+            for _ in range(per_thread):
+                c.inc("k")
+
+        threads = [threading.Thread(target=spin) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.get("k") == n * per_thread
 
 
 class TestRegistry:
@@ -89,11 +187,14 @@ class TestRegistry:
         reg = MetricsRegistry()
         assert reg.counter("a") is reg.counter("a")
         assert reg.histogram("h") is reg.histogram("h")
+        assert reg.labeled_counter("l") is reg.labeled_counter("l")
 
     def test_snapshot_shape(self):
         reg = MetricsRegistry()
         reg.counter("requests").inc(3)
         reg.histogram("latency").observe(1.5)
+        reg.labeled_counter("by_kind").inc("semijoin", 2)
         snap = reg.snapshot()
         assert snap["counters"] == {"requests": 3}
+        assert snap["labeled"] == {"by_kind": {"semijoin": 2}}
         assert snap["histograms"]["latency"]["count"] == 1

@@ -237,3 +237,74 @@ class TestVersionRaceRetry:
         assert "version moved" in response.error
         assert response.attempts == 3
         assert service.stats()["counters"]["version_race_failures"] == 1
+
+
+class TestObservability:
+    def test_responses_carry_trace_ids_and_rewrite_kinds(self, catalog):
+        with QueryService(catalog, workers=1) as service:
+            first = service.execute(COUNT_BUG_NESTED)
+            second = service.execute(COUNT_BUG_NESTED)  # result-cache hit
+        assert first.trace_id and second.trace_id
+        assert first.trace_id != second.trace_id
+        assert first.rewrite_kinds == ("nestjoin",)
+        assert second.rewrite_kinds == ()  # served without executing
+        assert first.to_dict()["rewrite_kinds"] == ["nestjoin"]
+
+    def test_rewrite_kind_labeled_counter_counts_leaders_once(self, catalog):
+        with QueryService(catalog, workers=1) as service:
+            for _ in range(3):
+                service.execute(COUNT_BUG_NESTED)
+            stats = service.stats()
+        # One leader execution despite three requests: hits don't count.
+        assert stats["labeled"]["queries_by_rewrite"] == {"nestjoin": 1}
+
+    def test_slow_query_log_keeps_n_slowest(self, catalog):
+        with QueryService(catalog, workers=1, slow_query_capacity=2) as service:
+            for key in range(5):
+                service.execute(PARAM_LOOKUP, params={"key": key})
+            slow = service.stats()["slow_queries"]
+        assert len(slow["slowest"]) == 2
+        totals = [entry["total_seconds"] for entry in slow["slowest"]]
+        assert totals == sorted(totals, reverse=True)
+        entry = slow["slowest"][0]
+        assert entry["outcome"] == "ok"
+        assert entry["trace_id"].startswith("t")
+        assert entry["events"], "expected service-phase trace events"
+        assert "prepare_trace" in entry  # embedded rewrite-decision trace
+
+    def test_timeouts_and_rejections_are_always_captured(self, catalog):
+        with QueryService(catalog, workers=1, queue_limit=1) as service:
+            _slow_leader(service, 0.05)
+            head = service.submit(PARAM_LOOKUP, params={"key": 1})
+            # Let the worker dequeue the head so the one-slot queue is free.
+            deadline = time.monotonic() + 1.0
+            while service._queue.qsize() and time.monotonic() < deadline:
+                time.sleep(0.001)
+            backlog = service.submit(PARAM_LOOKUP, params={"key": 2}, timeout=0.001)
+            shed = []
+            # Saturate the one-slot queue so a submit is rejected.
+            for key in range(3, 30):
+                try:
+                    shed.append(service.submit(PARAM_LOOKUP, params={"key": key}))
+                except RejectedError:
+                    break
+            else:
+                pytest.fail("queue never saturated")
+            head.result()
+            for pending in shed:
+                pending.result()
+            backlog.result()
+            failures = service.stats()["slow_queries"]["failures"]
+        outcomes = {entry["outcome"] for entry in failures}
+        assert "rejected" in outcomes
+        assert "timeout" in outcomes
+        rejected = [e for e in failures if e["outcome"] == "rejected"]
+        assert all("queue at capacity" in e["error"] for e in rejected)
+
+    def test_slow_entries_are_json_serializable(self, catalog):
+        import json
+
+        with QueryService(catalog, workers=1) as service:
+            service.execute(COUNT_BUG_NESTED)
+            stats = service.stats()
+        json.dumps(stats["slow_queries"])

@@ -1,0 +1,65 @@
+"""The slow-query log: slowest-N retention and the failure ring."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+import pytest
+
+from repro.server.slowlog import SlowQueryLog
+
+
+def entry(seconds, name="q"):
+    return {"query": name, "total_seconds": seconds, "outcome": "ok"}
+
+
+class TestSlowestN:
+    def test_keeps_only_the_slowest(self):
+        log = SlowQueryLog(capacity=3)
+        for s in (0.5, 0.1, 0.9, 0.3, 0.7):
+            log.record_ok(entry(s))
+        kept = [e["total_seconds"] for e in log.snapshot()["slowest"]]
+        assert kept == [0.9, 0.7, 0.5]
+
+    def test_under_capacity_keeps_everything(self):
+        log = SlowQueryLog(capacity=10)
+        log.record_ok(entry(0.2))
+        log.record_ok(entry(0.1))
+        assert len(log.snapshot()["slowest"]) == 2
+
+    def test_latency_ties_never_compare_entries(self):
+        log = SlowQueryLog(capacity=2)
+        for _ in range(5):
+            log.record_ok(entry(0.5))  # identical latency, dict payloads
+        assert len(log.snapshot()["slowest"]) == 2
+
+    def test_invalid_capacities_rejected(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)
+        with pytest.raises(ValueError):
+            SlowQueryLog(failure_capacity=0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False)))
+    def test_always_the_true_top_n(self, latencies):
+        log = SlowQueryLog(capacity=4)
+        for s in latencies:
+            log.record_ok(entry(s))
+        kept = [e["total_seconds"] for e in log.snapshot()["slowest"]]
+        expected = sorted(latencies, reverse=True)[:4]
+        assert sorted(kept, reverse=True) == kept
+        assert sorted(kept) == sorted(expected)
+
+
+class TestFailureRing:
+    def test_recency_bounded(self):
+        log = SlowQueryLog(capacity=2, failure_capacity=3)
+        for i in range(6):
+            log.record_failure({"query": f"q{i}", "outcome": "rejected"})
+        failures = log.snapshot()["failures"]
+        assert [f["query"] for f in failures] == ["q3", "q4", "q5"]
+
+    def test_failures_do_not_compete_with_ok_entries(self):
+        log = SlowQueryLog(capacity=1)
+        log.record_ok(entry(9.0))
+        log.record_failure({"query": "shed", "outcome": "rejected"})
+        snap = log.snapshot()
+        assert len(snap["slowest"]) == 1
+        assert len(snap["failures"]) == 1

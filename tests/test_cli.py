@@ -50,6 +50,48 @@ class TestQueryCommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestAnalyzeAndTrace:
+    def test_query_analyze_prints_operator_stats(self, db, capsys):
+        assert main(["query", COUNT_QUERY, "--db", db, "--analyze"]) == 0
+        out = capsys.readouterr().out
+        # Per-operator actuals for a nest-join plan, including the
+        # build-cache account and the peak group size.
+        assert "NestJoin" in out
+        assert "actual" in out and "in " in out and "ms" in out
+        assert "cache" in out and "miss" in out
+        assert "peak group" in out
+
+    def test_explain_analyze(self, db, capsys):
+        assert main(["explain", COUNT_QUERY, "--db", db, "--analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "analyze:" in out
+        assert "actual" in out
+
+    def test_trace_text(self, db, capsys):
+        assert main(["trace", COUNT_QUERY, "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "trace t" in out
+        assert "table2:" in out and "verdict=grouping" in out
+        assert "nestjoin" in out
+        assert "actual" in out  # operator tree appended
+
+    def test_trace_chrome_is_valid_trace_event_json(self, db, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        assert main(
+            ["trace", COUNT_QUERY, "--db", db, "--format", "chrome", "--out", str(out_path)]
+        ) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["traceEvents"]
+        for event in doc["traceEvents"]:
+            assert {"name", "cat", "ph", "ts", "pid", "tid"} <= set(event)
+        assert doc["otherData"]["query"] == COUNT_QUERY
+
+    def test_trace_chrome_to_stdout(self, db, capsys):
+        assert main(["trace", COUNT_QUERY, "--db", db, "--format", "chrome"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["traceEvents"]
+
+
 class TestOtherCommands:
     def test_explain(self, db, capsys):
         assert main(["explain", COUNT_QUERY, "--db", db]) == 0
