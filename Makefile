@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-shapes bench-json serve-bench trace-smoke report fuzz examples all
+.PHONY: test bench bench-shapes bench-json serve-bench trace-smoke report fuzz examples all \
+	perf-report perf-gate metrics-smoke
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -18,6 +19,19 @@ bench-json:
 
 serve-bench:
 	$(PYTHON) -m repro serve-bench --json SERVE_report.json
+
+# Timed workload benchmarks in the stable perf schema (docs/benchmarking.md).
+perf-report:
+	$(PYTHON) -m repro.bench --perf-only --json BENCH_report.json
+
+# Diff BENCH_report.json against the committed baseline. CI passes
+# PERF_GATE_FLAGS=--shape-only (shared runners have unstable clocks).
+perf-gate: perf-report
+	$(PYTHON) scripts/perf_gate.py $(PERF_GATE_FLAGS)
+
+# Start a metrics endpoint over a live service, scrape once, validate.
+metrics-smoke:
+	$(PYTHON) scripts/metrics_smoke.py
 
 trace-smoke:
 	$(PYTHON) scripts/trace_smoke.py

@@ -1,0 +1,82 @@
+"""Smoke-test the metrics endpoint end to end (``make metrics-smoke``).
+
+Starts a real :class:`QueryService` over the mixed workload catalog,
+serves a few hundred requests so the q-error and rewrite families are
+populated, attaches the ``/metrics`` endpoint with
+:func:`repro.server.exposition.serve_metrics`, scrapes it once over
+HTTP, and validates the payload:
+
+1. the response carries the Prometheus text content type and parses
+   under the strict :func:`parse_prometheus` validator;
+2. the scrape contains ``repro_queries_by_rewrite_total`` samples and a
+   ``repro_qerror`` summary with a nonzero ``_count``;
+3. ``GET /healthz`` answers with JSON ``status: ok``.
+
+Exits non-zero with a diagnostic on the first violated expectation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import urllib.request
+
+
+def expect(condition: bool, message: str) -> None:
+    if not condition:
+        sys.stderr.write(f"metrics-smoke FAILED: {message}\n")
+        sys.exit(1)
+
+
+def main() -> None:
+    from repro.server.exposition import CONTENT_TYPE, parse_prometheus, serve_metrics
+    from repro.server.service import QueryService
+    from repro.server.workload import make_requests, mixed_catalog
+
+    catalog = mixed_catalog(seed=11, n_left=60, n_right=240, n_chain=12)
+    with QueryService(
+        catalog, workers=4, queue_limit=256, feedback_every=1
+    ) as service:
+        responses = service.serve_all(make_requests(200, seed=11))
+        expect(
+            all(r.error is None for r in responses),
+            "workload produced request errors",
+        )
+        with serve_metrics(service) as server:
+            with urllib.request.urlopen(f"{server.url}/metrics", timeout=5) as resp:
+                expect(resp.status == 200, f"/metrics returned {resp.status}")
+                content_type = resp.headers.get("Content-Type")
+                expect(
+                    content_type == CONTENT_TYPE,
+                    f"unexpected content type {content_type!r}",
+                )
+                text = resp.read().decode("utf-8")
+            with urllib.request.urlopen(f"{server.url}/healthz", timeout=5) as resp:
+                expect(resp.status == 200, f"/healthz returned {resp.status}")
+                health = json.loads(resp.read())
+            expect(health.get("status") == "ok", f"bad health payload {health}")
+
+    samples = parse_prometheus(text)  # raises ValueError on malformed output
+    rewrite_samples = [
+        key for key in samples if key[0] == "repro_queries_by_rewrite_total"
+    ]
+    expect(bool(rewrite_samples), "no repro_queries_by_rewrite_total samples")
+    qerror_count = samples.get(("repro_qerror_count", ()))
+    expect(
+        qerror_count is not None and qerror_count > 0,
+        f"repro_qerror_count missing or zero: {qerror_count}",
+    )
+    qerror_ops = {
+        dict(key[1]).get("op") for key in samples if key[0] == "repro_qerror_by_op"
+    }
+    expect(bool(qerror_ops), "no repro_qerror_by_op quantile samples")
+
+    print(
+        f"metrics-smoke ok: {len(samples)} samples, "
+        f"{len(rewrite_samples)} rewrite kinds, "
+        f"qerror count {qerror_count:.0f} across ops {sorted(qerror_ops)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

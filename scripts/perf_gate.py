@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Diff a fresh BENCH_report.json against the committed BENCH_baseline.json.
+
+The gate compares the ``perf`` section of two reports produced by
+``python -m repro.bench --perf-only --json ...`` (see ``make perf-report``)
+and fails when the fresh report regresses beyond the tolerances:
+
+* schema checks (always): matching ``schema_version``, every baseline
+  benchmark present in the report, per-benchmark keys intact;
+* throughput: each benchmark's ``throughput_qps`` must reach at least
+  ``(1 - --throughput-tolerance)`` of the baseline;
+* plan quality: each benchmark's ``qerror_max`` must not exceed the
+  baseline by more than ``--qerror-tolerance`` (absolute slack).
+
+``--shape-only`` skips the two numeric checks — shared CI runners have
+wildly variable clocks, so CI proves the report's *shape* while local
+runs (and perf-focused PRs) compare the numbers. ``--update-baseline``
+copies the report over the baseline after a passing shape check.
+
+Exit status: 0 all checks pass, 1 regression or shape mismatch,
+2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+REQUIRED_BENCH_KEYS = ("runs", "rows", "throughput_qps", "latency_ms", "qerror_max")
+
+
+def load_perf(path: Path) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+    if "perf" not in report:
+        raise ValueError(f"{path}: no 'perf' section (run: make perf-report)")
+    return report
+
+
+def check(baseline: dict, report: dict, args) -> list[tuple[str, str, bool, str]]:
+    """Return rows of (benchmark, check, ok, detail)."""
+    rows: list[tuple[str, str, bool, str]] = []
+    b_perf, r_perf = baseline["perf"], report["perf"]
+
+    same_schema = baseline.get("schema_version") == report.get("schema_version")
+    rows.append(
+        (
+            "<report>",
+            "schema_version",
+            same_schema,
+            f"baseline={baseline.get('schema_version')} report={report.get('schema_version')}",
+        )
+    )
+    if not same_schema:
+        return rows
+
+    for name, base in sorted(b_perf["benchmarks"].items()):
+        fresh = r_perf["benchmarks"].get(name)
+        if fresh is None:
+            rows.append((name, "present", False, "missing from report"))
+            continue
+        missing = [k for k in REQUIRED_BENCH_KEYS if k not in fresh]
+        rows.append(
+            (name, "keys", not missing, f"missing {missing}" if missing else "all present")
+        )
+        if missing or args.shape_only:
+            continue
+
+        floor = base["throughput_qps"] * (1.0 - args.throughput_tolerance)
+        ok = fresh["throughput_qps"] >= floor
+        rows.append(
+            (
+                name,
+                "throughput",
+                ok,
+                f"{fresh['throughput_qps']:.1f} q/s vs floor {floor:.1f}"
+                f" (baseline {base['throughput_qps']:.1f})",
+            )
+        )
+
+        ceiling = base["qerror_max"] + args.qerror_tolerance
+        ok = fresh["qerror_max"] <= ceiling
+        rows.append(
+            (
+                name,
+                "qerror_max",
+                ok,
+                f"{fresh['qerror_max']:.2f} vs ceiling {ceiling:.2f}"
+                f" (baseline {base['qerror_max']:.2f})",
+            )
+        )
+    return rows
+
+
+def render(rows: list[tuple[str, str, bool, str]]) -> str:
+    widths = (
+        max(len(r[0]) for r in rows),
+        max(len(r[1]) for r in rows),
+        4,
+    )
+    out = [
+        f"{'benchmark':<{widths[0]}}  {'check':<{widths[1]}}  {'ok':<{widths[2]}}  detail",
+        f"{'-' * widths[0]}  {'-' * widths[1]}  {'-' * widths[2]}  {'-' * 6}",
+    ]
+    for name, what, ok, detail in rows:
+        mark = "PASS" if ok else "FAIL"
+        out.append(f"{name:<{widths[0]}}  {what:<{widths[1]}}  {mark:<{widths[2]}}  {detail}")
+    return "\n".join(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default="BENCH_baseline.json", type=Path)
+    parser.add_argument("--report", default="BENCH_report.json", type=Path)
+    parser.add_argument(
+        "--throughput-tolerance",
+        type=float,
+        default=0.6,
+        help="allowed fractional throughput drop per benchmark (default 0.6; "
+        "wide because shared machines show ~2x wall-clock swings — the gate "
+        "targets multi-x regressions, CI uses --shape-only)",
+    )
+    parser.add_argument(
+        "--qerror-tolerance",
+        type=float,
+        default=0.5,
+        help="allowed absolute increase of per-benchmark qerror_max (default 0.5)",
+    )
+    parser.add_argument(
+        "--shape-only",
+        action="store_true",
+        help="check schema and coverage only; skip timing comparisons (CI mode)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="after a passing shape check, copy the report over the baseline",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_perf(args.baseline)
+        report = load_perf(args.report)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"perf-gate: {exc}", file=sys.stderr)
+        return 2
+
+    rows = check(baseline, report, args)
+    print(render(rows))
+    failed = [r for r in rows if not r[2]]
+    if failed:
+        print(f"\nperf-gate: FAIL ({len(failed)} check(s) failed)")
+        return 1
+    mode = "shape-only" if args.shape_only else "full"
+    print(f"\nperf-gate: PASS ({len(rows)} checks, {mode})")
+    if args.update_baseline:
+        shutil.copyfile(args.report, args.baseline)
+        print(f"perf-gate: baseline updated from {args.report}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

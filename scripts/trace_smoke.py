@@ -48,7 +48,7 @@ def main() -> None:
     query = " ".join(COUNT_BUG_NESTED.split())
 
     analyzed = run_cli("query", query, "--db", str(db), "--analyze")
-    for needle in ("NestJoin", "actual", "in ", "ms", "cache", "peak group"):
+    for needle in ("NestJoin", "est=", "act=", "q=", "ms", "cache", "peak group"):
         expect(needle in analyzed, f"--analyze output lacks {needle!r}:\n{analyzed}")
 
     trace_path = tmp / "trace.json"

@@ -1,0 +1,130 @@
+"""The schema-stable perf report behind the regression gate.
+
+``collect_perf`` times every workload query of :mod:`repro.workloads.queries`
+over the seeded mixed catalog and emits a machine-diffable report:
+per-benchmark throughput and latency percentiles, plus the plan-quality
+(q-error) summary from one analyzed run per query. The report carries a
+``schema_version`` so the gate (``scripts/perf_gate.py``) can refuse to
+compare reports that don't speak the same schema, and every future PR
+extends the ``BENCH_report.json`` trajectory against the committed
+``BENCH_baseline.json`` instead of leaving it empty.
+
+The numbers are wall-clock and therefore machine-dependent; the gate's
+``--shape-only`` mode checks schema and benchmark coverage without
+comparing timings — that is what shared CI runners use, while local runs
+compare throughput with a tolerance. See docs/benchmarking.md.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.pipeline import clear_plan_cache, prepared
+from repro.engine.cache import clear_build_cache
+from repro.engine.feedback import feedback_entries, q_error
+from repro.server.metrics import percentile
+from repro.server.workload import mixed_catalog
+from repro.workloads import queries as workload_queries
+
+__all__ = ["SCHEMA_VERSION", "PERF_QUERIES", "collect_perf"]
+
+#: Bump on any structural change to the report dict; the gate refuses to
+#: diff reports with mismatched versions.
+SCHEMA_VERSION = 1
+
+#: name → query text: every named workload query, in declaration order.
+PERF_QUERIES: dict[str, str] = {
+    name.lower(): getattr(workload_queries, name) for name in workload_queries.__all__
+}
+
+
+def _latency_summary(samples_ms: list[float]) -> dict:
+    return {
+        "mean": sum(samples_ms) / len(samples_ms) if samples_ms else 0.0,
+        "p50": percentile(samples_ms, 50),
+        "p95": percentile(samples_ms, 95),
+        "p99": percentile(samples_ms, 99),
+        "max": max(samples_ms) if samples_ms else 0.0,
+    }
+
+
+def _robust_throughput_qps(samples_ms: list[float]) -> float:
+    """Queries/second from the fastest half of the timed runs.
+
+    Shared machines show 1.5x run-to-run swings in mean wall-clock; the
+    fastest samples approximate the machine's unloaded speed (the same
+    reasoning as ``time_best`` in :mod:`repro.bench.harness`) and keep
+    the regression gate's tolerance meaningful.
+    """
+    if not samples_ms:
+        return 0.0
+    fastest = sorted(samples_ms)[: max(1, len(samples_ms) // 2)]
+    return len(fastest) * 1e3 / sum(fastest)
+
+
+def collect_perf(
+    repeats: int = 30,
+    seed: int = 0,
+    n_left: int = 200,
+    n_right: int = 1200,
+    n_chain: int = 40,
+) -> dict:
+    """Time every workload query and report throughput, latency, and q-error.
+
+    Per query: one cold preparation (plan + build caches cleared up
+    front), one warm-up execution, then *repeats* timed executions —
+    the steady serving state the system optimizes for. One additional
+    analyzed execution collects per-operator cardinality feedback; the
+    report keeps each query's worst q-error and the whole workload's
+    q-error distribution.
+    """
+    clear_plan_cache()
+    clear_build_cache()
+    catalog = mixed_catalog(seed=seed, n_left=n_left, n_right=n_right, n_chain=n_chain)
+    benchmarks: dict[str, dict] = {}
+    all_q: list[float] = []
+    for name, text in PERF_QUERIES.items():
+        pq = prepared(text, catalog)
+        rows = len(pq.execute(catalog))  # warm-up; also the result size
+        samples_ms: list[float] = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            pq.execute(catalog)
+            samples_ms.append((time.perf_counter() - start) * 1e3)
+        entries = feedback_entries(pq.analyze(catalog)) if pq.plan is not None else []
+        qs = [e.q for e in entries]
+        all_q.extend(qs)
+        benchmarks[name] = {
+            "runs": repeats,
+            "rows": rows,
+            "throughput_qps": _robust_throughput_qps(samples_ms),
+            "latency_ms": _latency_summary(samples_ms),
+            "qerror_max": max(qs, default=1.0),
+            "rewrite_kinds": list(pq.rewrite_kinds()),
+        }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "config": {
+            "repeats": repeats,
+            "seed": seed,
+            "n_left": n_left,
+            "n_right": n_right,
+            "n_chain": n_chain,
+        },
+        "benchmarks": benchmarks,
+        "qerror": {
+            "count": len(all_q),
+            "mean": sum(all_q) / len(all_q) if all_q else 1.0,
+            "max": max(all_q, default=1.0),
+            "p50": percentile(all_q, 50) if all_q else 1.0,
+            "p95": percentile(all_q, 95) if all_q else 1.0,
+        },
+    }
+
+
+def _self_check() -> None:  # pragma: no cover - import-time invariant guard
+    # Every q-error the report aggregates obeys the feedback contract.
+    assert q_error(1.0, 1.0) == 1.0
+
+
+_self_check()

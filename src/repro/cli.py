@@ -131,6 +131,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--json", metavar="PATH", help="also write the JSON report to PATH")
 
+    metrics = sub.add_parser(
+        "metrics",
+        help="run the mixed workload through a query service and dump the "
+        "Prometheus exposition text",
+    )
+    metrics.add_argument("--requests", type=int, default=100, help="requests to serve")
+    metrics.add_argument("--seed", type=int, default=0, help="workload seed")
+    metrics.add_argument("--workers", type=int, default=4, help="service worker threads")
+    metrics.add_argument(
+        "--feedback-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analyze every Nth leader execution for cardinality feedback "
+        "(0 disables; default: 1, every leader)",
+    )
+    metrics.add_argument("--out", metavar="PATH", help="write the text to PATH instead of stdout")
+    metrics.add_argument(
+        "--listen",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="after the workload, also serve GET /metrics and /healthz for "
+        "SECONDS (0 = don't serve, just dump)",
+    )
+    metrics.add_argument("--port", type=int, default=0, help="scrape endpoint port (0 = ephemeral)")
+
     sub.add_parser("demo", help="run the COUNT-bug demo on built-in data")
     return parser
 
@@ -239,6 +266,43 @@ def _serve_bench(args: argparse.Namespace) -> int:
         print(f"wrote {args.json}", file=sys.stderr)
     if report["oracle_checked"] and report["oracle_mismatches"]:
         return 1
+    return 0
+
+
+def _metrics_dump(args: argparse.Namespace) -> int:
+    """Serve the mixed workload, then dump the Prometheus exposition text."""
+    import time
+
+    from repro.server.exposition import prometheus_text, serve_metrics
+    from repro.server.service import QueryService
+    from repro.server.workload import make_requests, mixed_catalog
+
+    catalog = mixed_catalog(seed=args.seed)
+    with QueryService(
+        catalog, workers=args.workers, feedback_every=args.feedback_every
+    ) as service:
+        responses = service.serve_all(make_requests(args.requests, seed=args.seed))
+        if args.listen > 0:
+            endpoint = serve_metrics(service, port=args.port)
+            print(
+                f"-- serving {endpoint.url}/metrics and {endpoint.url}/healthz "
+                f"for {args.listen:g}s",
+                file=sys.stderr,
+            )
+            time.sleep(args.listen)
+            endpoint.stop()
+        text = prometheus_text(
+            service.metrics.snapshot(),
+            gauges={"queue_depth": service._queue.qsize(), "workers": service.workers},
+        )
+    ok = sum(1 for r in responses if r.ok)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text, end="")
+    print(f"-- {ok}/{len(responses)} requests ok", file=sys.stderr)
     return 0
 
 
@@ -355,6 +419,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.command == "serve-bench":
         return _serve_bench(args)
+    if args.command == "metrics":
+        return _metrics_dump(args)
     if args.command == "demo":
         query = "SELECT r FROM R r WHERE r.b = COUNT(SELECT s FROM S s WHERE r.c = s.c)"
         catalog = _demo_catalog()

@@ -169,9 +169,14 @@ def _run_query_traced(
             physical = compile_plan(plan, catalog)
         if analyze:
             from repro.engine.analyze import analyze as _analyze
+            from repro.engine.feedback import record_run
 
             with span("execute", detail="instrumented"):
                 run = _analyze(physical, catalog)
+            # Close the cardinality-feedback loop: aggregate this run's
+            # per-operator q-errors (keyed by the translator's rewrite
+            # verdicts) into the process-global feedback registry.
+            record_run(run, rewrite_kinds=_translation_kinds(translation))
             return QueryResult(
                 result_set(run.rows), "physical", translation, analyzed=run, trace=trace
             )
@@ -185,6 +190,14 @@ def _as_result_set(value) -> frozenset:
     if isinstance(value, frozenset):
         return value
     raise UnsupportedQueryError(f"query evaluated to a non-set value {value!r}")
+
+
+def _translation_kinds(translation: Translation | None) -> tuple[str, ...]:
+    """The distinct join kinds a translation chose (see rewrite_kinds)."""
+    if translation is None:
+        return ("interpreted",)
+    kinds = tuple(dict.fromkeys(translation.join_kinds()))
+    return kinds or ("flat",)
 
 
 class PreparedQuery:
@@ -265,10 +278,17 @@ class PreparedQuery:
         return result_set(_execute(physical, catalog))
 
     def analyze(self, catalog: Catalog):
-        """Instrumented execution: returns an AnalyzedRun (see engine.analyze)."""
-        from repro.engine.analyze import analyze as _analyze
+        """Instrumented execution: returns an AnalyzedRun (see engine.analyze).
 
-        return _analyze(self.compile_for(catalog), catalog)
+        Each call also records the run's per-operator q-errors into the
+        process-global feedback registry (:data:`repro.engine.feedback.FEEDBACK`).
+        """
+        from repro.engine.analyze import analyze as _analyze
+        from repro.engine.feedback import record_run
+
+        run = _analyze(self.compile_for(catalog), catalog)
+        record_run(run, rewrite_kinds=self.rewrite_kinds())
+        return run
 
     def rewrite_kinds(self) -> tuple[str, ...]:
         """The distinct join kinds translation chose, in decision order.
@@ -277,10 +297,7 @@ class PreparedQuery:
         when the plan needed no subquery joins at all — the labels the
         serving metrics aggregate per query.
         """
-        if self.translation is None:
-            return ("interpreted",)
-        kinds = tuple(dict.fromkeys(self.translation.join_kinds()))
-        return kinds or ("flat",)
+        return _translation_kinds(self.translation)
 
     def explain(self, catalog: Catalog | None = None) -> str:
         """The logical plan; with *catalog*, also the compiled physical plan

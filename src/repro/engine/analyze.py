@@ -13,7 +13,8 @@ annotated tree.  Per operator the run records:
 * the peak group size materialized by nest joins and Nest operators —
   the quantity that blows up memory when grouping skews.
 
-Estimated vs. actual rows side by side makes cost-model misestimates
+Estimated vs. actual rows side by side — with the per-operator q-error
+computed by :mod:`repro.engine.feedback` — makes cost-model misestimates
 visible at a glance.  Instrumentation lives entirely in the proxy layer
 built here: plain (non-analyze) execution runs the raw operators and pays
 nothing.
@@ -61,6 +62,18 @@ class AnalyzedRun:
     rows: list[Tup]
     stats: OpStats
     total_seconds: float
+
+    def feedback(self):
+        """Per-operator estimate-vs-actual entries (see repro.engine.feedback)."""
+        from repro.engine.feedback import feedback_entries
+
+        return feedback_entries(self)
+
+    def top_misestimates(self, k: int = 3):
+        """The k worst-estimated operators, most-misestimated first."""
+        from repro.engine.feedback import top_misestimates
+
+        return top_misestimates(self, k)
 
 
 def _build_stats(op: PhysicalOp) -> OpStats:
@@ -161,16 +174,26 @@ def analyze(op: PhysicalOp, tables: Mapping) -> AnalyzedRun:
 
 
 def explain_analyze(run: AnalyzedRun) -> str:
-    """Render the annotated operator tree of an analyzed run."""
+    """Render the annotated operator tree of an analyzed run.
+
+    Each operator line carries the cardinality-feedback triple
+    ``est=… act=… q=…`` (plus rows in): the compile-time estimate, the
+    measured rows out, and the q-error between them (see
+    :func:`repro.engine.feedback.q_error`), so misestimates read directly
+    off the tree.
+    """
+    from repro.engine.feedback import q_error
+
     lines: list[str] = [f"total: {run.total_seconds * 1e3:.2f} ms, {len(run.rows)} result rows"]
 
     def emit(stats: OpStats, indent: int) -> None:
         pad = "  " * indent
         op = stats.op
         parts = [
-            f"est ~{op.est_rows:.0f} rows",
-            f"in {stats.rows_in}",
-            f"actual {stats.rows}",
+            f"est={op.est_rows:.0f}",
+            f"in={stats.rows_in}",
+            f"act={stats.rows}",
+            f"q={q_error(op.est_rows, stats.rows):.2f}",
             f"{stats.seconds * 1e3:.2f} ms",
         ]
         if stats.cache_hits or stats.cache_misses:

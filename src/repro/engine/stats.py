@@ -93,13 +93,47 @@ def estimate_rows(plan: Plan, stats: StatsCatalog) -> float:
     if isinstance(plan, AntiJoin):
         return max(1.0, estimate_rows(plan.left, stats) * (1.0 - SEMI_SELECTIVITY))
     if isinstance(plan, NestJoin):
-        # One output row per left row, by definition.
-        return estimate_rows(plan.left, stats)
+        # One output row per left row, by definition — but floored at 1.0
+        # so downstream ratios (cost per output row, q-error) never divide
+        # by an estimated zero when the left table is empty.
+        return max(1.0, estimate_rows(plan.left, stats))
     if isinstance(plan, Nest):
-        return max(1.0, estimate_rows(plan.child, stats) * DEFAULT_SELECT_SELECTIVITY)
+        return _nest_groups(plan, stats)
     if isinstance(plan, Unnest):
         return estimate_rows(plan.child, stats) * AVG_SET_FANOUT
     return 1.0
+
+
+def _nest_groups(plan: Nest, stats: StatsCatalog) -> float:
+    """Estimated group count of a ν operator, from distinct-count stats.
+
+    ``Nest`` emits one row per distinct projection of the child onto the
+    ``by`` bindings, so its output cardinality is the number of groups.
+    Each ``by`` binding that traces back to a base-table scan bounds the
+    group count by that table's row count (a whole-row binding cannot take
+    more distinct values than the table has rows); the child's own
+    cardinality is always an upper bound too, since groups cannot outnumber
+    input rows.
+
+    Fallback: when no ``by`` binding is resolvable (e.g. the child is a
+    computed shape with no scans), the estimate degrades to
+    ``child × DEFAULT_SELECT_SELECTIVITY`` — the documented pre-feedback
+    default. The result is floored at 1.0 in every branch, so q-error and
+    per-row cost ratios stay finite and division-safe.
+    """
+    child_est = estimate_rows(plan.child, stats)
+    if not plan.by:
+        return 1.0  # grouping by nothing yields exactly one group
+    bounds = [child_est]
+    resolved = False
+    for binding in plan.by:
+        scan = _find_scan(plan.child, binding)
+        if scan is not None:
+            resolved = True
+            bounds.append(float(stats.table(scan.table).rows))
+    if not resolved:
+        return max(1.0, child_est * DEFAULT_SELECT_SELECTIVITY)
+    return max(1.0, min(bounds))
 
 
 def _join_cardinality(pred: Expr, plan, l: float, r: float, stats: StatsCatalog) -> float:

@@ -12,6 +12,9 @@ Public surface:
 * :class:`~repro.server.slowlog.SlowQueryLog` — bounded capture of the
   slowest served requests and recent rejections/timeouts
   (``stats()["slow_queries"]``);
+* :mod:`~repro.server.exposition` — Prometheus text rendering of a
+  metrics snapshot and the ``/metrics`` + ``/healthz`` scrape endpoint
+  (:func:`~repro.server.exposition.serve_metrics`);
 * :func:`~repro.server.bench.run_serve_bench` — the mixed-workload
   benchmark harness (``repro serve-bench``).
 
@@ -19,10 +22,12 @@ See docs/serving.md for the architecture and the lifecycle of a request,
 and docs/observability.md for tracing and the slow-query log.
 """
 
+from repro.server.exposition import MetricsServer, prometheus_text, serve_metrics
 from repro.server.metrics import (
     Counter,
     Histogram,
     LabeledCounter,
+    LabeledHistogram,
     MetricsRegistry,
     percentile,
 )
@@ -41,6 +46,10 @@ __all__ = [
     "Counter",
     "LabeledCounter",
     "Histogram",
+    "LabeledHistogram",
+    "MetricsServer",
+    "prometheus_text",
+    "serve_metrics",
     "SlowQueryLog",
     "percentile",
 ]

@@ -20,7 +20,14 @@ from __future__ import annotations
 import threading
 from typing import Iterable, Sequence
 
-__all__ = ["Counter", "LabeledCounter", "Histogram", "MetricsRegistry", "percentile"]
+__all__ = [
+    "Counter",
+    "LabeledCounter",
+    "Histogram",
+    "LabeledHistogram",
+    "MetricsRegistry",
+    "percentile",
+]
 
 
 def percentile(values: Sequence[float] | Iterable[float], q: float) -> float:
@@ -141,7 +148,15 @@ class Histogram:
         return percentile(self.values(), q)
 
     def summary(self) -> dict:
-        """count/mean/min/max plus p50/p90/p95/p99 over the window."""
+        """Lifetime count/sum/mean/min/max plus p50/p90/p95/p99 over the window.
+
+        ``count`` and ``sum`` are exact over the histogram's whole lifetime
+        (read under the lock together with the window, so they are mutually
+        consistent); only the percentiles are computed from the bounded
+        recent-observation window. Exposition relies on the lifetime pair —
+        a Prometheus ``_sum``/``_count`` that only covered the window would
+        under-report totals on any long-running service.
+        """
         with self._lock:
             window = list(self._ring)
             count, total = self.count, self.total
@@ -149,6 +164,7 @@ class Histogram:
         data = sorted(window)
         return {
             "count": count,
+            "sum": total,
             "mean": total / count if count else 0.0,
             "min": lo if lo is not None else 0.0,
             "max": hi if hi is not None else 0.0,
@@ -159,6 +175,45 @@ class Histogram:
         }
 
 
+class LabeledHistogram:
+    """A family of histograms keyed by a string label.
+
+    One instrument, many distributions — e.g. ``qerror_by_op`` with labels
+    ``join_nest`` / ``scan`` / ``filter``. Labels are created on first
+    observation; :meth:`summaries` snapshots the whole family.
+    """
+
+    def __init__(self, window: int = 4096):
+        if window <= 0:
+            raise ValueError("histogram window must be positive")
+        self._window = window
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def labeled(self, label: str) -> Histogram:
+        with self._lock:
+            h = self._histograms.get(label)
+            if h is None:
+                h = self._histograms[label] = Histogram(self._window)
+            return h
+
+    def observe(self, label: str, value: float) -> None:
+        self.labeled(label).observe(value)
+
+    def labels(self) -> list[str]:
+        with self._lock:
+            return sorted(self._histograms)
+
+    def summaries(self) -> dict[str, dict]:
+        """label → :meth:`Histogram.summary`, for the whole family."""
+        with self._lock:
+            items = sorted(self._histograms.items())
+        return {label: h.summary() for label, h in items}
+
+    def __repr__(self) -> str:
+        return f"LabeledHistogram({self.labels()})"
+
+
 class MetricsRegistry:
     """Named counters and histograms, created on first use."""
 
@@ -166,6 +221,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._labeled: dict[str, LabeledCounter] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._labeled_histograms: dict[str, LabeledHistogram] = {}
         self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
@@ -189,14 +245,25 @@ class MetricsRegistry:
                 instrument = self._histograms[name] = Histogram(window)
             return instrument
 
+    def labeled_histogram(self, name: str, window: int = 4096) -> LabeledHistogram:
+        with self._lock:
+            instrument = self._labeled_histograms.get(name)
+            if instrument is None:
+                instrument = self._labeled_histograms[name] = LabeledHistogram(window)
+            return instrument
+
     def snapshot(self) -> dict:
         """All instruments as plain JSON-serializable data."""
         with self._lock:
             counters = dict(self._counters)
             labeled = dict(self._labeled)
             histograms = dict(self._histograms)
+            labeled_histograms = dict(self._labeled_histograms)
         return {
             "counters": {name: c.value for name, c in sorted(counters.items())},
             "labeled": {name: c.values() for name, c in sorted(labeled.items())},
             "histograms": {name: h.summary() for name, h in sorted(histograms.items())},
+            "labeled_histograms": {
+                name: h.summaries() for name, h in sorted(labeled_histograms.items())
+            },
         }

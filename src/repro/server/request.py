@@ -115,6 +115,11 @@ class QueryResponse:
     #: antijoin / nestjoin, or "flat"/"interpreted"); empty when the
     #: request never reached execution (e.g. a result-cache hit).
     rewrite_kinds: tuple = ()
+    #: The top-k misestimated operators (dicts with op/kind/est/act/q)
+    #: when this request's leader execution was sampled for cardinality
+    #: feedback; empty for cache hits, coalesced followers, and unsampled
+    #: executions. See repro.engine.feedback.
+    misestimates: tuple = ()
 
     @property
     def ok(self) -> bool:
@@ -136,4 +141,5 @@ class QueryResponse:
             "worker": self.worker,
             "trace_id": self.trace_id,
             "rewrite_kinds": list(self.rewrite_kinds),
+            "misestimates": list(self.misestimates),
         }

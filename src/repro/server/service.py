@@ -40,6 +40,7 @@ natural attachment point for a continuous differential-testing oracle.
 
 from __future__ import annotations
 
+import itertools
 import queue as queue_mod
 import threading
 import time
@@ -123,11 +124,15 @@ class QueryService:
         result_cache_size: int = 256,
         typecheck: bool = True,
         slow_query_capacity: int = 16,
+        feedback_every: int = 7,
+        feedback_top_k: int = 3,
     ):
         if workers <= 0:
             raise ValueError("workers must be positive")
         if max_attempts <= 0:
             raise ValueError("max_attempts must be positive")
+        if feedback_every < 0:
+            raise ValueError("feedback_every must be >= 0 (0 disables feedback)")
         self.catalog = catalog
         self.workers = workers
         self.queue_limit = queue_limit
@@ -145,12 +150,25 @@ class QueryService:
         self._started = False
         self._closed = False
         self.slow_queries = SlowQueryLog(slow_query_capacity)
+        #: Every feedback_every-th leader execution runs instrumented
+        #: (EXPLAIN ANALYZE) and feeds the q-error histograms; 0 disables.
+        #: Instrumented runs cost a few times plain execution, so the
+        #: default samples (1 = analyze every leader, for tests/smoke).
+        self.feedback_every = feedback_every
+        self.feedback_top_k = feedback_top_k
+        self._feedback_tick = itertools.count(1)
         from repro.server.metrics import MetricsRegistry
 
         self.metrics = MetricsRegistry()
         # Queries by the translator's rewrite decision (semijoin/antijoin/
         # nestjoin/flat/interpreted), counted once per leader execution.
         self.metrics.labeled_counter("queries_by_rewrite")
+        # Cardinality-feedback instruments (see repro.engine.feedback):
+        # pre-created so stats() and the /metrics exposition always carry
+        # the families, even before the first analyzed execution.
+        self.metrics.histogram("qerror")
+        self.metrics.labeled_histogram("qerror_by_op")
+        self.metrics.labeled_histogram("qerror_by_rewrite")
         # Pre-create every counter so stats() always has the full shape,
         # even for paths a given run never exercised.
         for name in (
@@ -334,8 +352,8 @@ class QueryService:
             token = CancelToken(deadline=pending.deadline)
             try:
                 with cancel_scope(token):
-                    value, version, source, attempts, pq = self._execute_with_retry(
-                        request, token
+                    value, version, source, attempts, pq, misests = (
+                        self._execute_with_retry(request, token)
                     )
                 response.outcome = "ok"
                 response.value = value
@@ -343,6 +361,7 @@ class QueryService:
                 response.catalog_version = version
                 response.result_cache = source
                 response.attempts = attempts
+                response.misestimates = misests
                 if pq is not None:
                     response.rewrite_kinds = pq.rewrite_kinds()
                 trace.record(
@@ -401,6 +420,12 @@ class QueryService:
             rewrite_kinds=list(response.rewrite_kinds),
             events=[e.to_dict() for e in trace.events],
         )
+        if response.misestimates:
+            # The top-k misestimated operators of the (sampled, analyzed)
+            # execution that served this request: a slow entry then says
+            # not just that the query was slow but which cardinality
+            # misjudgements shaped the plan that made it slow.
+            entry["misestimates"] = list(response.misestimates)
         if pq is not None and getattr(pq, "trace", None) is not None:
             # The rewrite decisions were recorded when the plan was first
             # prepared; link and embed them so a slow-log entry explains
@@ -419,8 +444,8 @@ class QueryService:
             attempts += 1
             token.check()
             try:
-                value, version, source, pq = self._execute_shared(text, token)
-                return value, version, source, attempts, pq
+                value, version, source, pq, misests = self._execute_shared(text, token)
+                return value, version, source, attempts, pq, misests
             except CatalogVersionRace:
                 self.metrics.counter("retries").inc()
                 if attempts >= self.max_attempts:
@@ -444,7 +469,7 @@ class QueryService:
         cached = self._results.get(key)
         if cached is not None:
             self.metrics.counter("result_hits").inc()
-            return cached, version, "hit", None
+            return cached, version, "hit", None, ()
         pq = prepared(text, self.catalog, typecheck=self.typecheck)
         with self._inflight_lock:
             entry = self._inflight.get(key)
@@ -457,9 +482,9 @@ class QueryService:
             if entry.error is not None:
                 raise entry.error
             self.metrics.counter("result_coalesced").inc()
-            return entry.value, version, "coalesced", pq
+            return entry.value, version, "coalesced", pq, ()
         try:
-            value = self._execute_leader(pq, version)
+            value, misestimates = self._execute_leader(pq, version)
         except BaseException as exc:
             entry.error = exc
             raise
@@ -467,7 +492,7 @@ class QueryService:
             entry.value = value
             self._results.put(key, value)
             self.metrics.counter("result_misses").inc()
-            return value, version, "miss", pq
+            return value, version, "miss", pq, misestimates
         finally:
             with self._inflight_lock:
                 self._inflight.pop(key, None)
@@ -476,16 +501,45 @@ class QueryService:
     def _execute_leader(self, pq, version):
         """Execute the prepared query; raise if the catalog moved mid-flight.
 
+        Returns ``(value, misestimates)``. Every ``feedback_every``-th
+        leader execution of a planned query runs instrumented
+        (:meth:`PreparedQuery.analyze`) instead of plain: its per-operator
+        q-errors are aggregated into this service's metrics (``qerror``,
+        ``qerror_by_op``, ``qerror_by_rewrite``) and the top-k
+        misestimated operators ride along on the response and the
+        slow-query log. Version-racy runs are discarded before any
+        feedback is recorded, so the histograms only ever see
+        version-stable executions.
+
         A separate method so tests can wrap it to inject deterministic
         version races.
         """
-        value = pq.execute(self.catalog)
+        run = None
+        if (
+            self.feedback_every
+            and pq.plan is not None
+            and next(self._feedback_tick) % self.feedback_every == 0
+        ):
+            from repro.algebra.interpreter import result_set
+
+            run = pq.analyze(self.catalog)
+            value = result_set(run.rows)
+        else:
+            value = pq.execute(self.catalog)
         if getattr(self.catalog, "version", None) != version:
             raise CatalogVersionRace(
                 f"catalog version moved from {version} to "
                 f"{getattr(self.catalog, 'version', None)} during execution"
             )
-        return value
+        misestimates: tuple = ()
+        if run is not None:
+            from repro.engine.feedback import record_run, top_misestimates
+
+            entries = record_run(run, pq.rewrite_kinds(), registry=self.metrics)
+            misestimates = tuple(
+                e.to_dict() for e in top_misestimates(entries, self.feedback_top_k)
+            )
+        return value, misestimates
 
 
 def _slow_entry(request: QueryRequest, outcome: str, **extra) -> dict:

@@ -1,0 +1,140 @@
+"""Tests for the perf report schema and the regression gate script."""
+
+import copy
+import json
+import math
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.perf import PERF_QUERIES, SCHEMA_VERSION, collect_perf
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GATE = REPO_ROOT / "scripts" / "perf_gate.py"
+
+
+@pytest.fixture(scope="module")
+def perf():
+    # Tiny catalog + few repeats: the schema is under test, not the clock.
+    return collect_perf(repeats=2, n_left=20, n_right=80, n_chain=4)
+
+
+class TestCollectPerf:
+    def test_schema_top_level(self, perf):
+        assert perf["schema_version"] == SCHEMA_VERSION
+        assert set(perf) == {"schema_version", "config", "benchmarks", "qerror"}
+
+    def test_covers_every_workload_query(self, perf):
+        assert set(perf["benchmarks"]) == set(PERF_QUERIES)
+
+    def test_per_benchmark_keys(self, perf):
+        for name, bench in perf["benchmarks"].items():
+            assert bench["runs"] == 2
+            assert bench["rows"] >= 0
+            assert bench["throughput_qps"] > 0
+            assert set(bench["latency_ms"]) == {"mean", "p50", "p95", "p99", "max"}
+            assert bench["qerror_max"] >= 1.0 and math.isfinite(bench["qerror_max"])
+            assert bench["rewrite_kinds"], name
+
+    def test_qerror_summary(self, perf):
+        q = perf["qerror"]
+        assert q["count"] > 0
+        assert 1.0 <= q["p50"] <= q["max"]
+        assert math.isfinite(q["mean"])
+
+    def test_report_is_json_serializable(self, perf):
+        json.loads(json.dumps(perf))
+
+
+def run_gate(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(GATE), *args], capture_output=True, text=True
+    )
+
+
+def write_report(path: Path, perf: dict) -> Path:
+    path.write_text(json.dumps({"schema_version": SCHEMA_VERSION, "perf": perf}))
+    return path
+
+
+class TestPerfGate:
+    def test_identical_reports_pass(self, perf, tmp_path):
+        base = write_report(tmp_path / "base.json", perf)
+        rep = write_report(tmp_path / "rep.json", perf)
+        proc = run_gate("--baseline", str(base), "--report", str(rep))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "perf-gate: PASS" in proc.stdout
+
+    def test_doctored_throughput_regression_fails(self, perf, tmp_path):
+        base = write_report(tmp_path / "base.json", perf)
+        doctored = copy.deepcopy(perf)
+        for bench in doctored["benchmarks"].values():
+            bench["throughput_qps"] /= 10.0
+        rep = write_report(tmp_path / "rep.json", doctored)
+        proc = run_gate("--baseline", str(base), "--report", str(rep))
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "perf-gate: FAIL" in proc.stdout
+        assert "throughput" in proc.stdout
+
+    def test_shape_only_ignores_doctored_numbers(self, perf, tmp_path):
+        base = write_report(tmp_path / "base.json", perf)
+        doctored = copy.deepcopy(perf)
+        for bench in doctored["benchmarks"].values():
+            bench["throughput_qps"] /= 100.0
+        rep = write_report(tmp_path / "rep.json", doctored)
+        proc = run_gate("--baseline", str(base), "--report", str(rep), "--shape-only")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "shape-only" in proc.stdout
+
+    def test_missing_benchmark_fails_even_shape_only(self, perf, tmp_path):
+        base = write_report(tmp_path / "base.json", perf)
+        pruned = copy.deepcopy(perf)
+        pruned["benchmarks"].popitem()
+        rep = write_report(tmp_path / "rep.json", pruned)
+        proc = run_gate("--baseline", str(base), "--report", str(rep), "--shape-only")
+        assert proc.returncode == 1
+        assert "missing from report" in proc.stdout
+
+    def test_schema_version_mismatch_fails(self, perf, tmp_path):
+        base = write_report(tmp_path / "base.json", perf)
+        rep = tmp_path / "rep.json"
+        rep.write_text(json.dumps({"schema_version": SCHEMA_VERSION + 1, "perf": perf}))
+        proc = run_gate("--baseline", str(base), "--report", str(rep))
+        assert proc.returncode == 1
+        assert "schema_version" in proc.stdout
+
+    def test_qerror_regression_fails(self, perf, tmp_path):
+        base = write_report(tmp_path / "base.json", perf)
+        worse = copy.deepcopy(perf)
+        name = next(iter(worse["benchmarks"]))
+        worse["benchmarks"][name]["qerror_max"] += 10.0
+        rep = write_report(tmp_path / "rep.json", worse)
+        proc = run_gate("--baseline", str(base), "--report", str(rep))
+        assert proc.returncode == 1
+        assert "qerror_max" in proc.stdout
+
+    def test_missing_perf_section_is_usage_error(self, perf, tmp_path):
+        base = write_report(tmp_path / "base.json", perf)
+        rep = tmp_path / "rep.json"
+        rep.write_text(json.dumps({"schema_version": SCHEMA_VERSION}))
+        proc = run_gate("--baseline", str(base), "--report", str(rep))
+        assert proc.returncode == 2
+        assert "no 'perf' section" in proc.stderr
+
+    def test_update_baseline_copies_report(self, perf, tmp_path):
+        base = write_report(tmp_path / "base.json", perf)
+        changed = copy.deepcopy(perf)
+        changed["benchmarks"][next(iter(changed["benchmarks"]))]["rows"] += 1
+        rep = write_report(tmp_path / "rep.json", changed)
+        proc = run_gate(
+            "--baseline", str(base), "--report", str(rep), "--update-baseline"
+        )
+        assert proc.returncode == 0
+        assert json.loads(base.read_text()) == json.loads(rep.read_text())
+
+    def test_committed_baseline_matches_schema(self):
+        baseline = json.loads((REPO_ROOT / "BENCH_baseline.json").read_text())
+        assert baseline["schema_version"] == SCHEMA_VERSION
+        assert set(baseline["perf"]["benchmarks"]) == set(PERF_QUERIES)

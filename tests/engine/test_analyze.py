@@ -61,7 +61,7 @@ class TestAnalyze:
         run = analyze(compile_plan(plan(), catalog), catalog)
         text = explain_analyze(run)
         assert "total:" in text
-        assert "actual" in text
+        assert "act=" in text
         assert "Scan X AS x" in text
         assert "NestJoin" in text
 
@@ -82,4 +82,17 @@ class TestAnalyze:
     def test_estimate_vs_actual_visible(self, catalog):
         run = analyze(compile_plan(plan(), catalog), catalog)
         text = explain_analyze(run)
-        assert "est ~" in text
+        # The cardinality-feedback triple renders on every operator line.
+        assert "est=" in text and "act=" in text and "q=" in text
+
+    def test_rendered_qerror_matches_feedback(self, catalog):
+        import re
+
+        from repro.engine.feedback import q_error
+
+        run = analyze(compile_plan(plan(), catalog), catalog)
+        for line in explain_analyze(run).splitlines()[1:]:
+            m = re.search(r"est=(\d+), in=\d+, act=(\d+), q=([\d.]+)", line)
+            assert m is not None, line
+            est, act, q = float(m.group(1)), int(m.group(2)), float(m.group(3))
+            assert q == pytest.approx(q_error(est, act), abs=0.005)

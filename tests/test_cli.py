@@ -57,7 +57,7 @@ class TestAnalyzeAndTrace:
         # Per-operator actuals for a nest-join plan, including the
         # build-cache account and the peak group size.
         assert "NestJoin" in out
-        assert "actual" in out and "in " in out and "ms" in out
+        assert "act=" in out and "in=" in out and "q=" in out and "ms" in out
         assert "cache" in out and "miss" in out
         assert "peak group" in out
 
@@ -65,7 +65,7 @@ class TestAnalyzeAndTrace:
         assert main(["explain", COUNT_QUERY, "--db", db, "--analyze"]) == 0
         out = capsys.readouterr().out
         assert "analyze:" in out
-        assert "actual" in out
+        assert "act=" in out and "q=" in out
 
     def test_trace_text(self, db, capsys):
         assert main(["trace", COUNT_QUERY, "--db", db]) == 0
@@ -73,7 +73,7 @@ class TestAnalyzeAndTrace:
         assert "trace t" in out
         assert "table2:" in out and "verdict=grouping" in out
         assert "nestjoin" in out
-        assert "actual" in out  # operator tree appended
+        assert "act=" in out  # operator tree appended
 
     def test_trace_chrome_is_valid_trace_event_json(self, db, capsys, tmp_path):
         out_path = tmp_path / "trace.json"

@@ -1,0 +1,37 @@
+"""Property tests: cardinality feedback is well-defined on every workload query.
+
+For each named query in :mod:`repro.workloads.queries`, over randomized
+catalog seeds and sizes, every operator's q-error must be finite and ≥1 —
+the contract the metrics histograms and the perf report rely on.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import prepared
+from repro.engine.feedback import feedback_entries
+from repro.server.workload import mixed_catalog
+from repro.workloads import queries as workload_queries
+
+ALL_QUERIES = [(name, getattr(workload_queries, name)) for name in workload_queries.__all__]
+
+
+@pytest.mark.parametrize("name,text", ALL_QUERIES, ids=[n for n, _ in ALL_QUERIES])
+@given(seed=st.integers(min_value=0, max_value=1_000), scale=st.integers(1, 4))
+@settings(max_examples=8, deadline=None)
+def test_qerror_finite_and_at_least_one(name, text, seed, scale):
+    catalog = mixed_catalog(
+        seed=seed, n_left=10 * scale, n_right=40 * scale, n_chain=4 * scale
+    )
+    pq = prepared(text, catalog)
+    if pq.plan is None:
+        pytest.skip(f"{name} is interpreted (no physical plan)")
+    entries = feedback_entries(pq.analyze(catalog))
+    assert entries, f"{name}: no feedback entries"
+    for entry in entries:
+        assert math.isfinite(entry.q), f"{name}/{entry.kind}: q={entry.q}"
+        assert entry.q >= 1.0, f"{name}/{entry.kind}: q={entry.q}"
+        assert entry.est >= 0 and entry.act >= 0
