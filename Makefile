@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: test bench bench-shapes bench-json serve-bench trace-smoke report fuzz examples all \
-	perf-report perf-gate metrics-smoke
+	perf-report perf-gate metrics-smoke bench-vectorized parity
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -28,6 +28,14 @@ perf-report:
 # PERF_GATE_FLAGS=--shape-only (shared runners have unstable clocks).
 perf-gate: perf-report
 	$(PYTHON) scripts/perf_gate.py $(PERF_GATE_FLAGS)
+
+# Batch-vs-row throughput on the workload queries (docs/vectorized.md).
+bench-vectorized:
+	$(PYTHON) -m repro.bench.vectorized --json VECTORIZED_report.json
+
+# The batch/row parity property suite (hypothesis-chosen batch sizes).
+parity:
+	$(PYTHON) -m pytest tests/engine/test_batch_parity.py tests/engine/test_batch.py -q
 
 # Start a metrics endpoint over a live service, scrape once, validate.
 metrics-smoke:

@@ -1,0 +1,78 @@
+"""Vectorized batch execution vs tuple-at-a-time row execution.
+
+Shape asserted: batch and row modes agree on every workload query; on the
+join-heavy subset (plans dominated by hash/index join and nest-join
+kernels) batch mode's fastest-half throughput is at least 2x row mode's
+in geometric mean, with no join-heavy query below 1.5x; EXPLAIN ANALYZE
+reports the mode and per-operator batch counts.
+"""
+
+import math
+
+import pytest
+
+from repro.bench.vectorized import JOIN_HEAVY, collect_vectorized
+from repro.core.pipeline import prepared, run_query
+from repro.engine.analyze import explain_analyze
+from repro.server.workload import mixed_catalog
+
+
+@pytest.fixture(scope="module")
+def report():
+    return collect_vectorized(repeats=10)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return mixed_catalog(seed=0, n_left=200, n_right=1200, n_chain=40)
+
+
+class TestShape:
+    def test_modes_agree_with_oracle(self, catalog):
+        from repro.bench.perf import PERF_QUERIES
+
+        for name, text in PERF_QUERIES.items():
+            oracle = run_query(text, catalog, engine="interpret").value
+            pq = prepared(text, catalog)
+            assert pq.execute(catalog) == oracle, name
+            assert pq.execute(catalog, execution="row") == oracle, name
+
+    def test_join_heavy_speedup(self, report):
+        heavy = report["join_heavy"]
+        assert heavy["geomean_speedup"] >= 2.0, heavy
+        assert heavy["min_speedup"] >= 1.5, heavy
+
+    def test_every_query_measured(self, report):
+        from repro.bench.perf import PERF_QUERIES
+
+        assert set(report["queries"]) == set(PERF_QUERIES)
+        assert all(q["batch_qps"] > 0 for q in report["queries"].values())
+
+    def test_geomean_consistent(self, report):
+        speedups = [report["queries"][n]["speedup"] for n in JOIN_HEAVY]
+        geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+        assert report["join_heavy"]["geomean_speedup"] == pytest.approx(geomean)
+
+    def test_explain_analyze_reports_batches(self, catalog):
+        from repro.workloads import COUNT_BUG_NESTED
+
+        pq = prepared(COUNT_BUG_NESTED, catalog)
+        text = explain_analyze(pq.analyze(catalog))
+        assert "mode=batch" in text
+        assert "batches" in text
+
+
+class TestTimings:
+    def test_batch_count_bug(self, benchmark, catalog):
+        from repro.workloads import COUNT_BUG_NESTED
+
+        pq = prepared(COUNT_BUG_NESTED, catalog)
+        pq.execute(catalog)  # warm caches
+        benchmark(lambda: pq.execute(catalog))
+
+    def test_row_count_bug(self, benchmark, catalog):
+        from repro.workloads import COUNT_BUG_NESTED
+
+        pq = prepared(COUNT_BUG_NESTED, catalog)
+        pq.execute(catalog, execution="row")
+        benchmark(lambda: pq.execute(catalog, execution="row"))

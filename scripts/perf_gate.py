@@ -29,7 +29,15 @@ import shutil
 import sys
 from pathlib import Path
 
-REQUIRED_BENCH_KEYS = ("runs", "rows", "throughput_qps", "latency_ms", "qerror_max")
+REQUIRED_BENCH_KEYS = (
+    "runs",
+    "rows",
+    "throughput_qps",
+    "row_throughput_qps",
+    "batch_speedup",
+    "latency_ms",
+    "qerror_max",
+)
 
 
 def load_perf(path: Path) -> dict:

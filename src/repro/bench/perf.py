@@ -30,7 +30,10 @@ __all__ = ["SCHEMA_VERSION", "PERF_QUERIES", "collect_perf"]
 
 #: Bump on any structural change to the report dict; the gate refuses to
 #: diff reports with mismatched versions.
-SCHEMA_VERSION = 1
+#: v2: per-benchmark ``row_throughput_qps`` and ``batch_speedup`` — the
+#: primary ``throughput_qps`` now measures the default (vectorized batch)
+#: execution mode, with the row-mode figure alongside for the ratio.
+SCHEMA_VERSION = 2
 
 #: name → query text: every named workload query, in declaration order.
 PERF_QUERIES: dict[str, str] = {
@@ -86,18 +89,28 @@ def collect_perf(
     for name, text in PERF_QUERIES.items():
         pq = prepared(text, catalog)
         rows = len(pq.execute(catalog))  # warm-up; also the result size
+        pq.execute(catalog, execution="row")  # warm row-mode artifacts too
         samples_ms: list[float] = []
         for _ in range(repeats):
             start = time.perf_counter()
             pq.execute(catalog)
             samples_ms.append((time.perf_counter() - start) * 1e3)
+        row_samples_ms: list[float] = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            pq.execute(catalog, execution="row")
+            row_samples_ms.append((time.perf_counter() - start) * 1e3)
         entries = feedback_entries(pq.analyze(catalog)) if pq.plan is not None else []
         qs = [e.q for e in entries]
         all_q.extend(qs)
+        batch_qps = _robust_throughput_qps(samples_ms)
+        row_qps = _robust_throughput_qps(row_samples_ms)
         benchmarks[name] = {
             "runs": repeats,
             "rows": rows,
-            "throughput_qps": _robust_throughput_qps(samples_ms),
+            "throughput_qps": batch_qps,
+            "row_throughput_qps": row_qps,
+            "batch_speedup": batch_qps / row_qps if row_qps else 0.0,
             "latency_ms": _latency_summary(samples_ms),
             "qerror_max": max(qs, default=1.0),
             "rewrite_kinds": list(pq.rewrite_kinds()),

@@ -1,0 +1,143 @@
+"""Batch-vs-row throughput comparison for the vectorized engine.
+
+``collect_vectorized`` times every workload query through the prepared
+serving path in both execution modes and reports the fastest-half
+throughput of each plus their ratio. The join-heavy subset
+(:data:`JOIN_HEAVY` — the queries whose plans are dominated by hash /
+index-nested-loop join and nest-join work) is the set the vectorized
+engine targets: its summary carries the minimum and geometric-mean
+speedup over that subset, which ``benchmarks/bench_vectorized.py``
+asserts against.
+
+Run standalone::
+
+    PYTHONPATH=src python -m repro.bench.vectorized [--json PATH]
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.core.pipeline import clear_plan_cache, prepared
+from repro.engine.cache import clear_build_cache
+from repro.server.workload import mixed_catalog
+from repro.bench.perf import PERF_QUERIES, _robust_throughput_qps
+
+__all__ = ["JOIN_HEAVY", "collect_vectorized"]
+
+#: The workload queries whose execution time is dominated by join kernels
+#: (hash build/probe, index probes, group tables). The scan/filter-bound
+#: queries (q1) and tiny-probe-side queries (q2) are reported but not part
+#: of the speedup floor — their batch win is bounded by predicate
+#: evaluation, not by tuple overhead.
+JOIN_HEAVY = (
+    "count_bug_nested",
+    "subseteq_bug_nested",
+    "section8_query",
+    "section8_flat_variant",
+)
+
+
+def _fastest_half_qps(fn, repeats: int) -> float:
+    samples_ms = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples_ms.append((time.perf_counter() - start) * 1e3)
+    return _robust_throughput_qps(samples_ms)
+
+
+def collect_vectorized(
+    repeats: int = 20,
+    seed: int = 0,
+    n_left: int = 200,
+    n_right: int = 1200,
+    n_chain: int = 40,
+) -> dict:
+    """Per-query batch/row throughput and speedup over the mixed catalog.
+
+    Both modes run warm (plan and build caches populated), so the ratio
+    isolates the execution-loop difference — exactly the quantity the
+    vectorized engine claims to improve.
+    """
+    clear_plan_cache()
+    clear_build_cache()
+    catalog = mixed_catalog(seed=seed, n_left=n_left, n_right=n_right, n_chain=n_chain)
+    queries: dict[str, dict] = {}
+    for name, text in PERF_QUERIES.items():
+        pq = prepared(text, catalog)
+        batch_value = pq.execute(catalog)
+        row_value = pq.execute(catalog, execution="row")
+        if batch_value != row_value:
+            raise AssertionError(f"{name}: batch and row modes disagree")
+        batch_qps = _fastest_half_qps(lambda: pq.execute(catalog), repeats)
+        row_qps = _fastest_half_qps(
+            lambda: pq.execute(catalog, execution="row"), repeats
+        )
+        queries[name] = {
+            "rows": len(batch_value),
+            "batch_qps": batch_qps,
+            "row_qps": row_qps,
+            "speedup": batch_qps / row_qps if row_qps else 0.0,
+            "join_heavy": name in JOIN_HEAVY,
+        }
+    heavy = [queries[name]["speedup"] for name in JOIN_HEAVY]
+    return {
+        "config": {
+            "repeats": repeats,
+            "seed": seed,
+            "n_left": n_left,
+            "n_right": n_right,
+            "n_chain": n_chain,
+        },
+        "queries": queries,
+        "join_heavy": {
+            "names": list(JOIN_HEAVY),
+            "min_speedup": min(heavy),
+            "geomean_speedup": math.exp(sum(math.log(s) for s in heavy) / len(heavy)),
+        },
+    }
+
+
+def render(report: dict) -> str:
+    lines = [
+        f"{'query':24s} {'row q/s':>10s} {'batch q/s':>10s} {'speedup':>8s}",
+        f"{'-' * 24} {'-' * 10} {'-' * 10} {'-' * 8}",
+    ]
+    for name, q in report["queries"].items():
+        mark = " *" if q["join_heavy"] else ""
+        lines.append(
+            f"{name:24s} {q['row_qps']:10.0f} {q['batch_qps']:10.0f}"
+            f" {q['speedup']:7.2f}x{mark}"
+        )
+    heavy = report["join_heavy"]
+    lines.append(
+        f"join-heavy (*): min {heavy['min_speedup']:.2f}x, "
+        f"geomean {heavy['geomean_speedup']:.2f}x"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.vectorized", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--repeats", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", metavar="PATH", help="also write the report to PATH")
+    args = parser.parse_args(argv)
+    report = collect_vectorized(repeats=args.repeats, seed=args.seed)
+    print(render(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

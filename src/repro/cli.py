@@ -45,6 +45,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--no-typecheck", action="store_true", help="skip static type checking")
     query.add_argument(
+        "--execution",
+        choices=("batch", "row"),
+        default="batch",
+        help="physical-engine execution mode: vectorized column batches "
+        "or tuple-at-a-time (default: batch)",
+    )
+    query.add_argument(
         "--analyze",
         action="store_true",
         help="instrument execution and print the EXPLAIN ANALYZE operator tree "
@@ -196,7 +203,7 @@ def _serve_repeated(args: argparse.Namespace, catalog: Catalog) -> int:
     for _ in range(args.repeat):
         start = time.perf_counter()
         result = prepared(args.text, catalog, typecheck=not args.no_typecheck).execute(
-            catalog
+            catalog, execution=args.execution
         )
         latency.observe((time.perf_counter() - start) * 1e3)
     assert result is not None
@@ -356,6 +363,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             engine=args.engine,
             typecheck=not args.no_typecheck,
             analyze=args.analyze and args.engine == "physical",
+            execution=args.execution,
         )
         for value in sorted(result.value, key=sort_key):
             print(value_repr(value))

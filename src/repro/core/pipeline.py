@@ -106,6 +106,7 @@ def run_query(
     rewrite: bool = True,
     analyze: bool = False,
     trace: QueryTrace | None = None,
+    execution: str = "batch",
 ) -> QueryResult:
     """Execute *query* against *catalog* and return its value as a set.
 
@@ -120,9 +121,15 @@ def run_query(
     to the result.  ``trace`` collects the rewrite-decision trace and
     phase timings; pass a fresh :class:`~repro.core.trace.QueryTrace` (it
     is also returned on the result).
+
+    ``execution`` (physical engine only) selects vectorized column-batch
+    execution (``"batch"``, the default) or tuple-at-a-time (``"row"``);
+    see :mod:`repro.engine.executor`.
     """
     with trace_scope(trace) if trace is not None else _null_scope():
-        return _run_query_traced(query, catalog, engine, typecheck, rewrite, analyze, trace)
+        return _run_query_traced(
+            query, catalog, engine, typecheck, rewrite, analyze, trace, execution
+        )
 
 
 def _run_query_traced(
@@ -133,6 +140,7 @@ def _run_query_traced(
     rewrite: bool,
     analyze: bool,
     trace: QueryTrace | None,
+    execution: str = "batch",
 ) -> QueryResult:
     with span("parse"):
         ast = _as_ast(query)
@@ -160,7 +168,7 @@ def _run_query_traced(
         return QueryResult(result_set(rows), "logical", translation, trace=trace)
     if engine == "physical":
         from repro.algebra.rewrite import optimize_logical
-        from repro.engine.executor import execute
+        from repro.engine.executor import execute_set
         from repro.engine.physical import compile_plan
 
         with span("rewrite"):
@@ -172,7 +180,7 @@ def _run_query_traced(
             from repro.engine.feedback import record_run
 
             with span("execute", detail="instrumented"):
-                run = _analyze(physical, catalog)
+                run = _analyze(physical, catalog, execution=execution)
             # Close the cardinality-feedback loop: aggregate this run's
             # per-operator q-errors (keyed by the translator's rewrite
             # verdicts) into the process-global feedback registry.
@@ -180,9 +188,9 @@ def _run_query_traced(
             return QueryResult(
                 result_set(run.rows), "physical", translation, analyzed=run, trace=trace
             )
-        with span("execute"):
-            rows = execute(physical, catalog)
-        return QueryResult(result_set(rows), "physical", translation, trace=trace)
+        with span("execute", detail=execution):
+            value = execute_set(physical, catalog, execution=execution)
+        return QueryResult(value, "physical", translation, trace=trace)
     raise UnsupportedQueryError(f"unknown engine {engine!r}")
 
 
@@ -268,16 +276,20 @@ class PreparedQuery:
                 self._compiled[key] = entry
             return entry[1]
 
-    def execute(self, catalog: Catalog) -> frozenset:
-        """Run against *catalog* and return the result set."""
-        from repro.engine.executor import execute as _execute
+    def execute(self, catalog: Catalog, execution: str = "batch") -> frozenset:
+        """Run against *catalog* and return the result set.
+
+        ``execution`` selects vectorized column-batch execution
+        (``"batch"``, the default) or tuple-at-a-time (``"row"``).
+        """
+        from repro.engine.executor import execute_set
 
         if self.plan is None:
             return _as_result_set(evaluate(self.ast, tables=catalog))
         physical = self.compile_for(catalog)
-        return result_set(_execute(physical, catalog))
+        return execute_set(physical, catalog, execution=execution)
 
-    def analyze(self, catalog: Catalog):
+    def analyze(self, catalog: Catalog, execution: str = "batch"):
         """Instrumented execution: returns an AnalyzedRun (see engine.analyze).
 
         Each call also records the run's per-operator q-errors into the
@@ -286,7 +298,7 @@ class PreparedQuery:
         from repro.engine.analyze import analyze as _analyze
         from repro.engine.feedback import record_run
 
-        run = _analyze(self.compile_for(catalog), catalog)
+        run = _analyze(self.compile_for(catalog), catalog, execution=execution)
         record_run(run, rewrite_kinds=self.rewrite_kinds())
         return run
 

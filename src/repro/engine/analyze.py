@@ -26,7 +26,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
-from repro.engine.physical import PhysicalOp, PJoin, PNest
+from repro.engine.batch import DEFAULT_BATCH_SIZE, Batch
+from repro.engine.physical import PhysicalOp, PJoin, PNest, has_batch_kernel
 from repro.model.values import Tup
 
 __all__ = ["OpStats", "AnalyzedRun", "analyze", "explain_analyze"]
@@ -47,6 +48,12 @@ class OpStats:
     cache_misses: int = 0
     #: Largest group materialized by a nest join / Nest operator, or None.
     peak_group: int | None = None
+    #: Column batches this operator emitted (0 in row-mode execution).
+    batches: int = 0
+    #: ``"batch"`` when the operator ran its vectorized kernel, ``"row"``
+    #: when it ran tuple-at-a-time (row execution or batch-mode fallback);
+    #: None if the operator never ran at all.
+    exec_mode: str | None = None
     children: list["OpStats"] = field(default_factory=list)
 
     @property
@@ -62,6 +69,10 @@ class AnalyzedRun:
     rows: list[Tup]
     stats: OpStats
     total_seconds: float
+    #: The execution mode the run was driven in ("batch" or "row"); an
+    #: operator-level account (including per-operator fallbacks) lives on
+    #: each :attr:`OpStats.exec_mode`.
+    exec_mode: str = "row"
 
     def feedback(self):
         """Per-operator estimate-vs-actual entries (see repro.engine.feedback)."""
@@ -92,6 +103,7 @@ def _group_label(op: PhysicalOp) -> str | None:
 def _instrument(op: PhysicalOp, tables: Mapping, stats: OpStats) -> Iterator[Tup]:
     start = time.perf_counter()
     stats.started = start
+    stats.exec_mode = "row"
     group_label = _group_label(op)
     # Physical operators pull from their children via attribute access;
     # wrap each child in a counting proxy bound to its stats node.
@@ -130,6 +142,57 @@ def _instrument(op: PhysicalOp, tables: Mapping, stats: OpStats) -> Iterator[Tup
             stats.cache_misses = swapped.cache_misses - cache_before[1]
 
 
+def _instrument_batches(
+    op: PhysicalOp, tables: Mapping, stats: OpStats, batch_size: int
+) -> Iterator[Batch]:
+    """Like :func:`_instrument`, driving the batched pull protocol.
+
+    An operator without a batch kernel runs its row implementation under
+    the base-class wrapper; its stats then read ``exec_mode="row"`` —
+    that is how per-operator fallback is surfaced in EXPLAIN ANALYZE.
+    When such a fallback operator pulls its children tuple-at-a-time,
+    the child proxies instrument through :func:`_instrument`, so a whole
+    row-mode subtree is accounted consistently.
+    """
+    start = time.perf_counter()
+    stats.started = start
+    stats.exec_mode = "batch" if has_batch_kernel(op) else "row"
+    group_label = _group_label(op)
+    original_children = op.children()
+    proxies = [
+        _Proxy(c, tables, cs) for c, cs in zip(original_children, stats.children)
+    ]
+    swapped = _swap_children(op, proxies)
+    cache_before = (
+        (swapped.cache_hits, swapped.cache_misses)
+        if isinstance(swapped, PJoin)
+        else None
+    )
+    try:
+        peak = 0
+        for batch in swapped.run_batches(tables, batch_size):
+            stats.batches += 1
+            stats.rows += batch.live
+            if group_label is not None:
+                col = batch.columns.get(group_label)
+                if col is not None:
+                    for i in batch.indices():
+                        try:
+                            size = len(col[i])
+                        except TypeError:
+                            size = 0
+                        if size > peak:
+                            peak = size
+            yield batch
+        if group_label is not None:
+            stats.peak_group = peak
+    finally:
+        stats.seconds = time.perf_counter() - start
+        if cache_before is not None:
+            stats.cache_hits = swapped.cache_hits - cache_before[0]
+            stats.cache_misses = swapped.cache_misses - cache_before[1]
+
+
 class _Proxy(PhysicalOp):
     """Stands in for a child operator, counting and instrumenting it."""
 
@@ -141,6 +204,9 @@ class _Proxy(PhysicalOp):
 
     def run(self, tables: Mapping) -> Iterator[Tup]:
         return _instrument(self.inner, tables, self.stats)
+
+    def run_batches(self, tables: Mapping, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+        return _instrument_batches(self.inner, tables, self.stats, batch_size)
 
     def children(self) -> tuple[PhysicalOp, ...]:
         return self.inner.children()
@@ -164,13 +230,28 @@ def _swap_children(op: PhysicalOp, proxies: list[PhysicalOp]) -> PhysicalOp:
     return clone
 
 
-def analyze(op: PhysicalOp, tables: Mapping) -> AnalyzedRun:
-    """Execute *op* with instrumentation; returns rows plus statistics."""
+def analyze(
+    op: PhysicalOp,
+    tables: Mapping,
+    execution: str = "batch",
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> AnalyzedRun:
+    """Execute *op* with instrumentation; returns rows plus statistics.
+
+    ``execution`` selects the same modes as
+    :func:`repro.engine.executor.execute`; the run (and each operator)
+    records which mode it actually ran in.
+    """
     stats = _build_stats(op)
     start = time.perf_counter()
-    rows = list(_instrument(op, tables, stats))
+    if execution == "batch":
+        rows = []
+        for batch in _instrument_batches(op, tables, stats, batch_size):
+            rows.extend(batch.to_tups())
+    else:
+        rows = list(_instrument(op, tables, stats))
     total = time.perf_counter() - start
-    return AnalyzedRun(rows, stats, total)
+    return AnalyzedRun(rows, stats, total, exec_mode=execution)
 
 
 def explain_analyze(run: AnalyzedRun) -> str:
@@ -184,7 +265,10 @@ def explain_analyze(run: AnalyzedRun) -> str:
     """
     from repro.engine.feedback import q_error
 
-    lines: list[str] = [f"total: {run.total_seconds * 1e3:.2f} ms, {len(run.rows)} result rows"]
+    lines: list[str] = [
+        f"total: {run.total_seconds * 1e3:.2f} ms, {len(run.rows)} result rows"
+        f", mode={run.exec_mode}"
+    ]
 
     def emit(stats: OpStats, indent: int) -> None:
         pad = "  " * indent
@@ -196,6 +280,10 @@ def explain_analyze(run: AnalyzedRun) -> str:
             f"q={q_error(op.est_rows, stats.rows):.2f}",
             f"{stats.seconds * 1e3:.2f} ms",
         ]
+        if stats.exec_mode is not None and stats.exec_mode != run.exec_mode:
+            parts.append(f"mode={stats.exec_mode}")
+        if stats.batches:
+            parts.append(f"{stats.batches} batches")
         if stats.cache_hits or stats.cache_misses:
             parts.append(f"cache {stats.cache_hits} hit/{stats.cache_misses} miss")
         if stats.peak_group is not None:

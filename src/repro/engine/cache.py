@@ -26,6 +26,13 @@ Entries are held in a size-bounded LRU; hit/miss/eviction counters are
 surfaced through ``EXPLAIN`` (per join operator) and
 :func:`build_cache_stats` (globally).
 
+Artifact kinds stored here: ``"hash-build"`` (key tuple → right binding
+tuples), ``"sorted-runs"`` (sort-merge right runs), ``"hash-groups"`` /
+``"inl-groups"`` (nest-join group tables, key tuple → frozenset), and
+``"columnar"`` (the vectorized engine's per-table column views, keyed by
+attribute tuple with an empty probe var — see
+:meth:`repro.engine.table.Table.columnar`).
+
 Cached artifacts are immutable by convention: hash builds map key tuples
 to lists of :class:`~repro.model.values.Tup` that consumers only read.
 """

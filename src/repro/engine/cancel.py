@@ -3,9 +3,12 @@
 Physical operators are Python generators; nothing can interrupt them from
 the outside mid-iteration. Instead, execution is made *cancellable* by
 installing a :class:`CancelToken` in a thread-local slot (via
-:func:`cancel_scope`) and having operators poll it at iteration
-boundaries: every scanned base row and every probe of a cached group
-table calls :meth:`CancelToken.check`, which raises
+:func:`cancel_scope`) and having operators poll it at *batch*
+boundaries: batch-mode operators call :meth:`CancelToken.check` once
+per batch they exchange, and row-mode loops (scans, group-table and
+index probes, grouping) poll every :data:`POLL_INTERVAL` rows — with
+the first poll before the first row, so an already-cancelled token
+stops even tiny inputs immediately. :meth:`CancelToken.check` raises
 :class:`~repro.errors.CancelledError` once the token's deadline has
 passed or :meth:`CancelToken.cancel` was called.
 
@@ -27,7 +30,12 @@ from contextlib import contextmanager
 
 from repro.errors import CancelledError
 
-__all__ = ["CancelToken", "cancel_scope", "current_token", "checkpoint"]
+__all__ = ["CancelToken", "cancel_scope", "current_token", "checkpoint", "POLL_INTERVAL"]
+
+#: Rows between token polls in row-mode loops. Matches the default batch
+#: size, so both execution modes notice cancellation with the same
+#: worst-case latency (one batch of work).
+POLL_INTERVAL = 1024
 
 
 class CancelToken:

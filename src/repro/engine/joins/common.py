@@ -60,17 +60,35 @@ class JoinSpec:
         """True when the residual is the constant TRUE (skip evaluation)."""
         return is_true_const(self.residual)
 
+    # Most joins have exactly one equi-key; a pre-resolved single closure
+    # lets eval_left/eval_right build the key as a one-element literal
+    # tuple instead of driving tuple() over a generator per row.
+    @cached_property
+    def _left_single(self):
+        return self._left_fns[0] if len(self._left_fns) == 1 else None
+
+    @cached_property
+    def _right_single(self):
+        return self._right_fns[0] if len(self._right_fns) == 1 else None
+
     def precompile(self) -> "JoinSpec":
         """Resolve every closure now (called once at plan-compile time)."""
         self._left_fns, self._right_fns, self._residual_fn, self.residual_trivial
+        self._left_single, self._right_single
         return self
 
     # -- per-row evaluation (the hot path) -----------------------------------
     def eval_left(self, binding: Tup, tables: Mapping) -> tuple:
+        single = self._left_single
+        if single is not None:
+            return (single(binding.as_env(), tables),)
         env = binding.as_env()
         return tuple(fn(env, tables) for fn in self._left_fns)
 
     def eval_right(self, binding: Tup, tables: Mapping) -> tuple:
+        single = self._right_single
+        if single is not None:
+            return (single(binding.as_env(), tables),)
         env = binding.as_env()
         return tuple(fn(env, tables) for fn in self._right_fns)
 

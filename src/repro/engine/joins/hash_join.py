@@ -39,10 +39,23 @@ __all__ = [
 def build_table(
     right: Iterable[Tup], spec: JoinSpec, tables: Mapping
 ) -> dict[tuple, list[Tup]]:
-    """The build side: right-key tuple → matching right binding tuples."""
+    """The build side: right-key tuple → matching right binding tuples.
+
+    Key tuples are interned once per build: the first row of each
+    distinct key donates the canonical tuple the dict stores, and later
+    duplicates are filed under it via a plain ``get`` — no throwaway
+    default list per row (``setdefault`` allocates one even on a hit)
+    and one key-tuple object per distinct key rather than one per row.
+    """
     table: dict[tuple, list[Tup]] = {}
+    get = table.get
     for rt in right:
-        table.setdefault(spec.eval_right(rt, tables), []).append(rt)
+        k = spec.eval_right(rt, tables)
+        bucket = get(k)
+        if bucket is None:
+            table[k] = [rt]
+        else:
+            bucket.append(rt)
     return table
 
 

@@ -31,8 +31,14 @@ from repro.algebra.plan import (
     SemiJoin,
     Unnest,
 )
+from repro.engine.batch import (
+    DEFAULT_BATCH_SIZE,
+    Batch,
+    batches_from_rows,
+    rows_from_batches,
+)
 from repro.engine.cache import BUILD_CACHE
-from repro.engine.cancel import current_token
+from repro.engine.cancel import POLL_INTERVAL, current_token
 from repro.engine.cost import cheapest_algorithm
 from repro.engine.joins.common import JoinSpec, analyse_join
 from repro.engine.joins.hash_join import (
@@ -64,13 +70,21 @@ from repro.errors import ExecutionError, PlanError
 from repro.lang.ast import Expr, Var
 from repro.model.values import Tup
 
-__all__ = ["PhysicalOp", "compile_plan", "JOIN_ALGORITHMS"]
+__all__ = ["PhysicalOp", "compile_plan", "JOIN_ALGORITHMS", "has_batch_kernel"]
 
 JOIN_ALGORITHMS = ("nested_loop", "hash", "sort_merge", "index_nested_loop")
 
 
 class PhysicalOp:
-    """Base class for physical operators; ``run`` yields binding tuples.
+    """Base class for physical operators.
+
+    Two execution protocols over the same tree: ``run`` yields binding
+    tuples one at a time (row mode — the correctness oracle), and
+    ``run_batches`` yields columnar :class:`~repro.engine.batch.Batch`
+    blocks (the vectorized default). Operators without a native batch
+    kernel inherit the base ``run_batches``, which executes the whole
+    subtree in row mode and re-chunks — so a plan mixing vectorized and
+    row-only operators still runs end to end in either mode.
 
     Subclasses are dataclasses carrying at least ``est_rows`` (cardinality
     estimate); joins also carry ``algorithm``.
@@ -81,11 +95,26 @@ class PhysicalOp:
     def run(self, tables: Mapping) -> Iterator[Tup]:
         raise NotImplementedError
 
+    def run_batches(
+        self, tables: Mapping, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[Batch]:
+        """Batched pull; this base implementation is the row-mode fallback."""
+        return batches_from_rows(self.run(tables), batch_size)
+
     def children(self) -> tuple["PhysicalOp", ...]:
         return ()
 
     def describe(self) -> str:
         return type(self).__name__
+
+
+def has_batch_kernel(op: PhysicalOp) -> bool:
+    """Whether *op* would serve batches from a native batch kernel
+    (False means the base row-mode fallback re-chunks its ``run``)."""
+    if type(op).run_batches is PhysicalOp.run_batches:
+        return False
+    native = getattr(op, "_batch_native", None)
+    return True if native is None else native()
 
 
 @dataclass
@@ -104,12 +133,29 @@ class PScan(PhysicalOp):
             for row in rows:
                 yield wrap({var: row})
             return
-        # Cancellable execution: every base row scanned is a checkpoint.
-        # All data enters a plan through scans, so deadline expiry is
-        # noticed within one operator iteration of any long-running plan.
+        # Cancellable execution: all data enters a plan through scans, so
+        # polling every POLL_INTERVAL scanned rows (first poll before the
+        # first row) bounds how far past a deadline any plan can run.
+        countdown = 0
         for row in rows:
-            token.check()
+            if countdown <= 0:
+                token.check()
+                countdown = POLL_INTERVAL
+            countdown -= 1
             yield wrap({var: row})
+
+    def run_batches(self, tables, batch_size=DEFAULT_BATCH_SIZE):
+        # The vectorized scan slices the stored row list straight into
+        # single-column batches: no per-row wrapping at all.
+        source = tables[self.table]
+        rows = source.rows if hasattr(source, "rows") else list(source)
+        var = self.var
+        token = current_token()
+        for start in range(0, len(rows), batch_size):
+            if token is not None:
+                token.check()
+            chunk = rows[start : start + batch_size]
+            yield Batch({var: chunk}, len(chunk))
 
     def describe(self):
         return f"Scan {self.table} AS {self.var}"
@@ -131,6 +177,28 @@ class PFilter(PhysicalOp):
                 raise ExecutionError(f"predicate evaluated to non-boolean {result!r}")
             if result:
                 yield t
+
+    def run_batches(self, tables, batch_size=DEFAULT_BATCH_SIZE):
+        from repro.lang.compile import compiled
+
+        fn = compiled(self.pred)
+        for batch in self.child.run_batches(tables, batch_size):
+            items = list(batch.columns.items())
+            env: dict = {}
+            sel: list[int] = []
+            append = sel.append
+            # The filter only narrows the selection vector; columns are
+            # shared with the input batch, never copied.
+            for i in batch.indices():
+                for k, c in items:
+                    env[k] = c[i]
+                result = fn(env, tables)
+                if result is True:
+                    append(i)
+                elif result is not False:
+                    raise ExecutionError(f"predicate evaluated to non-boolean {result!r}")
+            if sel:
+                yield Batch(batch.columns, batch.n, sel)
 
     def children(self):
         return (self.child,)
@@ -156,6 +224,23 @@ class PMap(PhysicalOp):
         for t in self.child.run(tables):
             yield Tup({var: fn(t.as_env(), tables)})
 
+    def run_batches(self, tables, batch_size=DEFAULT_BATCH_SIZE):
+        from repro.lang.compile import compiled
+
+        fn = compiled(self.expr)
+        var = self.var
+        for batch in self.child.run_batches(tables, batch_size):
+            items = list(batch.columns.items())
+            env: dict = {}
+            out: list = []
+            append = out.append
+            for i in batch.indices():
+                for k, c in items:
+                    env[k] = c[i]
+                append(fn(env, tables))
+            if out:
+                yield Batch({var: out}, len(out))
+
     def children(self):
         return (self.child,)
 
@@ -180,6 +265,25 @@ class PExtend(PhysicalOp):
         for t in self.child.run(tables):
             yield t.extend(**{label: fn(t.as_env(), tables)})
 
+    def run_batches(self, tables, batch_size=DEFAULT_BATCH_SIZE):
+        from repro.lang.compile import compiled
+
+        fn = compiled(self.expr)
+        label = self.label
+        for batch in self.child.run_batches(tables, batch_size):
+            batch = batch.compact()  # the new column must align with live rows
+            items = list(batch.columns.items())
+            env: dict = {}
+            col: list = []
+            append = col.append
+            for i in range(batch.n):
+                for k, c in items:
+                    env[k] = c[i]
+                append(fn(env, tables))
+            columns = dict(batch.columns)
+            columns[label] = col
+            yield Batch(columns, batch.n)
+
     def children(self):
         return (self.child,)
 
@@ -196,6 +300,12 @@ class PDrop(PhysicalOp):
     def run(self, tables):
         for t in self.child.run(tables):
             yield t.drop(*self.labels)
+
+    def run_batches(self, tables, batch_size=DEFAULT_BATCH_SIZE):
+        dropped = set(self.labels)
+        for batch in self.child.run_batches(tables, batch_size):
+            columns = {k: c for k, c in batch.columns.items() if k not in dropped}
+            yield Batch(columns, batch.n, batch.sel)
 
     def children(self):
         return (self.child,)
@@ -215,6 +325,33 @@ class PDistinct(PhysicalOp):
             if t not in seen:
                 seen.add(t)
                 yield t
+
+    def run_batches(self, tables, batch_size=DEFAULT_BATCH_SIZE):
+        # Dedup on value tuples in a fixed column order — equivalent to
+        # Tup equality (same bindings throughout one stream) without
+        # materializing a Tup per row.
+        seen: set = set()
+        add = seen.add
+        for batch in self.child.run_batches(tables, batch_size):
+            names = sorted(batch.columns)
+            sel: list[int] = []
+            append = sel.append
+            if len(names) == 1:
+                col = batch.columns[names[0]]
+                for i in batch.indices():
+                    key = col[i]
+                    if key not in seen:
+                        add(key)
+                        append(i)
+            else:
+                cols = [batch.columns[k] for k in names]
+                for i in batch.indices():
+                    key = tuple(c[i] for c in cols)
+                    if key not in seen:
+                        add(key)
+                        append(i)
+            if sel:
+                yield Batch(batch.columns, batch.n, sel)
 
     def children(self):
         return (self.child,)
@@ -327,16 +464,427 @@ class PJoin(PhysicalOp):
             BUILD_CACHE.put(key, artifact)
         return artifact
 
+    # -- batch kernels -------------------------------------------------------
+
+    def _batch_native(self) -> bool:
+        # Nested-loop joins have no batch kernel (arbitrary predicates,
+        # quadratic anyway); they fall back to row mode.
+        return self.algorithm != "nested_loop"
+
+    def run_batches(self, tables, batch_size=DEFAULT_BATCH_SIZE):
+        if self.algorithm == "nested_loop":
+            yield from batches_from_rows(self.run(tables), batch_size)
+            return
+        if self.algorithm == "index_nested_loop":
+            if self.mode == "nest" and self.group_source is not None:
+                groups = self._reusable("inl-groups", tables, lambda: self._inl_groups(tables))
+                yield from self._batch_grouped(tables, groups, batch_size)
+                return
+            table_name, var, attrs = self.index_target
+            index = tables[table_name].hash_index(attrs)
+            yield from self._batch_probe(tables, index, batch_size, index_var=var)
+            return
+        if self.algorithm == "hash":
+            if self.mode == "inner" and self.hash_build_left:
+                yield from self._batch_hash_build_left(tables, batch_size)
+                return
+            if self.mode == "nest" and self.group_source is not None:
+                groups = self._reusable("hash-groups", tables, lambda: self._hash_groups(tables))
+                yield from self._batch_grouped(tables, groups, batch_size)
+                return
+            build = self._reusable(
+                "hash-build",
+                tables,
+                lambda: self._batch_build(tables, batch_size),
+            )
+            yield from self._batch_probe(tables, build, batch_size)
+            return
+        # sort_merge: the sort dominates the cost, so the kernel is a
+        # hybrid — the left operand is pulled vectorized, the merge runs
+        # the proven row kernel over the cached right runs, and the
+        # output is re-chunked into batches.
+        runs = self._reusable(
+            "sorted-runs",
+            tables,
+            lambda: right_runs(self.right.run(tables), self.spec, tables),
+        )
+        left_rows = list(rows_from_batches(self.left.run_batches(tables, batch_size)))
+        yield from batches_from_rows(self._run_sm(left_rows, runs, tables), batch_size)
+
+    def _batch_keys(self, batch, tables):
+        """The left join key of every row of a dense batch, as a list."""
+        getters = [batch.getter(k, tables) for k in self.spec.left_keys]
+        n = batch.n
+        if len(getters) == 1:
+            g0 = getters[0]
+            return [(g0(i),) for i in range(n)]
+        return [tuple(g(i) for g in getters) for i in range(n)]
+
+    def _batch_build(self, tables, batch_size):
+        """The build side from the right child's batches (same key-interned
+        artifact shape as :func:`repro.engine.joins.hash_join.build_table`,
+        so row and batch executions share cache entries)."""
+        spec = self.spec
+        table: dict[tuple, list[Tup]] = {}
+        get = table.get
+        wrap = Tup._from_validated
+        for batch in self.right.run_batches(tables, batch_size):
+            batch = batch.compact()
+            getters = [batch.getter(k, tables) for k in spec.right_keys]
+            items = list(batch.columns.items())
+            single = getters[0] if len(getters) == 1 else None
+            for i in range(batch.n):
+                k = (single(i),) if single is not None else tuple(g(i) for g in getters)
+                rt = wrap({name: c[i] for name, c in items})
+                bucket = get(k)
+                if bucket is None:
+                    table[k] = [rt]
+                else:
+                    bucket.append(rt)
+        return table
+
+    def _batch_grouped(self, tables, groups, batch_size):
+        """Vectorized probe of a precomputed group table: per live row one
+        key gather (attribute chains walk columns directly) and one dict
+        lookup; the group column is appended to the left batch without
+        constructing any tuple."""
+        label = self.label
+        empty = frozenset()
+        get = groups.get
+        token = current_token()
+        for batch in self.left.run_batches(tables, batch_size):
+            if token is not None:
+                token.check()
+            batch = batch.compact()
+            col = [get(k, empty) for k in self._batch_keys(batch, tables)]
+            columns = dict(batch.columns)
+            columns[label] = col
+            yield Batch(columns, batch.n)
+
+    @staticmethod
+    def _res_ok(res_fn, env, tables) -> bool:
+        result = res_fn(env, tables)
+        if not isinstance(result, bool):
+            raise ExecutionError(f"predicate evaluated to non-boolean {result!r}")
+        return result
+
+    def _probe_match(self, env, bucket, res_fn, index_var, tables) -> bool:
+        """Whether any bucket member passes the residual; *env* holds the
+        probing row's bindings (copied per candidate, as closures may
+        recurse into subqueries)."""
+        if index_var is not None:
+            for row in bucket:
+                menv = dict(env)
+                menv[index_var] = row
+                if self._res_ok(res_fn, menv, tables):
+                    return True
+            return False
+        for rt in bucket:
+            menv = dict(env)
+            menv.update(rt._fields)
+            if self._res_ok(res_fn, menv, tables):
+                return True
+        return False
+
+    def _batch_probe(self, tables, build, batch_size, index_var=None):
+        """Probe a hash build (binding tuples) or a persistent table index
+        (raw rows, when *index_var* names their binding) with vectorized
+        left batches, in all five join modes."""
+        from repro.lang.compile import compiled
+        from repro.model.values import NULL
+
+        spec = self.spec
+        mode = self.mode
+        trivial = spec.residual_trivial
+        res_fn = spec._residual_fn
+        get = build.get
+        token = current_token()
+        func_fn = compiled(self.func) if mode == "nest" else None
+        right_names = (index_var,) if index_var is not None else tuple(self.right_bindings)
+        # Nest probe with a trivial residual and a pure right-side
+        # function: each bucket's group depends only on the key, so it is
+        # computed once per execution, not once per probing left row.
+        memo_groups: dict | None = None
+        if mode == "nest" and trivial:
+            from repro.lang.freevars import free_vars
+
+            if free_vars(self.func) <= set(right_names):
+                memo_groups = {}
+
+        for batch in self.left.run_batches(tables, batch_size):
+            if token is not None:
+                token.check()
+            batch = batch.compact()
+            keys = self._batch_keys(batch, tables)
+            n = batch.n
+            litems = list(batch.columns.items())
+
+            if mode in ("semi", "anti"):
+                want = mode == "semi"
+                sel: list[int] = []
+                append = sel.append
+                if trivial:
+                    for i in range(n):
+                        if (get(keys[i]) is not None) == want:
+                            append(i)
+                else:
+                    env: dict = {}
+                    for i in range(n):
+                        bucket = get(keys[i])
+                        matched = False
+                        if bucket:
+                            for k, c in litems:
+                                env[k] = c[i]
+                            matched = self._probe_match(env, bucket, res_fn, index_var, tables)
+                        if matched == want:
+                            append(i)
+                if sel:
+                    yield Batch(batch.columns, n, sel)
+                continue
+
+            if mode == "nest":
+                col: list = []
+                append = col.append
+                if memo_groups is not None:
+                    mget = memo_groups.get
+                    scratch: dict = {}
+                    for i in range(n):
+                        k = keys[i]
+                        group = mget(k)
+                        if group is None:
+                            group = self._bucket_group(
+                                get(k), func_fn, index_var, scratch, tables
+                            )
+                            memo_groups[k] = group
+                        append(group)
+                else:
+                    for i in range(n):
+                        bucket = get(keys[i])
+                        if not bucket:
+                            append(frozenset())
+                            continue
+                        env = {k: c[i] for k, c in litems}
+                        vals = set()
+                        if index_var is not None:
+                            for row in bucket:
+                                menv = dict(env)
+                                menv[index_var] = row
+                                if trivial or self._res_ok(res_fn, menv, tables):
+                                    vals.add(func_fn(menv, tables))
+                        else:
+                            for rt in bucket:
+                                menv = dict(env)
+                                menv.update(rt._fields)
+                                if trivial or self._res_ok(res_fn, menv, tables):
+                                    vals.add(func_fn(menv, tables))
+                        append(frozenset(vals))
+                columns = dict(batch.columns)
+                columns[self.label] = col
+                yield Batch(columns, n)
+                continue
+
+            # inner / outer: expanded output columns (left ∥ right)
+            outer = mode == "outer"
+            out = {k: [] for k, _ in litems}
+            for name in right_names:
+                out[name] = []
+            lappends = [(out[k].append, c) for k, c in litems]
+            count = 0
+            if index_var is not None:
+                rappend = out[index_var].append
+                for i in range(n):
+                    bucket = get(keys[i])
+                    emitted = False
+                    if bucket:
+                        if trivial:
+                            for row in bucket:
+                                for app, c in lappends:
+                                    app(c[i])
+                                rappend(row)
+                            count += len(bucket)
+                            emitted = True
+                        else:
+                            env0 = {k: c[i] for k, c in litems}
+                            for row in bucket:
+                                menv = dict(env0)
+                                menv[index_var] = row
+                                if self._res_ok(res_fn, menv, tables):
+                                    for app, c in lappends:
+                                        app(c[i])
+                                    rappend(row)
+                                    count += 1
+                                    emitted = True
+                    if outer and not emitted:
+                        for app, c in lappends:
+                            app(c[i])
+                        rappend(NULL)
+                        count += 1
+            else:
+                rnames = list(right_names)
+                rappends = [out[name].append for name in rnames]
+                for i in range(n):
+                    bucket = get(keys[i])
+                    emitted = False
+                    if bucket:
+                        if trivial:
+                            for rt in bucket:
+                                for app, c in lappends:
+                                    app(c[i])
+                                fields = rt._fields
+                                for rapp, name in zip(rappends, rnames):
+                                    rapp(fields[name])
+                            count += len(bucket)
+                            emitted = True
+                        else:
+                            env0 = {k: c[i] for k, c in litems}
+                            for rt in bucket:
+                                menv = dict(env0)
+                                menv.update(rt._fields)
+                                if self._res_ok(res_fn, menv, tables):
+                                    for app, c in lappends:
+                                        app(c[i])
+                                    fields = rt._fields
+                                    for rapp, name in zip(rappends, rnames):
+                                        rapp(fields[name])
+                                    count += 1
+                                    emitted = True
+                    if outer and not emitted:
+                        for app, c in lappends:
+                            app(c[i])
+                        for rapp in rappends:
+                            rapp(NULL)
+                        count += 1
+            if count:
+                yield Batch(out, count)
+
+    def _bucket_group(self, bucket, func_fn, index_var, scratch, tables):
+        """One bucket's nest group (trivial residual, right-only function)."""
+        if not bucket:
+            return frozenset()
+        vals = set()
+        if index_var is not None:
+            for row in bucket:
+                scratch[index_var] = row
+                vals.add(func_fn(scratch, tables))
+        else:
+            for rt in bucket:
+                vals.add(func_fn(rt.as_env(), tables))
+        return frozenset(vals)
+
+    def _batch_hash_build_left(self, tables, batch_size):
+        """Inner hash join building on the left operand, vectorized on both
+        sides: left rows are stored as value tuples under their join key;
+        right batches probe and emit expanded output batches."""
+        spec = self.spec
+        build: dict[tuple, list[tuple]] = {}
+        bget = build.get
+        lnames: list[str] | None = None
+        for batch in self.left.run_batches(tables, batch_size):
+            batch = batch.compact()
+            if lnames is None:
+                lnames = list(batch.columns)
+            getters = [batch.getter(k, tables) for k in spec.left_keys]
+            cols = [batch.columns[k] for k in lnames]
+            single = getters[0] if len(getters) == 1 else None
+            for i in range(batch.n):
+                k = (single(i),) if single is not None else tuple(g(i) for g in getters)
+                entry = tuple(c[i] for c in cols)
+                bucket = bget(k)
+                if bucket is None:
+                    build[k] = [entry]
+                else:
+                    bucket.append(entry)
+        if not build:
+            return
+        trivial = spec.residual_trivial
+        res_fn = spec._residual_fn
+        token = current_token()
+        for batch in self.right.run_batches(tables, batch_size):
+            if token is not None:
+                token.check()
+            batch = batch.compact()
+            getters = [batch.getter(k, tables) for k in spec.right_keys]
+            ritems = list(batch.columns.items())
+            out: dict[str, list] = {name: [] for name in lnames}
+            for name, _ in ritems:
+                out[name] = []
+            lappends = [out[name].append for name in lnames]
+            rappends = [(out[name].append, c) for name, c in ritems]
+            single = getters[0] if len(getters) == 1 else None
+            count = 0
+            for i in range(batch.n):
+                k = (single(i),) if single is not None else tuple(g(i) for g in getters)
+                bucket = bget(k)
+                if not bucket:
+                    continue
+                if trivial:
+                    for entry in bucket:
+                        for lapp, v in zip(lappends, entry):
+                            lapp(v)
+                        for rapp, c in rappends:
+                            rapp(c[i])
+                    count += len(bucket)
+                else:
+                    renv = {name: c[i] for name, c in ritems}
+                    for entry in bucket:
+                        menv = dict(renv)
+                        for name, v in zip(lnames, entry):
+                            menv[name] = v
+                        if self._res_ok(res_fn, menv, tables):
+                            for lapp, v in zip(lappends, entry):
+                                lapp(v)
+                            for rapp, c in rappends:
+                                rapp(c[i])
+                            count += 1
+            if count:
+                yield Batch(out, count)
+
     def _hash_groups(self, tables):
-        """Right-key tuple → the nest group, from a fresh hash build."""
+        """Right-key tuple → the nest group, built in one pass.
+
+        The group sets accumulate directly — no intermediate build table
+        of binding tuples. When the join keys are direct attributes of a
+        stored table (``index_target``), the pass runs over the table's
+        cached columnar view (:meth:`repro.engine.table.Table.columnar`)
+        and never wraps a row in a binding tuple at all.
+        """
         from repro.lang.compile import compiled
 
         fn = compiled(self.func)
-        build = build_table(self.right.run(tables), self.spec, tables)
-        return {
-            k: frozenset(fn(rt.as_env(), tables) for rt in rts)
-            for k, rts in build.items()
-        }
+        acc: dict[tuple, set] = {}
+        get = acc.get
+        tgt = self.index_target
+        source = tables.get(tgt[0]) if tgt is not None else None
+        if tgt is not None and hasattr(source, "columnar"):
+            _table_name, var, attrs = tgt
+            rows, key_cols = source.columnar(attrs)
+            env: dict = {}
+            if len(key_cols) == 1:
+                kc = key_cols[0]
+                for i, row in enumerate(rows):
+                    k = (kc[i],)
+                    group = get(k)
+                    if group is None:
+                        group = acc[k] = set()
+                    env[var] = row
+                    group.add(fn(env, tables))
+            else:
+                for i, row in enumerate(rows):
+                    k = tuple(c[i] for c in key_cols)
+                    group = get(k)
+                    if group is None:
+                        group = acc[k] = set()
+                    env[var] = row
+                    group.add(fn(env, tables))
+        else:
+            spec = self.spec
+            for rt in self.right.run(tables):
+                k = spec.eval_right(rt, tables)
+                group = get(k)
+                if group is None:
+                    group = acc[k] = set()
+                group.add(fn(rt.as_env(), tables))
+        return {k: frozenset(v) for k, v in acc.items()}
 
     def _inl_groups(self, tables):
         """Right-key tuple → the nest group, from the persistent table index."""
@@ -345,10 +893,15 @@ class PJoin(PhysicalOp):
         table_name, var, attrs = self.index_target
         index = tables[table_name].hash_index(attrs)
         fn = compiled(self.func)
-        return {
-            k: frozenset(fn({var: row}, tables) for row in rows)
-            for k, rows in index.items()
-        }
+        env: dict = {}
+        out: dict[tuple, frozenset] = {}
+        for k, rows in index.items():
+            group = set()
+            for row in rows:
+                env[var] = row
+                group.add(fn(env, tables))
+            out[k] = frozenset(group)
+        return out
 
     def _run_grouped(self, left, groups, tables):
         """Probe a precomputed group table: one lookup per left tuple."""
@@ -356,11 +909,16 @@ class PJoin(PhysicalOp):
         label = self.label
         empty = frozenset()
         # A cached group table means the right child (and its scans) never
-        # runs, so this probe loop must poll the deadline itself.
+        # runs, so this probe loop must poll the deadline itself — at
+        # batch granularity, first poll before the first row.
         token = current_token()
+        countdown = 0
         for lt in left:
             if token is not None:
-                token.check()
+                if countdown <= 0:
+                    token.check()
+                    countdown = POLL_INTERVAL
+                countdown -= 1
             k = spec.eval_left(lt, tables)
             yield lt.extend(**{label: groups.get(k, empty)})
 
@@ -376,12 +934,16 @@ class PJoin(PhysicalOp):
         pad = {name: NULL for name in self.right_bindings}
         func_fn = compiled(self.func) if self.mode == "nest" else None
         wrap = Tup._from_validated
-        # The index probe bypasses the right child's scan, so the left-row
-        # boundary is this loop's only cancellation checkpoint.
+        # The index probe bypasses the right child's scan, so this loop
+        # polls itself — at batch granularity, first poll before row 0.
         token = current_token()
+        countdown = 0
         for lt in left:
             if token is not None:
-                token.check()
+                if countdown <= 0:
+                    token.check()
+                    countdown = POLL_INTERVAL
+                countdown -= 1
             key = spec.eval_left(lt, tables)
             matches = []
             for row in index.get(key, ()):
@@ -489,12 +1051,16 @@ class PNest(PhysicalOp):
         groups: dict[Tup, set] = {}
         order: list[Tup] = []
         # Grouping buffers the whole input before emitting anything; poll
-        # per absorbed row so a deadline interrupts the accumulation even
-        # when the child itself never polls.
+        # at batch granularity (first poll before row 0) so a deadline
+        # interrupts the accumulation even when the child never polls.
         token = current_token()
+        countdown = 0
         for t in self.child.run(tables):
-            if token is not None:
-                token.check()
+            if countdown <= 0:
+                if token is not None:
+                    token.check()
+                countdown = POLL_INTERVAL
+            countdown -= 1
             key = t.project(self.by)
             if key not in groups:
                 groups[key] = set()
@@ -505,6 +1071,43 @@ class PNest(PhysicalOp):
             groups[key].add(value)
         for key in order:
             yield key.extend(**{self.label: frozenset(groups[key])})
+
+    def run_batches(self, tables, batch_size=DEFAULT_BATCH_SIZE):
+        """Vectorized grouping: one pass over the by/nest columns building
+        key-tuple → value-set, then a single output batch in first-seen
+        key order (grouping is a full pipeline breaker either way)."""
+        from repro.model.values import NULL
+
+        by = self.by
+        nest = self.nest
+        null_to_empty = self.null_to_empty
+        groups: dict[tuple, set] = {}
+        order: list[tuple] = []
+        token = current_token()
+        for batch in self.child.run_batches(tables, batch_size):
+            if token is not None:
+                token.check()
+            cols = [batch.columns[a] for a in by]
+            vals = batch.columns[nest]
+            for i in batch.indices():
+                key = tuple(c[i] for c in cols)
+                group = groups.get(key)
+                if group is None:
+                    groups[key] = group = set()
+                    order.append(key)
+                value = vals[i]
+                if null_to_empty and value == NULL:
+                    continue
+                group.add(value)
+        if not order:
+            return
+        out: dict[str, list] = {a: [] for a in by}
+        out[self.label] = [frozenset(groups[key]) for key in order]
+        for j, a in enumerate(by):
+            col = out[a]
+            for key in order:
+                col.append(key[j])
+        yield Batch(out, len(order))
 
     def children(self):
         return (self.child,)
@@ -529,6 +1132,31 @@ class PUnnest(PhysicalOp):
             rest = t.drop(self.label)
             for m in members:
                 yield rest.extend(**{self.var: m})
+
+    def run_batches(self, tables, batch_size=DEFAULT_BATCH_SIZE):
+        """Vectorized flattening: replicate the carried columns once per
+        set member, no per-output-row tuple construction."""
+        label = self.label
+        var = self.var
+        for batch in self.child.run_batches(tables, batch_size):
+            members_col = batch.columns[label]
+            rest = [(k, c) for k, c in batch.columns.items() if k != label]
+            out: dict[str, list] = {k: [] for k, _ in rest}
+            out[var] = []
+            vappend = out[var].append
+            appends = [(out[k].append, c) for k, c in rest]
+            count = 0
+            for i in batch.indices():
+                members = members_col[i]
+                if not isinstance(members, frozenset):
+                    raise ExecutionError(f"Unnest of non-set binding {label!r}")
+                for m in members:
+                    for app, c in appends:
+                        app(c[i])
+                    vappend(m)
+                count += len(members)
+            if count:
+                yield Batch(out, count)
 
     def children(self):
         return (self.child,)

@@ -115,6 +115,32 @@ class Table:
                 self._as_set = value
         return value
 
+    def columnar(self, attrs: tuple[str, ...]) -> tuple[list[Tup], tuple[list, ...]]:
+        """An aligned ``(rows, column lists)`` snapshot for *attrs*.
+
+        The columnar view is what the vectorized kernels build group
+        tables and hash builds from in one pass over the key columns. It
+        is a pure function of the table contents, so it is cached in
+        :data:`repro.engine.cache.BUILD_CACHE` keyed by this table's
+        ``(uid, version)`` — shared across queries and plans, invalidated
+        by any mutation, and bounded by the cache's LRU policy. The row
+        list returned is the exact snapshot the columns were built from,
+        so callers can zip them without racing a concurrent mutation.
+        """
+        from repro.engine.cache import BUILD_CACHE
+
+        key = BUILD_CACHE.key("columnar", self, "", attrs)
+        cached = BUILD_CACHE.get(key) if key is not None else None
+        if cached is not None:
+            return cached
+        rows = self.rows
+        view = (rows, tuple([row.get(a) for row in rows] for a in attrs))
+        # Publish only if the table did not mutate while we built (the
+        # same re-derive-then-put pattern as the join build-side cache).
+        if key is not None and BUILD_CACHE.key("columnar", self, "", attrs) == key:
+            BUILD_CACHE.put(key, view)
+        return view
+
     def hash_index(self, attrs: tuple[str, ...]) -> dict[tuple, list[Tup]]:
         """A persistent hash index on *attrs* (built on first use, cached).
 

@@ -44,6 +44,7 @@ CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 #: Label names per labeled instrument; anything unlisted uses "label".
 LABEL_NAMES = {
     "queries_by_rewrite": "kind",
+    "queries_by_exec_mode": "mode",
     "qerror_by_rewrite": "kind",
     "qerror_by_op": "op",
 }

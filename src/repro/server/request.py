@@ -120,6 +120,10 @@ class QueryResponse:
     #: feedback; empty for cache hits, coalesced followers, and unsampled
     #: executions. See repro.engine.feedback.
     misestimates: tuple = ()
+    #: Execution mode of the plan that produced the answer ("batch" /
+    #: "row" / "interpreted"); None when this request never drove an
+    #: execution (result-cache hit).
+    exec_mode: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -142,4 +146,5 @@ class QueryResponse:
             "trace_id": self.trace_id,
             "rewrite_kinds": list(self.rewrite_kinds),
             "misestimates": list(self.misestimates),
+            "exec_mode": self.exec_mode,
         }

@@ -126,14 +126,22 @@ class QueryService:
         slow_query_capacity: int = 16,
         feedback_every: int = 7,
         feedback_top_k: int = 3,
+        execution: str = "batch",
     ):
+        from repro.engine.executor import EXECUTION_MODES
+
         if workers <= 0:
             raise ValueError("workers must be positive")
         if max_attempts <= 0:
             raise ValueError("max_attempts must be positive")
         if feedback_every < 0:
             raise ValueError("feedback_every must be >= 0 (0 disables feedback)")
+        if execution not in EXECUTION_MODES:
+            raise ValueError(f"execution must be one of {EXECUTION_MODES}")
         self.catalog = catalog
+        #: Execution mode leader executions run planned queries in
+        #: ("batch" vectorized column batches, or "row" tuple-at-a-time).
+        self.execution = execution
         self.workers = workers
         self.queue_limit = queue_limit
         self.default_timeout = default_timeout
@@ -163,6 +171,8 @@ class QueryService:
         # Queries by the translator's rewrite decision (semijoin/antijoin/
         # nestjoin/flat/interpreted), counted once per leader execution.
         self.metrics.labeled_counter("queries_by_rewrite")
+        # Leader executions by execution mode (batch/row/interpreted).
+        self.metrics.labeled_counter("queries_by_exec_mode")
         # Cardinality-feedback instruments (see repro.engine.feedback):
         # pre-created so stats() and the /metrics exposition always carry
         # the families, even before the first analyzed execution.
@@ -364,6 +374,9 @@ class QueryService:
                 response.misestimates = misests
                 if pq is not None:
                     response.rewrite_kinds = pq.rewrite_kinds()
+                    response.exec_mode = (
+                        self.execution if pq.plan is not None else "interpreted"
+                    )
                 trace.record(
                     "service",
                     "served",
@@ -375,6 +388,9 @@ class QueryService:
                     counter = self.metrics.labeled_counter("queries_by_rewrite")
                     for kind in response.rewrite_kinds:
                         counter.inc(kind)
+                    self.metrics.labeled_counter("queries_by_exec_mode").inc(
+                        response.exec_mode
+                    )
                 self.metrics.counter("ok").inc()
             except CancelledError as exc:
                 self.metrics.counter("timeouts").inc()
@@ -418,6 +434,7 @@ class QueryService:
             worker=response.worker,
             result_cache=response.result_cache,
             rewrite_kinds=list(response.rewrite_kinds),
+            exec_mode=response.exec_mode,
             events=[e.to_dict() for e in trace.events],
         )
         if response.misestimates:
@@ -522,10 +539,10 @@ class QueryService:
         ):
             from repro.algebra.interpreter import result_set
 
-            run = pq.analyze(self.catalog)
+            run = pq.analyze(self.catalog, execution=self.execution)
             value = result_set(run.rows)
         else:
-            value = pq.execute(self.catalog)
+            value = pq.execute(self.catalog, execution=self.execution)
         if getattr(self.catalog, "version", None) != version:
             raise CatalogVersionRace(
                 f"catalog version moved from {version} to "
