@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: test bench bench-shapes bench-json serve-bench trace-smoke report fuzz examples all \
-	perf-report perf-gate metrics-smoke bench-vectorized parity
+	perf-report perf-gate metrics-smoke bench-vectorized bench-parallel parity
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -33,9 +33,16 @@ perf-gate: perf-report
 bench-vectorized:
 	$(PYTHON) -m repro.bench.vectorized --json VECTORIZED_report.json
 
-# The batch/row parity property suite (hypothesis-chosen batch sizes).
+# Parallel scatter-gather vs sequential batch on the join-heavy queries
+# (docs/parallel.md). The speedup floor applies only with cores >= parts.
+bench-parallel:
+	$(PYTHON) -m repro.bench.parallel --json PARALLEL_report.json
+
+# The execution-mode parity suites: batch/row property tests
+# (hypothesis-chosen batch sizes) and parallel/sequential scatter-gather.
 parity:
-	$(PYTHON) -m pytest tests/engine/test_batch_parity.py tests/engine/test_batch.py -q
+	$(PYTHON) -m pytest tests/engine/test_batch_parity.py tests/engine/test_batch.py \
+		tests/engine/test_parallel.py -q
 
 # Start a metrics endpoint over a live service, scrape once, validate.
 metrics-smoke:

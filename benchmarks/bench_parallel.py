@@ -1,0 +1,87 @@
+"""Multiprocess scatter-gather vs sequential batch execution.
+
+Shape asserted: parallel and sequential modes agree on every join-heavy
+workload query; the report covers the join-heavy subset with positive
+throughput in both modes; the geometric-mean summary is internally
+consistent; EXPLAIN ANALYZE reports the gather and per-partition
+fragments. The speedup floor (>= 1.8x geomean at 4 parts) is enforced
+only when the machine exposes at least as many cores as partitions —
+shared CI runners and small containers see a shape-only run, mirroring
+the perf gate's ``--shape-only`` stance on wall-clock numbers.
+"""
+
+import math
+
+import pytest
+
+from repro.bench.parallel import SPEEDUP_FLOOR, collect_parallel, visible_cores
+from repro.bench.perf import PERF_QUERIES
+from repro.bench.vectorized import JOIN_HEAVY
+from repro.core.pipeline import prepared
+from repro.engine.analyze import explain_analyze
+from repro.parallel import shutdown_pools
+from repro.server.workload import mixed_catalog
+
+PARTS = 4
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _reap_pools():
+    yield
+    shutdown_pools()
+
+
+@pytest.fixture(scope="module")
+def report():
+    return collect_parallel(repeats=5, parts=PARTS)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return mixed_catalog(seed=0, n_left=200, n_right=1200, n_chain=40)
+
+
+class TestShape:
+    def test_modes_agree(self, catalog):
+        for name in JOIN_HEAVY:
+            pq = prepared(PERF_QUERIES[name], catalog)
+            want = pq.execute(catalog)
+            assert pq.execute(catalog, execution="parallel", parts=PARTS) == want, name
+
+    def test_every_join_heavy_query_measured(self, report):
+        assert set(report["queries"]) == set(JOIN_HEAVY)
+        for q in report["queries"].values():
+            assert q["sequential_qps"] > 0
+            assert q["parallel_qps"] > 0
+
+    def test_geomean_consistent(self, report):
+        speedups = [report["queries"][n]["speedup"] for n in JOIN_HEAVY]
+        geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+        assert report["summary"]["geomean_speedup"] == pytest.approx(geomean)
+        assert report["cores"] == visible_cores()
+
+    def test_speedup_floor_when_cores_allow(self, report):
+        if not report["enforce"]:
+            pytest.skip(
+                f"{report['cores']} core(s) < {PARTS} parts: "
+                "scatter overhead has nothing to overlap; shape-only run"
+            )
+        assert report["summary"]["geomean_speedup"] >= SPEEDUP_FLOOR, report["summary"]
+
+    def test_explain_analyze_reports_gather(self, catalog):
+        pq = prepared(PERF_QUERIES["count_bug_nested"], catalog)
+        text = explain_analyze(pq.analyze(catalog, execution="parallel", parts=PARTS))
+        assert f"Gather parts={PARTS}" in text
+        assert all(f"part={i}" in text for i in range(PARTS))
+
+
+class TestTimings:
+    def test_parallel_count_bug(self, benchmark, catalog):
+        pq = prepared(PERF_QUERIES["count_bug_nested"], catalog)
+        pq.execute(catalog, execution="parallel", parts=PARTS)  # warm pool + shards
+        benchmark(lambda: pq.execute(catalog, execution="parallel", parts=PARTS))
+
+    def test_sequential_count_bug(self, benchmark, catalog):
+        pq = prepared(PERF_QUERIES["count_bug_nested"], catalog)
+        pq.execute(catalog)
+        benchmark(lambda: pq.execute(catalog))

@@ -18,7 +18,9 @@ runs (and perf-focused PRs) compare the numbers. ``--update-baseline``
 copies the report over the baseline after a passing shape check.
 
 Exit status: 0 all checks pass, 1 regression or shape mismatch,
-2 usage/IO error.
+2 usage/IO error — including a report whose ``schema_version`` is newer
+than the baseline's (the committed baseline predates the code; regenerate
+it with ``--update-baseline`` rather than diffing mismatched shapes).
 """
 
 from __future__ import annotations
@@ -35,6 +37,8 @@ REQUIRED_BENCH_KEYS = (
     "throughput_qps",
     "row_throughput_qps",
     "batch_speedup",
+    "parallel_throughput_qps",
+    "parallel_speedup",
     "latency_ms",
     "qerror_max",
 )
@@ -154,6 +158,41 @@ def main(argv: list[str] | None = None) -> int:
         report = load_perf(args.report)
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"perf-gate: {exc}", file=sys.stderr)
+        return 2
+
+    b_schema = baseline.get("schema_version")
+    r_schema = report.get("schema_version")
+    if isinstance(b_schema, int) and isinstance(r_schema, int) and r_schema > b_schema:
+        # A newer report schema means the committed baseline predates this
+        # code; diffing mismatched shapes would only produce misleading
+        # failures. With --update-baseline the fresh report (after a
+        # self-contained shape check) becomes the new baseline; otherwise
+        # fail loudly with the remediation.
+        if args.update_baseline:
+            broken = {
+                name: [k for k in REQUIRED_BENCH_KEYS if k not in bench]
+                for name, bench in report["perf"]["benchmarks"].items()
+                if any(k not in bench for k in REQUIRED_BENCH_KEYS)
+            }
+            if broken:
+                print(
+                    f"perf-gate: report schema v{r_schema} is missing keys "
+                    f"{broken}; not adopting it as baseline",
+                    file=sys.stderr,
+                )
+                return 2
+            shutil.copyfile(args.report, args.baseline)
+            print(
+                f"perf-gate: baseline adopted report schema v{r_schema} "
+                f"(was v{b_schema}); commit {args.baseline}"
+            )
+            return 0
+        print(
+            f"perf-gate: report schema v{r_schema} is newer than baseline "
+            f"schema v{b_schema}; regenerate the baseline "
+            "(make perf-gate PERF_GATE_FLAGS=--update-baseline) and commit it",
+            file=sys.stderr,
+        )
         return 2
 
     rows = check(baseline, report, args)

@@ -1,0 +1,175 @@
+"""Parallel scatter-gather vs sequential batch throughput.
+
+``collect_parallel`` times the join-heavy workload queries (the same
+:data:`~repro.bench.vectorized.JOIN_HEAVY` subset the vectorized bench
+gates on — the queries whose runtime is dominated by join and nest-join
+kernels, i.e. the work that actually shards) through the prepared serving
+path in sequential batch mode and in ``execution="parallel"`` at *parts*
+partitions, and reports the fastest-half throughput of each plus their
+ratio.
+
+Unlike the batch-vs-row ratio, the parallel speedup is machine-dependent
+in kind, not just in degree: on a box with fewer cores than partitions
+the scatter adds pure overhead (pickling + IPC) with no compute to
+overlap, so the report carries the visible core count and an ``enforce``
+flag — ``benchmarks/bench_parallel.py`` asserts the speedup floor only
+when ``cores >= parts``, and CI runners below that see a shape-only run.
+
+Run standalone::
+
+    PYTHONPATH=src python -m repro.bench.parallel [--parts N] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+
+from repro.bench.perf import PERF_QUERIES, _robust_throughput_qps
+from repro.bench.vectorized import JOIN_HEAVY
+from repro.core.pipeline import clear_plan_cache, prepared
+from repro.engine.cache import clear_build_cache
+from repro.server.workload import mixed_catalog
+
+__all__ = ["SPEEDUP_FLOOR", "collect_parallel", "visible_cores"]
+
+#: Minimum geometric-mean speedup over the join-heavy subset at 4 parts,
+#: enforced only on machines with at least as many visible cores as
+#: partitions (docs/parallel.md).
+SPEEDUP_FLOOR = 1.8
+
+
+def visible_cores() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _fastest_half_qps(fn, repeats: int) -> float:
+    samples_ms = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples_ms.append((time.perf_counter() - start) * 1e3)
+    return _robust_throughput_qps(samples_ms)
+
+
+def collect_parallel(
+    repeats: int = 10,
+    parts: int = 4,
+    seed: int = 0,
+    n_left: int = 400,
+    n_right: int = 2400,
+    n_chain: int = 60,
+) -> dict:
+    """Per-query sequential/parallel throughput over a join-heavy catalog.
+
+    The catalog is larger than the vectorized bench's — scatter-gather
+    pays a fixed pickling + IPC toll per query, so the interesting regime
+    is where per-fragment compute dominates that toll. Both modes run
+    warm: plans compiled, build caches populated, shards cut and resident
+    in the worker pool, so the ratio isolates parallel execution itself.
+    """
+    clear_plan_cache()
+    clear_build_cache()
+    catalog = mixed_catalog(seed=seed, n_left=n_left, n_right=n_right, n_chain=n_chain)
+    queries: dict[str, dict] = {}
+    for name in JOIN_HEAVY:
+        pq = prepared(PERF_QUERIES[name], catalog)
+        sequential_value = pq.execute(catalog)
+        parallel_value = pq.execute(catalog, execution="parallel", parts=parts)
+        if parallel_value != sequential_value:
+            raise AssertionError(f"{name}: parallel and sequential modes disagree")
+        seq_qps = _fastest_half_qps(lambda: pq.execute(catalog), repeats)
+        par_qps = _fastest_half_qps(
+            lambda: pq.execute(catalog, execution="parallel", parts=parts), repeats
+        )
+        queries[name] = {
+            "rows": len(sequential_value),
+            "sequential_qps": seq_qps,
+            "parallel_qps": par_qps,
+            "speedup": par_qps / seq_qps if seq_qps else 0.0,
+        }
+    speedups = [queries[name]["speedup"] for name in JOIN_HEAVY]
+    cores = visible_cores()
+    return {
+        "config": {
+            "repeats": repeats,
+            "parts": parts,
+            "seed": seed,
+            "n_left": n_left,
+            "n_right": n_right,
+            "n_chain": n_chain,
+        },
+        "cores": cores,
+        "enforce": cores >= parts,
+        "queries": queries,
+        "summary": {
+            "names": list(JOIN_HEAVY),
+            "min_speedup": min(speedups),
+            "geomean_speedup": math.exp(
+                sum(math.log(s) for s in speedups) / len(speedups)
+            ),
+            "floor": SPEEDUP_FLOOR,
+        },
+    }
+
+
+def render(report: dict) -> str:
+    parts = report["config"]["parts"]
+    lines = [
+        f"{'query':24s} {'seq q/s':>10s} {'par q/s':>10s} {'speedup':>8s}",
+        f"{'-' * 24} {'-' * 10} {'-' * 10} {'-' * 8}",
+    ]
+    for name, q in report["queries"].items():
+        lines.append(
+            f"{name:24s} {q['sequential_qps']:10.1f} {q['parallel_qps']:10.1f}"
+            f" {q['speedup']:7.2f}x"
+        )
+    summary = report["summary"]
+    gate = (
+        f"floor {summary['floor']:.1f}x enforced"
+        if report["enforce"]
+        else f"floor not enforced ({report['cores']} core(s) < {parts} parts)"
+    )
+    lines.append(
+        f"parts={parts}, cores={report['cores']}: "
+        f"min {summary['min_speedup']:.2f}x, "
+        f"geomean {summary['geomean_speedup']:.2f}x — {gate}"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+    import json
+
+    from repro.parallel import shutdown_pools
+
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.parallel", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--repeats", type=int, default=10)
+    parser.add_argument("--parts", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", metavar="PATH", help="also write the report to PATH")
+    args = parser.parse_args(argv)
+    try:
+        report = collect_parallel(
+            repeats=args.repeats, parts=args.parts, seed=args.seed
+        )
+    finally:
+        shutdown_pools()
+    print(render(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,10 +46,18 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--no-typecheck", action="store_true", help="skip static type checking")
     query.add_argument(
         "--execution",
-        choices=("batch", "row"),
+        choices=("batch", "row", "parallel"),
         default="batch",
-        help="physical-engine execution mode: vectorized column batches "
-        "or tuple-at-a-time (default: batch)",
+        help="physical-engine execution mode: vectorized column batches, "
+        "tuple-at-a-time, or multiprocess scatter-gather over hash "
+        "partitions (default: batch)",
+    )
+    query.add_argument(
+        "--parts",
+        type=int,
+        default=4,
+        metavar="N",
+        help="partition count for --execution parallel (default: 4)",
     )
     query.add_argument(
         "--analyze",
@@ -203,7 +211,7 @@ def _serve_repeated(args: argparse.Namespace, catalog: Catalog) -> int:
     for _ in range(args.repeat):
         start = time.perf_counter()
         result = prepared(args.text, catalog, typecheck=not args.no_typecheck).execute(
-            catalog, execution=args.execution
+            catalog, execution=args.execution, parts=args.parts
         )
         latency.observe((time.perf_counter() - start) * 1e3)
     assert result is not None
@@ -364,6 +372,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             typecheck=not args.no_typecheck,
             analyze=args.analyze and args.engine == "physical",
             execution=args.execution,
+            parts=args.parts,
         )
         for value in sorted(result.value, key=sort_key):
             print(value_repr(value))

@@ -107,6 +107,7 @@ def run_query(
     analyze: bool = False,
     trace: QueryTrace | None = None,
     execution: str = "batch",
+    parts: int = 4,
 ) -> QueryResult:
     """Execute *query* against *catalog* and return its value as a set.
 
@@ -123,12 +124,14 @@ def run_query(
     is also returned on the result).
 
     ``execution`` (physical engine only) selects vectorized column-batch
-    execution (``"batch"``, the default) or tuple-at-a-time (``"row"``);
+    execution (``"batch"``, the default), tuple-at-a-time (``"row"``), or
+    multiprocess scatter-gather over ``parts`` hash shards
+    (``"parallel"``; see :mod:`repro.parallel`);
     see :mod:`repro.engine.executor`.
     """
     with trace_scope(trace) if trace is not None else _null_scope():
         return _run_query_traced(
-            query, catalog, engine, typecheck, rewrite, analyze, trace, execution
+            query, catalog, engine, typecheck, rewrite, analyze, trace, execution, parts
         )
 
 
@@ -141,6 +144,7 @@ def _run_query_traced(
     analyze: bool,
     trace: QueryTrace | None,
     execution: str = "batch",
+    parts: int = 4,
 ) -> QueryResult:
     with span("parse"):
         ast = _as_ast(query)
@@ -176,11 +180,18 @@ def _run_query_traced(
         with span("compile"):
             physical = compile_plan(plan, catalog)
         if analyze:
-            from repro.engine.analyze import analyze as _analyze
             from repro.engine.feedback import record_run
 
-            with span("execute", detail="instrumented"):
-                run = _analyze(physical, catalog, execution=execution)
+            if execution == "parallel":
+                from repro.parallel import parallel_analyze as _analyze_fn
+
+                with span("execute", detail="instrumented parallel"):
+                    run = _analyze_fn(physical, catalog, parts=parts)
+            else:
+                from repro.engine.analyze import analyze as _analyze
+
+                with span("execute", detail="instrumented"):
+                    run = _analyze(physical, catalog, execution=execution)
             # Close the cardinality-feedback loop: aggregate this run's
             # per-operator q-errors (keyed by the translator's rewrite
             # verdicts) into the process-global feedback registry.
@@ -189,7 +200,7 @@ def _run_query_traced(
                 result_set(run.rows), "physical", translation, analyzed=run, trace=trace
             )
         with span("execute", detail=execution):
-            value = execute_set(physical, catalog, execution=execution)
+            value = execute_set(physical, catalog, execution=execution, parts=parts)
         return QueryResult(value, "physical", translation, trace=trace)
     raise UnsupportedQueryError(f"unknown engine {engine!r}")
 
@@ -276,29 +287,37 @@ class PreparedQuery:
                 self._compiled[key] = entry
             return entry[1]
 
-    def execute(self, catalog: Catalog, execution: str = "batch") -> frozenset:
+    def execute(self, catalog: Catalog, execution: str = "batch", parts: int = 4) -> frozenset:
         """Run against *catalog* and return the result set.
 
         ``execution`` selects vectorized column-batch execution
-        (``"batch"``, the default) or tuple-at-a-time (``"row"``).
+        (``"batch"``, the default), tuple-at-a-time (``"row"``), or
+        multiprocess scatter-gather over ``parts`` hash shards
+        (``"parallel"``; see :mod:`repro.parallel`).
         """
         from repro.engine.executor import execute_set
 
         if self.plan is None:
             return _as_result_set(evaluate(self.ast, tables=catalog))
         physical = self.compile_for(catalog)
-        return execute_set(physical, catalog, execution=execution)
+        return execute_set(physical, catalog, execution=execution, parts=parts)
 
-    def analyze(self, catalog: Catalog, execution: str = "batch"):
+    def analyze(self, catalog: Catalog, execution: str = "batch", parts: int = 4):
         """Instrumented execution: returns an AnalyzedRun (see engine.analyze).
 
         Each call also records the run's per-operator q-errors into the
         process-global feedback registry (:data:`repro.engine.feedback.FEEDBACK`).
         """
-        from repro.engine.analyze import analyze as _analyze
         from repro.engine.feedback import record_run
 
-        run = _analyze(self.compile_for(catalog), catalog, execution=execution)
+        if execution == "parallel":
+            from repro.parallel import parallel_analyze
+
+            run = parallel_analyze(self.compile_for(catalog), catalog, parts=parts)
+        else:
+            from repro.engine.analyze import analyze as _analyze
+
+            run = _analyze(self.compile_for(catalog), catalog, execution=execution)
         record_run(run, rewrite_kinds=self.rewrite_kinds())
         return run
 

@@ -43,11 +43,16 @@ class CancelToken:
 
     __slots__ = ("deadline", "_event", "reason")
 
-    def __init__(self, deadline: float | None = None):
+    def __init__(self, deadline: float | None = None, event=None):
         #: Absolute :func:`time.monotonic` instant after which :meth:`check`
         #: raises, or None for no deadline.
         self.deadline = deadline
-        self._event = threading.Event()
+        #: The cancellation flag. Defaults to a thread-local
+        #: :class:`threading.Event`; the parallel engine passes a
+        #: ``multiprocessing.Event`` instead so that a ``cancel()`` in the
+        #: coordinator is observed by tokens polling in worker processes
+        #: (the two classes share the is_set/set API this token uses).
+        self._event = threading.Event() if event is None else event
         self.reason = "cancelled"
 
     @classmethod

@@ -30,8 +30,14 @@ from repro.model.values import Tup
 
 __all__ = ["run_physical", "execute", "execute_set", "EXECUTION_MODES"]
 
-#: The supported values of the ``execution`` parameter.
-EXECUTION_MODES = ("batch", "row")
+#: The supported values of the ``execution`` parameter. ``"parallel"``
+#: scatters the plan over hash-partitioned shards on a multiprocess
+#: worker pool (see :mod:`repro.parallel`), falling back to sequential
+#: batch execution for plans that don't shard.
+EXECUTION_MODES = ("batch", "row", "parallel")
+
+#: Partition count for ``execution="parallel"`` when none is passed.
+DEFAULT_PARTS = 4
 
 
 def run_physical(
@@ -40,10 +46,11 @@ def run_physical(
     force_algorithm: str | None = None,
     execution: str = "batch",
     batch_size: int = DEFAULT_BATCH_SIZE,
+    parts: int = DEFAULT_PARTS,
 ) -> list[Tup]:
     """Compile *plan* (choosing join algorithms) and run it to a row list."""
     physical = compile_plan(plan, catalog, force_algorithm)
-    return execute(physical, catalog, execution=execution, batch_size=batch_size)
+    return execute(physical, catalog, execution=execution, batch_size=batch_size, parts=parts)
 
 
 def execute(
@@ -51,9 +58,14 @@ def execute(
     catalog: Mapping,
     execution: str = "batch",
     batch_size: int = DEFAULT_BATCH_SIZE,
+    parts: int = DEFAULT_PARTS,
 ) -> list[Tup]:
     """Run an already compiled physical operator tree to a row list."""
     token = current_token()
+    if execution == "parallel":
+        from repro.parallel import run_parallel
+
+        return run_parallel(physical, catalog, parts=parts, batch_size=batch_size)
     if execution == "batch":
         out: list[Tup] = []
         extend = out.extend
@@ -83,6 +95,7 @@ def execute_set(
     catalog: Mapping,
     execution: str = "batch",
     batch_size: int = DEFAULT_BATCH_SIZE,
+    parts: int = DEFAULT_PARTS,
 ) -> frozenset:
     """Run a plan whose rows carry exactly one binding, straight to a set.
 
@@ -92,6 +105,10 @@ def execute_set(
     values are already a column, so the set is built directly from it —
     no binding tuple is ever constructed for output rows.
     """
+    if execution == "parallel":
+        from repro.parallel import parallel_set
+
+        return parallel_set(physical, catalog, parts=parts, batch_size=batch_size)
     if execution != "batch":
         from repro.algebra.interpreter import result_set
 

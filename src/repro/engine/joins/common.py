@@ -77,6 +77,23 @@ class JoinSpec:
         self._left_single, self._right_single
         return self
 
+    # -- pickling ------------------------------------------------------------
+    # The cached_property closures land in the instance __dict__ and are
+    # process-local (compiled() closes over Python functions). Ship only
+    # the three expression fields; the receiving process recompiles them
+    # lazily on first use — or via precompile() when the plan is rebuilt.
+
+    def __getstate__(self) -> dict:
+        return {
+            "left_keys": self.left_keys,
+            "right_keys": self.right_keys,
+            "residual": self.residual,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for field, value in state.items():
+            object.__setattr__(self, field, value)
+
     # -- per-row evaluation (the hot path) -----------------------------------
     def eval_left(self, binding: Tup, tables: Mapping) -> tuple:
         single = self._left_single

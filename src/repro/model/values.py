@@ -246,6 +246,17 @@ class Tup:
         inner = ", ".join(f"{k}={value_repr(v)}" for k, v in self._fields.items())
         return f"({inner})"
 
+    def __reduce__(self):
+        # Default pickling is unusable here: the slot-state restore path
+        # goes through the raising __setattr__, and __getattr__ recurses
+        # while _fields is still unset. Rebuild through the validated
+        # fast path instead (fields came out of a valid tuple).
+        return (_unpickle_tup, (dict(self._fields),))
+
+
+def _unpickle_tup(fields: dict) -> "Tup":
+    return Tup._from_validated(fields)
+
 
 class Variant:
     """A tagged (variant/union) value: ``tag`` selects a case, ``value`` is its payload."""
@@ -273,6 +284,11 @@ class Variant:
 
     def __repr__(self) -> str:
         return f"<{self.tag}: {value_repr(self.value)}>"
+
+    def __reduce__(self):
+        # Same story as Tup: the immutable __setattr__ breaks the default
+        # slot-state restore, so rebuild through the constructor.
+        return (Variant, (self.tag, self.value))
 
 
 _BASIC_TYPES = (bool, int, float, str)

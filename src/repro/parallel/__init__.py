@@ -1,0 +1,185 @@
+"""Partitioned parallel execution: scatter a plan over hash shards.
+
+The subsystem has three layers, documented in ``docs/parallel.md``:
+
+* :mod:`repro.parallel.fragment` decides *whether and how* a physical
+  plan shards: the spine analysis, co-partition vs broadcast decision,
+  the re-group cut for non-local ``PNest``, and the gather merge.
+* :mod:`repro.parallel.partition` builds the per-worker shard catalogs
+  (the hash split itself lives on
+  :meth:`repro.engine.table.Table.partitioned` and is cached in
+  ``BUILD_CACHE``).
+* :mod:`repro.parallel.pool` runs fragments on a persistent
+  ``multiprocessing`` worker pool with ship-once data, cross-process
+  cancellation, and crash surfacing.
+
+This package front-door exposes the executor-facing entry points:
+:func:`run_parallel` (rows), :func:`parallel_set` (the serving path's
+frozenset terminal), and :func:`parallel_analyze` (EXPLAIN ANALYZE with
+per-fragment ``part=`` rows). All three fall back to sequential
+execution — same results, one process — when the plan doesn't shard
+(:func:`repro.parallel.fragment.plan_fragments` returns None) or when
+``parts <= 1``.
+
+Parallel execution is *set-oriented*: fragments of a plan containing a
+``Distinct`` or a re-grouped ``Nest`` merge by set semantics, and row
+order across shards is not the sequential order. The serving layers
+consume frozensets, so this is invisible there; row-list consumers get
+the sequential multiset only up to cross-shard duplicates of ``Distinct``
+outputs (which gather removes) and ordering.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping
+
+from repro.engine.batch import DEFAULT_BATCH_SIZE
+from repro.engine.cancel import current_token
+from repro.model.values import Tup
+from repro.parallel.fragment import (
+    FragmentPlan,
+    PFragment,
+    PGather,
+    PRows,
+    merge_rows,
+    plan_fragments,
+)
+from repro.parallel.partition import shard_payloads
+from repro.parallel.pool import WorkerPool, get_pool, shutdown_pools
+
+__all__ = [
+    "run_parallel",
+    "parallel_set",
+    "parallel_analyze",
+    "plan_fragments",
+    "FragmentPlan",
+    "get_pool",
+    "shutdown_pools",
+    "WorkerPool",
+    "DEFAULT_PARTS",
+]
+
+#: Partition count used when the caller does not choose one.
+DEFAULT_PARTS = 4
+
+
+def _scatter(
+    physical,
+    catalog: Mapping,
+    parts: int,
+    fragment_execution: str,
+    batch_size: int,
+):
+    """Fragment, ship, and collect; None when the plan must run sequentially."""
+    fp = plan_fragments(physical, catalog)
+    if fp is None:
+        return None
+    payloads = shard_payloads(fp, catalog, parts)
+    token = current_token()
+    deadline = token.deadline if token is not None else None
+    pool = get_pool(parts)
+    fragments = pool.run_fragments(
+        fp.fragment,
+        payloads,
+        deadline,
+        mode=fragment_execution,
+        batch_size=batch_size,
+        coordinator_token=token,
+    )
+    return fp, fragments
+
+
+def run_parallel(
+    physical,
+    catalog: Mapping,
+    parts: int = DEFAULT_PARTS,
+    fragment_execution: str = "batch",
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> list[Tup]:
+    """Execute *physical* over *parts* hash shards and return the rows.
+
+    Falls back to sequential execution (same results) when the plan does
+    not shard or ``parts <= 1``.
+    """
+    from repro.engine.executor import execute
+
+    if parts <= 1:
+        return execute(physical, catalog, execution=fragment_execution, batch_size=batch_size)
+    scattered = _scatter(physical, catalog, parts, fragment_execution, batch_size)
+    if scattered is None:
+        return execute(physical, catalog, execution=fragment_execution, batch_size=batch_size)
+    fp, fragments = scattered
+    return merge_rows(fp, [f.rows for f in fragments], catalog)
+
+
+def parallel_set(
+    physical,
+    catalog: Mapping,
+    parts: int = DEFAULT_PARTS,
+    fragment_execution: str = "batch",
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> frozenset:
+    """The serving terminal: single-binding rows collapsed to a frozenset."""
+    from repro.errors import PlanError
+
+    rows = run_parallel(physical, catalog, parts, fragment_execution, batch_size)
+    values = set()
+    for row in rows:
+        labels = row.labels()
+        if len(labels) != 1:
+            raise PlanError(
+                f"result rows bind {sorted(labels)}; expected exactly one variable"
+            )
+        values.add(row[labels[0]])
+    return frozenset(values)
+
+
+def parallel_analyze(
+    physical,
+    catalog: Mapping,
+    parts: int = DEFAULT_PARTS,
+    fragment_execution: str = "batch",
+    batch_size: int = DEFAULT_BATCH_SIZE,
+):
+    """EXPLAIN ANALYZE for a parallel run.
+
+    The stats tree is rooted at a :class:`PGather` pseudo-operator whose
+    children are per-shard :class:`PFragment` nodes (``part=i``) carrying
+    each worker's row count and wall time; a coordinator-side tail (when
+    the plan re-groups) is *not* separately instrumented — its cost is
+    inside the gather total. Sequential fallbacks return the ordinary
+    instrumented run.
+    """
+    from repro.engine.analyze import AnalyzedRun, OpStats, analyze
+
+    if parts <= 1:
+        return analyze(physical, catalog, execution=fragment_execution, batch_size=batch_size)
+    start = time.perf_counter()
+    scattered = _scatter(physical, catalog, parts, fragment_execution, batch_size)
+    if scattered is None:
+        return analyze(physical, catalog, execution=fragment_execution, batch_size=batch_size)
+    fp, fragments = scattered
+    rows = merge_rows(fp, [f.rows for f in fragments], catalog)
+    total = time.perf_counter() - start
+
+    per_part = physical.est_rows / parts if parts else physical.est_rows
+    children = []
+    for f in fragments:
+        node = PFragment(part=f.part, inner=fp.fragment, est_rows=per_part)
+        stats = OpStats(node, rows=len(f.rows), seconds=f.seconds, exec_mode=fragment_execution)
+        children.append(stats)
+    gather = PGather(
+        parts=parts,
+        detail=fp.describe(),
+        fragments=tuple(s.op for s in children),
+        est_rows=physical.est_rows,
+    )
+    root = OpStats(
+        gather,
+        rows=len(rows),
+        seconds=total,
+        exec_mode="parallel",
+        children=children,
+    )
+    return AnalyzedRun(rows, root, total, exec_mode="parallel")

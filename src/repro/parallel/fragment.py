@@ -1,0 +1,367 @@
+"""Splitting a physical plan into per-partition fragments.
+
+The unit of parallelism is the plan's *spine*: the path from the root down
+through unary operators and join **left** inputs to the leftmost scan (the
+*base*). Every row the plan emits derives from exactly one base row, and
+every operator on the spine processes the stream per row or per
+equal-key group — so running the identical operator tree over a disjoint
+hash partition of the base table, in P workers, and merging the outputs
+reproduces the sequential result. Off-spine subtrees (join right inputs)
+read only *broadcast* tables, which every worker holds whole, so they
+evaluate identically everywhere.
+
+Three operators need more than "per row" reasoning:
+
+* **Joins** are safe under broadcast in all five modes: each left row's
+  match set (and hence its inner/semi/anti/outer/nest outcome) depends
+  only on that row and the full right input. When the spine's first join
+  equi-keys on *direct attributes of the base variable* against a bare
+  scan keyed on direct attributes, the right table can instead be
+  **co-partitioned** — hashed on its key attributes into the same shard
+  space — because equal key tuples hash to the same shard on both sides.
+  Both partitions are computed in the coordinator process, so the
+  per-process hash salt cannot disagree between them.
+* **Distinct** dedups within a shard only; the gather step re-dedups
+  across shards (distinct∘union∘distinct = distinct∘union).
+* **Nest** groups are shard-local only when the base binding is among the
+  group-by columns (all rows deriving from one base row live in its
+  shard). Otherwise a group can span shards: the fragment ends at (and
+  includes) that ``PNest``, workers emit *partial* groups, and the gather
+  step re-groups by key, unioning the partial sets. Operators above that
+  cut — the *tail* — run sequentially in the coordinator over the merged
+  rows.
+
+Plans this analysis cannot shard (no named base table, a base table
+scanned twice — self joins — or referenced from inside a predicate's
+interpreted subquery) return ``None``, and the executor falls back to
+sequential execution. Falling back is always correct; sharding is an
+optimization, never a semantics change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, Mapping
+
+from repro.engine.batch import DEFAULT_BATCH_SIZE, Batch, batches_from_rows
+from repro.engine.physical import (
+    PDistinct,
+    PDrop,
+    PExtend,
+    PFilter,
+    PJoin,
+    PMap,
+    PNest,
+    PScan,
+    PUnnest,
+    PhysicalOp,
+)
+from repro.lang.ast import Attr, Expr, Var
+from repro.lang.freevars import free_vars
+from repro.model.values import Tup
+
+__all__ = ["FragmentPlan", "plan_fragments", "merge_rows", "PGather", "PFragment", "PRows"]
+
+
+@dataclass
+class FragmentPlan:
+    """The scatter-gather decomposition of one physical plan."""
+
+    #: The operator subtree each worker runs over its shard catalog.
+    fragment: PhysicalOp
+    #: Name of the spine's base table — replaced by a shard per worker.
+    base_table: str
+    #: Base-row attributes hashed to pick a shard; empty = round-robin.
+    partition_attrs: tuple[str, ...]
+    #: ``(table name, key attrs)`` of a co-partitioned right scan, or None
+    #: (then every non-base table is broadcast whole).
+    copartition: tuple[str, tuple[str, ...]] | None
+    #: The spine ``PNest`` fragments end at when its groups may span
+    #: shards; gather re-groups by key and unions the partial sets.
+    regroup: PNest | None
+    #: Whether gather must re-dedup (a spine ``PDistinct`` ran per shard).
+    dedup: bool
+    #: Operators above the cut, run in the coordinator over the merged
+    #: rows (the spine child of its lowest op is rebound to a PRows).
+    tail: PhysicalOp | None
+
+    def describe(self) -> str:
+        how = (
+            f"co-partition {self.copartition[0]}({', '.join(self.copartition[1])})"
+            if self.copartition
+            else "broadcast"
+        )
+        on = ", ".join(self.partition_attrs) or "round-robin"
+        bits = [f"base={self.base_table}", f"on={on}", how]
+        if self.regroup is not None:
+            bits.append(f"regroup {self.regroup.label}")
+        if self.dedup:
+            bits.append("dedup")
+        return ", ".join(bits)
+
+
+def _spine(root: PhysicalOp) -> list[PhysicalOp] | None:
+    """Root-to-base path through unary children and join left inputs."""
+    path = [root]
+    node = root
+    while not isinstance(node, PScan):
+        if isinstance(node, PJoin):
+            node = node.left
+        elif hasattr(node, "child"):
+            node = node.child
+        else:
+            return None  # unknown leaf/operator shape
+        path.append(node)
+    return path
+
+
+def _tree_exprs(op: PhysicalOp) -> Iterator[Expr]:
+    """Every expression embedded anywhere in the operator tree."""
+    stack = [op]
+    while stack:
+        node = stack.pop()
+        stack.extend(node.children())
+        if isinstance(node, PFilter):
+            yield node.pred
+        elif isinstance(node, (PMap, PExtend)):
+            yield node.expr
+        elif isinstance(node, PJoin):
+            yield node.pred
+            if node.func is not None:
+                yield node.func
+
+
+def _scan_counts(op: PhysicalOp) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    stack = [op]
+    while stack:
+        node = stack.pop()
+        stack.extend(node.children())
+        if isinstance(node, PScan):
+            counts[node.table] = counts.get(node.table, 0) + 1
+    return counts
+
+
+def _direct_attrs(keys: tuple[Expr, ...], var: str) -> tuple[str, ...] | None:
+    """The attribute names when every key is ``var.attr``, else None."""
+    attrs: list[str] = []
+    for key in keys:
+        if not (
+            isinstance(key, Attr)
+            and isinstance(key.base, Var)
+            and key.base.name == var
+        ):
+            return None
+        attrs.append(key.label)
+    return tuple(attrs)
+
+
+def plan_fragments(root: PhysicalOp, catalog: Mapping) -> FragmentPlan | None:
+    """Decompose *root* for partitioned execution, or None to fall back."""
+    path = _spine(root)
+    if path is None:
+        return None
+    base = path[-1]
+    assert isinstance(base, PScan)
+    source = catalog[base.table] if base.table in catalog else None
+    if source is None or not hasattr(source, "partitioned"):
+        return None  # not a stored, shardable table
+
+    # Walk the spine bottom-up, tracking whether the base binding is still
+    # intact, until the first PNest whose groups may span shards.
+    bottom_up = list(reversed(path[:-1]))  # excludes the base scan
+    alive = base.var
+    cut_index: int | None = None  # index into bottom_up
+    for i, op in enumerate(bottom_up):
+        if isinstance(op, PNest):
+            if alive is None or alive not in op.by:
+                cut_index = i
+                break
+            continue  # shard-local grouping; base binding is in `by`
+        if isinstance(op, PMap):
+            alive = None  # bindings collapse to the map variable
+        elif isinstance(op, PDrop):
+            if alive is not None and alive in op.labels:
+                alive = None
+        elif isinstance(op, PUnnest):
+            if op.label == alive:
+                alive = None
+        elif not isinstance(op, (PFilter, PExtend, PDistinct, PJoin)):
+            return None  # unknown spine operator: don't guess
+
+    if cut_index is not None:
+        fragment = bottom_up[cut_index]
+        regroup = fragment
+        tail_ops = bottom_up[cut_index + 1 :]
+    else:
+        fragment = root
+        regroup = None
+        tail_ops = []
+
+    # The base table must enter the fragment exactly once (self joins and
+    # predicate-level table references would see a shard where sequential
+    # execution sees the whole table).
+    if _scan_counts(fragment).get(base.table, 0) != 1:
+        return None
+    referenced: frozenset[str] = frozenset()
+    for expr in _tree_exprs(fragment):
+        referenced |= free_vars(expr)
+    if base.table in referenced:
+        return None
+
+    # Partition-key selection: the first spine join below the cut whose
+    # left keys are direct attributes of the (still intact) base binding.
+    partition_attrs: tuple[str, ...] = ()
+    copartition: tuple[str, tuple[str, ...]] | None = None
+    alive = base.var
+    scan_counts = _scan_counts(fragment)
+    for op in bottom_up[: cut_index if cut_index is not None else len(bottom_up)]:
+        if isinstance(op, PMap):
+            alive = None
+        elif isinstance(op, PDrop) and alive in op.labels:
+            alive = None
+        elif isinstance(op, PUnnest) and op.label == alive:
+            alive = None
+        elif isinstance(op, PJoin) and alive is not None and not partition_attrs:
+            left_attrs = _direct_attrs(op.spec.left_keys, alive)
+            if left_attrs is None or not left_attrs:
+                continue
+            partition_attrs = left_attrs
+            right = op.right
+            if (
+                isinstance(right, PScan)
+                and right.table != base.table
+                and right.table in catalog
+                and hasattr(catalog[right.table], "partitioned")
+                and scan_counts.get(right.table, 0) == 1
+                and right.table not in referenced
+            ):
+                right_attrs = _direct_attrs(op.spec.right_keys, right.var)
+                if right_attrs is not None and len(right_attrs) == len(left_attrs):
+                    copartition = (right.table, right_attrs)
+            break
+
+    below_cut = bottom_up[: cut_index if cut_index is not None else len(bottom_up)]
+    dedup = any(isinstance(op, PDistinct) for op in below_cut)
+
+    tail: PhysicalOp | None = None
+    if tail_ops:
+        # Rebuild the ancestors above the cut with the lowest one's spine
+        # child pointing at a PRows placeholder; merge_rows() swaps the
+        # gathered rows in per execution.
+        node: PhysicalOp = PRows(())
+        for op in tail_ops:
+            if isinstance(op, PJoin):
+                node = replace(op, left=node)
+            else:
+                node = replace(op, child=node)
+        tail = node
+
+    return FragmentPlan(
+        fragment=fragment,
+        base_table=base.table,
+        partition_attrs=partition_attrs,
+        copartition=copartition,
+        regroup=regroup,
+        dedup=dedup,
+        tail=tail,
+    )
+
+
+def merge_rows(fp: FragmentPlan, shard_rows: list[list[Tup]], catalog: Mapping) -> list[Tup]:
+    """Gather: merge per-shard fragment outputs into the final row stream."""
+    if fp.regroup is not None:
+        label = fp.regroup.label
+        merged: dict[Tup, set] = {}
+        order: list[Tup] = []
+        for rows in shard_rows:
+            for row in rows:
+                key = row.drop(label)
+                group = merged.get(key)
+                if group is None:
+                    merged[key] = group = set()
+                    order.append(key)
+                group.update(row[label])
+        out = [key.extend(**{label: frozenset(merged[key])}) for key in order]
+    elif fp.dedup:
+        seen: set[Tup] = set()
+        out = []
+        for rows in shard_rows:
+            for row in rows:
+                if row not in seen:
+                    seen.add(row)
+                    out.append(row)
+    else:
+        out = [row for rows in shard_rows for row in rows]
+    if fp.tail is None:
+        return out
+    tail = _bind_rows(fp.tail, out)
+    return list(tail.run(catalog))
+
+
+def _bind_rows(tail: PhysicalOp, rows: list[Tup]) -> PhysicalOp:
+    """A copy of the tail chain with its PRows leaf carrying *rows*."""
+    if isinstance(tail, PRows):
+        return PRows(tuple(rows))
+    if isinstance(tail, PJoin):
+        return replace(tail, left=_bind_rows(tail.left, rows))
+    return replace(tail, child=_bind_rows(tail.child, rows))
+
+
+# ---------------------------------------------------------------------------
+# Pseudo-operators: materialized rows, and the gather/fragment nodes that
+# EXPLAIN ANALYZE renders for a parallel run.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PRows(PhysicalOp):
+    """A materialized row stream standing in for a subtree (the gather
+    boundary when a tail runs in the coordinator)."""
+
+    rows: tuple[Tup, ...]
+    est_rows: float = 0.0
+
+    def run(self, tables: Mapping) -> Iterator[Tup]:
+        return iter(self.rows)
+
+    def run_batches(self, tables: Mapping, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+        return batches_from_rows(iter(self.rows), batch_size)
+
+    def describe(self) -> str:
+        return f"Gathered rows ({len(self.rows)})"
+
+
+@dataclass
+class PFragment(PhysicalOp):
+    """One shard's fragment execution, as a reporting node: ``part=i``."""
+
+    part: int
+    inner: PhysicalOp
+    est_rows: float = 0.0
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.inner,)
+
+    def run(self, tables: Mapping) -> Iterator[Tup]:
+        return self.inner.run(tables)
+
+    def describe(self) -> str:
+        return f"Fragment part={self.part}"
+
+
+@dataclass
+class PGather(PhysicalOp):
+    """The scatter-gather root node EXPLAIN ANALYZE reports for a
+    parallel run; children are the per-part fragments."""
+
+    parts: int
+    detail: str
+    fragments: tuple[PhysicalOp, ...]
+    est_rows: float = 0.0
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return self.fragments
+
+    def describe(self) -> str:
+        return f"Gather parts={self.parts} [{self.detail}]"

@@ -1,0 +1,73 @@
+"""Building per-worker shard catalogs from a fragment decomposition.
+
+The actual hash split lives on the table
+(:meth:`repro.engine.table.Table.partitioned`, cached in ``BUILD_CACHE``
+under the ``"partition"`` kind and invalidated by version bumps); this
+module assembles the per-worker *catalogs*: the base table's shard, the
+co-partitioned table's shard when the fragment has one, and every other
+table the fragment references shipped whole (broadcast).
+
+Each payload set carries a *catalog key* — the (name, uid, version)
+triples of every shipped table plus the partition layout — which the pool
+uses to ship a worker its shard exactly once per catalog version: a
+repeat query against unchanged tables sends only the (small) fragment,
+not the data.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.engine.table import Table
+from repro.parallel.fragment import FragmentPlan, _scan_counts, _tree_exprs
+from repro.lang.freevars import free_vars
+
+__all__ = ["ShardPayloads", "shard_payloads", "fragment_tables"]
+
+
+class ShardPayloads:
+    """Per-worker table mappings plus the identity key they ship under."""
+
+    def __init__(self, key: tuple, catalogs: list[dict]):
+        self.key = key
+        self.catalogs = catalogs
+
+
+def fragment_tables(fp: FragmentPlan, catalog: Mapping) -> tuple[str, ...]:
+    """Names of the catalog tables the fragment reads (scans plus free
+    table references inside predicates), in deterministic order."""
+    names = set(_scan_counts(fp.fragment))
+    for expr in _tree_exprs(fp.fragment):
+        names |= {v for v in free_vars(expr) if v in catalog}
+    return tuple(sorted(names))
+
+
+def shard_payloads(fp: FragmentPlan, catalog: Mapping, parts: int) -> ShardPayloads:
+    """The per-worker catalogs for running *fp* at *parts* partitions."""
+    needed = fragment_tables(fp, catalog)
+    base = catalog[fp.base_table]
+    base_shards = base.partitioned(fp.partition_attrs, parts)
+    copart_name = fp.copartition[0] if fp.copartition else None
+    copart_shards = None
+    if fp.copartition is not None:
+        copart_shards = catalog[copart_name].partitioned(fp.copartition[1], parts)
+
+    key = (
+        tuple((name, catalog[name].uid, catalog[name].version) for name in needed),
+        fp.partition_attrs,
+        fp.copartition,
+        parts,
+    )
+    catalogs: list[dict] = []
+    for i in range(parts):
+        tables: dict = {}
+        for name in needed:
+            source = catalog[name]
+            if name == fp.base_table:
+                tables[name] = Table(name, base_shards[i], row_type=source.row_type)
+            elif name == copart_name:
+                tables[name] = Table(name, copart_shards[i], row_type=source.row_type)
+            else:
+                tables[name] = source
+        catalogs.append(tables)
+    return ShardPayloads(key, catalogs)

@@ -1,0 +1,311 @@
+"""A persistent multiprocessing worker pool for plan fragments.
+
+One pool per partition count, spawned lazily and reused across queries
+(:func:`get_pool`). Each worker is a long-lived process connected by a
+duplex pipe, running a small message loop:
+
+* ``("load", key, tables)`` — install a shard catalog in the worker's
+  registry (bounded LRU). The coordinator tracks which keys each worker
+  holds and ships a catalog version's shards exactly once; subsequent
+  queries against unchanged tables send only the pickled fragment.
+* ``("run", key, fragment, deadline, mode, batch_size)`` — execute the
+  fragment over the loaded tables under a
+  :class:`~repro.engine.cancel.CancelToken` and reply ``("ok", rows,
+  seconds)``, ``("cancelled", reason)``, or ``("error", message)``.
+* ``("stop",)`` — exit.
+
+**Cancellation** maps the engine's cooperative protocol across the
+process boundary: every worker token is backed by one shared
+``multiprocessing.Event``, so a single ``set()`` in the coordinator is
+observed by every in-flight fragment at its next poll. **Deadlines**
+travel as absolute ``time.monotonic`` instants, which are comparable
+across processes on Linux (CLOCK_MONOTONIC is system-wide). After a
+cancelled scatter the coordinator still collects one reply per dispatched
+fragment — workers answer ``("cancelled", ...)`` promptly because they
+poll at batch granularity — and only then clears the shared event, so a
+stale cancellation can never leak into the next query.
+
+**Crashes**: a worker dying mid-fragment surfaces as ``EOFError`` on its
+pipe; the pool terminates all workers, marks itself broken (it respawns
+on next use), and raises :class:`~repro.errors.WorkerCrashError` — never
+a partial result.
+
+The start method prefers ``fork`` (cheap, shares the code image) and
+falls back to ``spawn`` where fork is unavailable; everything shipped is
+pickle-clean either way (``tests/model/test_pickle.py``), so both work.
+Scatters through one pool are serialized by a lock: concurrent service
+threads queue rather than interleave fragments from different queries.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from collections import OrderedDict
+from multiprocessing.connection import wait as _conn_wait
+
+from repro.errors import CancelledError, ExecutionError, WorkerCrashError
+
+__all__ = ["WorkerPool", "get_pool", "shutdown_pools", "FragmentResult"]
+
+#: Shard-catalog entries each worker retains (distinct catalog versions /
+#: partition layouts); older entries are evicted least-recently-used.
+WORKER_REGISTRY_CAPACITY = 4
+
+#: Seconds the coordinator waits, after setting the cancel event, for a
+#: worker to acknowledge before declaring it wedged and crashing the pool.
+CANCEL_GRACE = 30.0
+
+
+class FragmentResult:
+    """One shard's reply: its rows and worker-side wall time."""
+
+    __slots__ = ("part", "rows", "seconds")
+
+    def __init__(self, part: int, rows: list, seconds: float):
+        self.part = part
+        self.rows = rows
+        self.seconds = seconds
+
+
+def _pick_context():
+    methods = multiprocessing.get_all_start_methods()
+    preferred = os.environ.get("REPRO_MP_START")
+    if preferred and preferred in methods:
+        return multiprocessing.get_context(preferred)
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _worker_main(conn, cancel_event) -> None:
+    """The worker process message loop (module-level for spawn safety)."""
+    from collections import OrderedDict
+
+    from repro.engine.batch import rows_from_batches
+    from repro.engine.cancel import CancelToken, cancel_scope
+
+    registry: "OrderedDict[tuple, dict]" = OrderedDict()
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            return
+        kind = msg[0]
+        if kind == "stop":
+            return
+        if kind == "load":
+            _, key, tables = msg
+            registry[key] = tables
+            registry.move_to_end(key)
+            while len(registry) > WORKER_REGISTRY_CAPACITY:
+                registry.popitem(last=False)
+            continue  # no ack; the pipe is FIFO, the run message follows
+        # ("run", key, fragment, deadline, mode, batch_size)
+        _, key, fragment, deadline, mode, batch_size = msg
+        started = time.perf_counter()
+        try:
+            tables = registry[key]
+            registry.move_to_end(key)
+            token = CancelToken(deadline, event=cancel_event)
+            with cancel_scope(token):
+                if mode == "batch":
+                    rows = list(rows_from_batches(fragment.run_batches(tables, batch_size)))
+                else:
+                    rows = list(fragment.run(tables))
+            conn.send(("ok", rows, time.perf_counter() - started))
+        except CancelledError as exc:
+            conn.send(("cancelled", str(exc)))
+        except BaseException as exc:  # surfaced coordinator-side, not fatal here
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+
+
+class WorkerPool:
+    """*parts* persistent worker processes executing fragments in lockstep."""
+
+    def __init__(self, parts: int):
+        if parts < 1:
+            raise ValueError(f"parts must be >= 1, got {parts}")
+        self.parts = parts
+        self._ctx = _pick_context()
+        self._procs: list | None = None
+        self._conns: list = []
+        self._cancel_event = None
+        #: Per-worker mirror of the worker-side registry LRU: same
+        #: capacity, same recency updates, so "already loaded" here is
+        #: exactly "still resident" there.
+        self._loaded: list[OrderedDict] = []
+        self._lock = threading.Lock()
+
+    # -- lifecycle ---------------------------------------------------------
+    def _ensure_started(self) -> None:
+        if self._procs is not None:
+            return
+        self._cancel_event = self._ctx.Event()
+        procs, conns = [], []
+        for _ in range(self.parts):
+            parent, child = self._ctx.Pipe(duplex=True)
+            proc = self._ctx.Process(
+                target=_worker_main, args=(child, self._cancel_event), daemon=True
+            )
+            proc.start()
+            child.close()
+            procs.append(proc)
+            conns.append(parent)
+        self._procs = procs
+        self._conns = conns
+        self._loaded = [OrderedDict() for _ in range(self.parts)]
+
+    @property
+    def running(self) -> bool:
+        return self._procs is not None
+
+    def close(self) -> None:
+        """Stop the workers (the pool restarts lazily if used again)."""
+        with self._lock:
+            self._teardown(graceful=True)
+
+    def _teardown(self, graceful: bool) -> None:
+        if self._procs is None:
+            return
+        for conn in self._conns:
+            try:
+                if graceful:
+                    conn.send(("stop",))
+                conn.close()
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=0.5 if graceful else 0.1)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self._procs = None
+        self._conns = []
+        self._cancel_event = None
+        self._loaded = []
+
+    # -- scatter-gather ----------------------------------------------------
+    def run_fragments(
+        self,
+        fragment,
+        payloads,
+        deadline: float | None,
+        mode: str = "batch",
+        batch_size: int = 1024,
+        coordinator_token=None,
+    ) -> list[FragmentResult]:
+        """Ship *fragment* to every worker over its payload catalog and
+        collect one result per part, honouring deadline and cancellation."""
+        with self._lock:
+            self._ensure_started()
+            try:
+                return self._scatter_gather(
+                    fragment, payloads, deadline, mode, batch_size, coordinator_token
+                )
+            except WorkerCrashError:
+                self._teardown(graceful=False)
+                raise
+
+    def _scatter_gather(
+        self, fragment, payloads, deadline, mode, batch_size, coordinator_token
+    ) -> list[FragmentResult]:
+        key = payloads.key
+        try:
+            for i, conn in enumerate(self._conns):
+                loaded = self._loaded[i]
+                if key in loaded:
+                    loaded.move_to_end(key)  # mirrors the worker's `run` touch
+                else:
+                    conn.send(("load", key, payloads.catalogs[i]))
+                    loaded[key] = True
+                    while len(loaded) > WORKER_REGISTRY_CAPACITY:
+                        loaded.popitem(last=False)
+                conn.send(("run", key, fragment, deadline, mode, batch_size))
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerCrashError(f"worker pipe closed during scatter: {exc}") from exc
+
+        results: list[FragmentResult | None] = [None] * self.parts
+        outcome_cancelled: str | None = None
+        outcome_error: str | None = None
+        pending = {conn: i for i, conn in enumerate(self._conns)}
+        event_set = False  # we raised the shared flag and must clear it
+        deadline_cancelled = False
+        cancel_instant: float | None = None
+
+        def raise_event(now: float) -> None:
+            nonlocal event_set, cancel_instant
+            if not event_set:
+                self._cancel_event.set()
+                event_set = True
+                cancel_instant = now
+
+        try:
+            while pending:
+                ready = _conn_wait(list(pending), timeout=0.05)
+                now = time.monotonic()
+                if not event_set:
+                    expired = deadline is not None and now >= deadline
+                    externally = coordinator_token is not None and (
+                        coordinator_token.cancelled or coordinator_token.expired()
+                    )
+                    if expired or externally:
+                        deadline_cancelled = True
+                        raise_event(now)
+                elif cancel_instant is not None and now - cancel_instant > CANCEL_GRACE:
+                    raise WorkerCrashError(
+                        "worker ignored cancellation for "
+                        f"{CANCEL_GRACE:.0f}s; pool discarded"
+                    )
+                for conn in ready:
+                    part = pending.pop(conn)
+                    try:
+                        msg = conn.recv()
+                    except EOFError as exc:
+                        raise WorkerCrashError(
+                            f"worker for part {part} died mid-fragment"
+                        ) from exc
+                    status = msg[0]
+                    if status == "ok":
+                        results[part] = FragmentResult(part, msg[1], msg[2])
+                    elif status == "cancelled":
+                        outcome_cancelled = msg[1]
+                    else:
+                        outcome_error = msg[1]
+                        # Sibling fragments are moot; stop them early.
+                        raise_event(now)
+        finally:
+            # Every dispatched fragment has answered (or the pool is being
+            # torn down); only now is the shared event safe to clear.
+            if event_set and self._cancel_event is not None:
+                self._cancel_event.clear()
+        if outcome_error is not None:
+            raise ExecutionError(f"parallel fragment failed: {outcome_error}")
+        if outcome_cancelled is not None or deadline_cancelled:
+            raise CancelledError(outcome_cancelled or "deadline exceeded")
+        return [r for r in results if r is not None]
+
+
+# ---------------------------------------------------------------------------
+# The process-wide pool registry: one pool per partition count.
+# ---------------------------------------------------------------------------
+
+_POOLS: dict[int, WorkerPool] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def get_pool(parts: int) -> WorkerPool:
+    """The shared pool for *parts* partitions (created on first use)."""
+    with _POOLS_LOCK:
+        pool = _POOLS.get(parts)
+        if pool is None:
+            pool = _POOLS[parts] = WorkerPool(parts)
+        return pool
+
+
+def shutdown_pools() -> None:
+    """Stop every pool (tests and interpreter shutdown)."""
+    with _POOLS_LOCK:
+        for pool in _POOLS.values():
+            pool.close()
+        _POOLS.clear()

@@ -127,6 +127,7 @@ class QueryService:
         feedback_every: int = 7,
         feedback_top_k: int = 3,
         execution: str = "batch",
+        parts: int = 4,
     ):
         from repro.engine.executor import EXECUTION_MODES
 
@@ -138,10 +139,15 @@ class QueryService:
             raise ValueError("feedback_every must be >= 0 (0 disables feedback)")
         if execution not in EXECUTION_MODES:
             raise ValueError(f"execution must be one of {EXECUTION_MODES}")
+        if parts < 1:
+            raise ValueError("parts must be >= 1")
         self.catalog = catalog
         #: Execution mode leader executions run planned queries in
-        #: ("batch" vectorized column batches, or "row" tuple-at-a-time).
+        #: ("batch" vectorized column batches, "row" tuple-at-a-time, or
+        #: "parallel" multiprocess scatter-gather; see docs/parallel.md).
         self.execution = execution
+        #: Partition count for execution="parallel" leader executions.
+        self.parts = parts
         self.workers = workers
         self.queue_limit = queue_limit
         self.default_timeout = default_timeout
@@ -539,10 +545,10 @@ class QueryService:
         ):
             from repro.algebra.interpreter import result_set
 
-            run = pq.analyze(self.catalog, execution=self.execution)
+            run = pq.analyze(self.catalog, execution=self.execution, parts=self.parts)
             value = result_set(run.rows)
         else:
-            value = pq.execute(self.catalog, execution=self.execution)
+            value = pq.execute(self.catalog, execution=self.execution, parts=self.parts)
         if getattr(self.catalog, "version", None) != version:
             raise CatalogVersionRace(
                 f"catalog version moved from {version} to "

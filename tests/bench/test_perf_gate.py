@@ -36,6 +36,8 @@ class TestCollectPerf:
             assert bench["throughput_qps"] > 0
             assert bench["row_throughput_qps"] > 0
             assert bench["batch_speedup"] > 0
+            assert bench["parallel_throughput_qps"] > 0
+            assert bench["parallel_speedup"] > 0
             assert set(bench["latency_ms"]) == {"mean", "p50", "p95", "p99", "max"}
             assert bench["qerror_max"] >= 1.0 and math.isfinite(bench["qerror_max"])
             assert bench["rewrite_kinds"], name
@@ -99,10 +101,31 @@ class TestPerfGate:
         assert proc.returncode == 1
         assert "missing from report" in proc.stdout
 
-    def test_schema_version_mismatch_fails(self, perf, tmp_path):
+    def test_newer_report_schema_is_usage_error(self, perf, tmp_path):
+        """A report schema ahead of the baseline means the baseline is
+        stale, not that perf regressed — exit 2 with the remediation."""
         base = write_report(tmp_path / "base.json", perf)
         rep = tmp_path / "rep.json"
         rep.write_text(json.dumps({"schema_version": SCHEMA_VERSION + 1, "perf": perf}))
+        proc = run_gate("--baseline", str(base), "--report", str(rep))
+        assert proc.returncode == 2, proc.stdout + proc.stderr
+        assert "newer than baseline" in proc.stderr
+        assert "--update-baseline" in proc.stderr
+
+    def test_newer_report_schema_update_baseline_adopts_it(self, perf, tmp_path):
+        base = write_report(tmp_path / "base.json", perf)
+        rep = tmp_path / "rep.json"
+        rep.write_text(json.dumps({"schema_version": SCHEMA_VERSION + 1, "perf": perf}))
+        proc = run_gate(
+            "--baseline", str(base), "--report", str(rep), "--update-baseline"
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert json.loads(base.read_text()) == json.loads(rep.read_text())
+
+    def test_older_report_schema_fails_the_diff(self, perf, tmp_path):
+        base = write_report(tmp_path / "base.json", perf)
+        rep = tmp_path / "rep.json"
+        rep.write_text(json.dumps({"schema_version": SCHEMA_VERSION - 1, "perf": perf}))
         proc = run_gate("--baseline", str(base), "--report", str(rep))
         assert proc.returncode == 1
         assert "schema_version" in proc.stdout

@@ -1,0 +1,169 @@
+"""Parallel/sequential parity, cancellation, and crash handling.
+
+The contract of :mod:`repro.parallel`: for every workload query, every
+partition count, and both fragment execution modes, scatter-gather over
+hash shards produces exactly the sequential *result set* — parallel
+execution is set-oriented (see the package docstring), so sets are the
+comparison unit throughout. On top of parity: a cancelled parallel query
+must return within its deadline budget (the multiprocess CancelToken
+satellite), a killed worker must surface as WorkerCrashError and the pool
+must recover, and the query service must serve ``execution="parallel"``
+end to end with the exec-mode metric labelled accordingly.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.perf import PERF_QUERIES
+from repro.core.pipeline import prepared
+from repro.engine.cancel import CancelToken, cancel_scope
+from repro.errors import CancelledError, WorkerCrashError
+from repro.parallel import (
+    WorkerPool,
+    parallel_analyze,
+    plan_fragments,
+    run_parallel,
+    shutdown_pools,
+)
+from repro.parallel.partition import shard_payloads
+from repro.server.service import QueryService
+from repro.server.workload import mixed_catalog
+
+PARTS = (1, 2, 4)
+FRAGMENT_MODES = ("batch", "row")
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return mixed_catalog(seed=0, n_left=40, n_right=180, n_chain=10)
+
+
+@pytest.fixture(scope="module")
+def sequential(catalog):
+    return {
+        name: frozenset(prepared(text, catalog).compile_for(catalog).run(catalog))
+        for name, text in PERF_QUERIES.items()
+    }
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _reap_pools():
+    yield
+    shutdown_pools()
+
+
+@pytest.mark.parametrize("parts", PARTS)
+@pytest.mark.parametrize("mode", FRAGMENT_MODES)
+def test_workload_parity(catalog, sequential, parts, mode):
+    for name, text in PERF_QUERIES.items():
+        physical = prepared(text, catalog).compile_for(catalog)
+        rows = run_parallel(physical, catalog, parts=parts, fragment_execution=mode)
+        assert frozenset(rows) == sequential[name], (name, parts, mode)
+
+
+@pytest.mark.parametrize("parts", PARTS)
+def test_prepared_execute_parity(catalog, parts):
+    for name, text in PERF_QUERIES.items():
+        pq = prepared(text, catalog)
+        want = pq.execute(catalog)
+        got = pq.execute(catalog, execution="parallel", parts=parts)
+        assert got == want, (name, parts)
+
+
+def test_parity_survives_catalog_mutation():
+    """Version bumps invalidate cached shards; results must follow the data."""
+    local = mixed_catalog(seed=5, n_left=30, n_right=120, n_chain=8)
+    pq = prepared(PERF_QUERIES["count_bug_nested"], local)
+    before = pq.execute(local, execution="parallel", parts=2)
+    assert before == pq.execute(local)
+    victim = min(row["a"] for row in before)  # an R row in the result
+    local.table("R").delete(lambda row: row["a"] == victim)
+    after = pq.execute(local, execution="parallel", parts=2)
+    assert after == pq.execute(local)
+    assert after != before  # the deletion was visible through the shards
+
+
+def test_analyze_reports_fragments(catalog):
+    from repro.engine.analyze import explain_analyze
+
+    physical = prepared(PERF_QUERIES["count_bug_nested"], catalog).compile_for(catalog)
+    run = parallel_analyze(physical, catalog, parts=2)
+    assert run.exec_mode == "parallel"
+    text = explain_analyze(run)
+    assert "Gather parts=2" in text
+    assert "part=0" in text and "part=1" in text
+    # Fragment row counts add up to the gathered input.
+    assert sum(child.rows for child in run.stats.children) == run.stats.rows_in
+
+
+def test_cancelled_parallel_query_returns_within_budget():
+    """A deadline must interrupt in-flight fragments, not wait them out."""
+    big = mixed_catalog(seed=3, n_left=4000, n_right=60000, n_chain=20)
+    physical = prepared(PERF_QUERIES["count_bug_nested"], big).compile_for(big)
+    # Sanity: this query takes visibly longer than the deadline we set.
+    deadline = 0.15
+    start = time.monotonic()
+    with pytest.raises(CancelledError):
+        with cancel_scope(CancelToken.after(deadline)):
+            run_parallel(physical, big, parts=2)
+    elapsed = time.monotonic() - start
+    # Budget: the deadline plus one cancellation round trip (workers poll
+    # at batch granularity) plus pickling slack — far below the multi-
+    # second full execution.
+    assert elapsed < deadline + 2.0, elapsed
+
+
+def test_worker_crash_surfaces_and_pool_recovers(catalog):
+    physical = prepared(PERF_QUERIES["count_bug_nested"], catalog).compile_for(catalog)
+    fp = plan_fragments(physical, catalog)
+    assert fp is not None
+    payloads = shard_payloads(fp, catalog, 2)
+    pool = WorkerPool(2)
+    try:
+        first = pool.run_fragments(fp.fragment, payloads, None)
+        assert len(first) == 2
+        # Kill one worker out from under the pool.
+        pool._procs[0].terminate()
+        pool._procs[0].join(timeout=2.0)
+        with pytest.raises(WorkerCrashError):
+            pool.run_fragments(fp.fragment, payloads, None)
+        assert not pool.running  # the broken pool discarded its workers
+        # Next use respawns workers and serves again.
+        again = pool.run_fragments(fp.fragment, payloads, None)
+        assert [len(r.rows) for r in again] == [len(r.rows) for r in first]
+    finally:
+        pool.close()
+
+
+def test_fragment_error_is_surfaced_not_partial(catalog):
+    """A failing fragment raises; no partial result set leaks out."""
+    from repro.errors import ExecutionError
+
+    pq = prepared(
+        "SELECT r FROM R r WHERE r.a = 1 AND r.missing = 2", catalog, typecheck=False
+    )
+    try:
+        physical = pq.compile_for(catalog)
+    except Exception:
+        pytest.skip("query rejected at compile time; nothing to scatter")
+    with pytest.raises(ExecutionError):
+        run_parallel(physical, catalog, parts=2)
+
+
+def test_service_parallel_mode(catalog):
+    from repro.workloads import COUNT_BUG_NESTED
+
+    with QueryService(catalog, workers=2, execution="parallel", parts=2) as service:
+        response = service.execute(COUNT_BUG_NESTED)
+        assert response.ok
+        want = prepared(COUNT_BUG_NESTED, catalog).execute(catalog)
+        assert response.value == want
+        assert (
+            service.metrics.labeled_counter("queries_by_exec_mode").get("parallel") >= 1
+        )
+
+
+def test_service_rejects_bad_parts(catalog):
+    with pytest.raises(ValueError):
+        QueryService(catalog, parts=0)
