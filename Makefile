@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-shapes bench-json serve-bench trace-smoke report fuzz examples all \
+.PHONY: test bench bench-shapes bench-json serve-bench trace-smoke trace-parallel-smoke \
+	report fuzz examples all \
 	perf-report perf-gate metrics-smoke bench-vectorized bench-parallel parity
 
 test:
@@ -50,6 +51,11 @@ metrics-smoke:
 
 trace-smoke:
 	$(PYTHON) scripts/trace_smoke.py
+
+# Multi-process tracing: a parallel query's merged Chrome export must
+# show per-worker pid lanes and telemetry columns (docs/parallel.md).
+trace-parallel-smoke:
+	$(PYTHON) scripts/trace_parallel_smoke.py
 
 report:
 	$(PYTHON) -m repro.bench

@@ -14,7 +14,12 @@ import math
 
 import pytest
 
-from repro.bench.parallel import SPEEDUP_FLOOR, collect_parallel, visible_cores
+from repro.bench.parallel import (
+    OVERHEAD_CEILING_PCT,
+    SPEEDUP_FLOOR,
+    collect_parallel,
+    visible_cores,
+)
 from repro.bench.perf import PERF_QUERIES
 from repro.bench.vectorized import JOIN_HEAVY
 from repro.core.pipeline import prepared
@@ -73,6 +78,24 @@ class TestShape:
         text = explain_analyze(pq.analyze(catalog, execution="parallel", parts=PARTS))
         assert f"Gather parts={PARTS}" in text
         assert all(f"part={i}" in text for i in range(PARTS))
+        # Worker-side resource telemetry rides on every fragment row.
+        assert "cpu=" in text and "peak_mem=" in text and "shipped=" in text
+        assert "shard skew:" in text
+
+    def test_telemetry_overhead_recorded(self, report):
+        """The tracing-off instrumentation cost is measured and reported;
+        the within-noise ceiling is gated like the speedup floor (stable
+        machines only — shared runners see a shape-only check)."""
+        tracing = report["tracing"]
+        assert tracing["telemetry_on_qps"] > 0
+        assert tracing["telemetry_off_qps"] > 0
+        assert tracing["ceiling_pct"] == OVERHEAD_CEILING_PCT
+        if not report["enforce"]:
+            pytest.skip(
+                f"{report['cores']} core(s) < {PARTS} parts: "
+                "timing too noisy to gate the overhead ceiling"
+            )
+        assert tracing["parallel_overhead_pct"] <= OVERHEAD_CEILING_PCT, tracing
 
 
 class TestTimings:

@@ -1,0 +1,133 @@
+"""Smoke-test multi-process tracing end to end (``make trace-parallel-smoke``).
+
+Builds a small join catalog, then drives the real CLI as a subprocess:
+
+1. ``repro trace --format chrome --execution parallel --parts N`` — the
+   merged export must be valid Chrome ``trace_event`` JSON whose span
+   events land on at least two distinct pids (the coordinator plus N
+   worker lanes), with ``process_name`` metadata labelling every lane
+   and one fragment span per partition;
+2. ``repro query --execution parallel --analyze`` — the EXPLAIN ANALYZE
+   tree must carry the worker-side resource telemetry columns
+   (``cpu=`` / ``peak_mem=`` / ``shipped=``) and the shard-skew note.
+
+Exits non-zero with a diagnostic on the first violated expectation.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+PARTS = 4
+
+
+def run_cli(*args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args], capture_output=True, text=True
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(f"command failed: repro {' '.join(args)}\n{proc.stderr}")
+        sys.exit(1)
+    return proc.stdout
+
+
+def expect(condition: bool, message: str) -> None:
+    if not condition:
+        sys.stderr.write(f"trace-parallel-smoke FAILED: {message}\n")
+        sys.exit(1)
+
+
+def main() -> None:
+    from repro.io import dump_catalog
+    from repro.workloads import COUNT_BUG_NESTED, make_join_workload
+
+    tmp = Path(tempfile.mkdtemp(prefix="trace-parallel-smoke-"))
+    db = tmp / "catalog.json"
+    dump_catalog(make_join_workload(n_left=60, n_right=240, seed=7).catalog, db)
+    query = " ".join(COUNT_BUG_NESTED.split())
+
+    trace_path = tmp / "trace.json"
+    run_cli(
+        "trace",
+        query,
+        "--db",
+        str(db),
+        "--format",
+        "chrome",
+        "--execution",
+        "parallel",
+        "--parts",
+        str(PARTS),
+        "--out",
+        str(trace_path),
+    )
+    doc = json.loads(trace_path.read_text())
+    events = doc.get("traceEvents")
+    expect(bool(events), "chrome export has no traceEvents")
+    spans = [e for e in events if e.get("ph") != "M"]
+    meta = [e for e in events if e.get("ph") == "M"]
+    for event in spans:
+        missing = {"name", "cat", "ph", "ts", "pid", "tid"} - set(event)
+        expect(not missing, f"trace event missing fields {missing}: {event}")
+        expect(event["ph"] in ("X", "i"), f"unexpected event phase {event['ph']!r}")
+        if event["ph"] == "X":
+            expect(event["dur"] >= 0, f"negative duration: {event}")
+    pids = {e["pid"] for e in spans}
+    expect(
+        len(pids) >= 2,
+        f"merged trace is single-process: pids {sorted(pids)}",
+    )
+    expect(1 in pids, "coordinator lane (pid 1) missing from the merged trace")
+    worker_pids = pids - {1}
+    expect(
+        len(worker_pids) == PARTS,
+        f"expected {PARTS} worker lanes, saw pids {sorted(worker_pids)}",
+    )
+    lane_names = {
+        e["args"]["name"] for e in meta if e.get("name") == "process_name"
+    }
+    expect("coordinator" in lane_names, "coordinator lane is unlabelled")
+    expect(
+        sum(1 for n in lane_names if n.startswith("worker pid=")) == PARTS,
+        f"expected {PARTS} labelled worker lanes, saw {sorted(lane_names)}",
+    )
+    fragments = [e for e in spans if e["cat"] == "fragment"]
+    expect(
+        {e["name"] for e in fragments} == {f"part={i}" for i in range(PARTS)},
+        f"expected one fragment span per partition, saw {fragments}",
+    )
+    expect(
+        all(e["pid"] != 1 for e in fragments),
+        "fragment spans must live on worker lanes, not the coordinator's",
+    )
+    expect(
+        any(e["cat"] == "operator" and e["pid"] != 1 for e in spans),
+        "no worker-side operator spans in the merged trace",
+    )
+
+    analyzed = run_cli(
+        "query",
+        query,
+        "--db",
+        str(db),
+        "--execution",
+        "parallel",
+        "--parts",
+        str(PARTS),
+        "--analyze",
+    )
+    for needle in (f"Gather parts={PARTS}", "cpu=", "peak_mem=", "shipped=", "shard skew:"):
+        expect(needle in analyzed, f"parallel --analyze output lacks {needle!r}:\n{analyzed}")
+
+    print(
+        f"trace-parallel-smoke ok: {len(spans)} spans across "
+        f"{len(pids)} process lanes, telemetry columns validated ({db})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -103,6 +103,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="text (human-readable) or chrome (trace_event JSON for "
         "chrome://tracing / Perfetto; default: text)",
     )
+    trace.add_argument(
+        "--execution",
+        choices=("batch", "row", "parallel"),
+        default="batch",
+        help="execution mode to trace; parallel merges per-worker spans "
+        "into one multi-process timeline (default: batch)",
+    )
+    trace.add_argument(
+        "--parts",
+        type=int,
+        default=4,
+        metavar="N",
+        help="partition count for --execution parallel (default: 4)",
+    )
     trace.add_argument("--out", metavar="PATH", help="write the dump to PATH instead of stdout")
 
     tables = sub.add_parser("tables", help="list tables in a JSON catalog")
@@ -288,7 +302,12 @@ def _metrics_dump(args: argparse.Namespace) -> int:
     """Serve the mixed workload, then dump the Prometheus exposition text."""
     import time
 
-    from repro.server.exposition import prometheus_text, serve_metrics
+    from repro.parallel.pool import pool_gauges
+    from repro.server.exposition import (
+        merged_service_snapshot,
+        prometheus_text,
+        serve_metrics,
+    )
     from repro.server.service import QueryService
     from repro.server.workload import make_requests, mixed_catalog
 
@@ -307,8 +326,12 @@ def _metrics_dump(args: argparse.Namespace) -> int:
             time.sleep(args.listen)
             endpoint.stop()
         text = prometheus_text(
-            service.metrics.snapshot(),
-            gauges={"queue_depth": service._queue.qsize(), "workers": service.workers},
+            merged_service_snapshot(service),
+            gauges={
+                "queue_depth": service._queue.qsize(),
+                "workers": service.workers,
+                **pool_gauges(),
+            },
         )
     ok = sum(1 for r in responses if r.ok)
     if args.out:
@@ -328,7 +351,14 @@ def _trace_query(args: argparse.Namespace) -> int:
 
     catalog = _load(args)
     trace = QueryTrace(query=args.text)
-    result = run_query(args.text, catalog, analyze=True, trace=trace)
+    result = run_query(
+        args.text,
+        catalog,
+        analyze=True,
+        trace=trace,
+        execution=args.execution,
+        parts=args.parts,
+    )
     if args.format == "chrome":
         import json
 

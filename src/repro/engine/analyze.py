@@ -54,6 +54,11 @@ class OpStats:
     #: when it ran tuple-at-a-time (row execution or batch-mode fallback);
     #: None if the operator never ran at all.
     exec_mode: str | None = None
+    #: Worker-side resource telemetry for parallel ``PFragment`` rows
+    #: (see :func:`repro.parallel.parallel_analyze`); None elsewhere.
+    cpu_seconds: float | None = None
+    peak_mem_bytes: int | None = None
+    shipped_bytes: int | None = None
     children: list["OpStats"] = field(default_factory=list)
 
     @property
@@ -73,6 +78,9 @@ class AnalyzedRun:
     #: operator-level account (including per-operator fallbacks) lives on
     #: each :attr:`OpStats.exec_mode`.
     exec_mode: str = "row"
+    #: Free-form annotations rendered after the tree — e.g. a parallel
+    #: run's shard-skew line, or why it fell back to sequential.
+    notes: tuple = ()
 
     def feedback(self):
         """Per-operator estimate-vs-actual entries (see repro.engine.feedback)."""
@@ -288,9 +296,17 @@ def explain_analyze(run: AnalyzedRun) -> str:
             parts.append(f"cache {stats.cache_hits} hit/{stats.cache_misses} miss")
         if stats.peak_group is not None:
             parts.append(f"peak group {stats.peak_group}")
+        if stats.cpu_seconds is not None:
+            parts.append(f"cpu={stats.cpu_seconds * 1e3:.2f}ms")
+        if stats.peak_mem_bytes is not None:
+            parts.append(f"peak_mem={stats.peak_mem_bytes / 1024:.0f}KiB")
+        if stats.shipped_bytes is not None:
+            parts.append(f"shipped={stats.rows} rows/{stats.shipped_bytes}B")
         lines.append(f"{pad}{op.describe()}  ({', '.join(parts)})")
         for child in stats.children:
             emit(child, indent + 1)
 
     emit(run.stats, 0)
+    for note in run.notes:
+        lines.append(f"note: {note}")
     return "\n".join(lines)

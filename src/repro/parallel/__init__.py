@@ -11,15 +11,36 @@ The subsystem has three layers, documented in ``docs/parallel.md``:
   ``BUILD_CACHE``).
 * :mod:`repro.parallel.pool` runs fragments on a persistent
   ``multiprocessing`` worker pool with ship-once data, cross-process
-  cancellation, and crash surfacing.
+  cancellation, crash surfacing, and pool-health metrics
+  (:data:`repro.parallel.pool.POOL_METRICS`).
 
 This package front-door exposes the executor-facing entry points:
 :func:`run_parallel` (rows), :func:`parallel_set` (the serving path's
 frozenset terminal), and :func:`parallel_analyze` (EXPLAIN ANALYZE with
-per-fragment ``part=`` rows). All three fall back to sequential
-execution — same results, one process — when the plan doesn't shard
+per-fragment ``part=`` rows carrying worker-side ``cpu=`` / ``peak_mem=``
+/ ``shipped=`` telemetry). All three fall back to sequential execution —
+same results, one process — when the plan doesn't shard
 (:func:`repro.parallel.fragment.plan_fragments` returns None) or when
-``parts <= 1``.
+``parts <= 1``. A sharding-unsafe fallback is *not* silent: it emits a
+``parallel/sequential-fallback`` trace event, increments the
+``pool_sequential_fallbacks`` counter labeled with the planner's reason
+slug, and the reason lands in EXPLAIN ANALYZE notes and on
+:func:`consume_parallel_stats`.
+
+**Observability**: when an ambient :class:`~repro.core.trace.QueryTrace`
+is installed (:func:`repro.core.trace.trace_scope`), the scatter ships
+the trace context to the workers, each worker runs instrumented and
+returns per-operator spans stamped with its own pid/tid, and the spans
+are merged into the coordinator trace — ``repro trace --chrome`` then
+renders one lane per worker process. Worker clocks need no adjustment:
+``time.perf_counter`` is CLOCK_MONOTONIC on Linux, system-wide, so
+worker offsets against the coordinator trace's creation instant line up.
+
+Each parallel attempt also leaves a thread-local
+:class:`ParallelExecStats` — shard-time skew (max/mean, top-k slowest),
+rows and bytes shipped, or the fallback reason — which the query service
+pops via :func:`consume_parallel_stats` onto the
+:class:`~repro.server.request.QueryResponse` and the slow-query log.
 
 Parallel execution is *set-oriented*: fragments of a plan containing a
 ``Distinct`` or a re-grouped ``Nest`` merge by set semantics, and row
@@ -31,9 +52,12 @@ outputs (which gather removes) and ordering.
 
 from __future__ import annotations
 
+import threading
 import time
+from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.core.trace import current_trace, emit, span
 from repro.engine.batch import DEFAULT_BATCH_SIZE
 from repro.engine.cancel import current_token
 from repro.model.values import Tup
@@ -44,24 +68,83 @@ from repro.parallel.fragment import (
     PRows,
     merge_rows,
     plan_fragments,
+    plan_fragments_ex,
 )
 from repro.parallel.partition import shard_payloads
-from repro.parallel.pool import WorkerPool, get_pool, shutdown_pools
+from repro.parallel.pool import (
+    POOL_METRICS,
+    WorkerPool,
+    get_pool,
+    pool_health,
+    shutdown_pools,
+)
 
 __all__ = [
     "run_parallel",
     "parallel_set",
     "parallel_analyze",
     "plan_fragments",
+    "plan_fragments_ex",
     "FragmentPlan",
     "get_pool",
     "shutdown_pools",
     "WorkerPool",
     "DEFAULT_PARTS",
+    "ParallelExecStats",
+    "consume_parallel_stats",
+    "pool_health",
 ]
 
 #: Partition count used when the caller does not choose one.
 DEFAULT_PARTS = 4
+
+#: Top-k slowest shards reported on responses and the slowlog.
+SKEW_TOP_K = 3
+
+
+@dataclass
+class ParallelExecStats:
+    """What one parallel attempt looked like, for the serving layer.
+
+    Either a real scatter (skew and shipping figures populated) or a
+    sequential fallback (``fallback`` holds the planner's reason slug).
+    """
+
+    parts: int
+    max_shard_seconds: float = 0.0
+    mean_shard_seconds: float = 0.0
+    #: Top-k slowest shards, slowest first: ``(part, seconds)``.
+    skew: tuple = ()
+    rows_shipped: int = 0
+    reply_bytes: int | None = None
+    fallback: str | None = None
+
+    def to_dict(self) -> dict:
+        out: dict = {"parts": self.parts}
+        if self.fallback is not None:
+            out["fallback"] = self.fallback
+            return out
+        out["max_shard_seconds"] = self.max_shard_seconds
+        out["mean_shard_seconds"] = self.mean_shard_seconds
+        out["skew"] = [{"part": p, "seconds": s} for p, s in self.skew]
+        out["rows_shipped"] = self.rows_shipped
+        if self.reply_bytes is not None:
+            out["reply_bytes"] = self.reply_bytes
+        return out
+
+
+_stats_local = threading.local()
+
+
+def _record_stats(stats: ParallelExecStats) -> None:
+    _stats_local.value = stats
+
+
+def consume_parallel_stats() -> ParallelExecStats | None:
+    """Pop the stats of this thread's most recent parallel attempt."""
+    stats = getattr(_stats_local, "value", None)
+    _stats_local.value = None
+    return stats
 
 
 def _scatter(
@@ -71,21 +154,61 @@ def _scatter(
     fragment_execution: str,
     batch_size: int,
 ):
-    """Fragment, ship, and collect; None when the plan must run sequentially."""
-    fp = plan_fragments(physical, catalog)
+    """Fragment, ship, and collect; None when the plan must run sequentially.
+
+    A fallback is observable: trace event, labeled counter, and a
+    fallback :class:`ParallelExecStats` for the serving layer.
+    """
+    fp, reason = plan_fragments_ex(physical, catalog)
     if fp is None:
+        reason = reason or "unknown"
+        emit(
+            "parallel",
+            "sequential-fallback",
+            detail=f"plan does not shard: {reason}",
+            verdict=reason,
+        )
+        POOL_METRICS.labeled_counter("pool_sequential_fallbacks").inc(reason)
+        _record_stats(ParallelExecStats(parts=parts, fallback=reason))
         return None
     payloads = shard_payloads(fp, catalog, parts)
     token = current_token()
     deadline = token.deadline if token is not None else None
+    trace = current_trace()
+    trace_ctx = (trace.trace_id, trace.created) if trace is not None else None
     pool = get_pool(parts)
-    fragments = pool.run_fragments(
-        fp.fragment,
-        payloads,
-        deadline,
-        mode=fragment_execution,
-        batch_size=batch_size,
-        coordinator_token=token,
+    with span("parallel", f"scatter parts={parts}", detail=fp.describe()):
+        fragments = pool.run_fragments(
+            fp.fragment,
+            payloads,
+            deadline,
+            mode=fragment_execution,
+            batch_size=batch_size,
+            coordinator_token=token,
+            trace_ctx=trace_ctx,
+        )
+    if trace is not None:
+        # Merge the workers' per-operator spans into the coordinator
+        # trace; their pid/tid stamps become lanes in the Chrome export.
+        for f in fragments:
+            if f.events:
+                trace.events.extend(f.events)
+    times = sorted(
+        ((f.seconds, f.part) for f in fragments), reverse=True
+    )
+    reply_bytes = sum(f.reply_bytes for f in fragments if f.reply_bytes is not None)
+    any_bytes = any(f.reply_bytes is not None for f in fragments)
+    _record_stats(
+        ParallelExecStats(
+            parts=parts,
+            max_shard_seconds=times[0][0] if times else 0.0,
+            mean_shard_seconds=(
+                sum(s for s, _ in times) / len(times) if times else 0.0
+            ),
+            skew=tuple((part, seconds) for seconds, part in times[:SKEW_TOP_K]),
+            rows_shipped=sum(len(f.rows) for f in fragments),
+            reply_bytes=reply_bytes if any_bytes else None,
+        )
     )
     return fp, fragments
 
@@ -146,10 +269,13 @@ def parallel_analyze(
 
     The stats tree is rooted at a :class:`PGather` pseudo-operator whose
     children are per-shard :class:`PFragment` nodes (``part=i``) carrying
-    each worker's row count and wall time; a coordinator-side tail (when
-    the plan re-groups) is *not* separately instrumented — its cost is
-    inside the gather total. Sequential fallbacks return the ordinary
-    instrumented run.
+    each worker's row count, wall time, and — when pool telemetry is on —
+    CPU seconds, peak memory, and reply bytes shipped over the pipe.
+    Shard-time skew (max/mean) is reported in the run's notes. A
+    coordinator-side tail (when the plan re-groups) is *not* separately
+    instrumented — its cost is inside the gather total. Sequential
+    fallbacks return the ordinary instrumented run, with the fallback
+    reason in its notes.
     """
     from repro.engine.analyze import AnalyzedRun, OpStats, analyze
 
@@ -158,7 +284,15 @@ def parallel_analyze(
     start = time.perf_counter()
     scattered = _scatter(physical, catalog, parts, fragment_execution, batch_size)
     if scattered is None:
-        return analyze(physical, catalog, execution=fragment_execution, batch_size=batch_size)
+        run = analyze(
+            physical, catalog, execution=fragment_execution, batch_size=batch_size
+        )
+        # Peek, don't consume: the serving layer pops these stats after
+        # the (possibly analyzed) execution returns.
+        stats = getattr(_stats_local, "value", None)
+        reason = stats.fallback if stats is not None else "unknown"
+        run.notes = (f"parallel fallback: {reason}",)
+        return run
     fp, fragments = scattered
     rows = merge_rows(fp, [f.rows for f in fragments], catalog)
     total = time.perf_counter() - start
@@ -167,7 +301,15 @@ def parallel_analyze(
     children = []
     for f in fragments:
         node = PFragment(part=f.part, inner=fp.fragment, est_rows=per_part)
-        stats = OpStats(node, rows=len(f.rows), seconds=f.seconds, exec_mode=fragment_execution)
+        stats = OpStats(
+            node,
+            rows=len(f.rows),
+            seconds=f.seconds,
+            exec_mode=fragment_execution,
+            cpu_seconds=f.cpu_seconds,
+            peak_mem_bytes=f.peak_mem_bytes,
+            shipped_bytes=f.reply_bytes,
+        )
         children.append(stats)
     gather = PGather(
         parts=parts,
@@ -182,4 +324,13 @@ def parallel_analyze(
         exec_mode="parallel",
         children=children,
     )
-    return AnalyzedRun(rows, root, total, exec_mode="parallel")
+    notes = ()
+    shard_times = [f.seconds for f in fragments]
+    if shard_times:
+        worst = max(shard_times)
+        mean = sum(shard_times) / len(shard_times)
+        notes = (
+            f"shard skew: max={worst * 1e3:.2f}ms mean={mean * 1e3:.2f}ms "
+            f"({worst / mean:.2f}x)" if mean else "shard skew: n/a",
+        )
+    return AnalyzedRun(rows, root, total, exec_mode="parallel", notes=notes)

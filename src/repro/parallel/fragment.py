@@ -60,7 +60,15 @@ from repro.lang.ast import Attr, Expr, Var
 from repro.lang.freevars import free_vars
 from repro.model.values import Tup
 
-__all__ = ["FragmentPlan", "plan_fragments", "merge_rows", "PGather", "PFragment", "PRows"]
+__all__ = [
+    "FragmentPlan",
+    "plan_fragments",
+    "plan_fragments_ex",
+    "merge_rows",
+    "PGather",
+    "PFragment",
+    "PRows",
+]
 
 
 @dataclass
@@ -158,14 +166,30 @@ def _direct_attrs(keys: tuple[Expr, ...], var: str) -> tuple[str, ...] | None:
 
 def plan_fragments(root: PhysicalOp, catalog: Mapping) -> FragmentPlan | None:
     """Decompose *root* for partitioned execution, or None to fall back."""
+    return plan_fragments_ex(root, catalog)[0]
+
+
+def plan_fragments_ex(
+    root: PhysicalOp, catalog: Mapping
+) -> tuple[FragmentPlan | None, str | None]:
+    """Like :func:`plan_fragments`, but a failed decomposition also names
+    *why* sharding is unsafe.
+
+    Returns ``(plan, None)`` on success and ``(None, reason)`` on fallback,
+    where *reason* is a low-cardinality slug (``no-spine``,
+    ``unsharded-base``, ``unknown-operator``, ``self-join``,
+    ``base-in-predicate``) suitable as a metric label; the executor emits
+    it as a structured trace warning and counts it in
+    ``pool_sequential_fallbacks`` instead of degrading silently.
+    """
     path = _spine(root)
     if path is None:
-        return None
+        return None, "no-spine"
     base = path[-1]
     assert isinstance(base, PScan)
     source = catalog[base.table] if base.table in catalog else None
     if source is None or not hasattr(source, "partitioned"):
-        return None  # not a stored, shardable table
+        return None, "unsharded-base"  # not a stored, shardable table
 
     # Walk the spine bottom-up, tracking whether the base binding is still
     # intact, until the first PNest whose groups may span shards.
@@ -187,7 +211,7 @@ def plan_fragments(root: PhysicalOp, catalog: Mapping) -> FragmentPlan | None:
             if op.label == alive:
                 alive = None
         elif not isinstance(op, (PFilter, PExtend, PDistinct, PJoin)):
-            return None  # unknown spine operator: don't guess
+            return None, "unknown-operator"  # unknown spine operator: don't guess
 
     if cut_index is not None:
         fragment = bottom_up[cut_index]
@@ -202,12 +226,12 @@ def plan_fragments(root: PhysicalOp, catalog: Mapping) -> FragmentPlan | None:
     # predicate-level table references would see a shard where sequential
     # execution sees the whole table).
     if _scan_counts(fragment).get(base.table, 0) != 1:
-        return None
+        return None, "self-join"
     referenced: frozenset[str] = frozenset()
     for expr in _tree_exprs(fragment):
         referenced |= free_vars(expr)
     if base.table in referenced:
-        return None
+        return None, "base-in-predicate"
 
     # Partition-key selection: the first spine join below the cut whose
     # left keys are direct attributes of the (still intact) base binding.
@@ -257,14 +281,17 @@ def plan_fragments(root: PhysicalOp, catalog: Mapping) -> FragmentPlan | None:
                 node = replace(op, child=node)
         tail = node
 
-    return FragmentPlan(
-        fragment=fragment,
-        base_table=base.table,
-        partition_attrs=partition_attrs,
-        copartition=copartition,
-        regroup=regroup,
-        dedup=dedup,
-        tail=tail,
+    return (
+        FragmentPlan(
+            fragment=fragment,
+            base_table=base.table,
+            partition_attrs=partition_attrs,
+            copartition=copartition,
+            regroup=regroup,
+            dedup=dedup,
+            tail=tail,
+        ),
+        None,
     )
 
 

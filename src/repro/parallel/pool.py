@@ -8,10 +8,18 @@ duplex pipe, running a small message loop:
   registry (bounded LRU). The coordinator tracks which keys each worker
   holds and ships a catalog version's shards exactly once; subsequent
   queries against unchanged tables send only the pickled fragment.
-* ``("run", key, fragment, deadline, mode, batch_size)`` — execute the
-  fragment over the loaded tables under a
+* ``("run", key, fragment, deadline, mode, batch_size, part, opts)`` —
+  execute the fragment over the loaded tables under a
   :class:`~repro.engine.cancel.CancelToken` and reply ``("ok", rows,
-  seconds)``, ``("cancelled", reason)``, or ``("error", message)``.
+  seconds, extra)``, ``("cancelled", reason)``, or ``("error", message)``.
+  ``opts`` switches per-run observability: with ``telemetry`` the worker
+  measures its CPU time (``os.times``) and peak memory (rusage maxrss
+  delta, or ``tracemalloc`` when the coordinator saw
+  ``REPRO_TRACEMALLOC``); with a ``trace`` context ``(trace_id,
+  base_instant)`` it runs instrumented and ships back per-operator spans
+  stamped with its own pid/tid, offset against the coordinator trace's
+  creation instant (``time.perf_counter`` is CLOCK_MONOTONIC on Linux,
+  comparable across processes — the same property deadlines rely on).
 * ``("stop",)`` — exit.
 
 **Cancellation** maps the engine's cooperative protocol across the
@@ -28,27 +36,60 @@ stale cancellation can never leak into the next query.
 **Crashes**: a worker dying mid-fragment surfaces as ``EOFError`` on its
 pipe; the pool terminates all workers, marks itself broken (it respawns
 on next use), and raises :class:`~repro.errors.WorkerCrashError` — never
-a partial result.
+a partial result. Every crash increments ``pool_worker_crashes`` and is
+recorded in a bounded failure ring (:func:`recent_crashes`); the respawn
+on next use increments ``pool_worker_restarts``.
+
+**Pool health** is instrumented in a process-global
+:data:`POOL_METRICS` registry (counters ``pool_scatters``,
+``pool_fragments``, ``pool_workers_spawned``, ``pool_worker_restarts``,
+``pool_worker_crashes``, the shard-catalog ship cache
+``pool_catalog_ship_hits``/``misses``, and the labeled
+``pool_sequential_fallbacks`` by reason; histograms
+``pool_dispatch_wait_ms``, ``pool_scatter_ms``, ``pool_gather_ms``,
+``pool_payload_bytes``, ``pool_reply_bytes``). The query service merges
+this registry into its ``/metrics`` exposition (see
+:func:`repro.server.exposition.merged_service_snapshot`) and reports
+:func:`pool_health` under ``stats()["parallel_pool"]``. Telemetry and
+byte accounting can be switched off (:func:`set_telemetry`, or
+``REPRO_POOL_TELEMETRY=0``) — the benchmark guard measures that the
+default-on path stays within noise of the bare one.
 
 The start method prefers ``fork`` (cheap, shares the code image) and
 falls back to ``spawn`` where fork is unavailable; everything shipped is
 pickle-clean either way (``tests/model/test_pickle.py``), so both work.
 Scatters through one pool are serialized by a lock: concurrent service
-threads queue rather than interleave fragments from different queries.
+threads queue rather than interleave fragments from different queries —
+the wait for that lock is what ``pool_dispatch_wait_ms`` measures.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
+import sys
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from multiprocessing.connection import wait as _conn_wait
+from multiprocessing.reduction import ForkingPickler
 
 from repro.errors import CancelledError, ExecutionError, WorkerCrashError
+from repro.server.metrics import MetricsRegistry
 
-__all__ = ["WorkerPool", "get_pool", "shutdown_pools", "FragmentResult"]
+__all__ = [
+    "WorkerPool",
+    "get_pool",
+    "shutdown_pools",
+    "FragmentResult",
+    "POOL_METRICS",
+    "pool_health",
+    "pool_gauges",
+    "recent_crashes",
+    "set_telemetry",
+    "telemetry_enabled",
+]
 
 #: Shard-catalog entries each worker retains (distinct catalog versions /
 #: partition layouts); older entries are evicted least-recently-used.
@@ -58,16 +99,108 @@ WORKER_REGISTRY_CAPACITY = 4
 #: worker to acknowledge before declaring it wedged and crashing the pool.
 CANCEL_GRACE = 30.0
 
+#: Process-global pool-health instruments, merged into the query
+#: service's Prometheus exposition. Families are pre-created so a scrape
+#: shows them (at zero) before the first parallel query.
+POOL_METRICS = MetricsRegistry()
+for _name in (
+    "pool_scatters",
+    "pool_fragments",
+    "pool_workers_spawned",
+    "pool_worker_restarts",
+    "pool_worker_crashes",
+    "pool_catalog_ship_hits",
+    "pool_catalog_ship_misses",
+):
+    POOL_METRICS.counter(_name)
+POOL_METRICS.labeled_counter("pool_sequential_fallbacks")
+for _name in (
+    "pool_dispatch_wait_ms",
+    "pool_scatter_ms",
+    "pool_gather_ms",
+    "pool_payload_bytes",
+    "pool_reply_bytes",
+):
+    POOL_METRICS.histogram(_name)
+del _name
+
+#: Bounded ring of recent worker-crash records (newest win); the pool
+#: counterpart of the slow-query log's failure ring.
+_CRASH_RING_CAPACITY = 32
+_CRASHES: "deque[dict]" = deque(maxlen=_CRASH_RING_CAPACITY)
+
+#: Per-fragment resource telemetry (CPU, peak memory, payload bytes) and
+#: the per-scatter histograms default on; ``REPRO_POOL_TELEMETRY=0`` or
+#: :func:`set_telemetry` switch them off (the benchmark overhead guard).
+_TELEMETRY = os.environ.get("REPRO_POOL_TELEMETRY", "1") != "0"
+
+
+def set_telemetry(enabled: bool) -> None:
+    """Globally enable/disable per-fragment telemetry and byte accounting."""
+    global _TELEMETRY
+    _TELEMETRY = bool(enabled)
+
+
+def telemetry_enabled() -> bool:
+    return _TELEMETRY
+
+
+def recent_crashes() -> list[dict]:
+    """The bounded failure ring of worker crashes, oldest first."""
+    return list(_CRASHES)
+
 
 class FragmentResult:
-    """One shard's reply: its rows and worker-side wall time."""
+    """One shard's reply: its rows, worker-side wall time, and telemetry.
 
-    __slots__ = ("part", "rows", "seconds")
+    ``cpu_seconds`` (user+system), ``peak_mem_bytes`` (tracemalloc peak
+    when ``REPRO_TRACEMALLOC`` is set, else the rusage maxrss delta),
+    ``reply_bytes`` (pickled reply size over the pipe), ``catalog_hit``
+    (whether the worker already held this shard catalog), ``pid``/``tid``
+    and ``events`` (per-operator trace spans) are None when telemetry or
+    tracing was off for the run.
+    """
 
-    def __init__(self, part: int, rows: list, seconds: float):
+    __slots__ = (
+        "part",
+        "rows",
+        "seconds",
+        "cpu_seconds",
+        "peak_mem_bytes",
+        "reply_bytes",
+        "catalog_hit",
+        "pid",
+        "tid",
+        "events",
+    )
+
+    def __init__(
+        self,
+        part: int,
+        rows: list,
+        seconds: float,
+        cpu_seconds: float | None = None,
+        peak_mem_bytes: int | None = None,
+        reply_bytes: int | None = None,
+        catalog_hit: bool | None = None,
+        pid: int | None = None,
+        tid: int | None = None,
+        events: list | None = None,
+    ):
         self.part = part
         self.rows = rows
         self.seconds = seconds
+        self.cpu_seconds = cpu_seconds
+        self.peak_mem_bytes = peak_mem_bytes
+        self.reply_bytes = reply_bytes
+        self.catalog_hit = catalog_hit
+        self.pid = pid
+        self.tid = tid
+        self.events = events
+
+    @property
+    def rows_shipped(self) -> int:
+        return len(self.rows)
 
 
 def _pick_context():
@@ -78,12 +211,73 @@ def _pick_context():
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
+def _maxrss_bytes() -> int:
+    """This process's peak RSS in bytes (0 where rusage is unavailable)."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    return int(rss if sys.platform == "darwin" else rss * 1024)
+
+
+def _send_msg(conn, msg, measure: bool) -> int:
+    """Send *msg* over *conn*; with *measure*, pre-pickle to count bytes.
+
+    ``Connection.send`` is exactly ``send_bytes(ForkingPickler.dumps(msg))``
+    internally, so the measured path is wire-compatible with a plain
+    ``recv()`` on the other side and costs no extra pickling pass.
+    """
+    if not measure:
+        conn.send(msg)
+        return 0
+    buf = ForkingPickler.dumps(msg)
+    conn.send_bytes(buf)
+    return len(buf)
+
+
+def _recv_msg(conn, measure: bool) -> tuple[tuple, int]:
+    """Receive one message; with *measure*, also report its pickled size."""
+    if not measure:
+        return conn.recv(), 0
+    buf = conn.recv_bytes()
+    return pickle.loads(buf), len(buf)
+
+
 def _worker_main(conn, cancel_event) -> None:
     """The worker process message loop (module-level for spawn safety)."""
     from collections import OrderedDict
 
+    from repro.core.trace import TraceEvent
     from repro.engine.batch import rows_from_batches
     from repro.engine.cancel import CancelToken, cancel_scope
+
+    pid = os.getpid()
+    tid = threading.get_native_id()
+
+    def stats_events(stats, base: float, fallback_start: float) -> list:
+        """Flatten an instrumented run's OpStats tree into span events."""
+        out: list = []
+
+        def walk(s) -> None:
+            start = s.started if s.started else fallback_start
+            out.append(
+                TraceEvent(
+                    phase="operator",
+                    rule=s.op.describe(),
+                    detail=f"rows={s.rows}",
+                    ts=start - base,
+                    dur=s.seconds,
+                    pid=pid,
+                    tid=tid,
+                )
+            )
+            for child in s.children:
+                walk(child)
+
+        walk(stats)
+        return out
 
     registry: "OrderedDict[tuple, dict]" = OrderedDict()
     while True:
@@ -101,23 +295,79 @@ def _worker_main(conn, cancel_event) -> None:
             while len(registry) > WORKER_REGISTRY_CAPACITY:
                 registry.popitem(last=False)
             continue  # no ack; the pipe is FIFO, the run message follows
-        # ("run", key, fragment, deadline, mode, batch_size)
-        _, key, fragment, deadline, mode, batch_size = msg
+        # ("run", key, fragment, deadline, mode, batch_size, part, opts)
+        _, key, fragment, deadline, mode, batch_size, part, opts = msg
+        opts = opts or {}
+        telemetry = bool(opts.get("telemetry"))
+        trace_ctx = opts.get("trace")
         started = time.perf_counter()
+        cpu0 = os.times() if telemetry else None
+        rss0 = _maxrss_bytes() if telemetry else 0
+        trace_mem = telemetry and bool(opts.get("tracemalloc"))
+        if trace_mem:
+            import tracemalloc
+
+            tracemalloc.start()
         try:
             tables = registry[key]
             registry.move_to_end(key)
             token = CancelToken(deadline, event=cancel_event)
+            events = None
             with cancel_scope(token):
-                if mode == "batch":
+                if trace_ctx is not None:
+                    # Instrumented run: per-operator spans ride back with
+                    # the rows, stamped against the coordinator's clock.
+                    from repro.engine.analyze import analyze
+
+                    _, base = trace_ctx
+                    run = analyze(fragment, tables, execution=mode, batch_size=batch_size)
+                    rows = run.rows
+                    events = stats_events(run.stats, base, started)
+                    events.append(
+                        TraceEvent(
+                            phase="fragment",
+                            rule=f"part={part}",
+                            detail=f"{len(rows)} rows",
+                            ts=started - base,
+                            dur=time.perf_counter() - started,
+                            pid=pid,
+                            tid=tid,
+                        )
+                    )
+                elif mode == "batch":
                     rows = list(rows_from_batches(fragment.run_batches(tables, batch_size)))
                 else:
                     rows = list(fragment.run(tables))
-            conn.send(("ok", rows, time.perf_counter() - started))
+            seconds = time.perf_counter() - started
+            extra = None
+            if telemetry:
+                cpu1 = os.times()
+                if trace_mem:
+                    import tracemalloc
+
+                    peak = tracemalloc.get_traced_memory()[1]
+                else:
+                    peak = max(0, _maxrss_bytes() - rss0)
+                extra = {
+                    "cpu": (cpu1.user - cpu0.user) + (cpu1.system - cpu0.system),
+                    "peak_mem": peak,
+                    "pid": pid,
+                    "tid": tid,
+                    "events": events,
+                }
+            elif events is not None:
+                extra = {"pid": pid, "tid": tid, "events": events}
+            conn.send(("ok", rows, seconds, extra))
         except CancelledError as exc:
             conn.send(("cancelled", str(exc)))
         except BaseException as exc:  # surfaced coordinator-side, not fatal here
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        finally:
+            if trace_mem:
+                import tracemalloc
+
+                if tracemalloc.is_tracing():
+                    tracemalloc.stop()
 
 
 class WorkerPool:
@@ -136,6 +386,9 @@ class WorkerPool:
         #: exactly "still resident" there.
         self._loaded: list[OrderedDict] = []
         self._lock = threading.Lock()
+        #: Set when a crash tore the workers down; the next start counts
+        #: as a restart in ``pool_worker_restarts``.
+        self._crashed = False
 
     # -- lifecycle ---------------------------------------------------------
     def _ensure_started(self) -> None:
@@ -155,10 +408,19 @@ class WorkerPool:
         self._procs = procs
         self._conns = conns
         self._loaded = [OrderedDict() for _ in range(self.parts)]
+        POOL_METRICS.counter("pool_workers_spawned").inc(self.parts)
+        if self._crashed:
+            POOL_METRICS.counter("pool_worker_restarts").inc(self.parts)
+            self._crashed = False
 
     @property
     def running(self) -> bool:
         return self._procs is not None
+
+    @property
+    def live_workers(self) -> int:
+        """Worker processes currently alive (0 for a stopped pool)."""
+        return sum(1 for proc in (self._procs or ()) if proc.is_alive())
 
     def close(self) -> None:
         """Stop the workers (the pool restarts lazily if used again)."""
@@ -194,41 +456,96 @@ class WorkerPool:
         mode: str = "batch",
         batch_size: int = 1024,
         coordinator_token=None,
+        trace_ctx: tuple | None = None,
     ) -> list[FragmentResult]:
         """Ship *fragment* to every worker over its payload catalog and
-        collect one result per part, honouring deadline and cancellation."""
+        collect one result per part, honouring deadline and cancellation.
+
+        *trace_ctx* — ``(trace_id, base_instant)`` of the coordinator's
+        ambient :class:`~repro.core.trace.QueryTrace` — makes the workers
+        run instrumented and ship back per-operator spans on each
+        :class:`FragmentResult`.
+        """
+        telemetry = _TELEMETRY
+        waiting_from = time.perf_counter()
         with self._lock:
+            if telemetry:
+                POOL_METRICS.histogram("pool_dispatch_wait_ms").observe(
+                    (time.perf_counter() - waiting_from) * 1e3
+                )
+                POOL_METRICS.counter("pool_scatters").inc()
             self._ensure_started()
             try:
                 return self._scatter_gather(
-                    fragment, payloads, deadline, mode, batch_size, coordinator_token
+                    fragment,
+                    payloads,
+                    deadline,
+                    mode,
+                    batch_size,
+                    coordinator_token,
+                    trace_ctx,
+                    telemetry,
                 )
-            except WorkerCrashError:
+            except WorkerCrashError as exc:
+                POOL_METRICS.counter("pool_worker_crashes").inc()
+                _CRASHES.append(
+                    {
+                        "error": str(exc),
+                        "parts": self.parts,
+                        "when": time.time(),
+                    }
+                )
+                self._crashed = True
                 self._teardown(graceful=False)
                 raise
 
     def _scatter_gather(
-        self, fragment, payloads, deadline, mode, batch_size, coordinator_token
+        self,
+        fragment,
+        payloads,
+        deadline,
+        mode,
+        batch_size,
+        coordinator_token,
+        trace_ctx,
+        telemetry,
     ) -> list[FragmentResult]:
         key = payloads.key
+        opts = {
+            "telemetry": telemetry,
+            "trace": trace_ctx,
+            "tracemalloc": telemetry and bool(os.environ.get("REPRO_TRACEMALLOC")),
+        }
+        catalog_hits = [False] * self.parts
+        payload_bytes = 0
+        scatter_from = time.perf_counter()
         try:
             for i, conn in enumerate(self._conns):
                 loaded = self._loaded[i]
                 if key in loaded:
                     loaded.move_to_end(key)  # mirrors the worker's `run` touch
+                    catalog_hits[i] = True
                 else:
-                    conn.send(("load", key, payloads.catalogs[i]))
+                    payload_bytes += _send_msg(
+                        conn, ("load", key, payloads.catalogs[i]), telemetry
+                    )
                     loaded[key] = True
                     while len(loaded) > WORKER_REGISTRY_CAPACITY:
                         loaded.popitem(last=False)
-                conn.send(("run", key, fragment, deadline, mode, batch_size))
+                payload_bytes += _send_msg(
+                    conn,
+                    ("run", key, fragment, deadline, mode, batch_size, i, opts),
+                    telemetry,
+                )
         except (BrokenPipeError, OSError) as exc:
             raise WorkerCrashError(f"worker pipe closed during scatter: {exc}") from exc
+        scattered_at = time.perf_counter()
 
         results: list[FragmentResult | None] = [None] * self.parts
         outcome_cancelled: str | None = None
         outcome_error: str | None = None
         pending = {conn: i for i, conn in enumerate(self._conns)}
+        reply_bytes = 0
         event_set = False  # we raised the shared flag and must clear it
         deadline_cancelled = False
         cancel_instant: float | None = None
@@ -260,14 +577,28 @@ class WorkerPool:
                 for conn in ready:
                     part = pending.pop(conn)
                     try:
-                        msg = conn.recv()
+                        msg, nbytes = _recv_msg(conn, telemetry)
                     except EOFError as exc:
                         raise WorkerCrashError(
                             f"worker for part {part} died mid-fragment"
                         ) from exc
+                    reply_bytes += nbytes
                     status = msg[0]
                     if status == "ok":
-                        results[part] = FragmentResult(part, msg[1], msg[2])
+                        extra = msg[3] if len(msg) > 3 else None
+                        extra = extra or {}
+                        results[part] = FragmentResult(
+                            part,
+                            msg[1],
+                            msg[2],
+                            cpu_seconds=extra.get("cpu"),
+                            peak_mem_bytes=extra.get("peak_mem"),
+                            reply_bytes=nbytes if telemetry else None,
+                            catalog_hit=catalog_hits[part],
+                            pid=extra.get("pid"),
+                            tid=extra.get("tid"),
+                            events=extra.get("events"),
+                        )
                     elif status == "cancelled":
                         outcome_cancelled = msg[1]
                     else:
@@ -283,6 +614,19 @@ class WorkerPool:
             raise ExecutionError(f"parallel fragment failed: {outcome_error}")
         if outcome_cancelled is not None or deadline_cancelled:
             raise CancelledError(outcome_cancelled or "deadline exceeded")
+        if telemetry:
+            hits = sum(catalog_hits)
+            POOL_METRICS.counter("pool_catalog_ship_hits").inc(hits)
+            POOL_METRICS.counter("pool_catalog_ship_misses").inc(self.parts - hits)
+            POOL_METRICS.counter("pool_fragments").inc(self.parts)
+            POOL_METRICS.histogram("pool_scatter_ms").observe(
+                (scattered_at - scatter_from) * 1e3
+            )
+            POOL_METRICS.histogram("pool_gather_ms").observe(
+                (time.perf_counter() - scattered_at) * 1e3
+            )
+            POOL_METRICS.histogram("pool_payload_bytes").observe(payload_bytes)
+            POOL_METRICS.histogram("pool_reply_bytes").observe(reply_bytes)
         return [r for r in results if r is not None]
 
 
@@ -309,3 +653,28 @@ def shutdown_pools() -> None:
         for pool in _POOLS.values():
             pool.close()
         _POOLS.clear()
+
+
+def pool_gauges() -> dict[str, float]:
+    """Point-in-time pool gauges for the ``/metrics`` exposition."""
+    with _POOLS_LOCK:
+        live = sum(pool.live_workers for pool in _POOLS.values())
+        count = len(_POOLS)
+    return {"pool_live_workers": live, "pool_count": count}
+
+
+def pool_health() -> dict:
+    """A JSON-serializable pool-health report for ``QueryService.stats()``.
+
+    Live worker counts per pool, the recent-crash failure ring, and the
+    :data:`POOL_METRICS` snapshot (counters, dispatch/scatter/gather
+    timings, payload sizes).
+    """
+    with _POOLS_LOCK:
+        pools = {str(parts): pool.live_workers for parts, pool in _POOLS.items()}
+    return {
+        "pools": pools,
+        "live_workers": sum(pools.values()),
+        "recent_crashes": recent_crashes(),
+        "metrics": POOL_METRICS.snapshot(),
+    }

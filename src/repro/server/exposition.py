@@ -35,6 +35,7 @@ __all__ = [
     "parse_prometheus",
     "MetricsServer",
     "serve_metrics",
+    "merged_service_snapshot",
     "CONTENT_TYPE",
 ]
 
@@ -47,6 +48,7 @@ LABEL_NAMES = {
     "queries_by_exec_mode": "mode",
     "qerror_by_rewrite": "kind",
     "qerror_by_op": "op",
+    "pool_sequential_fallbacks": "reason",
 }
 
 #: summary() percentile keys → Prometheus quantile label values.
@@ -284,19 +286,51 @@ class MetricsServer:
         return Handler
 
 
+def merged_service_snapshot(service) -> dict:
+    """A service's registry snapshot merged with the parallel pool's.
+
+    The worker pool instruments itself in the process-global
+    :data:`repro.parallel.pool.POOL_METRICS` registry (it predates and
+    outlives any one service); merging here is what puts the ``pool_*``
+    families on a service's ``/metrics`` endpoint. Names are disjoint by
+    construction (every pool family is ``pool_``-prefixed).
+    """
+    # Imported lazily: repro.parallel must not load at exposition import
+    # time (it imports repro.server.metrics, closing a cycle).
+    from repro.parallel.pool import POOL_METRICS
+
+    snap = service.metrics.snapshot()
+    pool = POOL_METRICS.snapshot()
+    for section in ("counters", "labeled", "histograms", "labeled_histograms"):
+        merged = dict(snap.get(section) or {})
+        merged.update(pool.get(section) or {})
+        snap[section] = merged
+    return snap
+
+
 def serve_metrics(service, host: str = "127.0.0.1", port: int = 0) -> MetricsServer:
     """Attach a started :class:`MetricsServer` to a live ``QueryService``.
 
     Scrapes render the service's :class:`MetricsRegistry` (counters,
     latency histograms, ``queries_by_rewrite``, the q-error families)
-    plus point-in-time gauges for queue depth and worker count.
+    merged with the parallel pool-health families
+    (:func:`merged_service_snapshot`), plus point-in-time gauges for
+    queue depth, worker-thread count, and live pool workers.
     """
-    return MetricsServer(
-        service.metrics.snapshot,
-        gauge_source=lambda: {
+
+    def gauges() -> dict:
+        from repro.parallel.pool import pool_gauges
+
+        out = {
             "queue_depth": service._queue.qsize(),
             "workers": service.workers,
-        },
+        }
+        out.update(pool_gauges())
+        return out
+
+    return MetricsServer(
+        lambda: merged_service_snapshot(service),
+        gauge_source=gauges,
         host=host,
         port=port,
     ).start()

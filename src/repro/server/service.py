@@ -92,12 +92,13 @@ class PendingQuery:
 class _InFlight:
     """A leader's execution that identical concurrent requests wait on."""
 
-    __slots__ = ("event", "value", "error")
+    __slots__ = ("event", "value", "error", "exec_mode")
 
     def __init__(self) -> None:
         self.event = threading.Event()
         self.value: frozenset | None = None
         self.error: BaseException | None = None
+        self.exec_mode: str | None = None
 
 
 _SENTINEL = object()
@@ -325,6 +326,11 @@ class QueryService:
             "build": _cache_dict(build_cache_stats()),
             "result": _cache_dict(self._results.stats),
         }
+        # Imported lazily: repro.parallel must not load at service import
+        # time (it imports repro.server.metrics, closing a cycle).
+        from repro.parallel.pool import pool_health
+
+        snap["parallel_pool"] = pool_health()
         return snap
 
     # -- worker internals ----------------------------------------------------
@@ -368,7 +374,7 @@ class QueryService:
             token = CancelToken(deadline=pending.deadline)
             try:
                 with cancel_scope(token):
-                    value, version, source, attempts, pq, misests = (
+                    value, version, source, attempts, pq, misests, exec_mode, par = (
                         self._execute_with_retry(request, token)
                     )
                 response.outcome = "ok"
@@ -378,11 +384,14 @@ class QueryService:
                 response.result_cache = source
                 response.attempts = attempts
                 response.misestimates = misests
+                # The mode that *produced* the answer: the leader's for
+                # misses, the memoized leader's for cache hits and
+                # coalesced followers — a parallel answer stays labeled
+                # "parallel" however this request obtained it.
+                response.exec_mode = exec_mode
+                response.parallel = par
                 if pq is not None:
                     response.rewrite_kinds = pq.rewrite_kinds()
-                    response.exec_mode = (
-                        self.execution if pq.plan is not None else "interpreted"
-                    )
                 trace.record(
                     "service",
                     "served",
@@ -394,6 +403,9 @@ class QueryService:
                     counter = self.metrics.labeled_counter("queries_by_rewrite")
                     for kind in response.rewrite_kinds:
                         counter.inc(kind)
+                if response.exec_mode is not None:
+                    # Per served response (not per leader): cache hits and
+                    # coalesced followers carry their producer's label.
                     self.metrics.labeled_counter("queries_by_exec_mode").inc(
                         response.exec_mode
                     )
@@ -441,6 +453,7 @@ class QueryService:
             result_cache=response.result_cache,
             rewrite_kinds=list(response.rewrite_kinds),
             exec_mode=response.exec_mode,
+            parallel=response.parallel,
             events=[e.to_dict() for e in trace.events],
         )
         if response.misestimates:
@@ -456,7 +469,9 @@ class QueryService:
             entry["prepare_trace"] = pq.trace.to_dict()
         if response.outcome == "ok":
             self.slow_queries.record_ok(entry)
-        elif response.outcome == "timeout":
+        elif response.outcome in ("timeout", "error"):
+            # Errors join timeouts in the always-kept failure ring — a
+            # WorkerCrashError mid-query must be findable after the fact.
             self.slow_queries.record_failure(entry)
 
     def _execute_with_retry(self, request: QueryRequest, token: CancelToken):
@@ -467,8 +482,10 @@ class QueryService:
             attempts += 1
             token.check()
             try:
-                value, version, source, pq, misests = self._execute_shared(text, token)
-                return value, version, source, attempts, pq, misests
+                value, version, source, pq, misests, exec_mode, par = (
+                    self._execute_shared(text, token)
+                )
+                return value, version, source, attempts, pq, misests, exec_mode, par
             except CatalogVersionRace:
                 self.metrics.counter("retries").inc()
                 if attempts >= self.max_attempts:
@@ -491,8 +508,9 @@ class QueryService:
         key = (text, version)
         cached = self._results.get(key)
         if cached is not None:
+            value, exec_mode = cached
             self.metrics.counter("result_hits").inc()
-            return cached, version, "hit", None, ()
+            return value, version, "hit", None, (), exec_mode, None
         pq = prepared(text, self.catalog, typecheck=self.typecheck)
         with self._inflight_lock:
             entry = self._inflight.get(key)
@@ -505,17 +523,20 @@ class QueryService:
             if entry.error is not None:
                 raise entry.error
             self.metrics.counter("result_coalesced").inc()
-            return entry.value, version, "coalesced", pq, ()
+            return entry.value, version, "coalesced", pq, (), entry.exec_mode, None
         try:
-            value, misestimates = self._execute_leader(pq, version)
+            value, misestimates, exec_mode, par = self._execute_leader(pq, version)
         except BaseException as exc:
             entry.error = exc
             raise
         else:
             entry.value = value
-            self._results.put(key, value)
+            entry.exec_mode = exec_mode
+            # Memoized with its producer's mode, so later hits attribute
+            # correctly (a parallel-produced answer stays "parallel").
+            self._results.put(key, (value, exec_mode))
             self.metrics.counter("result_misses").inc()
-            return value, version, "miss", pq, misestimates
+            return value, version, "miss", pq, misestimates, exec_mode, par
         finally:
             with self._inflight_lock:
                 self._inflight.pop(key, None)
@@ -524,7 +545,12 @@ class QueryService:
     def _execute_leader(self, pq, version):
         """Execute the prepared query; raise if the catalog moved mid-flight.
 
-        Returns ``(value, misestimates)``. Every ``feedback_every``-th
+        Returns ``(value, misestimates, exec_mode, parallel)`` — the mode
+        the answer was produced in and, for parallel executions, the
+        shard-skew/fallback account left by
+        :func:`repro.parallel.consume_parallel_stats`.
+
+        Every ``feedback_every``-th
         leader execution of a planned query runs instrumented
         (:meth:`PreparedQuery.analyze`) instead of plain: its per-operator
         q-errors are aggregated into this service's metrics (``qerror``,
@@ -562,7 +588,15 @@ class QueryService:
             misestimates = tuple(
                 e.to_dict() for e in top_misestimates(entries, self.feedback_top_k)
             )
-        return value, misestimates
+        exec_mode = self.execution if pq.plan is not None else "interpreted"
+        parallel = None
+        if exec_mode == "parallel":
+            from repro.parallel import consume_parallel_stats
+
+            stats = consume_parallel_stats()
+            if stats is not None:
+                parallel = stats.to_dict()
+        return value, misestimates, exec_mode, parallel
 
 
 def _slow_entry(request: QueryRequest, outcome: str, **extra) -> dict:

@@ -8,10 +8,10 @@ Two retention policies coexist, matching how the two populations are used:
   N slowest seen so far: a new entry either displaces the fastest resident
   or is dropped, so capture cost is O(log N) per request and memory is
   bounded regardless of traffic volume.
-* **Recent failures** — rejected and deadline-exceeded requests are kept
-  in a bounded FIFO ring (newest win). These are the requests with *no*
-  useful latency signal — a shed request never ran — so recency, not
-  slowness, is the retention key.
+* **Recent failures** — rejected, errored (e.g. a worker-pool crash),
+  and deadline-exceeded requests are kept in a bounded FIFO ring (newest
+  win). These are the requests with *no* useful latency signal — a shed
+  request never ran — so recency, not slowness, is the retention key.
 
 :meth:`SlowQueryLog.snapshot` returns both populations as plain dicts for
 ``QueryService.stats()["slow_queries"]`` and the ``repro serve-bench``
@@ -55,7 +55,7 @@ class SlowQueryLog:
                 heapq.heapreplace(self._heap, key)
 
     def record_failure(self, entry: dict) -> None:
-        """Keep a rejected or deadline-exceeded request (recency-bounded)."""
+        """Keep a rejected, errored, or timed-out request (recency-bounded)."""
         with self._lock:
             self._failures.append(entry)
 

@@ -1,0 +1,285 @@
+"""Observability of the parallel engine across the process boundary.
+
+PR 6 made the hot path run inside multiprocess workers; this suite pins
+the instrumentation that makes those workers visible again: worker spans
+merged into the coordinator trace with per-pid Chrome lanes, per-fragment
+resource telemetry (CPU, peak memory, bytes shipped), shard-skew stats on
+the serving path, pool-health counters (crashes, restarts, catalog-ship
+cache), and the structured sequential-fallback warning.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.perf import PERF_QUERIES
+from repro.core.pipeline import prepared, run_query
+from repro.core.trace import QueryTrace, chrome_trace, trace_scope
+from repro.engine.analyze import explain_analyze
+from repro.errors import WorkerCrashError
+from repro.parallel import (
+    WorkerPool,
+    consume_parallel_stats,
+    parallel_analyze,
+    plan_fragments,
+    plan_fragments_ex,
+    run_parallel,
+    shutdown_pools,
+)
+from repro.parallel.partition import shard_payloads
+from repro.parallel.pool import (
+    POOL_METRICS,
+    recent_crashes,
+    set_telemetry,
+    telemetry_enabled,
+)
+from repro.server.service import QueryService
+from repro.server.workload import mixed_catalog
+
+PARTS = 2
+
+#: Shards the base table into a predicate that also reads the whole
+#: table, so fragment planning must refuse ("base-in-predicate").
+FALLBACK_QUERY = "SELECT r FROM R r WHERE r.a IN (SELECT s.a FROM R s WHERE s.b > 0)"
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return mixed_catalog(seed=0, n_left=40, n_right=180, n_chain=10)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _reap_pools():
+    yield
+    shutdown_pools()
+
+
+def _physical(catalog, name="count_bug_nested"):
+    return prepared(PERF_QUERIES[name], catalog).compile_for(catalog)
+
+
+class TestDistributedTracing:
+    def test_trace_merges_worker_lanes(self, catalog):
+        trace = QueryTrace(query=PERF_QUERIES["count_bug_nested"])
+        result = run_query(
+            PERF_QUERIES["count_bug_nested"],
+            catalog,
+            analyze=True,
+            trace=trace,
+            execution="parallel",
+            parts=PARTS,
+        )
+        assert result.value == prepared(
+            PERF_QUERIES["count_bug_nested"], catalog
+        ).execute(catalog)
+        worker_pids = {e.pid for e in trace.events if e.pid}
+        assert len(worker_pids) == PARTS  # one lane per worker process
+        # Each worker contributed a fragment span and operator spans.
+        fragment_events = [e for e in trace.events if e.phase == "fragment"]
+        assert {e.pid for e in fragment_events} == worker_pids
+        assert any(e.phase == "operator" and e.pid for e in trace.events)
+        # Worker clocks align with the coordinator's: spans land inside
+        # the trace's lifetime, not at wild offsets.
+        assert all(e.ts >= 0.0 for e in trace.events)
+
+    def test_chrome_export_has_per_pid_lanes(self, catalog):
+        trace = QueryTrace(query=PERF_QUERIES["count_bug_nested"])
+        with trace_scope(trace):
+            run_parallel(_physical(catalog), catalog, parts=PARTS)
+        dump = chrome_trace(trace)
+        pids = {e["pid"] for e in dump["traceEvents"] if e.get("ph") != "M"}
+        assert 1 in pids and len(pids) >= 1 + PARTS  # coordinator + workers
+        names = {
+            e["args"]["name"]
+            for e in dump["traceEvents"]
+            if e.get("ph") == "M" and e.get("name") == "process_name"
+        }
+        assert "coordinator" in names
+        assert sum(1 for n in names if n.startswith("worker pid=")) == PARTS
+
+    def test_sequential_chrome_export_unchanged(self, catalog):
+        """Single-process traces keep their pre-parallel shape: no
+        metadata events, everything on pid 1."""
+        trace = QueryTrace(query=PERF_QUERIES["count_bug_nested"])
+        run_query(
+            PERF_QUERIES["count_bug_nested"], catalog, analyze=True, trace=trace
+        )
+        dump = chrome_trace(trace)
+        assert all(e.get("ph") != "M" for e in dump["traceEvents"])
+        assert {e["pid"] for e in dump["traceEvents"]} == {1}
+
+
+class TestResourceTelemetry:
+    def test_fragments_carry_telemetry(self, catalog):
+        run = parallel_analyze(_physical(catalog), catalog, parts=PARTS)
+        assert len(run.stats.children) == PARTS
+        for child in run.stats.children:
+            assert child.cpu_seconds is not None and child.cpu_seconds >= 0.0
+            assert child.peak_mem_bytes is not None and child.peak_mem_bytes >= 0
+            assert child.shipped_bytes is not None and child.shipped_bytes > 0
+        text = explain_analyze(run)
+        assert "cpu=" in text and "peak_mem=" in text and "shipped=" in text
+        assert any(note.startswith("shard skew:") for note in run.notes)
+
+    def test_consume_parallel_stats(self, catalog):
+        consume_parallel_stats()  # drain anything a prior test left
+        run_parallel(_physical(catalog), catalog, parts=PARTS)
+        stats = consume_parallel_stats()
+        assert stats is not None and stats.fallback is None
+        assert stats.parts == PARTS
+        assert stats.max_shard_seconds >= stats.mean_shard_seconds > 0.0
+        assert 1 <= len(stats.skew) <= PARTS
+        assert stats.skew[0][1] == stats.max_shard_seconds  # slowest first
+        assert stats.rows_shipped > 0
+        assert stats.reply_bytes is not None and stats.reply_bytes > 0
+        assert consume_parallel_stats() is None  # consumed exactly once
+
+    def test_telemetry_toggle(self, catalog):
+        assert telemetry_enabled()
+        set_telemetry(False)
+        try:
+            run = parallel_analyze(_physical(catalog), catalog, parts=PARTS)
+            assert all(c.cpu_seconds is None for c in run.stats.children)
+            assert all(c.shipped_bytes is None for c in run.stats.children)
+        finally:
+            set_telemetry(True)
+
+    def test_catalog_ship_cache_counters(self, catalog):
+        physical = _physical(catalog)
+        fp = plan_fragments(physical, catalog)
+        payloads = shard_payloads(fp, catalog, PARTS)
+        pool = WorkerPool(PARTS)
+        try:
+            hits = POOL_METRICS.counter("pool_catalog_ship_hits")
+            misses = POOL_METRICS.counter("pool_catalog_ship_misses")
+            h0, m0 = hits.value, misses.value
+            first = pool.run_fragments(fp.fragment, payloads, None)
+            assert all(r.catalog_hit is False for r in first)
+            assert misses.value == m0 + PARTS
+            second = pool.run_fragments(fp.fragment, payloads, None)
+            assert all(r.catalog_hit is True for r in second)
+            assert hits.value == h0 + PARTS
+        finally:
+            pool.close()
+
+
+class TestSequentialFallback:
+    def test_fallback_reason_exposed(self, catalog):
+        pq = prepared(FALLBACK_QUERY, catalog, typecheck=False)
+        fp, reason = plan_fragments_ex(pq.compile_for(catalog), catalog)
+        assert fp is None and reason == "base-in-predicate"
+
+    def test_fallback_is_not_silent(self, catalog):
+        pq = prepared(FALLBACK_QUERY, catalog, typecheck=False)
+        physical = pq.compile_for(catalog)
+        counter = POOL_METRICS.labeled_counter("pool_sequential_fallbacks")
+        before = counter.get("base-in-predicate")
+        trace = QueryTrace(query=FALLBACK_QUERY)
+        with trace_scope(trace):
+            rows = run_parallel(physical, catalog, parts=PARTS)
+        assert frozenset(rows) == frozenset(physical.run(catalog))  # parity
+        assert counter.get("base-in-predicate") == before + 1
+        warnings = [e for e in trace.events if e.rule == "sequential-fallback"]
+        assert len(warnings) == 1
+        assert warnings[0].phase == "parallel"
+        assert warnings[0].verdict == "base-in-predicate"
+        stats = consume_parallel_stats()
+        assert stats is not None and stats.fallback == "base-in-predicate"
+
+    def test_fallback_reason_in_explain(self, catalog):
+        pq = prepared(FALLBACK_QUERY, catalog, typecheck=False)
+        run = parallel_analyze(pq.compile_for(catalog), catalog, parts=PARTS)
+        assert "parallel fallback: base-in-predicate" in run.notes
+        assert "parallel fallback: base-in-predicate" in explain_analyze(run)
+
+
+class TestCrashObservability:
+    def test_crash_counters_ring_and_respawn(self, catalog):
+        physical = _physical(catalog)
+        fp = plan_fragments(physical, catalog)
+        payloads = shard_payloads(fp, catalog, PARTS)
+        crashes = POOL_METRICS.counter("pool_worker_crashes")
+        restarts = POOL_METRICS.counter("pool_worker_restarts")
+        spawned = POOL_METRICS.counter("pool_workers_spawned")
+        c0, r0, s0, ring0 = (
+            crashes.value,
+            restarts.value,
+            spawned.value,
+            len(recent_crashes()),
+        )
+        pool = WorkerPool(PARTS)
+        try:
+            first = pool.run_fragments(fp.fragment, payloads, None)
+            assert pool.live_workers == PARTS
+            assert spawned.value == s0 + PARTS
+            pool._procs[0].terminate()
+            pool._procs[0].join(timeout=2.0)
+            with pytest.raises(WorkerCrashError):
+                pool.run_fragments(fp.fragment, payloads, None)
+            # The crash is counted and lands in the failure ring.
+            assert crashes.value == c0 + 1
+            ring = recent_crashes()
+            assert len(ring) == ring0 + 1
+            assert ring[-1]["parts"] == PARTS and ring[-1]["error"]
+            assert not pool.running and pool.live_workers == 0
+            # The next query respawns the workers — counted as restarts —
+            # and serves correctly.
+            again = pool.run_fragments(fp.fragment, payloads, None)
+            assert [len(r.rows) for r in again] == [len(r.rows) for r in first]
+            assert restarts.value == r0 + PARTS
+            assert pool.live_workers == PARTS
+        finally:
+            pool.close()
+
+
+class TestServiceAttribution:
+    def test_parallel_labeled_end_to_end(self, catalog):
+        """Misses, cache hits, and the slowlog all say exec_mode="parallel";
+        the label is scrapeable from /metrics."""
+        import urllib.request
+
+        from repro.server.exposition import parse_prometheus, serve_metrics
+        from repro.workloads import COUNT_BUG_NESTED
+
+        with QueryService(
+            catalog, workers=2, execution="parallel", parts=PARTS
+        ) as service:
+            miss = service.execute(COUNT_BUG_NESTED)
+            assert miss.ok and miss.result_cache == "miss"
+            assert miss.exec_mode == "parallel"
+            assert miss.parallel is not None
+            assert miss.parallel["parts"] == PARTS
+            assert miss.parallel["max_shard_seconds"] > 0.0
+            assert len(miss.parallel["skew"]) >= 1
+            hit = service.execute(COUNT_BUG_NESTED)
+            assert hit.ok and hit.result_cache == "hit"
+            assert hit.exec_mode == "parallel"  # attribution survives the cache
+            assert (
+                service.metrics.labeled_counter("queries_by_exec_mode").get("parallel")
+                >= 2
+            )
+            snapshot = service.stats()
+            slowest = snapshot["slow_queries"]["slowest"]
+            assert any(e.get("exec_mode") == "parallel" for e in slowest)
+            assert any(e.get("parallel") for e in slowest)
+            assert snapshot["parallel_pool"]["metrics"]["counters"]["pool_scatters"] > 0
+            with serve_metrics(service) as endpoint:
+                with urllib.request.urlopen(f"{endpoint.url}/metrics") as resp:
+                    text = resp.read().decode("utf-8")
+            samples = parse_prometheus(text)
+            key = ("repro_queries_by_exec_mode_total", (("mode", "parallel"),))
+            assert samples[key] >= 2
+            assert samples[("repro_pool_scatters_total", ())] > 0
+            assert ("repro_pool_live_workers", ()) in samples
+
+    def test_fallback_reason_reaches_response(self, catalog):
+        with QueryService(
+            catalog, workers=2, execution="parallel", parts=PARTS, typecheck=False
+        ) as service:
+            response = service.execute(FALLBACK_QUERY)
+            assert response.ok
+            assert response.exec_mode == "parallel"
+            assert response.parallel == {
+                "parts": PARTS,
+                "fallback": "base-in-predicate",
+            }

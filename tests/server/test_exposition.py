@@ -139,3 +139,46 @@ class TestServeMetrics:
         assert samples[("repro_qerror_count", ())] > 0
         assert samples[("repro_workers", ())] == 2.0
         assert ("repro_queue_depth", ()) in samples
+
+    def test_scrape_includes_pool_health_families(self):
+        """The worker pool's process-global instruments merge into every
+        service scrape and parse strictly — even before the first
+        parallel query (pre-created families render at zero)."""
+        catalog = mixed_catalog(seed=5, n_left=20, n_right=80, n_chain=4)
+        with QueryService(catalog, workers=1) as service:
+            with serve_metrics(service) as server:
+                with urllib.request.urlopen(f"{server.url}/metrics", timeout=5) as resp:
+                    samples = parse_prometheus(resp.read().decode())
+        for family in (
+            "repro_pool_scatters_total",
+            "repro_pool_fragments_total",
+            "repro_pool_worker_crashes_total",
+            "repro_pool_worker_restarts_total",
+            "repro_pool_workers_spawned_total",
+            "repro_pool_catalog_ship_hits_total",
+            "repro_pool_catalog_ship_misses_total",
+        ):
+            assert (family, ()) in samples, family
+        for family in (
+            "repro_pool_dispatch_wait_ms",
+            "repro_pool_scatter_ms",
+            "repro_pool_gather_ms",
+            "repro_pool_payload_bytes",
+            "repro_pool_reply_bytes",
+        ):
+            assert (f"{family}_count", ()) in samples, family
+            assert (family, (("quantile", "0.5"),)) in samples, family
+        assert ("repro_pool_live_workers", ()) in samples
+        assert ("repro_pool_count", ()) in samples
+
+    def test_merged_snapshot_keeps_service_instruments(self):
+        from repro.server.exposition import merged_service_snapshot
+
+        catalog = mixed_catalog(seed=5, n_left=20, n_right=80, n_chain=4)
+        with QueryService(catalog, workers=1) as service:
+            service.execute("SELECT r FROM R r WHERE r.a = 1")
+            snap = merged_service_snapshot(service)
+        assert snap["counters"]["ok"] >= 1  # service side intact
+        assert "pool_scatters" in snap["counters"]  # pool side merged
+        assert "pool_sequential_fallbacks" in snap["labeled"]
+        parse_prometheus(prometheus_text(snap))  # and it all renders cleanly
