@@ -4,7 +4,7 @@ PYTHON ?= python
 
 .PHONY: test bench bench-shapes bench-json serve-bench trace-smoke trace-parallel-smoke \
 	report fuzz examples all \
-	perf-report perf-gate metrics-smoke bench-vectorized bench-parallel parity
+	perf-report perf-gate metrics-smoke introspection-smoke bench-vectorized bench-parallel parity
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -48,6 +48,12 @@ parity:
 # Start a metrics endpoint over a live service, scrape once, validate.
 metrics-smoke:
 	$(PYTHON) scripts/metrics_smoke.py
+
+# Live introspection end to end: scrape a slow query mid-flight via
+# GET /queries, cancel it by id, and check the admit->cancel event trail
+# (sequential and parallel execution modes; docs/observability.md).
+introspection-smoke:
+	$(PYTHON) scripts/introspection_smoke.py
 
 trace-smoke:
 	$(PYTHON) scripts/trace_smoke.py

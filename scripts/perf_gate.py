@@ -10,7 +10,12 @@ and fails when the fresh report regresses beyond the tolerances:
 * throughput: each benchmark's ``throughput_qps`` must reach at least
   ``(1 - --throughput-tolerance)`` of the baseline;
 * plan quality: each benchmark's ``qerror_max`` must not exceed the
-  baseline by more than ``--qerror-tolerance`` (absolute slack).
+  baseline by more than ``--qerror-tolerance`` (absolute slack);
+* introspection: the report's ``introspection.overhead_pct`` (live
+  registry progress counters + structured event log, on vs off) must not
+  exceed ``--introspection-max-pct``. This is an absolute budget against
+  the fresh report — not a baseline diff — so it stays active under
+  ``--shape-only``.
 
 ``--shape-only`` skips the two numeric checks — shared CI runners have
 wildly variable clocks, so CI proves the report's *shape* while local
@@ -68,6 +73,30 @@ def check(baseline: dict, report: dict, args) -> list[tuple[str, str, bool, str]
     )
     if not same_schema:
         return rows
+
+    intro = r_perf.get("introspection") or {}
+    overhead = intro.get("overhead_pct")
+    present = isinstance(overhead, (int, float))
+    rows.append(
+        (
+            "<report>",
+            "introspection",
+            present,
+            "overhead_pct present" if present else "missing introspection.overhead_pct",
+        )
+    )
+    if present:
+        # An absolute budget on the fresh report — a within-process ratio,
+        # stable enough to enforce even on shared (shape-only) runners.
+        ok = overhead <= args.introspection_max_pct
+        rows.append(
+            (
+                "<report>",
+                "introspection_overhead",
+                ok,
+                f"{overhead:.2f}% vs budget {args.introspection_max_pct:.2f}%",
+            )
+        )
 
     for name, base in sorted(b_perf["benchmarks"].items()):
         fresh = r_perf["benchmarks"].get(name)
@@ -140,6 +169,14 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=0.5,
         help="allowed absolute increase of per-benchmark qerror_max (default 0.5)",
+    )
+    parser.add_argument(
+        "--introspection-max-pct",
+        type=float,
+        default=5.0,
+        help="maximum allowed introspection.overhead_pct in the fresh report "
+        "(default 5.0; enforced even under --shape-only — it is a "
+        "within-process ratio, not a wall-clock comparison across runs)",
     )
     parser.add_argument(
         "--shape-only",

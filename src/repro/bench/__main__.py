@@ -94,6 +94,13 @@ def _print_perf(perf: dict) -> None:
         )
     q = perf["qerror"]
     print(f"  q-error: n={q['count']} mean={q['mean']:.2f} p95={q['p95']:.2f} max={q['max']:.2f}")
+    intro = perf.get("introspection")
+    if intro:
+        print(
+            f"  introspection: overhead={intro['overhead_pct']:+.2f}%"
+            f"  (sweep {intro['baseline_sweep_ms']:.1f}ms off"
+            f" / {intro['instrumented_sweep_ms']:.1f}ms on)"
+        )
 
 
 def _jsonable(v):

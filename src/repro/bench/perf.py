@@ -19,14 +19,17 @@ from __future__ import annotations
 
 import time
 
+from repro.core.log import clear_events, emit_event
 from repro.core.pipeline import clear_plan_cache, prepared
 from repro.engine.cache import clear_build_cache
+from repro.engine.cancel import CancelToken, cancel_scope
 from repro.engine.feedback import feedback_entries, q_error
 from repro.server.metrics import percentile
+from repro.server.registry import ActiveQueryRegistry
 from repro.server.workload import mixed_catalog
 from repro.workloads import queries as workload_queries
 
-__all__ = ["SCHEMA_VERSION", "PERF_QUERIES", "collect_perf"]
+__all__ = ["SCHEMA_VERSION", "PERF_QUERIES", "collect_perf", "introspection_overhead"]
 
 #: Bump on any structural change to the report dict; the gate refuses to
 #: diff reports with mismatched versions.
@@ -37,7 +40,12 @@ __all__ = ["SCHEMA_VERSION", "PERF_QUERIES", "collect_perf"]
 #: (multiprocess scatter-gather at ``config["parts"]`` partitions vs the
 #: sequential batch figure; see docs/parallel.md). The speedup is
 #: recorded, never gated — it depends on the machine's core count.
-SCHEMA_VERSION = 3
+#: v4: report-level ``introspection`` section — ``overhead_pct`` measures
+#: the cost of live introspection (registry progress counters piggybacked
+#: on cancellation polls, plus admission/completion events in the
+#: structured log) against the same workload with a bare cancel token.
+#: The gate fails when the overhead exceeds its budget (default 5%).
+SCHEMA_VERSION = 4
 
 #: name → query text: every named workload query, in declaration order.
 PERF_QUERIES: dict[str, str] = {
@@ -67,6 +75,94 @@ def _robust_throughput_qps(samples_ms: list[float]) -> float:
         return 0.0
     fastest = sorted(samples_ms)[: max(1, len(samples_ms) // 2)]
     return len(fastest) * 1e3 / sum(fastest)
+
+
+def introspection_overhead(
+    seed: int = 0,
+    n_left: int = 800,
+    n_right: int = 4800,
+    n_chain: int = 160,
+    sweeps: int = 32,
+) -> dict:
+    """Cost of live introspection over whole-workload sweeps.
+
+    Times interleaved sweeps of every workload query in two
+    configurations and reports the relative slowdown:
+
+    * **off** — a bare :class:`~repro.engine.cancel.CancelToken` in scope
+      (the pre-introspection baseline: cancellation polls fire but credit
+      no progress sink);
+    * **on** — the full per-request introspection path the query service
+      takes: an :class:`~repro.server.registry.ActiveQueryRegistry` entry
+      whose progress counter every poll bumps, plus ``admit``/``complete``
+      structured events per query.
+
+    The catalog defaults to 4x the perf catalog: introspection cost is a
+    few microseconds of fixed work per query plus one counter bump per
+    poll, so against sub-millisecond queries the percentage is dominated
+    by scheduler noise, while multi-millisecond sweeps put the signal
+    well above it. Sweeps interleave (off, on, off, on, ...) so clock
+    drift hits both sides equally, the cyclic GC is paused during timing
+    (collections landing inside a sweep are the largest noise spikes),
+    and each side's *minimum* feeds the ratio — the classic
+    noise-rejecting estimator (``timeit`` uses it too): interference only
+    ever adds time, so the fastest sweep best approximates the unloaded
+    cost. ``overhead_pct`` may come out slightly negative in the noise
+    floor; the gate only bounds it from above.
+    """
+    import gc
+
+    catalog = mixed_catalog(seed=seed, n_left=n_left, n_right=n_right, n_chain=n_chain)
+    prepared_queries = {
+        name: prepared(text, catalog) for name, text in PERF_QUERIES.items()
+    }
+    for pq in prepared_queries.values():  # warm plans, builds, caches
+        pq.execute(catalog)
+
+    def sweep_off() -> float:
+        start = time.perf_counter()
+        for pq in prepared_queries.values():
+            with cancel_scope(CancelToken(None)):
+                pq.execute(catalog)
+        return time.perf_counter() - start
+
+    def sweep_on() -> float:
+        registry = ActiveQueryRegistry()
+        start = time.perf_counter()
+        for i, (name, pq) in enumerate(prepared_queries.items()):
+            token = CancelToken(None)
+            query_id = f"bench{i:04d}"
+            registry.register(query_id, name, token=token)
+            emit_event("admit", query_id=query_id, query=name)
+            with cancel_scope(token):
+                pq.execute(catalog)
+            registry.finish(query_id, "ok")
+            emit_event("complete", query_id=query_id, outcome="ok")
+        return time.perf_counter() - start
+
+    off_s: list[float] = []
+    on_s: list[float] = []
+    sweep_off(), sweep_on()  # warm both paths before timing
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(sweeps):
+            off_s.append(sweep_off())
+            on_s.append(sweep_on())
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        clear_events()  # the bench must not pollute a live event ring
+
+    off_best, on_best = min(off_s), min(on_s)
+    return {
+        "sweeps": sweeps,
+        "queries_per_sweep": len(prepared_queries),
+        "baseline_sweep_ms": off_best * 1e3,
+        "instrumented_sweep_ms": on_best * 1e3,
+        "overhead_pct": (on_best - off_best) / off_best * 100.0 if off_best else 0.0,
+    }
 
 
 def collect_perf(
@@ -140,6 +236,9 @@ def collect_perf(
             "parts": parts,
         },
         "benchmarks": benchmarks,
+        "introspection": introspection_overhead(
+            seed=seed, n_left=4 * n_left, n_right=4 * n_right, n_chain=4 * n_chain
+        ),
         "qerror": {
             "count": len(all_q),
             "mean": sum(all_q) / len(all_q) if all_q else 1.0,

@@ -187,6 +187,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics.add_argument("--port", type=int, default=0, help="scrape endpoint port (0 = ephemeral)")
 
+    top = sub.add_parser(
+        "top",
+        help="poll a live service's GET /queries endpoint and render an "
+        "auto-refreshing table of in-flight queries with progress",
+    )
+    top.add_argument(
+        "--url",
+        default="http://127.0.0.1:9100",
+        help="base URL of the metrics/admin endpoint (default: %(default)s)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="refresh interval (default: 1s)",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stop after N refreshes (0 = run until interrupted)",
+    )
+    top.add_argument(
+        "--plain",
+        action="store_true",
+        help="append refreshes instead of clearing the screen (for pipes/CI)",
+    )
+    top.add_argument(
+        "--cancel",
+        metavar="QUERY_ID",
+        help="POST /queries/<id>/cancel for QUERY_ID and exit",
+    )
+
     sub.add_parser("demo", help="run the COUNT-bug demo on built-in data")
     return parser
 
@@ -344,6 +379,87 @@ def _metrics_dump(args: argparse.Namespace) -> int:
     return 0
 
 
+def _top_row(entry: dict, width: int) -> str:
+    """One rendered table line for an active/recent query snapshot."""
+    progress = entry.get("progress") or 0.0
+    est = entry.get("estimated_rows")
+    query = entry.get("query") or ""
+    query_col = max(8, width - 78)
+    if len(query) > query_col:
+        query = query[: query_col - 1] + "…"
+    return (
+        f"{entry.get('query_id', '-'): <9}"
+        f"{entry.get('state', '-'): <10}"
+        f"{(entry.get('exec_mode') or '-'): <9}"
+        f"{progress * 100: >5.1f}%  "
+        f"{entry.get('rows_processed', 0): >9}"
+        f"{('%.0f' % est) if est else '-': >10}  "
+        f"{entry.get('elapsed_seconds', 0.0): >7.2f}s  "
+        f"{(entry.get('current_op') or '-')[:24]: <25}"
+        f"{query}"
+    )
+
+
+def _top(args: argparse.Namespace) -> int:
+    """Poll GET /queries and render an auto-refreshing table (``repro top``)."""
+    import json as json_mod
+    import shutil
+    import time
+    from urllib import error as urlerror
+    from urllib import request as urlrequest
+
+    base = args.url.rstrip("/")
+    if args.cancel:
+        req = urlrequest.Request(f"{base}/queries/{args.cancel}/cancel", method="POST")
+        try:
+            with urlrequest.urlopen(req, timeout=5) as resp:
+                body = json_mod.loads(resp.read().decode("utf-8"))
+        except urlerror.HTTPError as exc:
+            body = json_mod.loads(exc.read().decode("utf-8"))
+        print(json_mod.dumps(body))
+        return 0 if body.get("cancelled") else 1
+    header = (
+        f"{'ID': <9}{'STATE': <10}{'MODE': <9}{'PROG': >6}  "
+        f"{'ROWS': >9}{'EST': >10}  {'ELAPSED': >8}  {'OPERATOR': <25}QUERY"
+    )
+    iteration = 0
+    while True:
+        iteration += 1
+        try:
+            with urlrequest.urlopen(f"{base}/queries", timeout=5) as resp:
+                snap = json_mod.loads(resp.read().decode("utf-8"))
+        except (urlerror.URLError, OSError) as exc:
+            print(f"error: cannot reach {base}/queries: {exc}", file=sys.stderr)
+            return 1
+        width = shutil.get_terminal_size((120, 24)).columns
+        lines = []
+        if not args.plain:
+            lines.append("\x1b[2J\x1b[H")  # clear screen, home cursor
+        active = snap.get("active", [])
+        recent = snap.get("recent", [])
+        lines.append(
+            f"repro top — {base}  active={len(active)}  "
+            f"refresh={args.interval:g}s  (cancel: repro top --cancel <id>)"
+        )
+        lines.append(header)
+        for entry in active:
+            lines.append(_top_row(entry, width))
+        if not active:
+            lines.append("(no queries in flight)")
+        if recent:
+            lines.append("")
+            lines.append(f"RECENT ({len(recent)} finished)")
+            for entry in recent[-10:][::-1]:
+                lines.append(_top_row(entry, width))
+        print("\n".join(lines), flush=True)
+        if args.iterations and iteration >= args.iterations:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
 def _trace_query(args: argparse.Namespace) -> int:
     """Run one query with end-to-end tracing and dump the trace."""
     from repro.core.trace import QueryTrace, chrome_trace
@@ -468,6 +584,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _serve_bench(args)
     if args.command == "metrics":
         return _metrics_dump(args)
+    if args.command == "top":
+        return _top(args)
     if args.command == "demo":
         query = "SELECT r FROM R r WHERE r.b = COUNT(SELECT s FROM S s WHERE r.c = s.c)"
         catalog = _demo_catalog()

@@ -17,6 +17,15 @@ thread-local token once per ``run()`` call and skip all polling when no
 scope is installed, so plain ``run_query`` executions pay one attribute
 lookup per operator, not per row.
 
+The polls double as *progress* beacons: a token may carry a progress
+sink (any object with an ``advance(rows, op)`` method — in the serving
+layer, the request's :class:`~repro.server.registry.ActiveQuery` entry)
+and operators pass the rows they processed since their previous poll to
+:meth:`CancelToken.check`. Live progress therefore costs one ``None``
+test per poll when no sink is installed, and nothing at all when no
+token is installed — the same zero-overhead-when-off contract as
+cancellation itself.
+
 Tokens are installed per *thread*; the same compiled operator tree can
 therefore execute concurrently in many service workers, each under its
 own deadline.
@@ -41,7 +50,7 @@ POLL_INTERVAL = 1024
 class CancelToken:
     """A deadline and/or explicit cancellation flag polled by operators."""
 
-    __slots__ = ("deadline", "_event", "reason")
+    __slots__ = ("deadline", "_event", "reason", "progress")
 
     def __init__(self, deadline: float | None = None, event=None):
         #: Absolute :func:`time.monotonic` instant after which :meth:`check`
@@ -54,6 +63,11 @@ class CancelToken:
         #: (the two classes share the is_set/set API this token uses).
         self._event = threading.Event() if event is None else event
         self.reason = "cancelled"
+        #: Optional progress sink: any object exposing
+        #: ``advance(rows: int, op: str | None)``. :meth:`check` forwards
+        #: the rows-since-last-poll count to it, so live progress rides
+        #: on the cancellation polls the operators already make.
+        self.progress = None
 
     @classmethod
     def after(cls, seconds: float | None) -> "CancelToken":
@@ -80,8 +94,16 @@ class CancelToken:
             return None
         return max(0.0, self.deadline - time.monotonic())
 
-    def check(self) -> None:
-        """Raise :class:`CancelledError` if cancelled or past the deadline."""
+    def check(self, rows: int = 0, op: str | None = None) -> None:
+        """Raise :class:`CancelledError` if cancelled or past the deadline.
+
+        *rows* is the number of rows the caller processed since its
+        previous poll; when a progress sink is installed it is credited
+        (with the caller's operator label *op*) before the cancellation
+        test, so work done right up to a cancel is still accounted.
+        """
+        if rows and self.progress is not None:
+            self.progress.advance(rows, op)
         if self._event.is_set():
             raise CancelledError(self.reason)
         if self.deadline is not None and time.monotonic() >= self.deadline:

@@ -71,7 +71,7 @@ def execute(
         extend = out.extend
         for batch in physical.run_batches(catalog, batch_size):
             if token is not None:
-                token.check()
+                token.check(batch.live, "output")
             extend(batch.to_tups())
         return out
     if execution != "row":
@@ -81,9 +81,11 @@ def execute(
     rows: list[Tup] = []
     append = rows.append
     countdown = 0
+    since = 0
     for row in physical.run(catalog):
         if countdown <= 0:
-            token.check()
+            token.check(since, "output")
+            since = POLL_INTERVAL
             countdown = POLL_INTERVAL
         countdown -= 1
         append(row)
@@ -118,7 +120,7 @@ def execute_set(
     update = values.update
     for batch in physical.run_batches(catalog, batch_size):
         if token is not None:
-            token.check()
+            token.check(batch.live, "output")
         if len(batch.columns) != 1:
             raise PlanError(
                 f"result rows bind {sorted(batch.columns)}; expected exactly one variable"

@@ -107,6 +107,21 @@ class PhysicalOp:
     def describe(self) -> str:
         return type(self).__name__
 
+    def progress_label(self) -> str:
+        """:meth:`describe`, memoized on the instance.
+
+        Progress-instrumented runs stamp the operator label on every
+        ``run``/``run_batches`` call; compiled trees are reused across
+        executions (see ``PreparedQuery.compile_for``), so rendering the
+        label once per operator lifetime keeps it off the per-execution
+        cost (describe() over a workload's operators is ~2us each —
+        real money against sub-millisecond queries).
+        """
+        label = getattr(self, "_progress_label", None)
+        if label is None:
+            label = self._progress_label = self.describe()
+        return label
+
 
 def has_batch_kernel(op: PhysicalOp) -> bool:
     """Whether *op* would serve batches from a native batch kernel
@@ -136,10 +151,16 @@ class PScan(PhysicalOp):
         # Cancellable execution: all data enters a plan through scans, so
         # polling every POLL_INTERVAL scanned rows (first poll before the
         # first row) bounds how far past a deadline any plan can run.
+        # Each poll credits the rows since the previous one to the
+        # token's progress sink (exactly POLL_INTERVAL after the first);
+        # the sub-interval tail is deliberately uncounted.
+        op_label = self.progress_label() if token.progress is not None else None
         countdown = 0
+        since = 0
         for row in rows:
             if countdown <= 0:
-                token.check()
+                token.check(since, op_label)
+                since = POLL_INTERVAL
                 countdown = POLL_INTERVAL
             countdown -= 1
             yield wrap({var: row})
@@ -151,10 +172,15 @@ class PScan(PhysicalOp):
         rows = source.rows if hasattr(source, "rows") else list(source)
         var = self.var
         token = current_token()
+        op_label = (
+            self.progress_label()
+            if token is not None and token.progress is not None
+            else None
+        )
         for start in range(0, len(rows), batch_size):
-            if token is not None:
-                token.check()
             chunk = rows[start : start + batch_size]
+            if token is not None:
+                token.check(len(chunk), op_label)
             yield Batch({var: chunk}, len(chunk))
 
     def describe(self):
@@ -552,9 +578,14 @@ class PJoin(PhysicalOp):
         empty = frozenset()
         get = groups.get
         token = current_token()
+        op_label = (
+            self.progress_label()
+            if token is not None and token.progress is not None
+            else None
+        )
         for batch in self.left.run_batches(tables, batch_size):
             if token is not None:
-                token.check()
+                token.check(batch.live, op_label)
             batch = batch.compact()
             col = [get(k, empty) for k in self._batch_keys(batch, tables)]
             columns = dict(batch.columns)
@@ -599,6 +630,11 @@ class PJoin(PhysicalOp):
         res_fn = spec._residual_fn
         get = build.get
         token = current_token()
+        op_label = (
+            self.progress_label()
+            if token is not None and token.progress is not None
+            else None
+        )
         func_fn = compiled(self.func) if mode == "nest" else None
         right_names = (index_var,) if index_var is not None else tuple(self.right_bindings)
         # Nest probe with a trivial residual and a pure right-side
@@ -613,7 +649,7 @@ class PJoin(PhysicalOp):
 
         for batch in self.left.run_batches(tables, batch_size):
             if token is not None:
-                token.check()
+                token.check(batch.live, op_label)
             batch = batch.compact()
             keys = self._batch_keys(batch, tables)
             n = batch.n
@@ -799,9 +835,14 @@ class PJoin(PhysicalOp):
         trivial = spec.residual_trivial
         res_fn = spec._residual_fn
         token = current_token()
+        op_label = (
+            self.progress_label()
+            if token is not None and token.progress is not None
+            else None
+        )
         for batch in self.right.run_batches(tables, batch_size):
             if token is not None:
-                token.check()
+                token.check(batch.live, op_label)
             batch = batch.compact()
             getters = [batch.getter(k, tables) for k in spec.right_keys]
             ritems = list(batch.columns.items())
@@ -912,11 +953,18 @@ class PJoin(PhysicalOp):
         # runs, so this probe loop must poll the deadline itself — at
         # batch granularity, first poll before the first row.
         token = current_token()
+        op_label = (
+            self.progress_label()
+            if token is not None and token.progress is not None
+            else None
+        )
         countdown = 0
+        since = 0
         for lt in left:
             if token is not None:
                 if countdown <= 0:
-                    token.check()
+                    token.check(since, op_label)
+                    since = POLL_INTERVAL
                     countdown = POLL_INTERVAL
                 countdown -= 1
             k = spec.eval_left(lt, tables)
@@ -937,11 +985,18 @@ class PJoin(PhysicalOp):
         # The index probe bypasses the right child's scan, so this loop
         # polls itself — at batch granularity, first poll before row 0.
         token = current_token()
+        op_label = (
+            self.progress_label()
+            if token is not None and token.progress is not None
+            else None
+        )
         countdown = 0
+        since = 0
         for lt in left:
             if token is not None:
                 if countdown <= 0:
-                    token.check()
+                    token.check(since, op_label)
+                    since = POLL_INTERVAL
                     countdown = POLL_INTERVAL
                 countdown -= 1
             key = spec.eval_left(lt, tables)
@@ -1054,11 +1109,18 @@ class PNest(PhysicalOp):
         # at batch granularity (first poll before row 0) so a deadline
         # interrupts the accumulation even when the child never polls.
         token = current_token()
+        op_label = (
+            self.progress_label()
+            if token is not None and token.progress is not None
+            else None
+        )
         countdown = 0
+        since = 0
         for t in self.child.run(tables):
             if countdown <= 0:
                 if token is not None:
-                    token.check()
+                    token.check(since, op_label)
+                since = POLL_INTERVAL
                 countdown = POLL_INTERVAL
             countdown -= 1
             key = t.project(self.by)
@@ -1084,9 +1146,14 @@ class PNest(PhysicalOp):
         groups: dict[tuple, set] = {}
         order: list[tuple] = []
         token = current_token()
+        op_label = (
+            self.progress_label()
+            if token is not None and token.progress is not None
+            else None
+        )
         for batch in self.child.run_batches(tables, batch_size):
             if token is not None:
-                token.check()
+                token.check(batch.live, op_label)
             cols = [batch.columns[a] for a in by]
             vals = batch.columns[nest]
             for i in batch.indices():

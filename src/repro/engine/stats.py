@@ -29,7 +29,7 @@ from repro.algebra.plan import (
 from repro.engine.table import Catalog, Table
 from repro.lang.ast import Attr, Cmp, CmpOp, Expr, Var, conjuncts
 
-__all__ = ["TableStats", "StatsCatalog", "estimate_rows"]
+__all__ = ["TableStats", "StatsCatalog", "estimate_rows", "estimated_work"]
 
 #: Default selectivity guesses (documented constants, not science).
 EQ_SELECTIVITY = 0.1
@@ -176,6 +176,31 @@ def _find_scan(plan: Plan, var: str) -> Scan | None:
         if found is not None:
             return found
     return None
+
+
+def estimated_work(physical) -> float:
+    """Total rows a compiled physical tree is expected to move, summed
+    over every operator (plus one output pass at the root's cardinality).
+
+    The denominator behind the live-progress fraction
+    (:mod:`repro.server.registry`): operators credit rows to their
+    request's progress sink at the cancellation polls they already make,
+    and dividing the credited total by this sum yields a fraction that
+    tracks execution. It inherits every bias of the cardinality
+    estimates it sums — the same estimates EXPLAIN ANALYZE audits with
+    q-error — so the fraction is an *estimate*, clamped below 1.0 by the
+    registry until the query actually finishes.
+    """
+    total = max(1.0, float(physical.est_rows))  # the executor's output pass
+
+    def walk(op) -> None:
+        nonlocal total
+        total += max(1.0, float(op.est_rows))
+        for child in op.children():
+            walk(child)
+
+    walk(physical)
+    return total
 
 
 def _selectivity(pred: Expr) -> float:

@@ -83,6 +83,7 @@ __all__ = [
     "run_parallel",
     "parallel_set",
     "parallel_analyze",
+    "fold_fragment_progress",
     "plan_fragments",
     "plan_fragments_ex",
     "FragmentPlan",
@@ -147,6 +148,22 @@ def consume_parallel_stats() -> ParallelExecStats | None:
     return stats
 
 
+def fold_fragment_progress(token, fragments) -> None:
+    """Credit worker-side row counts to the coordinator's progress sink.
+
+    Worker processes count rows on their own tokens (they cannot reach
+    the coordinator's :class:`~repro.server.registry.ActiveQueryRegistry`
+    directly); each :class:`~repro.parallel.pool.FragmentResult` carries
+    the count home and this folds them in at gather time, so a parallel
+    query's live entry advances in per-fragment steps.
+    """
+    if token is None or token.progress is None:
+        return
+    for f in fragments:
+        if f.rows_processed:
+            token.progress.advance(f.rows_processed, f"Fragment part={f.part}")
+
+
 def _scatter(
     physical,
     catalog: Mapping,
@@ -193,6 +210,7 @@ def _scatter(
         for f in fragments:
             if f.events:
                 trace.events.extend(f.events)
+    fold_fragment_progress(token, fragments)
     times = sorted(
         ((f.seconds, f.part) for f in fragments), reverse=True
     )

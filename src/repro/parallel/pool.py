@@ -172,6 +172,7 @@ class FragmentResult:
         "pid",
         "tid",
         "events",
+        "rows_processed",
     )
 
     def __init__(
@@ -186,6 +187,7 @@ class FragmentResult:
         pid: int | None = None,
         tid: int | None = None,
         events: list | None = None,
+        rows_processed: int = 0,
     ):
         self.part = part
         self.rows = rows
@@ -197,10 +199,31 @@ class FragmentResult:
         self.pid = pid
         self.tid = tid
         self.events = events
+        #: Rows the worker's operators credited to its in-process
+        #: progress counter — folded into the coordinator request's
+        #: live-progress entry at gather time (live introspection).
+        self.rows_processed = rows_processed
 
     @property
     def rows_shipped(self) -> int:
         return len(self.rows)
+
+
+class _WorkerProgress:
+    """Worker-side progress sink: a bare counter shipped back on the reply.
+
+    Worker processes cannot reach the coordinator's active-query
+    registry, so their tokens count rows locally and the total rides
+    home on the ``FragmentResult``.
+    """
+
+    __slots__ = ("rows",)
+
+    def __init__(self):
+        self.rows = 0
+
+    def advance(self, rows: int, op=None) -> None:
+        self.rows += rows
 
 
 def _pick_context():
@@ -312,6 +335,8 @@ def _worker_main(conn, cancel_event) -> None:
             tables = registry[key]
             registry.move_to_end(key)
             token = CancelToken(deadline, event=cancel_event)
+            progress = _WorkerProgress()
+            token.progress = progress
             events = None
             with cancel_scope(token):
                 if trace_ctx is not None:
@@ -339,7 +364,10 @@ def _worker_main(conn, cancel_event) -> None:
                 else:
                     rows = list(fragment.run(tables))
             seconds = time.perf_counter() - started
-            extra = None
+            # Progress always ships — one int on a reply already carrying
+            # the row payload — so the coordinator can fold it into the
+            # request's live entry regardless of telemetry settings.
+            extra = {"rows_processed": progress.rows}
             if telemetry:
                 cpu1 = os.times()
                 if trace_mem:
@@ -348,15 +376,15 @@ def _worker_main(conn, cancel_event) -> None:
                     peak = tracemalloc.get_traced_memory()[1]
                 else:
                     peak = max(0, _maxrss_bytes() - rss0)
-                extra = {
-                    "cpu": (cpu1.user - cpu0.user) + (cpu1.system - cpu0.system),
-                    "peak_mem": peak,
-                    "pid": pid,
-                    "tid": tid,
-                    "events": events,
-                }
+                extra.update(
+                    cpu=(cpu1.user - cpu0.user) + (cpu1.system - cpu0.system),
+                    peak_mem=peak,
+                    pid=pid,
+                    tid=tid,
+                    events=events,
+                )
             elif events is not None:
-                extra = {"pid": pid, "tid": tid, "events": events}
+                extra.update(pid=pid, tid=tid, events=events)
             conn.send(("ok", rows, seconds, extra))
         except CancelledError as exc:
             conn.send(("cancelled", str(exc)))
@@ -598,6 +626,7 @@ class WorkerPool:
                             pid=extra.get("pid"),
                             tid=extra.get("tid"),
                             events=extra.get("events"),
+                            rows_processed=extra.get("rows_processed", 0),
                         )
                     elif status == "cancelled":
                         outcome_cancelled = msg[1]

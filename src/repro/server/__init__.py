@@ -14,7 +14,13 @@ Public surface:
   (``stats()["slow_queries"]``);
 * :mod:`~repro.server.exposition` — Prometheus text rendering of a
   metrics snapshot and the ``/metrics`` + ``/healthz`` scrape endpoint
-  (:func:`~repro.server.exposition.serve_metrics`);
+  (:func:`~repro.server.exposition.serve_metrics`), which also carries
+  the live-introspection admin surface (``GET /queries``,
+  ``POST /queries/<id>/cancel``);
+* :class:`~repro.server.registry.ActiveQueryRegistry` /
+  :class:`~repro.server.registry.ActiveQuery` — live in-flight query
+  tracking with progress fractions and admin cancel
+  (``QueryService.registry``, rendered by ``repro top``);
 * :func:`~repro.server.bench.run_serve_bench` — the mixed-workload
   benchmark harness (``repro serve-bench``).
 
@@ -31,6 +37,7 @@ from repro.server.metrics import (
     MetricsRegistry,
     percentile,
 )
+from repro.server.registry import ActiveQuery, ActiveQueryRegistry
 from repro.server.request import QueryRequest, QueryResponse, bind_params
 from repro.server.service import CatalogVersionRace, PendingQuery, QueryService
 from repro.server.slowlog import SlowQueryLog
@@ -38,6 +45,8 @@ from repro.server.slowlog import SlowQueryLog
 __all__ = [
     "QueryService",
     "PendingQuery",
+    "ActiveQuery",
+    "ActiveQueryRegistry",
     "QueryRequest",
     "QueryResponse",
     "CatalogVersionRace",

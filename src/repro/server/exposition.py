@@ -14,11 +14,23 @@ in the Prometheus text format (version 0.0.4):
 
 :class:`MetricsServer` serves the rendering from a stdlib
 ``http.server`` endpoint — ``GET /metrics`` (text format) and
-``GET /healthz`` (JSON liveness) — on a daemon thread, attachable to a
-live :class:`~repro.server.service.QueryService` with
-:func:`serve_metrics`. No third-party client library is involved;
-:func:`parse_prometheus` is the matching strict parser used by tests and
-``make metrics-smoke`` to prove the output is well-formed.
+``GET /healthz`` (JSON liveness with uptime, live in-flight count, and
+queue depth) — on a daemon thread, attachable to a live
+:class:`~repro.server.service.QueryService` with :func:`serve_metrics`.
+No third-party client library is involved; :func:`parse_prometheus` is
+the matching strict parser used by tests and ``make metrics-smoke`` to
+prove the output is well-formed.
+
+The same endpoint doubles as the live-introspection admin surface (see
+docs/observability.md): when a ``registry_source`` is attached (as
+:func:`serve_metrics` does), ``GET /queries`` returns the
+:class:`~repro.server.registry.ActiveQueryRegistry` snapshot — every
+in-flight query with its progress fraction — and
+``POST /queries/<id>/cancel`` cancels one by id through its
+:class:`~repro.engine.cancel.CancelToken` (for parallel queries the
+pool's coordinator loop observes the same token and raises the shared
+cross-process event). ``repro top`` renders ``GET /queries`` as an
+auto-refreshing table.
 """
 
 from __future__ import annotations
@@ -193,11 +205,21 @@ class MetricsServer:
         host: str = "127.0.0.1",
         port: int = 0,
         prefix: str = "repro_",
+        registry_source: Callable[[], object] | None = None,
+        health_source: Callable[[], Mapping] | None = None,
     ):
         self.snapshot_source = snapshot_source
         self.gauge_source = gauge_source
         self.host = host
         self.prefix = prefix
+        #: Zero-arg callable returning the
+        #: :class:`~repro.server.registry.ActiveQueryRegistry` behind
+        #: ``GET /queries`` and ``POST /queries/<id>/cancel`` (both 404
+        #: when unset).
+        self.registry_source = registry_source
+        #: Extra JSON fields merged into ``GET /healthz`` (in-flight
+        #: count, queue depth, ... — anything the attachment knows).
+        self.health_source = health_source
         self._requested_port = port
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
@@ -250,26 +272,74 @@ class MetricsServer:
         return prometheus_text(self.snapshot_source(), prefix=self.prefix, gauges=gauges)
 
     def health(self) -> dict:
-        return {
+        out = {
             "status": "ok",
             "uptime_seconds": time.monotonic() - self._started_at,
         }
+        if self.health_source is not None:
+            try:
+                out.update(self.health_source())
+            except Exception as exc:  # liveness must answer regardless
+                out["health_source_error"] = str(exc)
+        return out
+
+    def queries(self) -> dict:
+        """The live-registry snapshot behind ``GET /queries``."""
+        registry = self.registry_source() if self.registry_source is not None else None
+        if registry is None:
+            return {"active": [], "recent": []}
+        return registry.snapshot()
+
+    def cancel_query(self, query_id: str) -> bool:
+        """Cancel one live query by id (False: unknown id or no registry)."""
+        registry = self.registry_source() if self.registry_source is not None else None
+        if registry is None:
+            return False
+        return registry.cancel(query_id, reason=f"cancelled by admin: {query_id}")
 
     def _make_handler(self):
         server = self
 
         class Handler(BaseHTTPRequestHandler):
             def do_GET(self):  # noqa: N802 - http.server API
-                if self.path.split("?", 1)[0] == "/metrics":
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
                     try:
                         body = server.render().encode("utf-8")
                     except Exception as exc:  # defensive: a scrape must answer
                         self._respond(500, "text/plain", f"render error: {exc}".encode())
                         return
                     self._respond(200, CONTENT_TYPE, body)
-                elif self.path.split("?", 1)[0] == "/healthz":
+                elif path == "/healthz":
                     body = json.dumps(server.health()).encode("utf-8")
                     self._respond(200, "application/json", body)
+                elif path == "/queries":
+                    if server.registry_source is None:
+                        self._respond(404, "text/plain", b"no query registry attached\n")
+                        return
+                    try:
+                        body = json.dumps(server.queries(), default=str).encode("utf-8")
+                    except Exception as exc:  # defensive: a scrape must answer
+                        self._respond(500, "text/plain", f"snapshot error: {exc}".encode())
+                        return
+                    self._respond(200, "application/json", body)
+                else:
+                    self._respond(404, "text/plain", b"not found\n")
+
+            def do_POST(self):  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0]
+                parts = path.strip("/").split("/")
+                # POST /queries/<id>/cancel
+                if len(parts) == 3 and parts[0] == "queries" and parts[2] == "cancel":
+                    if server.registry_source is None:
+                        self._respond(404, "text/plain", b"no query registry attached\n")
+                        return
+                    query_id = parts[1]
+                    cancelled = server.cancel_query(query_id)
+                    body = json.dumps(
+                        {"query_id": query_id, "cancelled": cancelled}
+                    ).encode("utf-8")
+                    self._respond(200 if cancelled else 404, "application/json", body)
                 else:
                     self._respond(404, "text/plain", b"not found\n")
 
@@ -315,7 +385,11 @@ def serve_metrics(service, host: str = "127.0.0.1", port: int = 0) -> MetricsSer
     latency histograms, ``queries_by_rewrite``, the q-error families)
     merged with the parallel pool-health families
     (:func:`merged_service_snapshot`), plus point-in-time gauges for
-    queue depth, worker-thread count, and live pool workers.
+    queue depth, worker-thread count, live in-flight queries, and live
+    pool workers. The admin surface comes attached: ``GET /queries``
+    over the service's :class:`~repro.server.registry.ActiveQueryRegistry`,
+    ``POST /queries/<id>/cancel``, and a ``/healthz`` carrying uptime,
+    in-flight count, and queue depth.
     """
 
     def gauges() -> dict:
@@ -324,13 +398,23 @@ def serve_metrics(service, host: str = "127.0.0.1", port: int = 0) -> MetricsSer
         out = {
             "queue_depth": service._queue.qsize(),
             "workers": service.workers,
+            "in_flight": len(service.registry),
         }
         out.update(pool_gauges())
         return out
+
+    def health_extras() -> dict:
+        return {
+            "in_flight": len(service.registry),
+            "queue_depth": service._queue.qsize(),
+            "workers": service.workers,
+        }
 
     return MetricsServer(
         lambda: merged_service_snapshot(service),
         gauge_source=gauges,
         host=host,
         port=port,
+        registry_source=lambda: service.registry,
+        health_source=health_extras,
     ).start()

@@ -87,12 +87,18 @@ class QueryRequest:
 class QueryResponse:
     """The structured answer to one :class:`QueryRequest`.
 
-    ``outcome`` is one of ``"ok"``, ``"timeout"``, ``"rejected"``, or
-    ``"error"``; ``value`` is the result set for ``"ok"`` and None
-    otherwise. ``result_cache`` attributes where the answer came from:
-    ``"miss"`` (this request executed the plan), ``"hit"`` (served from
-    the result cache), or ``"coalesced"`` (waited on a concurrent
-    identical execution).
+    ``outcome`` is one of ``"ok"``, ``"timeout"``, ``"cancelled"``
+    (explicitly cancelled mid-flight — admin cancel via
+    ``POST /queries/<id>/cancel`` or a direct ``CancelToken.cancel`` —
+    as opposed to a deadline lapse), ``"rejected"``, or ``"error"``;
+    ``value`` is the result set for ``"ok"`` and None otherwise.
+    ``result_cache`` attributes where the answer came from: ``"miss"``
+    (this request executed the plan), ``"hit"`` (served from the result
+    cache), or ``"coalesced"`` (waited on a concurrent identical
+    execution). ``request_id`` doubles as the ``query_id`` correlating
+    this request across the structured event log
+    (:mod:`repro.core.log`), the live registry's ``/queries`` snapshots,
+    and the slow-query log.
     """
 
     request_id: str

@@ -46,11 +46,14 @@ import threading
 import time
 from typing import Callable, Iterable, Mapping
 
+from repro.core.log import emit_event, events_snapshot
 from repro.core.pipeline import plan_cache_stats, prepared
 from repro.core.trace import QueryTrace
 from repro.engine.cache import CacheStats, LRUCache, build_cache_stats
 from repro.engine.cancel import CancelToken, cancel_scope
+from repro.engine.stats import estimated_work
 from repro.errors import CancelledError, RejectedError, ReproError
+from repro.server.registry import ActiveQueryRegistry
 from repro.server.request import QueryRequest, QueryResponse
 from repro.server.slowlog import SlowQueryLog
 
@@ -59,6 +62,17 @@ __all__ = ["QueryService", "PendingQuery", "CatalogVersionRace"]
 
 class CatalogVersionRace(ReproError):
     """The catalog's data version moved while a request was executing."""
+
+
+class _LeaderCancelled(Exception):
+    """Internal: a coalesced execution's leader was cancelled.
+
+    A follower that inherits the leader's ``CancelledError`` was not
+    itself cancelled — its deadline may have plenty left — so instead of
+    surfacing someone else's cancellation it raises this marker and
+    :meth:`QueryService._execute_with_retry` re-attempts the query (the
+    follower becomes the new leader). Never escapes the service.
+    """
 
 
 class PendingQuery:
@@ -92,13 +106,17 @@ class PendingQuery:
 class _InFlight:
     """A leader's execution that identical concurrent requests wait on."""
 
-    __slots__ = ("event", "value", "error", "exec_mode")
+    __slots__ = ("event", "value", "error", "exec_mode", "waiters")
 
     def __init__(self) -> None:
         self.event = threading.Event()
         self.value: frozenset | None = None
         self.error: BaseException | None = None
         self.exec_mode: str | None = None
+        #: Followers coalesced onto this execution (bumped under the
+        #: service's in-flight lock); read when the entry is dropped to
+        #: warn about waiters orphaned by a cancelled leader.
+        self.waiters = 0
 
 
 _SENTINEL = object()
@@ -165,6 +183,11 @@ class QueryService:
         self._started = False
         self._closed = False
         self.slow_queries = SlowQueryLog(slow_query_capacity)
+        #: Live introspection: every admitted request is tracked here for
+        #: the duration of its execution — progress fraction, current
+        #: operator, and an admin-cancel handle (see docs/observability.md
+        #: and the ``/queries`` endpoint on the metrics server).
+        self.registry = ActiveQueryRegistry()
         #: Every feedback_every-th leader execution runs instrumented
         #: (EXPLAIN ANALYZE) and feeds the q-error histograms; 0 disables.
         #: Instrumented runs cost a few times plain execution, so the
@@ -195,6 +218,7 @@ class QueryService:
             "completed",
             "ok",
             "timeouts",
+            "cancelled",
             "errors",
             "retries",
             "version_race_failures",
@@ -272,6 +296,13 @@ class QueryService:
             self.slow_queries.record_failure(
                 _slow_entry(request, "rejected", error="service is stopped")
             )
+            emit_event(
+                "reject",
+                query_id=request.request_id,
+                level="warning",
+                query=request.query,
+                reason="service is stopped",
+            )
             raise RejectedError("service is stopped")
         if not self._started:
             self.start()
@@ -285,9 +316,23 @@ class QueryService:
             self.metrics.counter("shed").inc()
             reason = f"service saturated: admission queue at capacity ({self.queue_limit})"
             self.slow_queries.record_failure(_slow_entry(request, "rejected", error=reason))
+            emit_event(
+                "reject",
+                query_id=request.request_id,
+                level="warning",
+                query=request.query,
+                reason=reason,
+            )
             raise RejectedError(reason) from None
         self.metrics.counter("admitted").inc()
         self.metrics.histogram("queue_depth").observe(self._queue.qsize())
+        emit_event(
+            "admit",
+            query_id=request.request_id,
+            query=request.query,
+            queue_depth=self._queue.qsize(),
+            timeout=effective,
+        )
         return pending
 
     def execute(
@@ -320,6 +365,9 @@ class QueryService:
         snap = self.metrics.snapshot()
         snap["workers"] = self.workers
         snap["queue_depth"] = self._queue.qsize()
+        snap["in_flight"] = len(self.registry)
+        snap["active_queries"] = self.registry.snapshot()["active"]
+        snap["events"] = events_snapshot()
         snap["slow_queries"] = self.slow_queries.snapshot()
         snap["caches"] = {
             "plan": _cache_dict(plan_cache_stats()),
@@ -364,18 +412,44 @@ class QueryService:
             trace_id=trace.trace_id,
         )
         pq = None
+        token = CancelToken(deadline=pending.deadline)
+        # Live introspection: the registry entry doubles as the token's
+        # progress sink, so operator polls advance it from here on.
+        self.registry.register(
+            request.request_id,
+            request.query,
+            params=request.params,
+            trace_id=trace.trace_id,
+            exec_mode=self.execution,
+            token=token,
+            deadline=pending.deadline,
+        )
         if pending.deadline is not None and started >= pending.deadline:
             # The deadline passed while the request sat in the queue.
             self.metrics.counter("timeouts").inc()
             response.outcome = "timeout"
             response.error = "deadline exceeded while queued"
             trace.record("service", "deadline-exceeded", detail=response.error)
+            emit_event(
+                "timeout",
+                query_id=request.request_id,
+                trace_id=trace.trace_id,
+                level="warning",
+                reason=response.error,
+            )
         else:
-            token = CancelToken(deadline=pending.deadline)
             try:
                 with cancel_scope(token):
                     value, version, source, attempts, pq, misests, exec_mode, par = (
                         self._execute_with_retry(request, token)
+                    )
+                if par is not None and par.get("fallback"):
+                    emit_event(
+                        "fallback",
+                        query_id=request.request_id,
+                        trace_id=trace.trace_id,
+                        level="warning",
+                        reason=par["fallback"],
                     )
                 response.outcome = "ok"
                 response.value = value
@@ -411,26 +485,83 @@ class QueryService:
                     )
                 self.metrics.counter("ok").inc()
             except CancelledError as exc:
-                self.metrics.counter("timeouts").inc()
-                response.outcome = "timeout"
-                response.error = str(exc)
-                trace.record("service", "deadline-exceeded", detail=response.error)
+                if token.cancelled:
+                    # The token's event was set explicitly — an admin
+                    # cancel (or client abort), not a deadline lapse.
+                    self.metrics.counter("cancelled").inc()
+                    response.outcome = "cancelled"
+                    response.error = str(exc)
+                    trace.record("service", "cancelled", detail=response.error)
+                    emit_event(
+                        "cancel",
+                        query_id=request.request_id,
+                        trace_id=trace.trace_id,
+                        level="warning",
+                        reason=response.error,
+                    )
+                else:
+                    self.metrics.counter("timeouts").inc()
+                    response.outcome = "timeout"
+                    response.error = str(exc)
+                    trace.record("service", "deadline-exceeded", detail=response.error)
+                    emit_event(
+                        "timeout",
+                        query_id=request.request_id,
+                        trace_id=trace.trace_id,
+                        level="warning",
+                        reason=response.error,
+                    )
             except CatalogVersionRace as exc:
                 self.metrics.counter("version_race_failures").inc()
                 response.error = str(exc)
                 response.attempts = self.max_attempts
                 trace.record("service", "version-race", detail=response.error)
+                emit_event(
+                    "error",
+                    query_id=request.request_id,
+                    trace_id=trace.trace_id,
+                    level="error",
+                    reason=response.error,
+                )
             except ReproError as exc:
                 self.metrics.counter("errors").inc()
                 response.error = str(exc)
                 trace.record("service", "error", detail=response.error)
+                from repro.errors import WorkerCrashError
+
+                emit_event(
+                    "crash" if isinstance(exc, WorkerCrashError) else "error",
+                    query_id=request.request_id,
+                    trace_id=trace.trace_id,
+                    level="error",
+                    reason=response.error,
+                )
             except Exception as exc:  # defensive: never lose a request
                 self.metrics.counter("errors").inc()
                 response.error = f"{type(exc).__name__}: {exc}"
                 trace.record("service", "error", detail=response.error)
+                emit_event(
+                    "crash",
+                    query_id=request.request_id,
+                    trace_id=trace.trace_id,
+                    level="error",
+                    reason=response.error,
+                )
         finished = time.monotonic()
         response.execute_seconds = finished - started
         response.total_seconds = finished - pending.enqueued_at
+        entry = self.registry.finish(request.request_id, response.outcome)
+        if response.outcome == "ok":
+            emit_event(
+                "complete",
+                query_id=request.request_id,
+                trace_id=trace.trace_id,
+                outcome="ok",
+                seconds=response.total_seconds,
+                exec_mode=response.exec_mode,
+                result_cache=response.result_cache,
+                rows_processed=entry.rows_processed if entry is not None else None,
+            )
         self._capture(request, response, trace, pq)
         self.metrics.counter("completed").inc()
         self.metrics.histogram("latency_ms").observe(response.total_seconds * 1e3)
@@ -469,7 +600,7 @@ class QueryService:
             entry["prepare_trace"] = pq.trace.to_dict()
         if response.outcome == "ok":
             self.slow_queries.record_ok(entry)
-        elif response.outcome in ("timeout", "error"):
+        elif response.outcome in ("timeout", "cancelled", "error"):
             # Errors join timeouts in the always-kept failure ring — a
             # WorkerCrashError mid-query must be findable after the fact.
             self.slow_queries.record_failure(entry)
@@ -483,7 +614,7 @@ class QueryService:
             token.check()
             try:
                 value, version, source, pq, misests, exec_mode, par = (
-                    self._execute_shared(text, token)
+                    self._execute_shared(text, token, request)
                 )
                 return value, version, source, attempts, pq, misests, exec_mode, par
             except CatalogVersionRace:
@@ -496,8 +627,17 @@ class QueryService:
                     delay = min(delay, remaining)
                 if delay > 0:
                     time.sleep(delay)
+            except _LeaderCancelled:
+                # The leader this attempt coalesced onto was cancelled;
+                # this request wasn't. Re-attempt immediately — the
+                # token.check() at the loop top enforces *our* deadline.
+                self.metrics.counter("retries").inc()
+                if attempts >= self.max_attempts:
+                    raise CancelledError(
+                        "coalesced leader was cancelled on every attempt"
+                    ) from None
 
-    def _execute_shared(self, text: str, token: CancelToken):
+    def _execute_shared(self, text: str, token: CancelToken, request=None):
         """One attempt: result cache → coalesce → leader execution.
 
         The result cache is keyed by (bound text, catalog version) and
@@ -512,15 +652,22 @@ class QueryService:
             self.metrics.counter("result_hits").inc()
             return value, version, "hit", None, (), exec_mode, None
         pq = prepared(text, self.catalog, typecheck=self.typecheck)
+        self._seed_estimate(token, pq)
         with self._inflight_lock:
             entry = self._inflight.get(key)
             leader = entry is None
             if leader:
                 entry = self._inflight[key] = _InFlight()
+            else:
+                entry.waiters += 1
         if not leader:
             if not entry.event.wait(timeout=token.remaining()):
                 raise CancelledError("deadline exceeded waiting on a coalesced execution")
             if entry.error is not None:
+                if isinstance(entry.error, CancelledError) and not token.cancelled:
+                    # The *leader* was cancelled, not this follower —
+                    # don't inherit its fate, retry as the new leader.
+                    raise _LeaderCancelled(str(entry.error))
                 raise entry.error
             self.metrics.counter("result_coalesced").inc()
             return entry.value, version, "coalesced", pq, (), entry.exec_mode, None
@@ -540,7 +687,40 @@ class QueryService:
         finally:
             with self._inflight_lock:
                 self._inflight.pop(key, None)
+            if isinstance(entry.error, CancelledError) and entry.waiters:
+                # Not silent: a cancelled leader orphans its followers
+                # (they will re-attempt); leave an audit trail keyed to
+                # the leader's query id. No new waiters can join — the
+                # entry left the map under the lock above.
+                emit_event(
+                    "coalesce_dropped",
+                    query_id=request.request_id if request is not None else None,
+                    level="warning",
+                    query=text,
+                    waiters=entry.waiters,
+                    reason=str(entry.error),
+                )
             entry.event.set()
+
+    def _seed_estimate(self, token: CancelToken, pq) -> None:
+        """Give the request's live entry its progress denominator.
+
+        :func:`~repro.engine.stats.estimated_work` over the compiled
+        physical tree; ``compile_for`` memoizes per catalog version, so
+        after the first request this is a cache probe. Interpreted
+        queries (no plan) keep ``estimated_rows=None`` → progress 0.
+        """
+        progress = token.progress
+        if (
+            progress is None
+            or getattr(progress, "estimated_rows", None) is not None
+            or pq.plan is None
+        ):
+            return
+        try:
+            progress.estimated_rows = estimated_work(pq.compile_for(self.catalog))
+        except Exception:
+            pass  # progress is best-effort; never fail the query for it
 
     def _execute_leader(self, pq, version):
         """Execute the prepared query; raise if the catalog moved mid-flight.
@@ -600,9 +780,15 @@ class QueryService:
 
 
 def _slow_entry(request: QueryRequest, outcome: str, **extra) -> dict:
-    """A JSON-serializable slow-query-log record for one request."""
+    """A JSON-serializable slow-query-log record for one request.
+
+    ``query_id`` duplicates ``request_id`` under the name the structured
+    event log uses, so slow entries join directly against event-log lines
+    (and the live registry's snapshots).
+    """
     entry = {
         "request_id": request.request_id,
+        "query_id": request.request_id,
         "query": request.query,
         "outcome": outcome,
     }

@@ -9,9 +9,15 @@ Two retention policies coexist, matching how the two populations are used:
   or is dropped, so capture cost is O(log N) per request and memory is
   bounded regardless of traffic volume.
 * **Recent failures** — rejected, errored (e.g. a worker-pool crash),
-  and deadline-exceeded requests are kept in a bounded FIFO ring (newest
-  win). These are the requests with *no* useful latency signal — a shed
-  request never ran — so recency, not slowness, is the retention key.
+  cancelled, and deadline-exceeded requests are kept in a bounded FIFO
+  ring (newest win). These are the requests with *no* useful latency
+  signal — a shed request never ran — so recency, not slowness, is the
+  retention key.
+
+Every entry carries a ``query_id`` (the request id), the same
+correlation key stamped on structured event-log lines
+(:mod:`repro.core.log`) and live-registry snapshots — a slow or failed
+query joins directly against its admission/cancel/completion events.
 
 :meth:`SlowQueryLog.snapshot` returns both populations as plain dicts for
 ``QueryService.stats()["slow_queries"]`` and the ``repro serve-bench``

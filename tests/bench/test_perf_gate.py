@@ -18,13 +18,32 @@ GATE = REPO_ROOT / "scripts" / "perf_gate.py"
 @pytest.fixture(scope="module")
 def perf():
     # Tiny catalog + few repeats: the schema is under test, not the clock.
-    return collect_perf(repeats=2, n_left=20, n_right=80, n_chain=4)
+    perf = collect_perf(repeats=2, n_left=20, n_right=80, n_chain=4)
+    # On a catalog this small the overhead measurement is pure scheduler
+    # noise; pin it so the gate tests below exercise the budget check
+    # deterministically. The real number comes from the full-size report.
+    perf["introspection"]["overhead_pct"] = 1.0
+    return perf
 
 
 class TestCollectPerf:
     def test_schema_top_level(self, perf):
         assert perf["schema_version"] == SCHEMA_VERSION
-        assert set(perf) == {"schema_version", "config", "benchmarks", "qerror"}
+        assert set(perf) == {
+            "schema_version",
+            "config",
+            "benchmarks",
+            "qerror",
+            "introspection",
+        }
+
+    def test_introspection_section_keys(self, perf):
+        intro = perf["introspection"]
+        assert intro["sweeps"] >= 1
+        assert intro["queries_per_sweep"] >= 1
+        assert intro["baseline_sweep_ms"] > 0
+        assert intro["instrumented_sweep_ms"] > 0
+        assert math.isfinite(intro["overhead_pct"])
 
     def test_covers_every_workload_query(self, perf):
         assert set(perf["benchmarks"]) == set(PERF_QUERIES)
@@ -129,6 +148,28 @@ class TestPerfGate:
         proc = run_gate("--baseline", str(base), "--report", str(rep))
         assert proc.returncode == 1
         assert "schema_version" in proc.stdout
+
+    def test_introspection_over_budget_fails_even_shape_only(self, perf, tmp_path):
+        """The overhead budget is absolute (within one report), so it
+        stays active when the cross-report diffs are shape-only."""
+        base = write_report(tmp_path / "base.json", perf)
+        bloated = copy.deepcopy(perf)
+        bloated["introspection"]["overhead_pct"] = 50.0
+        rep = write_report(tmp_path / "rep.json", bloated)
+        proc = run_gate("--baseline", str(base), "--report", str(rep), "--shape-only")
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "introspection_overhead" in proc.stdout
+
+    def test_introspection_budget_is_configurable(self, perf, tmp_path):
+        base = write_report(tmp_path / "base.json", perf)
+        bloated = copy.deepcopy(perf)
+        bloated["introspection"]["overhead_pct"] = 50.0
+        rep = write_report(tmp_path / "rep.json", bloated)
+        proc = run_gate(
+            "--baseline", str(base), "--report", str(rep),
+            "--shape-only", "--introspection-max-pct", "60",
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
 
     def test_qerror_regression_fails(self, perf, tmp_path):
         base = write_report(tmp_path / "base.json", perf)

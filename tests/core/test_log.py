@@ -1,0 +1,147 @@
+"""The structured event log: ring semantics, filters, and the file sink."""
+
+import json
+import logging
+
+import pytest
+
+from repro.core import log as event_log
+from repro.core.log import (
+    EVENT_RING_CAPACITY,
+    JsonLineFormatter,
+    clear_events,
+    emit_event,
+    events_snapshot,
+    reset_event_log,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_ring():
+    clear_events()
+    yield
+    clear_events()
+
+
+class TestEmit:
+    def test_payload_shape(self):
+        payload = emit_event("admit", query_id="q1", trace_id="t1", queue_depth=3)
+        assert payload["event"] == "admit"
+        assert payload["query_id"] == "q1"
+        assert payload["trace_id"] == "t1"
+        assert payload["queue_depth"] == 3
+        assert payload["level"] == "info"
+        assert payload["ts"] > 0
+
+    def test_optional_correlation_fields_omitted(self):
+        payload = emit_event("reject", level="warning", reason="queue full")
+        assert "query_id" not in payload
+        assert "trace_id" not in payload
+        assert payload["level"] == "warning"
+
+    def test_emitted_payload_lands_in_ring(self):
+        emit_event("admit", query_id="q1")
+        emit_event("complete", query_id="q1")
+        assert [e["event"] for e in events_snapshot()] == ["admit", "complete"]
+
+    def test_payload_is_json_serializable(self):
+        payload = emit_event("cancel", query_id="q1", reason="admin")
+        json.dumps(payload)
+
+
+class TestRing:
+    def test_bounded_at_capacity_oldest_dropped(self):
+        for i in range(EVENT_RING_CAPACITY + 25):
+            emit_event("admit", query_id=f"q{i}")
+        events = events_snapshot()
+        assert len(events) == EVENT_RING_CAPACITY
+        # The survivors are the most recent EVENT_RING_CAPACITY emits.
+        assert events[0]["query_id"] == "q25"
+        assert events[-1]["query_id"] == f"q{EVENT_RING_CAPACITY + 24}"
+
+    def test_clear_events_empties_ring(self):
+        emit_event("admit", query_id="q1")
+        clear_events()
+        assert events_snapshot() == []
+
+
+class TestSnapshotFilters:
+    def test_filter_by_query_id(self):
+        emit_event("admit", query_id="a")
+        emit_event("admit", query_id="b")
+        emit_event("complete", query_id="a")
+        events = events_snapshot(query_id="a")
+        assert [e["event"] for e in events] == ["admit", "complete"]
+
+    def test_filter_by_event_kinds(self):
+        emit_event("admit", query_id="a")
+        emit_event("cancel", query_id="a")
+        emit_event("complete", query_id="b")
+        events = events_snapshot(events=("cancel", "complete"))
+        assert [e["event"] for e in events] == ["cancel", "complete"]
+
+    def test_limit_keeps_most_recent_after_filtering(self):
+        for i in range(6):
+            emit_event("admit", query_id=f"q{i}")
+        events = events_snapshot(limit=2)
+        assert [e["query_id"] for e in events] == ["q4", "q5"]
+
+    def test_combined_filters(self):
+        for i in range(4):
+            emit_event("admit", query_id="a")
+            emit_event("admit", query_id="b")
+        events = events_snapshot(limit=3, query_id="b")
+        assert len(events) == 3
+        assert all(e["query_id"] == "b" for e in events)
+
+
+class TestFileSink:
+    def test_no_file_sink_by_default(self, monkeypatch):
+        monkeypatch.delenv(event_log.LOG_FILE_ENV, raising=False)
+        reset_event_log()
+        emit_event("admit", query_id="q1")
+        assert events_snapshot()[-1]["query_id"] == "q1"
+
+    def test_file_sink_writes_json_lines(self, tmp_path, monkeypatch):
+        path = tmp_path / "events.jsonl"
+        monkeypatch.setenv(event_log.LOG_FILE_ENV, str(path))
+        reset_event_log()
+        try:
+            emit_event("admit", query_id="q1", query="SELECT 1")
+            emit_event("cancel", query_id="q1", level="warning", reason="admin")
+            lines = path.read_text(encoding="utf-8").strip().splitlines()
+            assert len(lines) == 2
+            first, second = (json.loads(line) for line in lines)
+            assert first["event"] == "admit"
+            assert first["query_id"] == "q1"
+            assert second["event"] == "cancel"
+            assert second["level"] == "warning"
+            # Both sinks see the same payloads.
+            assert [e["event"] for e in events_snapshot(query_id="q1")] == [
+                "admit",
+                "cancel",
+            ]
+        finally:
+            monkeypatch.delenv(event_log.LOG_FILE_ENV)
+            reset_event_log()
+
+
+class TestJsonLineFormatter:
+    def test_formats_event_payload(self):
+        record = logging.LogRecord("repro.events", logging.INFO, __file__, 1, "admit", (), None)
+        record.event_payload = {"ts": 1.0, "level": "info", "event": "admit"}
+        line = JsonLineFormatter().format(record)
+        assert json.loads(line) == {"ts": 1.0, "level": "info", "event": "admit"}
+
+    def test_falls_back_for_foreign_records(self):
+        record = logging.LogRecord(
+            "other", logging.WARNING, __file__, 1, "plain message", (), None
+        )
+        parsed = json.loads(JsonLineFormatter().format(record))
+        assert parsed["event"] == "plain message"
+        assert parsed["level"] == "warning"
+
+    def test_stringifies_unserializable_values(self):
+        record = logging.LogRecord("repro.events", logging.INFO, __file__, 1, "x", (), None)
+        record.event_payload = {"event": "x", "value": frozenset({1})}
+        json.loads(JsonLineFormatter().format(record))

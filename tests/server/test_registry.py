@@ -1,0 +1,174 @@
+"""The active-query registry: progress accounting, snapshots, admin cancel."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.cancel import CancelToken
+from repro.errors import CancelledError
+from repro.server.registry import (
+    MIDFLIGHT_PROGRESS_CAP,
+    ActiveQuery,
+    ActiveQueryRegistry,
+)
+
+
+class TestActiveQuery:
+    def test_initial_state(self):
+        entry = ActiveQuery("q1", "SELECT 1")
+        assert entry.state == "running"
+        assert entry.rows_processed == 0
+        assert entry.estimated_rows is None
+        assert entry.progress == 0.0
+        assert entry.current_op is None
+
+    def test_advance_accumulates_and_stamps_operator(self):
+        entry = ActiveQuery("q1", "SELECT 1")
+        entry.advance(100, "Scan R AS r")
+        entry.advance(50)
+        assert entry.rows_processed == 150
+        assert entry.current_op == "Scan R AS r"
+        entry.advance(1, "NestJoin")
+        assert entry.current_op == "NestJoin"
+
+    def test_progress_needs_an_estimate(self):
+        entry = ActiveQuery("q1", "SELECT 1")
+        entry.advance(10_000)
+        assert entry.progress == 0.0  # no denominator yet
+
+    def test_progress_fraction(self):
+        entry = ActiveQuery("q1", "SELECT 1")
+        entry.estimated_rows = 200.0
+        entry.advance(50)
+        assert entry.progress == pytest.approx(0.25)
+
+    def test_progress_clamped_midflight(self):
+        # Underestimates are routine; a live query must never read 100%.
+        entry = ActiveQuery("q1", "SELECT 1")
+        entry.estimated_rows = 10.0
+        entry.advance(10_000)
+        assert entry.progress == MIDFLIGHT_PROGRESS_CAP
+
+    def test_progress_snaps_to_one_only_on_ok(self):
+        entry = ActiveQuery("q1", "SELECT 1")
+        entry.estimated_rows = 100.0
+        entry.advance(10)
+        entry.finish("ok")
+        assert entry.progress == 1.0
+
+    def test_failed_outcome_keeps_fractional_progress(self):
+        entry = ActiveQuery("q1", "SELECT 1")
+        entry.estimated_rows = 100.0
+        entry.advance(40)
+        entry.finish("cancelled")
+        assert entry.state == "cancelled"
+        assert entry.progress == pytest.approx(0.4)
+
+    def test_snapshot_shape(self):
+        token = CancelToken(None)
+        entry = ActiveQuery("q1", "SELECT 1", params={"key": 3}, token=token)
+        snap = entry.snapshot()
+        assert snap["query_id"] == "q1"
+        assert snap["params"] == {"key": 3}
+        assert snap["state"] == "running"
+        assert snap["elapsed_seconds"] >= 0
+        assert set(snap) >= {
+            "query",
+            "trace_id",
+            "exec_mode",
+            "started_at",
+            "remaining_seconds",
+            "rows_processed",
+            "estimated_rows",
+            "progress",
+            "current_op",
+        }
+
+    def test_cancel_through_token(self):
+        token = CancelToken(None)
+        entry = ActiveQuery("q1", "SELECT 1", token=token)
+        assert entry.cancel("test") is True
+        with pytest.raises(CancelledError):
+            token.check()
+
+    def test_cancel_without_token_is_refused(self):
+        assert ActiveQuery("q1", "SELECT 1").cancel() is False
+
+
+class TestRegistry:
+    def test_register_installs_progress_sink(self):
+        registry = ActiveQueryRegistry()
+        token = CancelToken(None)
+        entry = registry.register("q1", "SELECT 1", token=token)
+        assert token.progress is entry
+        assert len(registry) == 1
+        assert registry.get("q1") is entry
+
+    def test_token_polls_feed_the_entry(self):
+        registry = ActiveQueryRegistry()
+        token = CancelToken(None)
+        entry = registry.register("q1", "SELECT 1", token=token)
+        token.check(512, "Scan R AS r")
+        token.check(512)
+        assert entry.rows_processed == 1024
+        assert entry.current_op == "Scan R AS r"
+
+    def test_finish_moves_to_recent(self):
+        registry = ActiveQueryRegistry()
+        registry.register("q1", "SELECT 1")
+        entry = registry.finish("q1", "ok")
+        assert entry.state == "ok"
+        assert len(registry) == 0
+        snap = registry.snapshot()
+        assert snap["active"] == []
+        assert [e["query_id"] for e in snap["recent"]] == ["q1"]
+
+    def test_finish_unknown_id_is_none(self):
+        assert ActiveQueryRegistry().finish("ghost", "ok") is None
+
+    def test_recent_ring_is_bounded(self):
+        registry = ActiveQueryRegistry(recent_capacity=3)
+        for i in range(5):
+            registry.register(f"q{i}", "SELECT 1")
+            registry.finish(f"q{i}", "ok")
+        recent = registry.snapshot()["recent"]
+        assert [e["query_id"] for e in recent] == ["q2", "q3", "q4"]
+
+    def test_cancel_by_id(self):
+        registry = ActiveQueryRegistry()
+        token = CancelToken(None)
+        registry.register("q1", "SELECT 1", token=token)
+        assert registry.cancel("q1") is True
+        assert token.cancelled
+        assert registry.cancel("ghost") is False
+
+    def test_active_snapshot_ordered_by_admission(self):
+        registry = ActiveQueryRegistry()
+        registry.register("q1", "SELECT 1")
+        registry.register("q2", "SELECT 2")
+        snap = registry.snapshot()
+        starts = [e["started_at"] for e in snap["active"]]
+        assert starts == sorted(starts)
+
+
+class TestProgressProperties:
+    @given(
+        rows=st.lists(st.integers(min_value=0, max_value=50_000), max_size=40),
+        estimate=st.one_of(
+            st.none(), st.floats(min_value=1.0, max_value=1e6, allow_nan=False)
+        ),
+    )
+    def test_progress_monotone_and_bounded(self, rows, estimate):
+        entry = ActiveQuery("q1", "SELECT 1")
+        entry.estimated_rows = estimate
+        seen_rows = [entry.rows_processed]
+        seen_progress = [entry.progress]
+        for n in rows:
+            entry.advance(n)
+            seen_rows.append(entry.rows_processed)
+            seen_progress.append(entry.progress)
+        assert seen_rows == sorted(seen_rows)
+        assert seen_progress == sorted(seen_progress)
+        assert all(0.0 <= p < 1.0 for p in seen_progress)  # capped while running
+        entry.finish("ok")
+        assert entry.progress == 1.0
