@@ -4,7 +4,8 @@ PYTHON ?= python
 
 .PHONY: test bench bench-shapes bench-json serve-bench trace-smoke trace-parallel-smoke \
 	report fuzz examples all \
-	perf-report perf-gate metrics-smoke introspection-smoke bench-vectorized bench-parallel parity
+	perf-report perf-gate metrics-smoke introspection-smoke cache-smoke \
+	bench-vectorized bench-parallel parity
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -48,6 +49,13 @@ parity:
 # Start a metrics endpoint over a live service, scrape once, validate.
 metrics-smoke:
 	$(PYTHON) scripts/metrics_smoke.py
+
+# Cache memory accounting end to end: warm every cache layer, check
+# GET /caches and the cache_bytes families report nonzero bytes with
+# entry identity, then re-run under a tiny byte budget and check budget
+# evictions fire without changing any result (docs/observability.md).
+cache-smoke:
+	$(PYTHON) scripts/cache_smoke.py
 
 # Live introspection end to end: scrape a slow query mid-flight via
 # GET /queries, cancel it by id, and check the admit->cancel event trail

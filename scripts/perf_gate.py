@@ -15,7 +15,11 @@ and fails when the fresh report regresses beyond the tolerances:
   registry progress counters + structured event log, on vs off) must not
   exceed ``--introspection-max-pct``. This is an absolute budget against
   the fresh report — not a baseline diff — so it stays active under
-  ``--shape-only``.
+  ``--shape-only``;
+* cache accounting: the report's ``caches.accounting_overhead_pct``
+  (per-insert deep sizing of cached artifacts, on vs off over a serving
+  lifecycle) must not exceed ``--caches-max-pct`` — an absolute budget
+  like the introspection one, active under ``--shape-only``.
 
 ``--shape-only`` skips the two numeric checks — shared CI runners have
 wildly variable clocks, so CI proves the report's *shape* while local
@@ -98,6 +102,30 @@ def check(baseline: dict, report: dict, args) -> list[tuple[str, str, bool, str]
             )
         )
 
+    caches = r_perf.get("caches") or {}
+    acct = caches.get("accounting_overhead_pct")
+    present = isinstance(acct, (int, float))
+    rows.append(
+        (
+            "<report>",
+            "caches",
+            present,
+            "accounting_overhead_pct present"
+            if present
+            else "missing caches.accounting_overhead_pct",
+        )
+    )
+    if present:
+        ok = acct <= args.caches_max_pct
+        rows.append(
+            (
+                "<report>",
+                "accounting_overhead",
+                ok,
+                f"{acct:.2f}% vs budget {args.caches_max_pct:.2f}%",
+            )
+        )
+
     for name, base in sorted(b_perf["benchmarks"].items()):
         fresh = r_perf["benchmarks"].get(name)
         if fresh is None:
@@ -177,6 +205,14 @@ def main(argv: list[str] | None = None) -> int:
         help="maximum allowed introspection.overhead_pct in the fresh report "
         "(default 5.0; enforced even under --shape-only — it is a "
         "within-process ratio, not a wall-clock comparison across runs)",
+    )
+    parser.add_argument(
+        "--caches-max-pct",
+        type=float,
+        default=5.0,
+        help="maximum allowed caches.accounting_overhead_pct in the fresh "
+        "report (default 5.0; enforced even under --shape-only, same "
+        "reasoning as the introspection budget)",
     )
     parser.add_argument(
         "--shape-only",

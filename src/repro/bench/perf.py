@@ -21,7 +21,7 @@ import time
 
 from repro.core.log import clear_events, emit_event
 from repro.core.pipeline import clear_plan_cache, prepared
-from repro.engine.cache import clear_build_cache
+from repro.engine.cache import clear_build_cache, set_accounting
 from repro.engine.cancel import CancelToken, cancel_scope
 from repro.engine.feedback import feedback_entries, q_error
 from repro.server.metrics import percentile
@@ -29,7 +29,13 @@ from repro.server.registry import ActiveQueryRegistry
 from repro.server.workload import mixed_catalog
 from repro.workloads import queries as workload_queries
 
-__all__ = ["SCHEMA_VERSION", "PERF_QUERIES", "collect_perf", "introspection_overhead"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "PERF_QUERIES",
+    "collect_perf",
+    "introspection_overhead",
+    "accounting_overhead",
+]
 
 #: Bump on any structural change to the report dict; the gate refuses to
 #: diff reports with mismatched versions.
@@ -45,7 +51,12 @@ __all__ = ["SCHEMA_VERSION", "PERF_QUERIES", "collect_perf", "introspection_over
 #: on cancellation polls, plus admission/completion events in the
 #: structured log) against the same workload with a bare cancel token.
 #: The gate fails when the overhead exceeds its budget (default 5%).
-SCHEMA_VERSION = 4
+#: v5: report-level ``caches`` section — ``accounting_overhead_pct``
+#: measures the cost of cache byte accounting (the per-insert deep-sizing
+#: pass of :mod:`repro.engine.memsize`) over a serving lifecycle: one
+#: cold pass that rebuilds and sizes every artifact, then warm re-serves
+#: until the next invalidation. Gated like introspection (default 5%).
+SCHEMA_VERSION = 5
 
 #: name → query text: every named workload query, in declaration order.
 PERF_QUERIES: dict[str, str] = {
@@ -165,6 +176,82 @@ def introspection_overhead(
     }
 
 
+def accounting_overhead(
+    seed: int = 0,
+    n_left: int = 400,
+    n_right: int = 2400,
+    n_chain: int = 80,
+    sweeps: int = 24,
+    serves_per_sweep: int = 10,
+) -> dict:
+    """Cost of cache byte accounting over a serving lifecycle.
+
+    Each sweep models the window between catalog mutations — the unit of
+    work the caches amortize over: the build cache is cleared, then the
+    whole workload executes ``serves_per_sweep`` times, so every
+    artifact is rebuilt (and, with accounting on, deep-sized) exactly
+    once and then re-served warm. Sweeps run interleaved with
+    ``REPRO_CACHE_ACCOUNTING`` semantics toggled via
+    :func:`repro.engine.cache.set_accounting` — **off** skips the
+    per-insert sizing pass entirely (the pre-accounting baseline),
+    **on** is the shipped default. Clock-drift, GC, and noise handling
+    match :func:`introspection_overhead`: interleaved sides, cyclic GC
+    paused, minimum-sweep estimator, and a possibly slightly negative
+    result in the noise floor (the gate bounds it from above only).
+
+    Sizing cost is per *insert*, not per execution, so the measured
+    percentage scales inversely with ``serves_per_sweep``; 10 is
+    conservative for the serving workloads the engine targets (the
+    result-cache coalescing in front of it makes real re-execution
+    windows longer, not shorter).
+    """
+    import gc
+
+    catalog = mixed_catalog(seed=seed, n_left=n_left, n_right=n_right, n_chain=n_chain)
+    prepared_queries = {
+        name: prepared(text, catalog) for name, text in PERF_QUERIES.items()
+    }
+    for pq in prepared_queries.values():  # warm plans and first builds
+        pq.execute(catalog)
+
+    def sweep(accounting: bool) -> float:
+        set_accounting(accounting)
+        clear_build_cache()
+        start = time.perf_counter()
+        for _ in range(serves_per_sweep):
+            for pq in prepared_queries.values():
+                pq.execute(catalog)
+        return time.perf_counter() - start
+
+    off_s: list[float] = []
+    on_s: list[float] = []
+    sweep(False), sweep(True)  # warm both paths before timing
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(sweeps):
+            off_s.append(sweep(False))
+            on_s.append(sweep(True))
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        set_accounting(True)
+        clear_build_cache()
+
+    off_best, on_best = min(off_s), min(on_s)
+    return {
+        "sweeps": sweeps,
+        "serves_per_sweep": serves_per_sweep,
+        "queries_per_serve": len(prepared_queries),
+        "baseline_sweep_ms": off_best * 1e3,
+        "accounted_sweep_ms": on_best * 1e3,
+        "accounting_overhead_pct": (
+            (on_best - off_best) / off_best * 100.0 if off_best else 0.0
+        ),
+    }
+
+
 def collect_perf(
     repeats: int = 30,
     seed: int = 0,
@@ -238,6 +325,9 @@ def collect_perf(
         "benchmarks": benchmarks,
         "introspection": introspection_overhead(
             seed=seed, n_left=4 * n_left, n_right=4 * n_right, n_chain=4 * n_chain
+        ),
+        "caches": accounting_overhead(
+            seed=seed, n_left=2 * n_left, n_right=2 * n_right, n_chain=2 * n_chain
         ),
         "qerror": {
             "count": len(all_q),

@@ -159,6 +159,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the interpreter oracle cross-check (faster)",
     )
     serve.add_argument("--json", metavar="PATH", help="also write the JSON report to PATH")
+    serve.add_argument(
+        "--cache-budget-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="byte budget per cache (plan/build/result); least-recently-used "
+        "entries are evicted past it (0 = unlimited; default: "
+        "REPRO_CACHE_BUDGET_MB or unlimited)",
+    )
 
     metrics = sub.add_parser(
         "metrics",
@@ -186,6 +195,15 @@ def build_parser() -> argparse.ArgumentParser:
         "SECONDS (0 = don't serve, just dump)",
     )
     metrics.add_argument("--port", type=int, default=0, help="scrape endpoint port (0 = ephemeral)")
+    metrics.add_argument(
+        "--cache-budget-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="byte budget per cache (plan/build/result); least-recently-used "
+        "entries are evicted past it (0 = unlimited; default: "
+        "REPRO_CACHE_BUDGET_MB or unlimited)",
+    )
 
     top = sub.add_parser(
         "top",
@@ -220,6 +238,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--cancel",
         metavar="QUERY_ID",
         help="POST /queries/<id>/cancel for QUERY_ID and exit",
+    )
+
+    caches = sub.add_parser(
+        "caches",
+        help="poll a live service's GET /caches endpoint and render an "
+        "auto-refreshing memory report of every registered cache",
+    )
+    caches.add_argument(
+        "--url",
+        default="http://127.0.0.1:9100",
+        help="base URL of the metrics/admin endpoint (default: %(default)s)",
+    )
+    caches.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="refresh interval (default: 1s)",
+    )
+    caches.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stop after N refreshes (0 = run until interrupted)",
+    )
+    caches.add_argument(
+        "--plain",
+        action="store_true",
+        help="append refreshes instead of clearing the screen (for pipes/CI)",
+    )
+    caches.add_argument(
+        "--top",
+        type=int,
+        default=3,
+        metavar="N",
+        help="largest entries to show per cache (0 = none; default: 3)",
     )
 
     sub.add_parser("demo", help="run the COUNT-bug demo on built-in data")
@@ -289,6 +344,7 @@ def _serve_bench(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit,
         timeout=args.timeout,
         check_oracle=not args.no_oracle,
+        cache_budget_mb=args.cache_budget_mb,
     )
     latency = report["latency_ms"]
     print(
@@ -314,7 +370,7 @@ def _serve_bench(args: argparse.Namespace) -> int:
         c = caches[name]
         print(
             f"  {name} cache: {c['hits']} hits, {c['misses']} misses "
-            f"({c['hit_rate']:.0%} hit rate)"
+            f"({c['hit_rate']:.0%} hit rate), {_fmt_bytes(c.get('bytes', 0))}"
         )
     oracle = (
         f"{report['oracle_mismatches']} mismatches"
@@ -348,7 +404,10 @@ def _metrics_dump(args: argparse.Namespace) -> int:
 
     catalog = mixed_catalog(seed=args.seed)
     with QueryService(
-        catalog, workers=args.workers, feedback_every=args.feedback_every
+        catalog,
+        workers=args.workers,
+        feedback_every=args.feedback_every,
+        cache_budget_mb=args.cache_budget_mb,
     ) as service:
         responses = service.serve_all(make_requests(args.requests, seed=args.seed))
         if args.listen > 0:
@@ -377,6 +436,133 @@ def _metrics_dump(args: argparse.Namespace) -> int:
         print(text, end="")
     print(f"-- {ok}/{len(responses)} requests ok", file=sys.stderr)
     return 0
+
+
+def _fmt_bytes(n: float | None) -> str:
+    """Human-readable byte count (``0B``, ``13.2KiB``, ``4.0MiB``...)."""
+    n = n or 0
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024 or unit == "GiB":
+            return f"{n:.0f}{unit}" if unit == "B" else f"{n:.1f}{unit}"
+        n /= 1024
+    raise AssertionError  # pragma: no cover
+
+
+def _fetch_json(url: str, timeout: float = 5.0) -> dict:
+    import json as json_mod
+    from urllib import request as urlrequest
+
+    with urlrequest.urlopen(url, timeout=timeout) as resp:
+        return json_mod.loads(resp.read().decode("utf-8"))
+
+
+def _cache_footprint_line(snap: dict) -> str:
+    """One line summarizing every cache's byte footprint (``repro top``)."""
+    caches = snap.get("caches", {})
+    parts = [
+        f"{name} {_fmt_bytes(report.get('bytes', 0))}"
+        for name, report in sorted(caches.items())
+        if isinstance(report, dict)
+    ]
+    total = _fmt_bytes(snap.get("total_bytes", 0))
+    return f"caches: {' · '.join(parts) or '(none registered)'}  total={total}"
+
+
+def _cache_entry_summary(entry: dict) -> str:
+    """Render one top-k cache entry's identity compactly."""
+    parts = []
+    for key in ("kind", "uid", "version", "var", "query", "catalog_version"):
+        if key in entry:
+            parts.append(f"{key}={entry[key]}")
+    if entry.get("keys"):
+        parts.append(f"keys={','.join(str(k) for k in entry['keys'])}")
+    if entry.get("tables"):
+        names = ",".join(t.get("name", "?") for t in entry["tables"])
+        parts.append(f"tables={names} parts={entry.get('parts', '?')}")
+        if entry.get("workers") is not None:
+            parts.append(f"workers={entry['workers']}")
+    if not parts and "key" in entry:
+        parts.append(str(entry["key"]))
+    return " ".join(str(p) for p in parts)
+
+
+def _render_caches(snap: dict, url: str, top: int) -> list[str]:
+    """The rendered lines for one ``repro caches`` refresh."""
+    caches = snap.get("caches", {})
+    lines = [
+        f"repro caches — {url}  registered={len(caches)}  "
+        f"total={_fmt_bytes(snap.get('total_bytes', 0))}"
+    ]
+    header = (
+        f"{'CACHE': <15}{'BYTES': >10}{'ENTRIES': >9}{'HITS': >9}"
+        f"{'MISSES': >9}{'EVICT': >7}  {'HIT%': >5}  BUDGET/REASONS"
+    )
+    lines.append(header)
+    for name in sorted(caches):
+        report = caches[name]
+        if not isinstance(report, dict) or "error" in report:
+            lines.append(f"{name: <15} (error: {report.get('error', report)})")
+            continue
+        tail = []
+        if report.get("max_bytes"):
+            tail.append(f"budget={_fmt_bytes(report['max_bytes'])}")
+        reasons = report.get("evictions_by_reason") or {}
+        if reasons:
+            tail.append(
+                "evicted "
+                + ",".join(f"{r}:{n}" for r, n in sorted(reasons.items()))
+            )
+        if report.get("memory_pressure"):
+            tail.append(f"pressure={report['memory_pressure']}")
+        hit_rate = report.get("hit_rate")
+        lines.append(
+            f"{name: <15}"
+            f"{_fmt_bytes(report.get('bytes', 0)): >10}"
+            f"{report.get('entries', 0): >9}"
+            f"{report.get('hits', 0): >9}"
+            f"{report.get('misses', 0): >9}"
+            f"{report.get('evictions', 0): >7}  "
+            f"{(f'{hit_rate:.0%}' if hit_rate is not None else '-'): >5}  "
+            f"{' '.join(tail)}"
+        )
+        by_kind = report.get("bytes_by_kind") or {}
+        if by_kind:
+            kinds = "  ".join(
+                f"{kind}={_fmt_bytes(size)}" for kind, size in sorted(by_kind.items())
+            )
+            lines.append(f"{'': <15}by kind: {kinds}")
+        if top > 0:
+            for entry in (report.get("top_entries") or [])[:top]:
+                lines.append(
+                    f"{'': <15}• {_fmt_bytes(entry.get('bytes', 0)): >9}  "
+                    f"{_cache_entry_summary(entry)}"
+                )
+    return lines
+
+
+def _caches(args: argparse.Namespace) -> int:
+    """Poll GET /caches and render the memory report (``repro caches``)."""
+    import time
+    from urllib import error as urlerror
+
+    base = args.url.rstrip("/")
+    iteration = 0
+    while True:
+        iteration += 1
+        try:
+            snap = _fetch_json(f"{base}/caches")
+        except (urlerror.URLError, OSError) as exc:
+            print(f"error: cannot reach {base}/caches: {exc}", file=sys.stderr)
+            return 1
+        lines = [] if args.plain else ["\x1b[2J\x1b[H"]
+        lines.extend(_render_caches(snap, base, args.top))
+        print("\n".join(lines), flush=True)
+        if args.iterations and iteration >= args.iterations:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def _top_row(entry: dict, width: int) -> str:
@@ -451,6 +637,10 @@ def _top(args: argparse.Namespace) -> int:
             lines.append(f"RECENT ({len(recent)} finished)")
             for entry in recent[-10:][::-1]:
                 lines.append(_top_row(entry, width))
+        try:
+            lines.append(_cache_footprint_line(_fetch_json(f"{base}/caches")))
+        except (urlerror.URLError, OSError, ValueError):
+            pass  # endpoint predates /caches or is mid-restart; skip the line
         print("\n".join(lines), flush=True)
         if args.iterations and iteration >= args.iterations:
             return 0
@@ -586,6 +776,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _metrics_dump(args)
     if args.command == "top":
         return _top(args)
+    if args.command == "caches":
+        return _caches(args)
     if args.command == "demo":
         query = "SELECT r FROM R r WHERE r.b = COUNT(SELECT s FROM S s WHERE r.c = s.c)"
         catalog = _demo_catalog()

@@ -23,7 +23,8 @@ from repro.algebra.interpreter import result_set, run_logical
 from repro.algebra.pretty import explain_plan
 from repro.core.trace import QueryTrace, span, trace_scope
 from repro.core.unnest import Translation, translate_query
-from repro.engine.cache import CacheStats, LRUCache
+from repro.engine.cache import CacheStats, LRUCache, default_budget_bytes
+from repro.engine.cachereg import register_cache
 from repro.engine.table import Catalog
 from repro.errors import UnsupportedQueryError
 from repro.lang.ast import SFW, Expr, UnnestExpr
@@ -40,6 +41,7 @@ __all__ = [
     "prepared",
     "plan_cache_stats",
     "clear_plan_cache",
+    "set_plan_cache_budget",
 ]
 
 
@@ -347,7 +349,24 @@ class PreparedQuery:
 # The prepared-plan cache: (normalized query, schema fingerprint) → PreparedQuery
 # ---------------------------------------------------------------------------
 
-_PLAN_CACHE = LRUCache(capacity=128)
+def _plan_key_identity(key) -> dict:
+    """Top-entry identity for a plan-cache key: the normalized query text."""
+    text, fingerprint, typecheck = key
+    return {
+        "query": text if len(text) <= 120 else text[:119] + "…",
+        "schema_fingerprint": str(fingerprint)[:40],
+        "typecheck": typecheck,
+    }
+
+
+_PLAN_CACHE = LRUCache(
+    capacity=128,
+    max_bytes=default_budget_bytes(),
+    name="plan",
+    describe_key=_plan_key_identity,
+)
+
+register_cache("plan", _PLAN_CACHE.report)
 
 #: Serializes the miss path of :func:`prepared` so concurrent first
 #: requests for the same query shape produce one PreparedQuery, not many.
@@ -401,6 +420,11 @@ def clear_plan_cache(capacity: int | None = None) -> None:
     _PLAN_CACHE.clear()
     if capacity is not None:
         _PLAN_CACHE.resize(capacity)
+
+
+def set_plan_cache_budget(max_bytes: int | None) -> None:
+    """Byte-budget the prepared-plan cache (None = unbounded)."""
+    _PLAN_CACHE.set_budget(max_bytes)
 
 
 def explain_query(query: str | Expr, catalog: Catalog) -> str:

@@ -46,6 +46,9 @@ class OpStats:
     #: Build-side cache traffic attributable to this run (PJoin only).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Deep size of the cached build-side artifact this operator touched
+    #: (hit or published miss); 0 when no cacheable access happened.
+    cache_bytes: int = 0
     #: Largest group materialized by a nest join / Nest operator, or None.
     peak_group: int | None = None
     #: Column batches this operator emitted (0 in row-mode execution).
@@ -148,6 +151,8 @@ def _instrument(op: PhysicalOp, tables: Mapping, stats: OpStats) -> Iterator[Tup
         if cache_before is not None:
             stats.cache_hits = swapped.cache_hits - cache_before[0]
             stats.cache_misses = swapped.cache_misses - cache_before[1]
+            if stats.cache_hits or stats.cache_misses:
+                stats.cache_bytes = swapped.cache_bytes
 
 
 def _instrument_batches(
@@ -199,6 +204,8 @@ def _instrument_batches(
         if cache_before is not None:
             stats.cache_hits = swapped.cache_hits - cache_before[0]
             stats.cache_misses = swapped.cache_misses - cache_before[1]
+            if stats.cache_hits or stats.cache_misses:
+                stats.cache_bytes = swapped.cache_bytes
 
 
 class _Proxy(PhysicalOp):
@@ -294,6 +301,8 @@ def explain_analyze(run: AnalyzedRun) -> str:
             parts.append(f"{stats.batches} batches")
         if stats.cache_hits or stats.cache_misses:
             parts.append(f"cache {stats.cache_hits} hit/{stats.cache_misses} miss")
+            if stats.cache_bytes:
+                parts.append(f"cache_bytes={stats.cache_bytes}")
         if stats.peak_group is not None:
             parts.append(f"peak group {stats.peak_group}")
         if stats.cpu_seconds is not None:

@@ -37,14 +37,36 @@ count — see :meth:`repro.engine.table.Table.partitioned`).
 
 Cached artifacts are immutable by convention: hash builds map key tuples
 to lists of :class:`~repro.model.values.Tup` that consumers only read.
+
+**Byte accounting and budgets.** Every insert computes the entry's deep
+size once (:func:`repro.engine.memsize.deep_sizeof`) and stores it
+alongside the value, so each cache maintains an incremental byte total
+and can report its largest entries; both :class:`LRUCache` and
+:class:`BuildSideCache` additionally accept ``max_bytes`` and evict in
+LRU order until back under budget after each insert. Budget evictions
+bump the registry's memory-pressure counter and emit a structured
+``cache_evict`` event; all evictions are split by reason
+(``capacity``/``version``/``budget``/``clear``) in
+:attr:`CacheStats.evictions_by_reason`. The per-insert sizing pass can
+be disabled wholesale with ``REPRO_CACHE_ACCOUNTING=0`` (byte gauges
+then read 0 and budgets are not enforced) — the perf report's
+``caches.accounting_overhead_pct`` measures exactly this switch. A
+process-wide default budget comes from ``REPRO_CACHE_BUDGET_MB``,
+applied per cache (build cache here, plan/result caches at their homes).
+The build cache registers with :mod:`repro.engine.cachereg` at import.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Hashable
+from typing import Any, Callable, Hashable
+
+from repro.core.log import emit_event
+from repro.engine.cachereg import record_memory_pressure, register_cache
+from repro.engine.memsize import deep_sizeof
 
 __all__ = [
     "LRUCache",
@@ -54,16 +76,68 @@ __all__ = [
     "build_cache_stats",
     "clear_build_cache",
     "set_build_cache_capacity",
+    "set_build_cache_budget",
+    "set_accounting",
+    "accounting_enabled",
+    "default_budget_bytes",
 ]
+
+#: Environment knob: per-cache byte budget in MiB (unset = unbounded).
+BUDGET_ENV = "REPRO_CACHE_BUDGET_MB"
+
+#: Environment knob: set to ``0``/``false``/``off`` to skip per-insert
+#: deep sizing entirely (bytes report 0, budgets are not enforced).
+ACCOUNTING_ENV = "REPRO_CACHE_ACCOUNTING"
+
+_accounting = os.environ.get(ACCOUNTING_ENV, "1").strip().lower() not in (
+    "0",
+    "false",
+    "off",
+)
+
+
+def set_accounting(enabled: bool) -> None:
+    """Toggle per-insert byte sizing process-wide (see module docstring)."""
+    global _accounting
+    _accounting = bool(enabled)
+
+
+def accounting_enabled() -> bool:
+    return _accounting
+
+
+def default_budget_bytes() -> int | None:
+    """The ``REPRO_CACHE_BUDGET_MB`` budget in bytes, or None if unset."""
+    raw = os.environ.get(BUDGET_ENV)
+    if not raw:
+        return None
+    try:
+        mb = float(raw)
+    except ValueError:
+        return None
+    return int(mb * 1024 * 1024) if mb > 0 else None
+
+
+def _key_summary(key: Hashable, limit: int = 120) -> str:
+    text = repr(key)
+    return text if len(text) <= limit else text[: limit - 1] + "…"
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters for one cache."""
+    """Hit/miss/eviction/insert counters for one cache.
+
+    ``evictions`` stays the total across reasons;
+    ``evictions_by_reason`` splits it into ``capacity`` (LRU bound),
+    ``version`` (a newer table version displaced the entry), ``budget``
+    (byte budget), and ``clear`` (bulk drop without a stats reset).
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    inserts: int = 0
+    evictions_by_reason: dict = field(default_factory=dict)
 
     @property
     def lookups(self) -> int:
@@ -73,6 +147,10 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def record_eviction(self, reason: str) -> None:
+        self.evictions += 1
+        self.evictions_by_reason[reason] = self.evictions_by_reason.get(reason, 0) + 1
+
     def render(self) -> str:
         return (
             f"{self.hits} hits, {self.misses} misses, "
@@ -81,12 +159,21 @@ class CacheStats:
 
 
 class LRUCache:
-    """A size-bounded least-recently-used mapping with counters.
+    """A size- and byte-bounded least-recently-used mapping with counters.
 
     ``get`` refreshes recency; ``put`` evicts the least recently used
     entry once ``capacity`` is exceeded. A non-positive capacity disables
     the cache entirely (every lookup misses, nothing is stored), which
     keeps call sites free of conditionals.
+
+    Each stored value's deep size is computed once at insert (outside the
+    lock — sizing a large artifact must not stall concurrent readers) and
+    kept alongside the entry; :attr:`total_bytes` is maintained
+    incrementally. With ``max_bytes`` set, an insert that pushes the
+    total over budget evicts in LRU order until back under — possibly
+    dropping the entry just inserted, so the byte bound is a hard
+    invariant, not a soft target. Callers that already know an entry's
+    size pass ``nbytes`` to :meth:`put` and skip the sizing pass.
 
     All operations (including the counter updates) are guarded by one
     internal lock, so a cache instance can be shared by the query
@@ -97,9 +184,22 @@ class LRUCache:
     the counters are not skewed.
     """
 
-    def __init__(self, capacity: int):
+    def __init__(
+        self,
+        capacity: int,
+        max_bytes: int | None = None,
+        name: str | None = None,
+        sizer: Callable[[Any], int] = deep_sizeof,
+        describe_key: Callable[[Hashable], Any] = _key_summary,
+    ):
         self.capacity = capacity
+        self.max_bytes = max_bytes
+        self.name = name
+        self.sizer = sizer
+        self.describe_key = describe_key
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._sizes: dict[Hashable, int] = {}
+        self.total_bytes = 0
         self.stats = CacheStats()
         self._lock = threading.RLock()
 
@@ -119,27 +219,105 @@ class LRUCache:
         with self._lock:
             return self._entries.get(key, default)
 
-    def put(self, key: Hashable, value: Any) -> None:
+    def entry_bytes(self, key: Hashable) -> int | None:
+        """The recorded size of *key*'s entry, or None when absent."""
+        with self._lock:
+            return self._sizes.get(key)
+
+    def _evict_lru(self, reason: str) -> None:
+        # Caller holds the lock.
+        key, _ = self._entries.popitem(last=False)
+        nbytes = self._sizes.pop(key, 0)
+        self.total_bytes -= nbytes
+        self.stats.record_eviction(reason)
+        if reason == "budget":
+            record_memory_pressure(self.name or "cache")
+            emit_event(
+                "cache_evict",
+                level="debug",
+                cache=self.name or "cache",
+                reason=reason,
+                bytes=nbytes,
+                key=_key_summary(key),
+            )
+
+    def put(self, key: Hashable, value: Any, nbytes: int | None = None) -> None:
+        if nbytes is None and (_accounting or self.max_bytes is not None):
+            nbytes = self.sizer(value)
         with self._lock:
             if self.capacity <= 0:
                 return
-            if key in self._entries:
+            old = self._sizes.pop(key, None)
+            if old is not None:
+                self.total_bytes -= old
                 self._entries.move_to_end(key)
             self._entries[key] = value
+            size = nbytes or 0
+            self._sizes[key] = size
+            self.total_bytes += size
+            self.stats.inserts += 1
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+                self._evict_lru("capacity")
+            if self.max_bytes is not None:
+                while self.total_bytes > self.max_bytes and self._entries:
+                    self._evict_lru("budget")
+
+    def remove(self, key: Hashable, reason: str = "version") -> bool:
+        """Drop *key* if present, counting an eviction under *reason*."""
+        with self._lock:
+            if key not in self._entries:
+                return False
+            del self._entries[key]
+            self.total_bytes -= self._sizes.pop(key, 0)
+            self.stats.record_eviction(reason)
+            return True
 
     def resize(self, capacity: int) -> None:
         """Change the capacity, evicting (or dropping everything) as needed."""
         with self._lock:
             self.capacity = capacity
             if capacity <= 0:
-                self._entries.clear()
+                while self._entries:
+                    self._evict_lru("clear")
                 return
             while len(self._entries) > capacity:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+                self._evict_lru("capacity")
+
+    def set_budget(self, max_bytes: int | None) -> None:
+        """Change the byte budget, evicting immediately if over it."""
+        with self._lock:
+            self.max_bytes = max_bytes
+            if max_bytes is not None:
+                while self.total_bytes > max_bytes and self._entries:
+                    self._evict_lru("budget")
+
+    def top_entries(self, k: int = 3) -> list[dict]:
+        """The *k* largest entries as ``{"key", "bytes"}`` dicts."""
+        if k <= 0:
+            return []
+        with self._lock:
+            ranked = sorted(self._sizes.items(), key=lambda kv: kv[1], reverse=True)
+        return [
+            {"key": self.describe_key(key), "bytes": nbytes} for key, nbytes in ranked[:k]
+        ]
+
+    def report(self, top_k: int = 3) -> dict:
+        """Registry-shaped snapshot (see :mod:`repro.engine.cachereg`)."""
+        with self._lock:
+            stats = self.stats
+            out = {
+                "bytes": self.total_bytes,
+                "entries": len(self._entries),
+                "max_bytes": self.max_bytes,
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "inserts": stats.inserts,
+                "evictions_by_reason": dict(stats.evictions_by_reason),
+                "hit_rate": stats.hit_rate,
+            }
+        out["top_entries"] = self.top_entries(top_k)
+        return out
 
     def __len__(self) -> int:
         with self._lock:
@@ -153,10 +331,21 @@ class LRUCache:
         with self._lock:
             return list(self._entries)
 
-    def clear(self) -> None:
+    def clear(self, reset_stats: bool = True) -> None:
+        """Drop every entry; by default the counters reset too.
+
+        With ``reset_stats=False`` the counters survive and each dropped
+        entry is recorded as an eviction with reason ``"clear"``.
+        """
         with self._lock:
-            self._entries.clear()
-            self.stats = CacheStats()
+            if reset_stats:
+                self._entries.clear()
+                self._sizes.clear()
+                self.stats = CacheStats()
+            else:
+                while self._entries:
+                    self._evict_lru("clear")
+            self.total_bytes = 0
 
 
 @dataclass
@@ -165,15 +354,20 @@ class BuildSideCache:
 
     Keys are fully self-describing (uid + version), so no explicit
     invalidation hook is needed: mutating a table bumps its version and
-    orphans every entry built from the old contents. Orphans age out of
-    the LRU naturally.
+    orphans every entry built from the old contents. Orphans are also
+    evicted eagerly (reason ``"version"``) when the successor entry for
+    the same (kind, uid, var, keys) lands, instead of merely aging out of
+    the LRU — with byte budgets, holding a dead artifact has a real cost.
     """
 
     capacity: int = 64
+    max_bytes: int | None = None
     _lru: LRUCache = field(init=False)
+    _by_identity: dict = field(init=False, default_factory=dict)
 
     def __post_init__(self) -> None:
-        self._lru = LRUCache(self.capacity)
+        self._lru = LRUCache(self.capacity, max_bytes=self.max_bytes, name="build")
+        self._write_lock = threading.RLock()
 
     @staticmethod
     def key(kind: str, source: Any, var: str, keys_fp: tuple[str, ...]):
@@ -191,26 +385,89 @@ class BuildSideCache:
     def get(self, key: Hashable) -> Any:
         return self._lru.get(key)
 
-    def put(self, key: Hashable, value: Any) -> None:
-        self._lru.put(key, value)
+    def put(self, key: Hashable, value: Any, nbytes: int | None = None) -> None:
+        with self._write_lock:
+            kind, uid, _version, var, keys_fp = key
+            ident = (kind, uid, var, keys_fp)
+            stale = self._by_identity.get(ident)
+            if stale is not None and stale != key:
+                self._lru.remove(stale, reason="version")
+            self._by_identity[ident] = key
+            self._lru.put(key, value, nbytes=nbytes)
+            # Identities accumulate as tables come and go; prune the map
+            # against live entries once it clearly outgrows the LRU.
+            if len(self._by_identity) > 4 * max(self.capacity, 1):
+                self._by_identity = {
+                    i: k for i, k in self._by_identity.items() if k in self._lru
+                }
+
+    def entry_bytes(self, key: Hashable) -> int | None:
+        """Recorded deep size of *key*'s artifact (None when absent)."""
+        return self._lru.entry_bytes(key) if key is not None else None
 
     @property
     def stats(self) -> CacheStats:
         return self._lru.stats
 
+    @property
+    def total_bytes(self) -> int:
+        return self._lru.total_bytes
+
+    def bytes_by_kind(self) -> dict[str, int]:
+        """Byte totals grouped by artifact kind (``key[0]``)."""
+        with self._lru._lock:
+            out: dict[str, int] = {}
+            for key, nbytes in self._lru._sizes.items():
+                out[key[0]] = out.get(key[0], 0) + nbytes
+        return out
+
+    def report(self, top_k: int = 3) -> dict:
+        """Registry-shaped snapshot with per-kind bytes and keyed top entries."""
+        out = self._lru.report(top_k=0)
+        out["bytes_by_kind"] = self.bytes_by_kind()
+        if top_k <= 0:
+            out["top_entries"] = []
+            return out
+        with self._lru._lock:
+            ranked = sorted(
+                self._lru._sizes.items(), key=lambda kv: kv[1], reverse=True
+            )[:top_k]
+        out["top_entries"] = [
+            {
+                "kind": key[0],
+                "uid": key[1],
+                "version": key[2],
+                "var": key[3],
+                "keys": list(key[4]),
+                "bytes": nbytes,
+            }
+            for key, nbytes in ranked
+        ]
+        return out
+
     def __len__(self) -> int:
         return len(self._lru)
 
     def clear(self) -> None:
-        self._lru.clear()
+        with self._write_lock:
+            self._lru.clear()
+            self._by_identity.clear()
 
     def resize(self, capacity: int) -> None:
         self.capacity = capacity
         self._lru.resize(capacity)
 
+    def set_budget(self, max_bytes: int | None) -> None:
+        """Change the byte budget (None = unbounded), evicting if over."""
+        self.max_bytes = max_bytes
+        self._lru.set_budget(max_bytes)
+
 
 #: The process-wide build-side cache used by the physical join operators.
-BUILD_CACHE = BuildSideCache()
+#: ``REPRO_CACHE_BUDGET_MB`` (if set) bounds its bytes from first import.
+BUILD_CACHE = BuildSideCache(max_bytes=default_budget_bytes())
+
+register_cache("build", BUILD_CACHE.report)
 
 
 def build_cache_stats() -> CacheStats:
@@ -226,3 +483,8 @@ def clear_build_cache() -> None:
 def set_build_cache_capacity(capacity: int) -> None:
     """Resize the global build-side cache (0 disables it)."""
     BUILD_CACHE.resize(capacity)
+
+
+def set_build_cache_budget(max_bytes: int | None) -> None:
+    """Byte-budget the global build-side cache (None = unbounded)."""
+    BUILD_CACHE.set_budget(max_bytes)

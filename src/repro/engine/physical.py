@@ -419,6 +419,11 @@ class PJoin(PhysicalOp):
     group_source: tuple[str, str, tuple[str, ...]] | None = None
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Deep size of the build-side artifact this join last fetched from
+    #: (or published to) the build cache — the byte column EXPLAIN
+    #: ANALYZE reports for operators that touched the cache. 0 until a
+    #: cacheable access happens (or when accounting is off).
+    cache_bytes: int = 0
     est_rows: float = 0.0
 
     def run(self, tables):
@@ -480,6 +485,7 @@ class PJoin(PhysicalOp):
         artifact = BUILD_CACHE.get(key)
         if artifact is not None:
             self.cache_hits += 1
+            self.cache_bytes = BUILD_CACHE.entry_bytes(key) or 0
             return artifact
         self.cache_misses += 1
         artifact = thunk()
@@ -488,6 +494,7 @@ class PJoin(PhysicalOp):
         # and must not be stored under the version observed at lookup time.
         if BUILD_CACHE.key(kind, source, var, keys_fp) == key:
             BUILD_CACHE.put(key, artifact)
+            self.cache_bytes = BUILD_CACHE.entry_bytes(key) or 0
         return artifact
 
     # -- batch kernels -------------------------------------------------------

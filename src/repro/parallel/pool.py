@@ -75,6 +75,7 @@ from collections import OrderedDict, deque
 from multiprocessing.connection import wait as _conn_wait
 from multiprocessing.reduction import ForkingPickler
 
+from repro.engine.cachereg import register_cache
 from repro.errors import CancelledError, ExecutionError, WorkerCrashError
 from repro.server.metrics import MetricsRegistry
 
@@ -86,6 +87,7 @@ __all__ = [
     "POOL_METRICS",
     "pool_health",
     "pool_gauges",
+    "shard_catalog_report",
     "recent_crashes",
     "set_telemetry",
     "telemetry_enabled",
@@ -111,6 +113,7 @@ for _name in (
     "pool_worker_crashes",
     "pool_catalog_ship_hits",
     "pool_catalog_ship_misses",
+    "pool_catalog_evictions",
 ):
     POOL_METRICS.counter(_name)
 POOL_METRICS.labeled_counter("pool_sequential_fallbacks")
@@ -169,6 +172,8 @@ class FragmentResult:
         "peak_mem_bytes",
         "reply_bytes",
         "catalog_hit",
+        "catalog_bytes",
+        "registry_bytes",
         "pid",
         "tid",
         "events",
@@ -184,6 +189,8 @@ class FragmentResult:
         peak_mem_bytes: int | None = None,
         reply_bytes: int | None = None,
         catalog_hit: bool | None = None,
+        catalog_bytes: int | None = None,
+        registry_bytes: int | None = None,
         pid: int | None = None,
         tid: int | None = None,
         events: list | None = None,
@@ -196,6 +203,13 @@ class FragmentResult:
         self.peak_mem_bytes = peak_mem_bytes
         self.reply_bytes = reply_bytes
         self.catalog_hit = catalog_hit
+        #: Deep size of the shard catalog this fragment ran over, and the
+        #: worker's whole resident registry — measured worker-side
+        #: (:func:`repro.engine.memsize.deep_sizeof`, computed once per
+        #: catalog key) and shipped home so the coordinator can account
+        #: memory it cannot see. None when telemetry/accounting was off.
+        self.catalog_bytes = catalog_bytes
+        self.registry_bytes = registry_bytes
         self.pid = pid
         self.tid = tid
         self.events = events
@@ -303,6 +317,10 @@ def _worker_main(conn, cancel_event) -> None:
         return out
 
     registry: "OrderedDict[tuple, dict]" = OrderedDict()
+    #: key → deep size of its shard catalog, computed once per key on the
+    #: first telemetric run (load messages carry no opts, so sizing waits
+    #: until the run says telemetry is on). Pruned alongside the registry.
+    catalog_sizes: dict = {}
     while True:
         try:
             msg = conn.recv()
@@ -315,8 +333,10 @@ def _worker_main(conn, cancel_event) -> None:
             _, key, tables = msg
             registry[key] = tables
             registry.move_to_end(key)
+            catalog_sizes.pop(key, None)  # re-shipped key: stale size
             while len(registry) > WORKER_REGISTRY_CAPACITY:
-                registry.popitem(last=False)
+                evicted, _ = registry.popitem(last=False)
+                catalog_sizes.pop(evicted, None)
             continue  # no ack; the pipe is FIFO, the run message follows
         # ("run", key, fragment, deadline, mode, batch_size, part, opts)
         _, key, fragment, deadline, mode, batch_size, part, opts = msg
@@ -369,6 +389,17 @@ def _worker_main(conn, cancel_event) -> None:
             # request's live entry regardless of telemetry settings.
             extra = {"rows_processed": progress.rows}
             if telemetry:
+                from repro.engine.cache import accounting_enabled
+                from repro.engine.memsize import deep_sizeof
+
+                if accounting_enabled():
+                    if key not in catalog_sizes:
+                        catalog_sizes[key] = deep_sizeof(tables)
+                    extra.update(
+                        catalog_bytes=catalog_sizes[key],
+                        registry_bytes=sum(catalog_sizes.values()),
+                        registry_sizes=dict(catalog_sizes),
+                    )
                 cpu1 = os.times()
                 if trace_mem:
                     import tracemalloc
@@ -413,6 +444,10 @@ class WorkerPool:
         #: capacity, same recency updates, so "already loaded" here is
         #: exactly "still resident" there.
         self._loaded: list[OrderedDict] = []
+        #: Per-worker shard-catalog byte accounts (key → deep size),
+        #: refreshed from each telemetric reply's ``registry_sizes`` at
+        #: gather — the coordinator-side view the cache registry reports.
+        self._catalog_sizes: list[dict] = []
         self._lock = threading.Lock()
         #: Set when a crash tore the workers down; the next start counts
         #: as a restart in ``pool_worker_restarts``.
@@ -436,6 +471,7 @@ class WorkerPool:
         self._procs = procs
         self._conns = conns
         self._loaded = [OrderedDict() for _ in range(self.parts)]
+        self._catalog_sizes = [{} for _ in range(self.parts)]
         POOL_METRICS.counter("pool_workers_spawned").inc(self.parts)
         if self._crashed:
             POOL_METRICS.counter("pool_worker_restarts").inc(self.parts)
@@ -474,6 +510,7 @@ class WorkerPool:
         self._conns = []
         self._cancel_event = None
         self._loaded = []
+        self._catalog_sizes = []
 
     # -- scatter-gather ----------------------------------------------------
     def run_fragments(
@@ -560,6 +597,7 @@ class WorkerPool:
                     loaded[key] = True
                     while len(loaded) > WORKER_REGISTRY_CAPACITY:
                         loaded.popitem(last=False)
+                        POOL_METRICS.counter("pool_catalog_evictions").inc()
                 payload_bytes += _send_msg(
                     conn,
                     ("run", key, fragment, deadline, mode, batch_size, i, opts),
@@ -615,6 +653,12 @@ class WorkerPool:
                     if status == "ok":
                         extra = msg[3] if len(msg) > 3 else None
                         extra = extra or {}
+                        registry_sizes = extra.get("registry_sizes")
+                        if registry_sizes is not None:
+                            # Fold the worker's shard-catalog byte account
+                            # into the coordinator-side view (telemetry
+                            # pattern: workers measure, gather aggregates).
+                            self._catalog_sizes[part] = registry_sizes
                         results[part] = FragmentResult(
                             part,
                             msg[1],
@@ -623,6 +667,8 @@ class WorkerPool:
                             peak_mem_bytes=extra.get("peak_mem"),
                             reply_bytes=nbytes if telemetry else None,
                             catalog_hit=catalog_hits[part],
+                            catalog_bytes=extra.get("catalog_bytes"),
+                            registry_bytes=extra.get("registry_bytes"),
                             pid=extra.get("pid"),
                             tid=extra.get("tid"),
                             events=extra.get("events"),
@@ -682,6 +728,62 @@ def shutdown_pools() -> None:
         for pool in _POOLS.values():
             pool.close()
         _POOLS.clear()
+
+
+def shard_catalog_report(top_k: int = 3) -> dict:
+    """Cache-registry report for the workers' resident shard catalogs.
+
+    Aggregates the coordinator-side byte accounts (folded from telemetric
+    replies) across every pool: total bytes, resident (worker, key)
+    entries, ship hit/miss counters, and the top-k largest catalogs keyed
+    by their (table name, uid, version) triples. Workers that have not
+    yet answered a telemetric run contribute nothing — the account is as
+    fresh as the last gather, which is exactly the coordinator's view.
+    """
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+    total = 0
+    entries = 0
+    per_key: dict[tuple, dict] = {}
+    for pool in pools:
+        for sizes in pool._catalog_sizes:
+            for key, nbytes in sizes.items():
+                total += nbytes
+                entries += 1
+                agg = per_key.setdefault(key, {"bytes": 0, "workers": 0})
+                agg["bytes"] += nbytes
+                agg["workers"] += 1
+    counters = POOL_METRICS.snapshot().get("counters", {})
+    evictions = counters.get("pool_catalog_evictions", 0)
+    misses = counters.get("pool_catalog_ship_misses", 0)
+    report = {
+        "bytes": total,
+        "entries": entries,
+        "hits": counters.get("pool_catalog_ship_hits", 0),
+        "misses": misses,
+        "inserts": misses,  # every ship miss loads a catalog
+        "evictions": evictions,
+        "evictions_by_reason": {"capacity": evictions} if evictions else {},
+        "max_bytes": None,
+    }
+    ranked = sorted(per_key.items(), key=lambda kv: kv[1]["bytes"], reverse=True)
+    report["top_entries"] = [
+        {
+            "tables": [
+                {"name": name, "uid": uid, "version": version}
+                for name, uid, version in key[0]
+            ],
+            "partition_attrs": list(key[1]),
+            "parts": key[3],
+            "workers": agg["workers"],
+            "bytes": agg["bytes"],
+        }
+        for key, agg in ranked[: max(0, top_k)]
+    ]
+    return report
+
+
+register_cache("shard-catalog", shard_catalog_report)
 
 
 def pool_gauges() -> dict[str, float]:

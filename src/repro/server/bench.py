@@ -40,6 +40,7 @@ def run_serve_bench(
     n_left: int = 200,
     n_right: int = 1200,
     n_chain: int = 40,
+    cache_budget_mb: float | None = None,
 ) -> dict:
     """Run the mixed workload sequentially and through the service.
 
@@ -82,7 +83,11 @@ def run_serve_bench(
     traced_seconds = time.perf_counter() - start
 
     service = QueryService(
-        catalog, workers=workers, queue_limit=queue_limit, default_timeout=timeout
+        catalog,
+        workers=workers,
+        queue_limit=queue_limit,
+        default_timeout=timeout,
+        cache_budget_mb=cache_budget_mb,
     )
     with service:
         start = time.perf_counter()

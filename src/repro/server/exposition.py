@@ -45,6 +45,7 @@ from typing import Callable, Mapping
 __all__ = [
     "prometheus_text",
     "parse_prometheus",
+    "cache_families",
     "MetricsServer",
     "serve_metrics",
     "merged_service_snapshot",
@@ -123,6 +124,12 @@ def prometheus_text(
     ``QueryService.stats()`` — renders its instrument sections too).
     *gauges* adds point-in-time values (queue depth, workers) as gauge
     families.
+
+    A ``families`` section carries pre-shaped multi-label samples —
+    ``{name: {"type": "counter"|"gauge", "samples": [(labels, value),
+    ...]}}`` — for families the single-label instrument registry cannot
+    express (e.g. ``cache_bytes{cache,kind}``; see :func:`cache_families`).
+    Counters get the conventional ``_total`` suffix.
     """
     lines: list[str] = []
     for name, value in sorted((snapshot.get("counters") or {}).items()):
@@ -145,6 +152,12 @@ def prometheus_text(
         lines.append(f"# TYPE {metric} summary")
         for label, summary in sorted(family.items()):
             lines.extend(_summary_lines(metric, summary, {label_name: label}))
+    for name, family in sorted((snapshot.get("families") or {}).items()):
+        kind = family.get("type", "gauge")
+        metric = _metric_name(name, prefix) + ("_total" if kind == "counter" else "")
+        lines.append(f"# TYPE {metric} {kind}")
+        for labels, value in family.get("samples", ()):
+            lines.append(f"{metric}{_label_str(labels)} {_fmt(value)}")
     for name, value in sorted((gauges or {}).items()):
         metric = _metric_name(name, prefix)
         lines.append(f"# TYPE {metric} gauge")
@@ -188,6 +201,60 @@ def parse_prometheus(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]],
     return samples
 
 
+def cache_families(caches: Mapping[str, Mapping] | None = None) -> dict:
+    """Multi-label Prometheus families from a cache-registry snapshot.
+
+    *caches* is the ``{"caches": ...}`` inner dict of
+    :func:`repro.engine.cachereg.caches_snapshot` (fetched fresh when
+    omitted). Families emitted per registered cache:
+
+    * ``cache_bytes{cache,kind}`` (gauge) — per artifact kind where the
+      cache distinguishes kinds (the build cache), ``kind="all"``
+      otherwise;
+    * ``cache_entries{cache}`` (gauge);
+    * ``cache_hits``/``cache_misses``/``cache_inserts{cache}`` (counters);
+    * ``cache_evictions{cache,reason}`` (counter) — reasons
+      ``capacity``/``version``/``budget``/``clear``;
+    * ``memory_pressure{cache}`` (counter) — budget evictions only.
+    """
+    if caches is None:
+        from repro.engine.cachereg import caches_snapshot
+
+        caches = caches_snapshot(top_k=0)["caches"]
+    bytes_samples: list = []
+    entries_samples: list = []
+    hits: list = []
+    misses: list = []
+    inserts: list = []
+    evictions: list = []
+    pressure: list = []
+    for cache, report in sorted(caches.items()):
+        by_kind = report.get("bytes_by_kind")
+        if by_kind:
+            for kind, nbytes in sorted(by_kind.items()):
+                bytes_samples.append(({"cache": cache, "kind": kind}, nbytes))
+        else:
+            bytes_samples.append(
+                ({"cache": cache, "kind": "all"}, report.get("bytes", 0))
+            )
+        entries_samples.append(({"cache": cache}, report.get("entries", 0)))
+        hits.append(({"cache": cache}, report.get("hits", 0)))
+        misses.append(({"cache": cache}, report.get("misses", 0)))
+        inserts.append(({"cache": cache}, report.get("inserts", 0)))
+        for reason, count in sorted((report.get("evictions_by_reason") or {}).items()):
+            evictions.append(({"cache": cache, "reason": reason}, count))
+        pressure.append(({"cache": cache}, report.get("memory_pressure", 0)))
+    return {
+        "cache_bytes": {"type": "gauge", "samples": bytes_samples},
+        "cache_entries": {"type": "gauge", "samples": entries_samples},
+        "cache_hits": {"type": "counter", "samples": hits},
+        "cache_misses": {"type": "counter", "samples": misses},
+        "cache_inserts": {"type": "counter", "samples": inserts},
+        "cache_evictions": {"type": "counter", "samples": evictions},
+        "memory_pressure": {"type": "counter", "samples": pressure},
+    }
+
+
 class MetricsServer:
     """A daemon-thread scrape endpoint over a snapshot source.
 
@@ -207,11 +274,15 @@ class MetricsServer:
         prefix: str = "repro_",
         registry_source: Callable[[], object] | None = None,
         health_source: Callable[[], Mapping] | None = None,
+        caches_source: Callable[[], Mapping] | None = None,
     ):
         self.snapshot_source = snapshot_source
         self.gauge_source = gauge_source
         self.host = host
         self.prefix = prefix
+        #: Zero-arg callable returning the cache-registry snapshot behind
+        #: ``GET /caches`` (404 when unset).
+        self.caches_source = caches_source
         #: Zero-arg callable returning the
         #: :class:`~repro.server.registry.ActiveQueryRegistry` behind
         #: ``GET /queries`` and ``POST /queries/<id>/cancel`` (both 404
@@ -313,6 +384,18 @@ class MetricsServer:
                 elif path == "/healthz":
                     body = json.dumps(server.health()).encode("utf-8")
                     self._respond(200, "application/json", body)
+                elif path == "/caches":
+                    if server.caches_source is None:
+                        self._respond(404, "text/plain", b"no cache registry attached\n")
+                        return
+                    try:
+                        body = json.dumps(server.caches_source(), default=str).encode(
+                            "utf-8"
+                        )
+                    except Exception as exc:  # defensive: a scrape must answer
+                        self._respond(500, "text/plain", f"snapshot error: {exc}".encode())
+                        return
+                    self._respond(200, "application/json", body)
                 elif path == "/queries":
                     if server.registry_source is None:
                         self._respond(404, "text/plain", b"no query registry attached\n")
@@ -375,6 +458,10 @@ def merged_service_snapshot(service) -> dict:
         merged = dict(snap.get(section) or {})
         merged.update(pool.get(section) or {})
         snap[section] = merged
+    # The cache-registry families (cache_bytes{cache,kind}, cache_evictions
+    # {cache,reason}, memory_pressure{cache}) ride along on every scrape,
+    # pinning "result" to this service's cache.
+    snap["families"] = cache_families(service.caches(top_k=0)["caches"])
     return snap
 
 
@@ -388,7 +475,8 @@ def serve_metrics(service, host: str = "127.0.0.1", port: int = 0) -> MetricsSer
     queue depth, worker-thread count, live in-flight queries, and live
     pool workers. The admin surface comes attached: ``GET /queries``
     over the service's :class:`~repro.server.registry.ActiveQueryRegistry`,
-    ``POST /queries/<id>/cancel``, and a ``/healthz`` carrying uptime,
+    ``POST /queries/<id>/cancel``, ``GET /caches`` with the cache
+    registry's byte/entry report, and a ``/healthz`` carrying uptime,
     in-flight count, and queue depth.
     """
 
@@ -417,4 +505,5 @@ def serve_metrics(service, host: str = "127.0.0.1", port: int = 0) -> MetricsSer
         port=port,
         registry_source=lambda: service.registry,
         health_source=health_extras,
+        caches_source=lambda: service.caches(top_k=5),
     ).start()

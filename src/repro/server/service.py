@@ -47,9 +47,14 @@ import time
 from typing import Callable, Iterable, Mapping
 
 from repro.core.log import emit_event, events_snapshot
-from repro.core.pipeline import plan_cache_stats, prepared
+from repro.core.pipeline import prepared, set_plan_cache_budget
 from repro.core.trace import QueryTrace
-from repro.engine.cache import CacheStats, LRUCache, build_cache_stats
+from repro.engine.cache import (
+    LRUCache,
+    default_budget_bytes,
+    set_build_cache_budget,
+)
+from repro.engine.cachereg import CACHE_REGISTRY, caches_snapshot, register_cache
 from repro.engine.cancel import CancelToken, cancel_scope
 from repro.engine.stats import estimated_work
 from repro.errors import CancelledError, RejectedError, ReproError
@@ -141,6 +146,7 @@ class QueryService:
         max_attempts: int = 4,
         backoff_base: float = 0.002,
         result_cache_size: int = 256,
+        cache_budget_mb: float | None = None,
         typecheck: bool = True,
         slow_query_capacity: int = 16,
         feedback_every: int = 7,
@@ -174,7 +180,27 @@ class QueryService:
         self.backoff_base = backoff_base
         self.typecheck = typecheck
         self._queue: "queue_mod.Queue" = queue_mod.Queue(maxsize=max(0, queue_limit))
-        self._results = LRUCache(result_cache_size)
+        # Byte budget: an explicit cache_budget_mb wins, otherwise the
+        # REPRO_CACHE_BUDGET_MB environment default. The budget is
+        # per-cache and an explicit argument is pushed down onto the
+        # process-wide plan and build caches too, so one constructor knob
+        # bounds every cache a service touches (see docs/observability.md).
+        if cache_budget_mb is not None:
+            budget = int(cache_budget_mb * 1024 * 1024) if cache_budget_mb > 0 else None
+            set_plan_cache_budget(budget)
+            set_build_cache_budget(budget)
+        else:
+            budget = default_budget_bytes()
+        self.cache_budget_bytes = budget
+        self._results = LRUCache(
+            result_cache_size,
+            max_bytes=budget,
+            name="result",
+            describe_key=_result_key_identity,
+        )
+        # Last-registered wins: the snapshot describes the newest service's
+        # result cache, matching one-service-per-process deployments.
+        register_cache("result", self._results.report)
         self._inflight: dict = {}
         self._inflight_lock = threading.Lock()
         self._hooks: list[Callable[[QueryRequest, QueryResponse], None]] = []
@@ -369,16 +395,39 @@ class QueryService:
         snap["active_queries"] = self.registry.snapshot()["active"]
         snap["events"] = events_snapshot()
         snap["slow_queries"] = self.slow_queries.snapshot()
-        snap["caches"] = {
-            "plan": _cache_dict(plan_cache_stats()),
-            "build": _cache_dict(build_cache_stats()),
-            "result": _cache_dict(self._results.stats),
-        }
+        # Every registered cache's byte/entry/counter report (plan, build,
+        # shard catalogs, ...), with "result" pinned to *this* service's
+        # cache rather than whichever instance registered last.
+        snap["caches"] = self.caches(top_k=3)["caches"]
+        snap["result_cache_bytes"] = self._results.total_bytes
         # Imported lazily: repro.parallel must not load at service import
         # time (it imports repro.server.metrics, closing a cycle).
         from repro.parallel.pool import pool_health
 
         snap["parallel_pool"] = pool_health()
+        return snap
+
+    def caches(self, top_k: int = 3) -> dict:
+        """The cache registry's snapshot, pinned to this service.
+
+        The process-global registry resolves ``"result"`` to whichever
+        service registered last; this method substitutes *this*
+        instance's result cache, so it is the snapshot behind both
+        ``stats()["caches"]`` and the metrics server's ``GET /caches``.
+        """
+        # Importing the pool registers its shard-catalog view, so the
+        # report is complete even before any stats()/parallel traffic.
+        import repro.parallel.pool  # noqa: F401  (lazy: avoids an import cycle)
+
+        snap = caches_snapshot(top_k=top_k)
+        result_report = self._results.report(top_k=top_k)
+        result_report["memory_pressure"] = CACHE_REGISTRY.pressure_snapshot().get(
+            "result", 0
+        )
+        snap["caches"]["result"] = result_report
+        snap["total_bytes"] = sum(
+            r.get("bytes", 0) for r in snap["caches"].values()
+        )
         return snap
 
     # -- worker internals ----------------------------------------------------
@@ -587,6 +636,10 @@ class QueryService:
             parallel=response.parallel,
             events=[e.to_dict() for e in trace.events],
         )
+        # The cache footprint at capture time: a slow entry then shows
+        # whether the request ran against warm caches or under memory
+        # pressure (bytes held per cache when it completed).
+        entry["caches"] = _cache_footprint(self._results)
         if response.misestimates:
             # The top-k misestimated operators of the (sampled, analyzed)
             # execution that served this request: a slow entry then says
@@ -796,10 +849,21 @@ def _slow_entry(request: QueryRequest, outcome: str, **extra) -> dict:
     return entry
 
 
-def _cache_dict(stats: CacheStats) -> dict:
+def _result_key_identity(key) -> dict:
+    """Top-entry identity for a result-cache key: bound text + version."""
+    text, version = key
     return {
-        "hits": stats.hits,
-        "misses": stats.misses,
-        "evictions": stats.evictions,
-        "hit_rate": stats.hit_rate,
+        "query": text if len(text) <= 120 else text[:119] + "…",
+        "catalog_version": version,
     }
+
+
+def _cache_footprint(results: LRUCache) -> dict:
+    """Compact per-cache byte totals: the slow-log's memory context."""
+    reports = CACHE_REGISTRY.snapshot(top_k=0)
+    footprint = {name: report.get("bytes", 0) for name, report in reports.items()}
+    footprint["result"] = results.total_bytes
+    footprint["total_bytes"] = sum(
+        v for k, v in footprint.items() if k != "total_bytes"
+    )
+    return footprint

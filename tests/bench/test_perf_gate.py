@@ -23,6 +23,7 @@ def perf():
     # noise; pin it so the gate tests below exercise the budget check
     # deterministically. The real number comes from the full-size report.
     perf["introspection"]["overhead_pct"] = 1.0
+    perf["caches"]["accounting_overhead_pct"] = 1.0
     return perf
 
 
@@ -35,6 +36,7 @@ class TestCollectPerf:
             "benchmarks",
             "qerror",
             "introspection",
+            "caches",
         }
 
     def test_introspection_section_keys(self, perf):
@@ -44,6 +46,15 @@ class TestCollectPerf:
         assert intro["baseline_sweep_ms"] > 0
         assert intro["instrumented_sweep_ms"] > 0
         assert math.isfinite(intro["overhead_pct"])
+
+    def test_caches_section_keys(self, perf):
+        caches = perf["caches"]
+        assert caches["sweeps"] >= 1
+        assert caches["serves_per_sweep"] >= 1
+        assert caches["queries_per_serve"] >= 1
+        assert caches["baseline_sweep_ms"] > 0
+        assert caches["accounted_sweep_ms"] > 0
+        assert math.isfinite(caches["accounting_overhead_pct"])
 
     def test_covers_every_workload_query(self, perf):
         assert set(perf["benchmarks"]) == set(PERF_QUERIES)
@@ -168,6 +179,26 @@ class TestPerfGate:
         proc = run_gate(
             "--baseline", str(base), "--report", str(rep),
             "--shape-only", "--introspection-max-pct", "60",
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_caches_over_budget_fails_even_shape_only(self, perf, tmp_path):
+        base = write_report(tmp_path / "base.json", perf)
+        bloated = copy.deepcopy(perf)
+        bloated["caches"]["accounting_overhead_pct"] = 50.0
+        rep = write_report(tmp_path / "rep.json", bloated)
+        proc = run_gate("--baseline", str(base), "--report", str(rep), "--shape-only")
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "accounting_overhead" in proc.stdout
+
+    def test_caches_budget_is_configurable(self, perf, tmp_path):
+        base = write_report(tmp_path / "base.json", perf)
+        bloated = copy.deepcopy(perf)
+        bloated["caches"]["accounting_overhead_pct"] = 50.0
+        rep = write_report(tmp_path / "rep.json", bloated)
+        proc = run_gate(
+            "--baseline", str(base), "--report", str(rep),
+            "--shape-only", "--caches-max-pct", "60",
         )
         assert proc.returncode == 0, proc.stdout + proc.stderr
 

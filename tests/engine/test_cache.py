@@ -10,6 +10,7 @@ from repro.engine.cache import (
     LRUCache,
     build_cache_stats,
     clear_build_cache,
+    set_build_cache_budget,
     set_build_cache_capacity,
 )
 from repro.engine.executor import run_physical
@@ -178,3 +179,140 @@ class TestBuildSideReuse:
         assert frozenset(op.run(plain)) == frozenset(op.run(cat))
         # Only the Table-backed run used the cache.
         assert find_join(op).cache_misses == 1
+
+
+class TestEvictionReasons:
+    def test_capacity_evictions_are_labeled(self):
+        lru = LRUCache(capacity=1)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        assert lru.stats.evictions_by_reason == {"capacity": 1}
+
+    def test_remove_defaults_to_version_reason(self):
+        lru = LRUCache(capacity=4)
+        lru.put("a", 1)
+        assert lru.remove("a")
+        assert not lru.remove("a")  # already gone
+        assert lru.stats.evictions_by_reason == {"version": 1}
+
+    def test_resize_to_zero_counts_clears(self):
+        lru = LRUCache(capacity=4)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.resize(0)
+        assert len(lru) == 0
+        assert lru.stats.evictions_by_reason == {"clear": 2}
+
+    def test_build_cache_version_displacement_is_labeled(self):
+        cache = BuildSideCache(capacity=8)
+        t = Table("T", [Tup(a=1)])
+        k1 = BuildSideCache.key("hash-build", t, "x", ("x.a",))
+        cache.put(k1, {"build": 1}, nbytes=10)
+        t.bump_version()
+        k2 = BuildSideCache.key("hash-build", t, "x", ("x.a",))
+        cache.put(k2, {"build": 2}, nbytes=10)
+        # The stale version was displaced eagerly, not LRU'd out later.
+        assert cache.get(k1) is None
+        assert cache.stats.evictions_by_reason.get("version") == 1
+        report = cache.report()
+        assert report["entries"] == 1 and report["bytes"] == 10
+
+    def test_workload_under_tiny_budget_splits_reasons(self):
+        set_build_cache_budget(1024)  # far below one build artifact
+        try:
+            cat = catalog(nx=200, ny=50)
+            plan = Join(Scan("X", "x"), Scan("Y", "y"), parse("x.b = y.d"))
+            op = compile_plan(plan, cat, force_algorithm="hash")
+            baseline = frozenset(run_physical(plan, cat))
+            assert frozenset(op.run(cat)) == baseline
+            assert frozenset(op.run(cat)) == baseline  # rebuild, still right
+            reasons = BUILD_CACHE.stats.evictions_by_reason
+            assert reasons.get("budget", 0) >= 1
+        finally:
+            set_build_cache_budget(None)
+
+
+class TestByteBudget:
+    def test_entry_sizes_accumulate_and_report(self):
+        lru = LRUCache(capacity=8, name="probe")
+        lru.put("a", "x" * 1000)
+        lru.put("b", "y" * 2000)
+        assert lru.entry_bytes("a") and lru.entry_bytes("b")
+        assert lru.total_bytes == lru.entry_bytes("a") + lru.entry_bytes("b")
+        report = lru.report(top_k=1)
+        assert report["bytes"] == lru.total_bytes
+        assert report["top_entries"][0]["bytes"] == lru.entry_bytes("b")
+
+    def test_explicit_nbytes_skips_the_sizer(self):
+        lru = LRUCache(capacity=4, sizer=lambda value: 1 / 0)
+        lru.put("a", object(), nbytes=77)
+        assert lru.entry_bytes("a") == 77 and lru.total_bytes == 77
+
+    def test_budget_is_a_hard_invariant(self):
+        lru = LRUCache(capacity=100, max_bytes=5000, name="probe")
+        for i in range(20):
+            lru.put(i, "z" * 1000)
+            assert lru.total_bytes <= 5000
+        assert lru.stats.evictions_by_reason["budget"] >= 1
+
+    def test_oversized_entry_evicts_itself(self):
+        lru = LRUCache(capacity=10, max_bytes=100, name="probe")
+        lru.put("big", "x" * 10_000)
+        assert len(lru) == 0 and lru.total_bytes == 0
+
+    def test_budget_eviction_emits_event_and_pressure(self):
+        from repro.core.log import clear_events, events_snapshot
+        from repro.engine.cachereg import CACHE_REGISTRY
+
+        clear_events()
+        CACHE_REGISTRY.reset_pressure()
+        lru = LRUCache(capacity=10, max_bytes=2000, name="probe")
+        for i in range(4):
+            lru.put(i, "x" * 1000)
+        events = events_snapshot(events=["cache_evict"])
+        assert events, "expected structured cache_evict events"
+        assert events[0]["cache"] == "probe"
+        assert events[0]["reason"] == "budget" and events[0]["bytes"] > 0
+        pressure = CACHE_REGISTRY.pressure_snapshot()
+        assert pressure.get("probe", 0) >= 1
+
+    def test_set_budget_evicts_immediately(self):
+        lru = LRUCache(capacity=10, name="probe")
+        for i in range(4):
+            lru.put(i, "x" * 1000)
+        held = lru.total_bytes
+        lru.set_budget(held // 2)
+        assert lru.total_bytes <= held // 2
+        lru.set_budget(None)  # unbounded again
+        assert lru.max_bytes is None
+
+    def test_reinsert_replaces_recorded_size(self):
+        lru = LRUCache(capacity=4)
+        lru.put("a", "x" * 4000)
+        lru.put("a", "x" * 10)
+        assert lru.total_bytes == lru.entry_bytes("a") < 1000
+
+    def test_accounting_switch_disables_sizing(self):
+        from repro.engine.cache import accounting_enabled, set_accounting
+
+        assert accounting_enabled()
+        set_accounting(False)
+        try:
+            lru = LRUCache(capacity=4)
+            lru.put("a", "x" * 4000)
+            assert lru.total_bytes == 0  # sizing pass skipped
+        finally:
+            set_accounting(True)
+
+    def test_budget_still_enforced_with_accounting_off(self):
+        # An explicit max_bytes keeps sizing on for that cache: budgets
+        # are a correctness bound, not telemetry.
+        from repro.engine.cache import set_accounting
+
+        set_accounting(False)
+        try:
+            lru = LRUCache(capacity=10, max_bytes=100, name="probe")
+            lru.put("big", "x" * 10_000)
+            assert lru.total_bytes <= 100
+        finally:
+            set_accounting(True)

@@ -1,0 +1,158 @@
+"""Properties and calibration of the deep size estimator (cache accounting)."""
+
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.memsize import CALIBRATION_FACTOR, calibrate, deep_sizeof
+from repro.engine.table import Table
+from repro.model.values import Tup, Variant
+
+labels = st.sampled_from(["a", "b", "c", "d"])
+
+atoms = st.one_of(
+    st.booleans(),
+    st.integers(-(10**6), 10**6),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=8),
+)
+
+values = st.recursive(
+    atoms,
+    lambda inner: st.one_of(
+        st.frozensets(inner, max_size=3),
+        st.lists(inner, max_size=3).map(tuple),
+        st.dictionaries(labels, inner, max_size=3).map(Tup),
+    ),
+    max_leaves=12,
+)
+
+tups = st.dictionaries(labels, values, min_size=1, max_size=4).map(Tup)
+
+
+class TestDeepSizeofProperties:
+    @settings(max_examples=150)
+    @given(values)
+    def test_at_least_the_shallow_size(self, v):
+        assert deep_sizeof(v) >= sys.getsizeof(v)
+
+    @settings(max_examples=100)
+    @given(tups, values)
+    def test_monotone_under_adding_an_attribute(self, t, extra):
+        wider = Tup(**{**t._fields, "zz": extra})
+        assert deep_sizeof(wider) >= deep_sizeof(t)
+
+    @settings(max_examples=100)
+    @given(st.lists(tups, max_size=5), tups)
+    def test_monotone_under_adding_a_row(self, rows, new_row):
+        assert deep_sizeof(rows + [new_row]) >= deep_sizeof(rows)
+
+    @settings(max_examples=100)
+    @given(values)
+    def test_memo_counts_shared_substructure_once(self, v):
+        # A second reference to the same object adds only the container
+        # delta, never the referent's bytes again.
+        one, two = [v], [v, v]
+        assert deep_sizeof(two) - deep_sizeof(one) == sys.getsizeof(
+            two
+        ) - sys.getsizeof(one)
+
+    @settings(max_examples=50)
+    @given(values)
+    def test_threaded_memo_extends_the_accounting_unit(self, v):
+        memo: dict = {}
+        first = deep_sizeof(v, memo)
+        assert first > 0
+        assert deep_sizeof(v, memo) == 0  # already charged to this unit
+
+    @settings(max_examples=100)
+    @given(values)
+    def test_distinct_copies_cost_more_than_shared(self, v):
+        import copy
+
+        shared = deep_sizeof([v, v])
+        copied = deep_sizeof([v, copy.deepcopy(v)])
+        assert copied >= shared
+
+
+class TestTraversalRobustness:
+    def test_self_referential_cycle_terminates(self):
+        loop: list = []
+        loop.append(loop)
+        assert deep_sizeof(loop) >= sys.getsizeof(loop)
+
+    def test_mutual_cycle_through_dict(self):
+        a: dict = {}
+        b = {"a": a}
+        a["b"] = b
+        assert deep_sizeof(a) == deep_sizeof(b)  # same object set either way
+
+    def test_nesting_beyond_the_recursion_limit(self):
+        deep: list = []
+        for _ in range(sys.getrecursionlimit() * 2):
+            deep = [deep]
+        assert deep_sizeof(deep) > 0  # iterative traversal: no RecursionError
+
+    def test_opaque_objects_charged_shallow_only(self):
+        # A function's referents (globals, code) are process-shared, not
+        # cache-held data.
+        assert deep_sizeof(deep_sizeof) == sys.getsizeof(deep_sizeof)
+
+    def test_variant_counts_tag_and_payload(self):
+        small = Variant("t", 1)
+        big = Variant("t", "x" * 4096)
+        assert deep_sizeof(big) - deep_sizeof(small) >= 4000
+
+    def test_table_skips_derived_indexes(self):
+        rows = [Tup(a=i, b=str(i)) for i in range(50)]
+        table = Table("T", rows)
+        before = deep_sizeof(table)
+        frozenset(table)  # materialize the derived set view
+        assert deep_sizeof(table) == before
+
+    def test_batch_counts_columns(self):
+        from repro.engine.batch import batches_from_rows
+
+        rows = [Tup(a=i, b=str(i) * 8) for i in range(64)]
+        (batch,) = batches_from_rows(rows, batch_size=64)
+        # The columns alias the rows' payload values, so the batch is
+        # charged for at least those bytes (sans the Tup wrappers).
+        assert deep_sizeof(batch) >= deep_sizeof([t["b"] for t in rows])
+
+
+class TestCalibration:
+    """The documented accuracy band against tracemalloc ground truth."""
+
+    def _check(self, factory):
+        report = calibrate(factory)
+        assert report["actual"] > 0, "factory allocated nothing measurable"
+        assert (
+            1.0 / CALIBRATION_FACTOR <= report["ratio"] <= CALIBRATION_FACTOR
+        ), f"estimate off by more than {CALIBRATION_FACTOR}x: {report}"
+
+    def test_table_of_distinct_rows(self):
+        self._check(
+            lambda: Table(
+                "T",
+                [
+                    Tup(a=float(i) + 0.25, b=f"row-{i}-payload", c=i + 10**9)
+                    for i in range(500)
+                ],
+            )
+        )
+
+    def test_group_table_shape(self):
+        # The build-side cache's nest-join artifact: key tuple -> frozenset
+        # of member rows.
+        def factory():
+            rows = [
+                Tup(k=i % 20 + 10**9, v=float(i) * 1.5, s=f"member-{i}")
+                for i in range(400)
+            ]
+            groups: dict = {}
+            for row in rows:
+                groups.setdefault((row["k"],), []).append(row)
+            return {key: frozenset(members) for key, members in groups.items()}
+
+        self._check(factory)

@@ -182,3 +182,93 @@ class TestServeMetrics:
         assert "pool_scatters" in snap["counters"]  # pool side merged
         assert "pool_sequential_fallbacks" in snap["labeled"]
         parse_prometheus(prometheus_text(snap))  # and it all renders cleanly
+
+
+SAMPLE_CACHES = {
+    "build": {
+        "bytes": 900,
+        "bytes_by_kind": {"hash-build": 600, "inl-groups": 300},
+        "entries": 2,
+        "hits": 4,
+        "misses": 2,
+        "inserts": 2,
+        "evictions_by_reason": {"budget": 1, "version": 2},
+        "memory_pressure": 1,
+    },
+    "plan": {"bytes": 100, "entries": 1, "hits": 9, "misses": 1, "inserts": 1},
+}
+
+
+class TestCacheFamilies:
+    def test_families_from_snapshot(self):
+        from repro.server.exposition import cache_families
+
+        families = cache_families(SAMPLE_CACHES)
+        assert families["cache_bytes"]["type"] == "gauge"
+        assert ({"cache": "build", "kind": "hash-build"}, 600) in families[
+            "cache_bytes"
+        ]["samples"]
+        # A cache without kinds reports one all-kind sample.
+        assert ({"cache": "plan", "kind": "all"}, 100) in families["cache_bytes"][
+            "samples"
+        ]
+        assert ({"cache": "build", "reason": "budget"}, 1) in families[
+            "cache_evictions"
+        ]["samples"]
+        assert ({"cache": "build"}, 1) in families["memory_pressure"]["samples"]
+
+    def test_families_render_and_parse(self):
+        from repro.server.exposition import cache_families
+
+        text = prometheus_text({"families": cache_families(SAMPLE_CACHES)})
+        assert "# TYPE repro_cache_bytes gauge" in text
+        assert "# TYPE repro_cache_evictions_total counter" in text
+        samples = parse_prometheus(text)
+        assert samples[
+            ("repro_cache_bytes", (("cache", "build"), ("kind", "inl-groups")))
+        ] == 300.0
+        assert samples[
+            ("repro_cache_evictions_total", (("cache", "build"), ("reason", "version")))
+        ] == 2.0
+        assert samples[("repro_cache_hits_total", (("cache", "plan"),))] == 9.0
+
+    def test_live_scrape_carries_cache_families(self):
+        catalog = mixed_catalog(seed=5, n_left=20, n_right=80, n_chain=4)
+        with QueryService(catalog, workers=1) as service:
+            service.execute("SELECT r FROM R r WHERE r.a = 1")
+            with serve_metrics(service) as server:
+                with urllib.request.urlopen(f"{server.url}/metrics", timeout=5) as resp:
+                    samples = parse_prometheus(resp.read().decode())
+        by_cache = {
+            labels
+            for name, labels in samples
+            if name == "repro_cache_bytes"
+        }
+        caches = {dict(labels)["cache"] for labels in by_cache}
+        assert {"plan", "build", "result", "shard-catalog"} <= caches
+        assert samples[("repro_cache_entries", (("cache", "result"),))] >= 1.0
+
+
+class TestCachesEndpoint:
+    def test_get_caches_over_http(self):
+        catalog = mixed_catalog(seed=5, n_left=20, n_right=80, n_chain=4)
+        with QueryService(catalog, workers=1) as service:
+            service.execute("SELECT r FROM R r WHERE r.a = 1")
+            with serve_metrics(service) as server:
+                with urllib.request.urlopen(f"{server.url}/caches", timeout=5) as resp:
+                    assert resp.status == 200
+                    snap = json.loads(resp.read())
+        assert {"plan", "build", "result", "shard-catalog"} <= set(snap["caches"])
+        assert snap["total_bytes"] > 0
+        result = snap["caches"]["result"]
+        assert result["bytes"] > 0 and result["entries"] >= 1
+        # Top entries carry identity, not just sizes.
+        assert result["top_entries"][0]["key"]["query"].startswith("SELECT")
+        build = snap["caches"]["build"]
+        assert "bytes_by_kind" in build and "evictions_by_reason" in build
+
+    def test_caches_404_without_source(self, registry):
+        with MetricsServer(registry.snapshot) as server:
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                urllib.request.urlopen(f"{server.url}/caches", timeout=5)
+            assert exc_info.value.code == 404

@@ -98,8 +98,41 @@ class TestBasicServing:
         assert stats["counters"]["completed"] == 2
         assert stats["counters"]["result_hits"] == 1
         assert stats["histograms"]["latency_ms"]["count"] == 2
-        assert set(stats["caches"]) == {"plan", "build", "result"}
+        assert set(stats["caches"]) >= {"plan", "build", "result", "shard-catalog"}
         assert stats["caches"]["result"]["hits"] == 1
+        # Every registered cache reports the byte axis alongside counters.
+        for report in stats["caches"].values():
+            assert "bytes" in report and "entries" in report
+            assert "evictions_by_reason" in report
+        assert stats["caches"]["result"]["bytes"] > 0
+        assert stats["result_cache_bytes"] == stats["caches"]["result"]["bytes"]
+
+    def test_result_cache_respects_byte_budget(self, catalog):
+        from repro.core.pipeline import set_plan_cache_budget
+        from repro.engine.cache import set_build_cache_budget
+
+        oracle = run_query(COUNT_BUG_NESTED, catalog, engine="interpret").value
+        try:
+            # ~2KiB: far below one large result set, so big results must
+            # evict (possibly themselves) rather than grow the cache.
+            with QueryService(catalog, workers=1, cache_budget_mb=0.002) as service:
+                budget = service.cache_budget_bytes
+                assert budget == int(0.002 * 1024 * 1024)
+                for key in range(6):
+                    assert service.execute(PARAM_LOOKUP, params={"key": key}).ok
+                    assert service._results.total_bytes <= budget
+                big = service.execute(COUNT_BUG_NESTED)
+                assert big.ok and big.value == oracle
+                assert service._results.total_bytes <= budget
+                report = service.caches()["caches"]["result"]
+                assert report["evictions_by_reason"].get("budget", 0) >= 1
+                assert report["memory_pressure"] >= 1
+                # Eviction under pressure never corrupts what is served.
+                again = service.execute(COUNT_BUG_NESTED)
+                assert again.ok and again.value == oracle
+        finally:
+            set_plan_cache_budget(None)
+            set_build_cache_budget(None)
 
     def test_submit_after_stop_is_rejected(self, catalog):
         service = QueryService(catalog, workers=1)

@@ -155,6 +155,48 @@ class TestOtherCommands:
         assert report["lost_requests"] == 0
         assert report["outcomes"].get("ok") == 30
 
+    def test_caches_plain_renders_live_endpoint(self, capsys):
+        from repro.server.exposition import serve_metrics
+        from repro.server.service import QueryService
+        from repro.server.workload import make_requests, mixed_catalog
+
+        catalog = mixed_catalog(seed=0, n_left=20, n_right=80, n_chain=4)
+        with QueryService(catalog, workers=2) as service:
+            service.serve_all(make_requests(20, seed=0))
+            with serve_metrics(service) as server:
+                code = main(
+                    ["caches", "--url", server.url, "--plain",
+                     "--iterations", "1", "--top", "2"]
+                )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro caches —" in out and "total=" in out
+        for name in ("plan", "build", "result", "shard-catalog"):
+            assert name in out
+        assert "KiB" in out or "MiB" in out  # nonzero human-readable bytes
+        assert "\x1b[2J" not in out  # --plain never clears the screen
+
+    def test_caches_unreachable_endpoint_fails_cleanly(self, capsys):
+        code = main(["caches", "--url", "http://127.0.0.1:9", "--iterations", "1"])
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_serve_bench_cache_budget_flag(self, capsys):
+        from repro.core.pipeline import set_plan_cache_budget
+        from repro.engine.cache import set_build_cache_budget
+
+        try:
+            code = main(
+                ["serve-bench", "--workers", "2", "--requests", "20",
+                 "--no-oracle", "--cache-budget-mb", "0.002"]
+            )
+        finally:
+            set_plan_cache_budget(None)
+            set_build_cache_budget(None)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve-bench: 20 requests" in out
+
     def test_missing_db_file(self, tmp_path, capsys):
         with pytest.raises(FileNotFoundError):
             main(["tables", "--db", str(tmp_path / "ghost.json")])
